@@ -1,0 +1,21 @@
+//===- fig5_fir_pipelined.cpp - Figure 5 reproduction --------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 5 of the paper: balance, execution cycles, and design
+/// area for FIR with pipelined memory accesses, as a function of the
+/// inner and outer unroll factors. Pass --csv for machine-readable
+/// output.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+int main(int argc, char **argv) {
+  return defacto::bench::runFigureSweep(
+      "Figure 5", "FIR",
+      defacto::TargetPlatform::wildstarPipelined(),
+      defacto::bench::parseCsvFlag(argc, argv));
+}

@@ -1,0 +1,21 @@
+//===- fig6_mm_nonpipelined.cpp - Figure 6 reproduction --------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 6 of the paper: balance, execution cycles, and design
+/// area for MM with nonpipelined memory accesses, as a function of the
+/// inner and outer unroll factors. Pass --csv for machine-readable
+/// output.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+int main(int argc, char **argv) {
+  return defacto::bench::runFigureSweep(
+      "Figure 6", "MM",
+      defacto::TargetPlatform::wildstarNonPipelined(),
+      defacto::bench::parseCsvFlag(argc, argv));
+}

@@ -1,0 +1,21 @@
+//===- fig9_pat_pipelined.cpp - Figure 9 reproduction --------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 9 of the paper: balance, execution cycles, and design
+/// area for PAT with pipelined memory accesses, as a function of the
+/// inner and outer unroll factors. Pass --csv for machine-readable
+/// output.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+int main(int argc, char **argv) {
+  return defacto::bench::runFigureSweep(
+      "Figure 9", "PAT",
+      defacto::TargetPlatform::wildstarPipelined(),
+      defacto::bench::parseCsvFlag(argc, argv));
+}

@@ -1,0 +1,74 @@
+//===- perf_dse_throughput.cpp - DSE wall-clock benchmarks ----------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Google-benchmark timings of the exploration itself. The paper reports
+/// the algorithm completing "in less than 5 minutes for each
+/// application" with Monet-in-the-loop estimation; with the built-in
+/// estimator the whole exploration runs in milliseconds, making the
+/// comparison point the number of synthesis estimations rather than the
+/// wall clock.
+///
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/Explorer.h"
+#include "defacto/Kernels/Kernels.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace defacto;
+
+namespace {
+
+void BM_Exploration(benchmark::State &State, const char *Name,
+                    bool Pipelined) {
+  Kernel K = buildKernel(Name);
+  ExplorerOptions Opts;
+  Opts.Platform = Pipelined ? TargetPlatform::wildstarPipelined()
+                            : TargetPlatform::wildstarNonPipelined();
+  uint64_t Evals = 0;
+  for (auto _ : State) {
+    DesignSpaceExplorer Ex(K, Opts);
+    ExplorationResult R = Ex.run();
+    Evals = R.Visited.size();
+    benchmark::DoNotOptimize(R.SelectedEstimate.Cycles);
+  }
+  State.counters["estimations"] = static_cast<double>(Evals);
+}
+
+void BM_SingleEstimate(benchmark::State &State, const char *Name) {
+  Kernel K = buildKernel(Name);
+  ExplorerOptions Opts;
+  for (auto _ : State) {
+    DesignSpaceExplorer Ex(K, Opts);
+    auto Est = Ex.evaluate(Ex.initialVector());
+    benchmark::DoNotOptimize(Est->Cycles);
+  }
+}
+
+void BM_TransformPipeline(benchmark::State &State, const char *Name) {
+  Kernel K = buildKernel(Name);
+  TransformOptions Opts;
+  Opts.Unroll = {2, 2};
+  for (auto _ : State) {
+    TransformResult R = applyPipeline(K, Opts);
+    benchmark::DoNotOptimize(R.K.body().size());
+  }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_Exploration, fir_pipelined, "FIR", true);
+BENCHMARK_CAPTURE(BM_Exploration, fir_nonpipelined, "FIR", false);
+BENCHMARK_CAPTURE(BM_Exploration, mm_pipelined, "MM", true);
+BENCHMARK_CAPTURE(BM_Exploration, pat_pipelined, "PAT", true);
+BENCHMARK_CAPTURE(BM_Exploration, jac_pipelined, "JAC", true);
+BENCHMARK_CAPTURE(BM_Exploration, sobel_pipelined, "SOBEL", true);
+BENCHMARK_CAPTURE(BM_SingleEstimate, fir, "FIR");
+BENCHMARK_CAPTURE(BM_SingleEstimate, mm, "MM");
+BENCHMARK_CAPTURE(BM_TransformPipeline, fir, "FIR");
+BENCHMARK_CAPTURE(BM_TransformPipeline, sobel, "SOBEL");
+
+BENCHMARK_MAIN();

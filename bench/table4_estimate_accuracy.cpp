@@ -1,0 +1,74 @@
+//===- table4_estimate_accuracy.cpp - §6.4 estimate validation ------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates the paper's §6.4 study: behavioral-synthesis estimates
+/// versus implemented (logic synthesis + place-and-route) designs. The
+/// paper implemented the baseline, the selected designs, and a few
+/// unroll factors beyond the selection, finding cycle counts unchanged,
+/// clock degradation under 10% for most selected designs (30% for
+/// pipelined FIR, still meeting the 40 ns target), sublinear area growth
+/// for selected designs, and significant degradation only for very large
+/// designs whose estimated performance exceeds what implementation
+/// delivers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/Explorer.h"
+#include "defacto/HLS/PlaceRoute.h"
+#include "defacto/Kernels/Kernels.h"
+#include "defacto/Support/Table.h"
+
+#include <cstdio>
+
+using namespace defacto;
+
+int main() {
+  std::printf("==== Estimate vs implementation (pipelined) ====\n\n");
+  Table T({"Program", "Design", "Unroll", "Cycles est", "Cycles impl",
+           "Clock est", "Clock impl", "Area est", "Area impl",
+           "Meets 40ns"});
+
+  for (const KernelSpec &Spec : paperKernels()) {
+    Kernel K = buildKernel(Spec.Name);
+    ExplorerOptions Opts;
+    DesignSpaceExplorer Ex(K, Opts);
+    ExplorationResult Dse = Ex.run();
+
+    struct Row {
+      const char *Label;
+      UnrollVector U;
+    };
+    // Baseline, selected, and one design beyond the selection (double
+    // the selected product where the space allows).
+    std::vector<Row> Rows;
+    Rows.push_back({"baseline", Ex.space().base()});
+    Rows.push_back({"selected", Dse.Selected});
+    UnrollVector Beyond = Ex.space().increase(
+        Dse.Selected, {0, 1, 2});
+    if (Beyond != Dse.Selected)
+      Rows.push_back({"beyond", Beyond});
+
+    for (const Row &R : Rows) {
+      auto Est = Ex.evaluate(R.U);
+      if (!Est)
+        continue;
+      ImplementationResult Impl = placeAndRoute(*Est, Opts.Platform);
+      T.addRow({Spec.Name, R.Label, unrollVectorToString(R.U),
+                std::to_string(Est->Cycles), std::to_string(Impl.Cycles),
+                formatDouble(Opts.Platform.ClockPeriodNs, 0) + "ns",
+                formatDouble(Impl.AchievedClockNs, 1) + "ns",
+                formatDouble(Est->Slices, 0),
+                formatDouble(Impl.Slices, 0),
+                Impl.MeetsTargetClock ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s\n", T.toString(2).c_str());
+  std::printf("Shape checks: cycle counts identical through "
+              "implementation; selected designs meet the 40 ns target; "
+              "area grows modestly for selected designs and faster for "
+              "larger ones.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+//===- fir_walkthrough.cpp - Figure 1, stage by stage ---------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces the paper's Figure 1 on the FIR filter, printing the code
+/// after each transformation:
+///
+///   (a) the original C kernel,
+///   (b) after unroll-and-jam by (2,2),
+///   (c) after scalar replacement — D registers, rotating C chains, the
+///       shared S_0 load, and the `if (j == 0)` chain-load guard,
+///   (d) the final code after loop peeling and custom data layout —
+///       renamed memories S0/S1, C0/C1, D0/D1 with bank-local
+///       subscripts, matching Figure 1(d).
+///
+/// Each stage is checked against the original with the functional
+/// simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#include "defacto/IR/IRPrinter.h"
+#include "defacto/Kernels/Kernels.h"
+#include "defacto/Sim/Interpreter.h"
+#include "defacto/Transforms/DataLayout.h"
+#include "defacto/Transforms/LoopPeeling.h"
+#include "defacto/Transforms/Normalize.h"
+#include "defacto/Transforms/ScalarReplacement.h"
+#include "defacto/Transforms/UnrollAndJam.h"
+
+#include <cstdio>
+
+using namespace defacto;
+
+namespace {
+
+bool check(const Kernel &Original, const Kernel &Transformed,
+           const char *Stage) {
+  if (simulate(Original, 1729) == simulate(Transformed, 1729)) {
+    std::printf("  [functional check after %s: OK]\n\n", Stage);
+    return true;
+  }
+  std::fprintf(stderr, "BUG: %s changed results\n", Stage);
+  return false;
+}
+
+} // namespace
+
+int main() {
+  Kernel Original = buildKernel("FIR");
+  std::printf("(a) original code\n%s\n",
+              printKernel(Original).c_str());
+
+  Kernel K = Original.clone();
+  normalizeLoops(K);
+  if (!unrollAndJam(K, {2, 2})) {
+    std::fprintf(stderr, "unroll failed\n");
+    return 1;
+  }
+  normalizeLoops(K);
+  std::printf("(b) after unrolling j and i by factor 2 and jamming\n%s",
+              printKernel(K).c_str());
+  if (!check(Original, K, "unroll-and-jam"))
+    return 1;
+
+  ScalarReplacementStats SR = scalarReplace(K);
+  std::printf("(c) after scalar replacement: %u registers, %u rotating "
+              "chains, %u loads and %u stores removed from the steady "
+              "state\n%s",
+              SR.RegistersAllocated, SR.ChainsCreated, SR.LoadsRemoved,
+              SR.StoresRemoved, printKernel(K).c_str());
+  if (!check(Original, K, "scalar replacement"))
+    return 1;
+
+  PeelingStats Peel = peelGuardedIterations(K);
+  DataLayoutStats Layout = applyDataLayout(K, {4});
+  std::printf("(d) final code: %u loop(s) peeled, %u arrays distributed "
+              "across memory banks\n%s",
+              Peel.LoopsPeeled, Layout.ArraysDistributed,
+              printKernel(K).c_str());
+  if (!check(Original, K, "peeling + data layout"))
+    return 1;
+
+  std::printf("Compare with Figure 1(d) of the paper: even/odd elements "
+              "of S and C in separate banks, D distributed likewise, "
+              "rotating c-register chains, and a peeled first j "
+              "iteration holding the chain loads.\n");
+  return 0;
+}

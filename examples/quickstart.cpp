@@ -1,0 +1,84 @@
+//===- quickstart.cpp - Five-minute tour of the DEFACTO-DSE API -----------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Quickstart: write a loop-nest kernel in C, let the design space
+/// exploration pick unroll factors for the target board, and look at
+/// what the compiler did.
+///
+///   1. parseKernel       - C subset -> loop-nest IR
+///   2. DesignSpaceExplorer::run - the paper's Figure-2 algorithm
+///   3. applyPipeline     - materialize the selected design
+///   4. printKernel       - inspect the transformed code
+///
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/Explorer.h"
+#include "defacto/Frontend/Parser.h"
+#include "defacto/IR/IRPrinter.h"
+#include "defacto/Sim/Interpreter.h"
+
+#include <cstdio>
+
+using namespace defacto;
+
+int main() {
+  // A small correlation kernel, written as plain C. No pragmas, no
+  // annotations: the compiler decides everything.
+  const char *Source = "int X[80];\n"
+                       "int W[16];\n"
+                       "int Y[64];\n"
+                       "for (i = 0; i < 64; i++)\n"
+                       "  for (j = 0; j < 16; j++)\n"
+                       "    Y[i] = Y[i] + X[i + j] * W[j];\n";
+
+  // 1. Front end.
+  DiagnosticEngine Diags;
+  std::optional<Kernel> K = parseKernel(Source, "correlate", Diags);
+  if (!K) {
+    std::fprintf(stderr, "parse failed:\n%s", Diags.toString().c_str());
+    return 1;
+  }
+
+  // 2. Explore the design space for the pipelined WildStar board.
+  ExplorerOptions Opts;
+  Opts.Platform = TargetPlatform::wildstarPipelined();
+  DesignSpaceExplorer Explorer(*K, Opts);
+  ExplorationResult R = Explorer.run();
+
+  std::printf("design space: %llu unroll vectors; evaluated %zu "
+              "(%.2f%%)\n",
+              static_cast<unsigned long long>(R.FullSpaceSize),
+              R.Visited.size(), 100.0 * R.fractionSearched());
+  std::printf("saturation point Psat = %lld (R=%u read sets, W=%u write "
+              "sets, %u memories)\n",
+              static_cast<long long>(R.Sat.Psat), R.Sat.R, R.Sat.W,
+              Opts.Platform.NumMemories);
+  std::printf("\nsearch trace:\n%s\n", R.Trace.c_str());
+  std::printf("selected design: unroll %s -> %llu cycles, %.0f slices, "
+              "%.2fx speedup over the no-unrolling baseline\n\n",
+              unrollVectorToString(R.Selected).c_str(),
+              static_cast<unsigned long long>(R.SelectedEstimate.Cycles),
+              R.SelectedEstimate.Slices, R.speedup());
+
+  // 3. Materialize the selected design.
+  TransformOptions TO;
+  TO.Unroll = R.Selected;
+  TO.Layout.NumMemories = Opts.Platform.NumMemories;
+  TransformResult Design = applyPipeline(*K, TO);
+
+  // The transformations never change results: prove it on random data.
+  if (simulate(*K, 7) != simulate(Design.K, 7)) {
+    std::fprintf(stderr, "BUG: transformed kernel diverges\n");
+    return 1;
+  }
+  std::printf("functional check: transformed design matches the source "
+              "kernel on random inputs\n\n");
+
+  // 4. Show the hardware-shaped code.
+  std::printf("transformed kernel (registers, rotating chains, memory "
+              "banks):\n%s", printKernel(Design.K).c_str());
+  return 0;
+}

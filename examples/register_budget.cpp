@@ -1,0 +1,86 @@
+//===- register_budget.cpp - §5.4 register-pressure control ---------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Demonstrates the paper's §5.4: when full reuse would need too many
+/// on-chip registers, the localized iteration space is shrunk so less
+/// reuse is exploited — the design gets smaller (and may then afford
+/// more operator parallelism), at the cost of a lower fetch rate.
+///
+/// Two mechanisms are shown on MM (whose B-matrix chain wants 64
+/// registers at the baseline): the explorer's register cap, and explicit
+/// strip-mining of the nest.
+///
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/Explorer.h"
+#include "defacto/HLS/Estimator.h"
+#include "defacto/IR/IRUtils.h"
+#include "defacto/Kernels/Kernels.h"
+#include "defacto/Support/Table.h"
+#include "defacto/Transforms/Interchange.h"
+#include "defacto/Transforms/Normalize.h"
+#include "defacto/Transforms/Pipeline.h"
+#include "defacto/Transforms/Tiling.h"
+
+#include <cstdio>
+
+using namespace defacto;
+
+int main() {
+  Kernel MM = buildKernel("MM");
+  TargetPlatform Board = TargetPlatform::wildstarPipelined();
+
+  std::printf("== Explorer register caps on MM ==\n\n");
+  Table T({"Register cap", "Selected", "Registers", "Cycles", "Slices",
+           "Speedup"});
+  for (unsigned Cap : {0u, 200u, 100u, 50u, 20u}) {
+    ExplorerOptions Opts;
+    Opts.Platform = Board;
+    if (Cap != 0)
+      Opts.RegisterCap = Cap;
+    ExplorationResult R = DesignSpaceExplorer(MM, Opts).run();
+    T.addRow({Cap == 0 ? "none" : std::to_string(Cap),
+              unrollVectorToString(R.Selected),
+              std::to_string(R.SelectedEstimate.Registers),
+              std::to_string(R.SelectedEstimate.Cycles),
+              formatDouble(R.SelectedEstimate.Slices, 0),
+              formatDouble(R.speedup(), 2) + "x"});
+  }
+  std::printf("%s\n", T.toString(2).c_str());
+
+  std::printf("== Tiling FIR's reuse loop (strip-mine + interchange, "
+              "§5.4) ==\n\n");
+  // Strip-mining the i loop alone leaves the C chain spanning the whole
+  // sweep; hoisting the tile loop above the reuse carrier (j) localizes
+  // the iteration space, so the chain shrinks to one tile.
+  Kernel FIR = buildKernel("FIR");
+  Table T2({"Tile", "Registers", "Cycles", "Slices", "Fetch rate"});
+  for (int64_t Tile : {0, 16, 8, 4}) {
+    Kernel K = FIR.clone();
+    normalizeLoops(K);
+    if (Tile != 0) {
+      int InnerId = perfectNest(K.topLoop())[1]->loopId();
+      if (!stripMine(K, InnerId, Tile) || !interchangeLoops(K, 0, 1)) {
+        std::fprintf(stderr, "tiling failed for tile %lld\n",
+                     static_cast<long long>(Tile));
+        return 1;
+      }
+    }
+    scalarReplace(K);
+    peelGuardedIterations(K);
+    applyDataLayout(K, {Board.NumMemories});
+    SynthesisEstimate Est = estimateDesign(K, Board);
+    T2.addRow({Tile == 0 ? "full reuse" : std::to_string(Tile),
+               std::to_string(Est.Registers),
+               std::to_string(Est.Cycles), formatDouble(Est.Slices, 0),
+               formatDouble(Est.FetchRate, 1)});
+  }
+  std::printf("%s\n", T2.toString(2).c_str());
+  std::printf("Reading: smaller tiles exploit less reuse — fewer "
+              "registers and a lower effective fetch rate (more memory "
+              "traffic), the space/time knob of §5.4.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+//===- DependenceAnalysis.h - Affine data dependence analysis --*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data dependence analysis on affine array accesses: the capability the
+/// paper identifies as the key advantage of parallelizing compiler
+/// technology over behavioral synthesis (§2.3, Table 1).
+///
+/// For uniformly generated pairs the analysis computes exact dependence
+/// distance vectors (with per-loop "star" entries when a loop does not
+/// constrain the distance, e.g. C[i] reused across every j iteration).
+/// For other pairs it falls back to GCD and Banerjee existence tests and
+/// records a conservative, distance-less dependence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_ANALYSIS_DEPENDENCEANALYSIS_H
+#define DEFACTO_ANALYSIS_DEPENDENCEANALYSIS_H
+
+#include "defacto/IR/IRUtils.h"
+#include "defacto/IR/Kernel.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace defacto {
+
+/// Dependence classes. Input dependences (read-read) are retained because
+/// they describe data reuse exploited by scalar replacement.
+enum class DepKind { Flow, Anti, Output, Input };
+
+const char *depKindName(DepKind Kind);
+
+/// One component of a dependence distance vector.
+struct DistanceEntry {
+  enum class Kind {
+    Exact, ///< The distance in this loop is exactly Value.
+    Star,  ///< The loop does not constrain the distance (any value).
+  };
+  Kind EntryKind = Kind::Exact;
+  int64_t Value = 0;
+
+  static DistanceEntry exact(int64_t V) {
+    return {Kind::Exact, V};
+  }
+  static DistanceEntry star() { return {Kind::Star, 0}; }
+
+  bool isExact() const { return EntryKind == Kind::Exact; }
+  bool isStar() const { return EntryKind == Kind::Star; }
+  bool isExactZero() const { return isExact() && Value == 0; }
+
+  std::string toString() const;
+};
+
+/// A dependence between two access instances, oriented source -> dest
+/// (source instance executes no later than the destination instance).
+struct Dependence {
+  const ArrayAccessExpr *Src = nullptr;
+  const ArrayAccessExpr *Dst = nullptr;
+  DepKind Kind = DepKind::Flow;
+
+  /// True when Distance below is meaningful (a consistent dependence in
+  /// the paper's terminology). Inconsistent dependences have no distance
+  /// and are treated conservatively.
+  bool Consistent = false;
+
+  /// Distance per loop in nest order (outermost first); only valid when
+  /// Consistent.
+  std::vector<DistanceEntry> Distance;
+
+  /// All-exact-zero distance: both instances in the same iteration.
+  bool isLoopIndependent() const;
+
+  /// Nest position (0 = outermost) of the loop carrying this dependence:
+  /// the outermost non-exact-zero entry. -1 for loop-independent
+  /// dependences. Inconsistent dependences report 0 (conservatively
+  /// carried by the outermost loop).
+  int carrierPosition() const;
+
+  std::string toString(const std::function<std::string(int)> &NameOf) const;
+};
+
+/// Dependence analysis result for one kernel's loop nest.
+class DependenceInfo {
+public:
+  /// Analyzes the perfect nest rooted at the kernel's top loop. Accesses
+  /// outside loops (none in the input domain) are ignored.
+  static DependenceInfo compute(Kernel &K);
+
+  /// The analyzed loops, outermost first.
+  const std::vector<ForStmt *> &nest() const { return Nest; }
+
+  const std::vector<Dependence> &dependences() const { return Deps; }
+
+  /// True when no flow, anti, or output dependence is carried by the loop
+  /// at \p NestPosition: all its unrolled iterations can run in parallel
+  /// (the DSE algorithm's preferred unroll target).
+  bool carriesNoDependence(unsigned NestPosition) const;
+
+  /// The smallest positive exact distance carried at \p NestPosition over
+  /// all non-input dependences, or std::nullopt when none has an exact
+  /// positive distance there. Larger values mean more parallelism between
+  /// dependences (used for initial unroll-factor selection).
+  std::optional<int64_t> minCarriedDistance(unsigned NestPosition) const;
+
+  /// Nest position of \p LoopId, or -1 when the loop is not in the nest.
+  int positionOf(int LoopId) const;
+
+private:
+  std::vector<ForStmt *> Nest;
+  std::vector<Dependence> Deps;
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_ANALYSIS_DEPENDENCEANALYSIS_H

@@ -1,0 +1,66 @@
+//===- ReuseAnalysis.h - Data reuse groups ---------------------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data reuse analysis in the style of Carr/Kennedy as extended by the
+/// paper: accesses connected by consistent (constant-distance) input or
+/// flow dependences form reuse groups whose data can live in on-chip
+/// registers. The paper exploits reuse across *all* loops of the nest, not
+/// just the innermost one; a group's carrier loop determines the register
+/// structure scalar replacement materializes (single register, rotating
+/// chain across an inner sweep, or sliding window).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_ANALYSIS_REUSEANALYSIS_H
+#define DEFACTO_ANALYSIS_REUSEANALYSIS_H
+
+#include "defacto/Analysis/DependenceAnalysis.h"
+
+namespace defacto {
+
+/// How a reuse group maps onto registers.
+enum class ReuseShape {
+  /// All members access the same element in the same iteration: one load
+  /// feeds every use (common-subexpression reuse, e.g. S_0 in Fig. 1(c)).
+  LoopIndependent,
+  /// The accessed element is invariant in one or more inner loops (the
+  /// D[j] case): one register per access, live across the inner sweep.
+  InnerInvariant,
+  /// Reuse is carried by an outer loop while the access varies with inner
+  /// loops (the C[i] case): a rotating chain holding one inner sweep.
+  OuterCarriedChain,
+  /// Reuse is carried by the innermost varying loop with a small constant
+  /// distance (stencil windows, e.g. JAC/SOBEL neighbors).
+  InnerCarriedWindow,
+  /// No exploitable reuse (inconsistent distances, e.g. S[i+j] vs
+  /// S[i+j+1] across iterations).
+  None,
+};
+
+const char *reuseShapeName(ReuseShape Shape);
+
+/// A set of accesses to one array connected by consistent reuse.
+struct ReuseGroup {
+  const ArrayDecl *Array = nullptr;
+  /// Members in program order. Includes reads and writes.
+  std::vector<const ArrayAccessExpr *> Accesses;
+  bool HasWrite = false;
+  ReuseShape Shape = ReuseShape::None;
+  /// Nest position of the loop carrying the temporal reuse (-1 when the
+  /// reuse is loop-independent or there is none).
+  int CarrierPosition = -1;
+  /// The exact carried distance in iterations, when known.
+  std::optional<int64_t> Distance;
+};
+
+/// Partitions the kernel's accesses into reuse groups using \p DI.
+std::vector<ReuseGroup> computeReuseGroups(Kernel &K,
+                                           const DependenceInfo &DI);
+
+} // namespace defacto
+
+#endif // DEFACTO_ANALYSIS_REUSEANALYSIS_H

@@ -1,0 +1,64 @@
+//===- UniformlyGenerated.h - Uniformly generated reference sets *- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two affine references A(a1*i1+b1, ..., an*in+bn) and A(c1*i1+d1, ...,
+/// cn*in+dn) are *uniformly generated* when ai == ci for every i (§4 of the
+/// paper): their subscripts differ only in constants. Uniformly generated
+/// sets drive array renaming (custom data layout) and the saturation-point
+/// computation: R and W in Psat = lcm(gcd(R, W), NumMemories) are the
+/// number of uniformly generated read and write sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_ANALYSIS_UNIFORMLYGENERATED_H
+#define DEFACTO_ANALYSIS_UNIFORMLYGENERATED_H
+
+#include "defacto/IR/IRUtils.h"
+#include "defacto/IR/Kernel.h"
+
+namespace defacto {
+
+/// One uniformly generated set: accesses to the same array whose
+/// subscripts share linear parts, separated into reads and writes (the
+/// paper schedules them separately).
+struct UGSet {
+  const ArrayDecl *Array = nullptr;
+  bool IsWrite = false;
+  /// Members in program order; after scalar replacement one memory access
+  /// per set remains.
+  std::vector<ArrayAccessExpr *> Accesses;
+};
+
+/// The uniformly generated partition of a kernel's array accesses.
+struct UGPartition {
+  std::vector<UGSet> ReadSets;
+  std::vector<UGSet> WriteSets;
+
+  /// R in the saturation-point formula.
+  unsigned numReadSets() const { return ReadSets.size(); }
+  /// W in the saturation-point formula.
+  unsigned numWriteSets() const { return WriteSets.size(); }
+
+  /// True when every access to \p Array is uniformly generated with every
+  /// other access of the same direction (precondition for array renaming).
+  bool isArrayUniform(const ArrayDecl *Array) const;
+};
+
+/// True when the two accesses reference the same array with identical
+/// linear subscript parts in every dimension.
+bool areUniformlyGenerated(const ArrayAccessExpr *A,
+                           const ArrayAccessExpr *B);
+
+/// Partitions all array accesses under \p Stmts.
+UGPartition computeUniformlyGenerated(StmtList &Stmts);
+
+/// Partitions all array accesses of \p K.
+UGPartition computeUniformlyGenerated(Kernel &K);
+
+} // namespace defacto
+
+#endif // DEFACTO_ANALYSIS_UNIFORMLYGENERATED_H

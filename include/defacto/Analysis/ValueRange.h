@@ -1,0 +1,75 @@
+//===- ValueRange.h - Integer range and bit-width inference ----*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value-range analysis over kernel expressions, for datapath bit-width
+/// inference. The paper's application domain argues FPGAs win exactly
+/// because they "benefit from non-standard numeric formats (e.g.,
+/// reduced data widths)" (§2.4): an 8-bit image pixel sum needs a
+/// 10-bit adder, not a 32-bit one. Ranges are derived from declared
+/// element types, loop bounds, and constant arithmetic; scalars
+/// conservatively take their declared type's range (assignments truncate
+/// to the declared type, so that is sound).
+///
+/// The estimator consumes widthOf() when the target platform enables
+/// width inference, shrinking operator areas and delays accordingly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_ANALYSIS_VALUERANGE_H
+#define DEFACTO_ANALYSIS_VALUERANGE_H
+
+#include "defacto/IR/Kernel.h"
+
+#include <cstdint>
+#include <map>
+
+namespace defacto {
+
+/// A closed signed integer interval.
+struct ValueRange {
+  int64_t Min = 0;
+  int64_t Max = 0;
+
+  static ValueRange ofType(ScalarType Ty);
+  static ValueRange constant(int64_t V) { return {V, V}; }
+
+  /// Smallest two's-complement width holding every value in the range
+  /// (at least 1, at most 64).
+  unsigned bitsNeeded() const;
+
+  ValueRange add(const ValueRange &O) const;
+  ValueRange sub(const ValueRange &O) const;
+  ValueRange mul(const ValueRange &O) const;
+  ValueRange unionWith(const ValueRange &O) const;
+  ValueRange negate() const;
+  ValueRange abs() const;
+
+  bool operator==(const ValueRange &O) const {
+    return Min == O.Min && Max == O.Max;
+  }
+};
+
+/// Computes ranges for every expression in a kernel (including guard
+/// conditions), with loop indices ranging over their actual bounds.
+class ValueRangeAnalysis {
+public:
+  explicit ValueRangeAnalysis(const Kernel &K);
+
+  /// Range of \p E; expressions outside the analyzed kernel fall back to
+  /// a conservative 32-bit range.
+  ValueRange rangeOf(const Expr *E) const;
+
+  /// bitsNeeded of rangeOf, the width the datapath must carry.
+  unsigned widthOf(const Expr *E) const;
+
+private:
+  std::map<const Expr *, ValueRange> Ranges;
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_ANALYSIS_VALUERANGE_H

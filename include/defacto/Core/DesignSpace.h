@@ -1,0 +1,82 @@
+//===- DesignSpace.h - The unroll-factor design space ----------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The design space the paper explores: one unroll factor per nest loop.
+/// The *full* space, used for the coverage accounting (§6.3's "0.3% of
+/// the design space consisting of all possible unroll factors"), has
+/// trip-count many choices per loop. The *candidate* set the search
+/// materializes is the divisor vectors (remainderless unrolling).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_CORE_DESIGNSPACE_H
+#define DEFACTO_CORE_DESIGNSPACE_H
+
+#include "defacto/Transforms/UnrollAndJam.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace defacto {
+
+/// The unroll-factor lattice of one loop nest.
+class UnrollSpace {
+public:
+  explicit UnrollSpace(std::vector<int64_t> TripCounts);
+
+  unsigned numLoops() const { return Trips.size(); }
+  int64_t trip(unsigned Position) const { return Trips[Position]; }
+
+  /// Number of points in the full design space: product of trip counts.
+  uint64_t fullSize() const;
+
+  /// All divisor unroll vectors, in lexicographic order.
+  std::vector<UnrollVector> allCandidates() const;
+
+  /// True when every factor divides its trip count.
+  bool isCandidate(const UnrollVector &U) const;
+
+  /// The no-unrolling baseline (all ones).
+  UnrollVector base() const;
+
+  /// Full unrolling of every loop (Umax).
+  UnrollVector max() const;
+
+  /// Componentwise Lo <= U <= Hi.
+  static bool between(const UnrollVector &U, const UnrollVector &Lo,
+                      const UnrollVector &Hi);
+
+  /// Candidate vectors componentwise between \p Lo and \p Hi whose
+  /// product equals \p Product; empty when none exists.
+  std::vector<UnrollVector> candidatesWithProduct(const UnrollVector &Lo,
+                                                  const UnrollVector &Hi,
+                                                  int64_t Product) const;
+
+  /// The paper's Increase: a candidate U' >= U with P(U') == 2 * P(U),
+  /// preferring to double the position in \p Preference order (earlier
+  /// entries first; positions absent from Preference are tried last).
+  /// Returns U when no such vector exists.
+  UnrollVector increase(const UnrollVector &U,
+                        const std::vector<unsigned> &Preference) const;
+
+  /// The paper's SelectBetween: a candidate between Small and Large whose
+  /// product is a multiple of \p Quantum as close as possible to
+  /// (P(Small) + P(Large)) / 2, strictly between the two products.
+  /// Returns Small when no such vector exists.
+  UnrollVector selectBetween(const UnrollVector &Small,
+                             const UnrollVector &Large,
+                             int64_t Quantum) const;
+
+private:
+  std::vector<int64_t> Trips;
+  std::vector<std::vector<int64_t>> Divisors; // per position
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_CORE_DESIGNSPACE_H

@@ -1,0 +1,133 @@
+//===- Explorer.h - The design space exploration algorithm -----*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's primary contribution: the balance-guided design space
+/// exploration algorithm of Figure 2. Starting from a saturation-point
+/// design Uinit, the search walks unroll-factor vectors using the
+/// monotonicity of balance (Observation 3): while compute bound it
+/// doubles the unroll product (Increase); on crossing to memory bound or
+/// exceeding capacity it bisects between the last compute-bound design
+/// and the current one (SelectBetween), in multiples of Psat. Memory
+/// bound at the saturation point stops immediately (no unrolling can
+/// help). Capacity overflow at Uinit falls back to the largest fitting
+/// design (FindLargestFit).
+///
+/// Exhaustive and random search baselines are provided for the coverage
+/// and quality comparisons of §6.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_CORE_EXPLORER_H
+#define DEFACTO_CORE_EXPLORER_H
+
+#include "defacto/Core/DesignSpace.h"
+#include "defacto/Core/Saturation.h"
+#include "defacto/HLS/Estimator.h"
+#include "defacto/Transforms/Pipeline.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace defacto {
+
+/// Exploration configuration.
+struct ExplorerOptions {
+  TargetPlatform Platform = TargetPlatform::wildstarPipelined();
+  /// |Balance - 1| <= tolerance counts as balanced (the paper's B == 1).
+  double BalanceTolerance = 0.15;
+  /// Safety bound on synthesis estimations per exploration.
+  unsigned MaxEvaluations = 100;
+  /// §5.4: when set, designs needing more registers have their reuse
+  /// chains shortened until the register count fits.
+  std::optional<unsigned> RegisterCap;
+  /// Pass toggles, for ablation studies (unroll factors are supplied by
+  /// the search; the Unroll field here is ignored).
+  TransformOptions BaseTransforms;
+};
+
+/// One synthesized-and-estimated candidate.
+struct EvaluatedDesign {
+  UnrollVector U;
+  SynthesisEstimate Estimate;
+  /// Why the search visited it ("Uinit", "increase", "bisect", "fit").
+  std::string Role;
+};
+
+/// Outcome of one exploration.
+struct ExplorationResult {
+  UnrollVector Selected;
+  SynthesisEstimate SelectedEstimate;
+  /// The paper's baseline: no unrolling, all other transformations.
+  SynthesisEstimate BaselineEstimate;
+  std::vector<EvaluatedDesign> Visited; // in search order, no duplicates
+  /// False when no candidate — not even the baseline — fits the device
+  /// (the kernel's mandatory registers alone exceed it); Selected then
+  /// holds the baseline regardless.
+  bool SelectedFits = true;
+  SaturationInfo Sat;
+  uint64_t FullSpaceSize = 0;
+  std::string Trace;
+
+  double speedup() const {
+    return SelectedEstimate.Cycles == 0
+               ? 0.0
+               : static_cast<double>(BaselineEstimate.Cycles) /
+                     static_cast<double>(SelectedEstimate.Cycles);
+  }
+  double fractionSearched() const {
+    return FullSpaceSize == 0
+               ? 0.0
+               : static_cast<double>(Visited.size()) /
+                     static_cast<double>(FullSpaceSize);
+  }
+};
+
+/// Runs one design-space exploration over \p Source.
+class DesignSpaceExplorer {
+public:
+  DesignSpaceExplorer(const Kernel &Source, ExplorerOptions Opts);
+
+  /// The Figure-2 algorithm.
+  ExplorationResult run();
+
+  /// Evaluates one unroll vector (cached). Returns std::nullopt for
+  /// non-candidate vectors.
+  std::optional<SynthesisEstimate> evaluate(const UnrollVector &U);
+
+  const UnrollSpace &space() const { return Space; }
+  const SaturationInfo &saturation() const { return Sat; }
+
+  /// The search's starting point (§5.3's Uinit selection).
+  UnrollVector initialVector() const;
+
+private:
+  SynthesisEstimate evaluateUncached(const UnrollVector &U);
+
+  const Kernel &Source;
+  ExplorerOptions Opts;
+  SaturationInfo Sat;
+  UnrollSpace Space;
+  std::vector<unsigned> Preference; // nest positions, best first
+  std::map<UnrollVector, SynthesisEstimate> Cache;
+};
+
+/// Exhaustive baseline: evaluates every divisor vector and picks the
+/// fastest fitting design, breaking ties by smaller area. Visited lists
+/// every candidate.
+ExplorationResult exploreExhaustive(const Kernel &Source,
+                                    const ExplorerOptions &Opts);
+
+/// Random-sampling baseline: evaluates \p Samples distinct candidates
+/// drawn deterministically from \p Seed and picks the best as above.
+ExplorationResult exploreRandom(const Kernel &Source,
+                                const ExplorerOptions &Opts,
+                                unsigned Samples, uint64_t Seed);
+
+} // namespace defacto
+
+#endif // DEFACTO_CORE_EXPLORER_H

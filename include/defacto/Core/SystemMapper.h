@@ -1,0 +1,56 @@
+//===- SystemMapper.h - Multiple loop nests on one device ------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps several loop-nest kernels onto one FPGA. This realizes the
+/// motivation behind the paper's third optimization criterion (§3):
+/// among comparable designs choose the smallest, "in that it frees up
+/// space for other uses of the FPGA logic, such as to map other loop
+/// nests". Each kernel is explored independently; when the selected
+/// designs together exceed the device, the largest consumers are
+/// re-explored under tightened per-kernel capacity budgets until the
+/// ensemble fits (every kernel can always fall back to its baseline
+/// design).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_CORE_SYSTEMMAPPER_H
+#define DEFACTO_CORE_SYSTEMMAPPER_H
+
+#include "defacto/Core/Explorer.h"
+
+#include <string>
+#include <vector>
+
+namespace defacto {
+
+/// One kernel's share of the mapped system.
+struct MappedKernel {
+  std::string Name;
+  ExplorationResult Result;
+  /// The capacity budget the final exploration ran under.
+  double BudgetSlices = 0;
+};
+
+/// The whole-device mapping.
+struct SystemMapping {
+  std::vector<MappedKernel> Kernels;
+  double TotalSlices = 0;
+  /// Sum of every kernel's estimated cycles (the nests run back to
+  /// back on one device).
+  uint64_t TotalCycles = 0;
+  bool Fits = false;
+  /// Re-exploration rounds the budget negotiation took.
+  unsigned Rounds = 0;
+};
+
+/// Maps \p Kernels (non-owning) onto the device in \p Opts.Platform.
+SystemMapping mapKernelsToDevice(const std::vector<const Kernel *> &Kernels,
+                                 const ExplorerOptions &Opts);
+
+} // namespace defacto
+
+#endif // DEFACTO_CORE_SYSTEMMAPPER_H

@@ -1,0 +1,113 @@
+//===- Lexer.h - Tokenizer for the C-subset front end ----------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the paper's input language: a C subset of loop nests over
+/// scalar and array variables (§2.4). Handles `//` and `/* */` comments and
+/// tracks line/column positions for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_FRONTEND_LEXER_H
+#define DEFACTO_FRONTEND_LEXER_H
+
+#include "defacto/Support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace defacto {
+
+/// Token kinds produced by the lexer.
+enum class TokenKind {
+  Eof,
+  Error,
+  Identifier,
+  IntLiteral,
+  // Keywords.
+  KwFor,
+  KwIf,
+  KwElse,
+  KwChar,
+  KwShort,
+  KwInt,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Question,
+  Colon,
+  Assign,
+  PlusAssign,
+  PlusPlus,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  AmpAmp,
+  Pipe,
+  PipePipe,
+  Caret,
+  Bang,
+  Shl,
+  Shr,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  EqEq,
+  Ne,
+};
+
+/// Human-readable token-kind name for diagnostics ("'+='", "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Identifier text / literal value are populated when
+/// applicable.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLocation Loc;
+  std::string Text;    // identifier spelling or offending text for Error
+  int64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Tokenizes a whole buffer up front. Lexical errors become Error tokens
+/// and are also reported to the DiagnosticEngine.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Tokenizes the entire buffer; the last token is always Eof.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  SourceLocation here() const { return {Line, Column}; }
+  void skipWhitespaceAndComments();
+
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_FRONTEND_LEXER_H

@@ -1,0 +1,45 @@
+//===- Parser.h - C-subset parser producing Kernel IR ----------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the paper's input domain (§2.4): loop nest
+/// computations on scalar and multi-dimensional array variables, no
+/// pointers, affine subscript expressions with fixed stride, constant loop
+/// bounds, structured control flow. The parser enforces these restrictions
+/// and reports violations through the DiagnosticEngine.
+///
+/// Grammar sketch:
+///   program   := decl* stmt*
+///   decl      := type ident ('[' intlit ']')* ';'
+///   stmt      := for | if | assign | ';'
+///   for       := 'for' '(' ident '=' const ';' ident '<' const ';'
+///                 incr ')' body
+///   incr      := ident '++' | ident '+=' intlit
+///   assign    := lvalue ('=' | '+=') expr ';'
+///   expr      := C expression grammar incl. '?:', comparisons, bit ops,
+///                and the builtins abs(x), min(x,y), max(x,y)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_FRONTEND_PARSER_H
+#define DEFACTO_FRONTEND_PARSER_H
+
+#include "defacto/Frontend/Lexer.h"
+#include "defacto/IR/Kernel.h"
+
+#include <optional>
+
+namespace defacto {
+
+/// Parses \p Source into a Kernel named \p KernelName. Returns
+/// std::nullopt on any error; inspect \p Diags for the reasons.
+std::optional<Kernel> parseKernel(const std::string &Source,
+                                  const std::string &KernelName,
+                                  DiagnosticEngine &Diags);
+
+} // namespace defacto
+
+#endif // DEFACTO_FRONTEND_PARSER_H

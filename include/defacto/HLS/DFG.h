@@ -1,0 +1,65 @@
+//===- DFG.h - Dataflow graph of a straight-line segment -------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dataflow graph behavioral synthesis schedules: one graph per
+/// straight-line code segment (a maximal run of non-loop statements).
+/// Nodes are datapath operators and memory accesses; edges are scalar
+/// def-use and predication dependences. Affine subscripts cost nothing
+/// (address counters), register reads/writes cost nothing (wires /
+/// clock-edge updates), and conditional statements turn into predicated
+/// writes and value multiplexers — matching the paper's "conditional
+/// memory accesses always performed" discipline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_HLS_DFG_H
+#define DEFACTO_HLS_DFG_H
+
+#include "defacto/HLS/OperatorLibrary.h"
+#include "defacto/IR/Stmt.h"
+
+#include <functional>
+#include <vector>
+
+namespace defacto {
+
+/// One scheduled entity.
+struct DFGNode {
+  enum class Kind { Compute, MemRead, MemWrite };
+  Kind NodeKind = Kind::Compute;
+  OpClass Class = OpClass::Wire; // Compute nodes only.
+  unsigned WidthBits = 32;
+  int Port = 0; // Memory nodes: physical memory id.
+  std::vector<unsigned> Preds;
+
+  bool isMemory() const { return NodeKind != Kind::Compute; }
+};
+
+/// A dataflow graph in topological order (predecessor indices are always
+/// smaller than the node's own index).
+struct DFG {
+  std::vector<DFGNode> Nodes;
+
+  unsigned numMemReads() const;
+  unsigned numMemWrites() const;
+  unsigned numComputeOfClass(OpClass Class) const;
+};
+
+/// Builds the DFG of a straight-line segment. \p PortOf maps each array
+/// access to its physical memory port (honoring steady-state port
+/// annotations). If statements are handled by predication. For statements
+/// must not appear in \p Segment. When \p WidthOf is non-empty it
+/// supplies each expression's datapath width (bit-width inference);
+/// otherwise widths come from declared operand types.
+DFG buildSegmentDFG(
+    const std::vector<const Stmt *> &Segment,
+    const std::function<int(const ArrayAccessExpr *)> &PortOf,
+    const std::function<unsigned(const Expr *)> &WidthOf = {});
+
+} // namespace defacto
+
+#endif // DEFACTO_HLS_DFG_H

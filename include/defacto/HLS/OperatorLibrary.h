@@ -1,0 +1,60 @@
+//===- OperatorLibrary.h - Datapath operator cost models -------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-operator delay and area models for a Virtex-class device. Delays
+/// are combinational estimates in nanoseconds (the scheduler chains
+/// operators within the 40 ns clock period, as behavioral synthesis
+/// does); areas are in device slices. Strength reduction is encoded here:
+/// multiplication/division by a power-of-two constant costs nothing
+/// (wiring), and multiplication by a small constant becomes shift-add.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_HLS_OPERATORLIBRARY_H
+#define DEFACTO_HLS_OPERATORLIBRARY_H
+
+#include "defacto/IR/Expr.h"
+
+#include <string>
+
+namespace defacto {
+
+/// Operator classes the scheduler and binder reason about. Each class is
+/// shared among compatible operations during binding.
+enum class OpClass {
+  AddSub,     ///< Adders/subtractors (also abs, min/max datapath adds).
+  Mul,        ///< General multiplier.
+  ConstMul,   ///< Multiplication by a non-power-of-two constant (shift-add).
+  Div,        ///< General divider (iterative).
+  Logic,      ///< Bitwise and/or/xor.
+  Compare,    ///< Comparators.
+  Mux,        ///< Select/predication multiplexer.
+  Wire,       ///< Free operations: shifts/mul/div by power-of-two consts.
+};
+
+const char *opClassName(OpClass Class);
+
+/// Combinational delay of one \p Class operation on \p WidthBits operands.
+double operatorDelayNs(OpClass Class, unsigned WidthBits);
+
+/// Slices consumed by one bound unit of \p Class at \p WidthBits.
+double operatorAreaSlices(OpClass Class, unsigned WidthBits);
+
+/// Slices for one \p WidthBits register (2 flip-flops per slice).
+double registerAreaSlices(unsigned WidthBits);
+
+/// Classifies a binary operation, applying strength reduction against a
+/// constant operand value when one exists.
+OpClass classifyBinary(BinaryOp Op, bool HasConstOperand,
+                       int64_t ConstOperand);
+
+/// Classifies a unary operation.
+OpClass classifyUnary(UnaryOp Op);
+
+} // namespace defacto
+
+#endif // DEFACTO_HLS_OPERATORLIBRARY_H

@@ -1,0 +1,44 @@
+//===- PlaceRoute.h - Post-synthesis implementation model ------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A parametric model of logic synthesis + place-and-route outcomes,
+/// standing in for the full implementation flow the paper runs in §6.4 to
+/// validate behavioral estimates. Mirrors the paper's findings: cycle
+/// counts are unchanged from behavioral synthesis; the achieved clock
+/// degrades with routing complexity (mildly below ~70% utilization,
+/// steeply beyond); and area grows slightly more than the estimate, more
+/// so for very large designs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_HLS_PLACEROUTE_H
+#define DEFACTO_HLS_PLACEROUTE_H
+
+#include "defacto/HLS/Estimator.h"
+#include "defacto/HLS/TargetPlatform.h"
+
+namespace defacto {
+
+/// What the implementation flow reports for one design.
+struct ImplementationResult {
+  uint64_t Cycles = 0;       ///< Identical to the behavioral estimate.
+  double Slices = 0;         ///< Post-P&R slices.
+  double AchievedClockNs = 0; ///< Degraded clock period.
+  bool MeetsTargetClock = false;
+  bool Routable = false; ///< False when the design exceeds the device.
+
+  /// Wall-clock execution time implied by cycles and achieved clock.
+  double executionTimeNs() const { return Cycles * AchievedClockNs; }
+};
+
+/// Runs the implementation model on a behavioral estimate.
+ImplementationResult placeAndRoute(const SynthesisEstimate &Estimate,
+                                   const TargetPlatform &Platform);
+
+} // namespace defacto
+
+#endif // DEFACTO_HLS_PLACEROUTE_H

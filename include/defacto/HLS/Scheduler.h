@@ -1,0 +1,80 @@
+//===- Scheduler.h - Resource-constrained list scheduling ------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Schedules one segment DFG the way the paper describes Monet's
+/// As-Soon-As-Possible scheduling (§5.2): memory accesses are issued
+/// greedily in program order subject to one access port per physical
+/// memory (a pipelined port accepts one access per cycle; a non-pipelined
+/// port stays busy for the full latency), and datapath operators chain
+/// combinationally within the fixed clock period.
+///
+/// Three schedule lengths are produced per segment:
+///  - Joint: memory and compute together — the design's real cycles.
+///  - MemOnly: bandwidth-limited lower bound (compute assumed free) —
+///    the denominator of the data fetch rate F.
+///  - CompOnly: dataflow critical path (operands assumed ready) — the
+///    denominator of the data consumption rate C.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_HLS_SCHEDULER_H
+#define DEFACTO_HLS_SCHEDULER_H
+
+#include "defacto/HLS/DFG.h"
+#include "defacto/HLS/TargetPlatform.h"
+
+#include <cstdint>
+#include <map>
+
+namespace defacto {
+
+/// A bindable operator shape: class plus operand width.
+using OpShape = std::pair<OpClass, unsigned>;
+
+/// Schedule metrics of one straight-line segment.
+struct SegmentSchedule {
+  uint64_t JointCycles = 0;
+  uint64_t MemOnlyCycles = 0;
+  uint64_t CompOnlyCycles = 0;
+  /// Total data bits moved between the FPGA and external memories.
+  uint64_t BitsTransferred = 0;
+  unsigned MemReads = 0;
+  unsigned MemWrites = 0;
+  /// Peak number of simultaneously busy units per operator shape in the
+  /// joint schedule — what binding must allocate.
+  std::map<OpShape, unsigned> PeakUnits;
+};
+
+/// Schedules \p Graph for \p Platform.
+SegmentSchedule scheduleSegment(const DFG &Graph,
+                                const TargetPlatform &Platform);
+
+/// Cycle placement of one DFG node in the joint schedule.
+struct NodePlacement {
+  int64_t StartCycle = 0;
+  int64_t EndCycle = 0; ///< Exclusive; EndCycle == StartCycle for wires.
+};
+
+/// A segment schedule together with every node's cycle placement —
+/// what a designer reads out of a behavioral synthesis report.
+struct DetailedSchedule {
+  SegmentSchedule Summary;
+  std::vector<NodePlacement> Placements; ///< Indexed like Graph.Nodes.
+};
+
+/// Schedules \p Graph and returns per-node placements.
+DetailedSchedule scheduleSegmentDetailed(const DFG &Graph,
+                                         const TargetPlatform &Platform);
+
+/// Renders the joint schedule as an ASCII Gantt chart: one row per node
+/// ("rd@m0", "mul32", "wr@m2"...), one column per cycle.
+std::string renderScheduleGantt(const DFG &Graph,
+                                const DetailedSchedule &Schedule);
+
+} // namespace defacto
+
+#endif // DEFACTO_HLS_SCHEDULER_H

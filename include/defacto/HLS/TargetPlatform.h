@@ -1,0 +1,74 @@
+//===- TargetPlatform.h - FPGA board and device parameters -----*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameters of the paper's target platform (§6.2): one Xilinx
+/// Virtex-1000-class FPGA on an Annapolis WildStar board with four
+/// external memories, a fixed 40 ns clock, and two memory timing modes —
+/// pipelined (read and write latency of 1 cycle) and non-pipelined (read
+/// 7, write 3, the WildStar's latencies).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_HLS_TARGETPLATFORM_H
+#define DEFACTO_HLS_TARGETPLATFORM_H
+
+#include <string>
+
+namespace defacto {
+
+/// External memory timing.
+struct MemoryTiming {
+  unsigned ReadLatencyCycles = 1;
+  unsigned WriteLatencyCycles = 1;
+  /// Pipelined ports accept a new access every cycle; non-pipelined
+  /// ports stay busy for the access's full latency.
+  bool Pipelined = true;
+};
+
+/// The synthesis target: device capacity, clock, and board memories.
+struct TargetPlatform {
+  std::string Name = "wildstar-pipelined";
+  unsigned NumMemories = 4;
+  /// Width of each external memory port in bits.
+  unsigned MemoryWidthBits = 32;
+  MemoryTiming Timing;
+  /// The compiler fixes the clock period to 40 ns (§6.2).
+  double ClockPeriodNs = 40.0;
+  /// Device capacity in slices (Xilinx Virtex-1000 class).
+  double CapacitySlices = 12288.0;
+  /// Extra cycles of loop control (FSM next-state + index update) charged
+  /// per loop iteration.
+  unsigned LoopOverheadCycles = 1;
+  /// How datapath operator widths are chosen.
+  enum class WidthModel {
+    /// Widths follow declared operand types (the calibration default;
+    /// slightly optimistic, since an 8-bit + 8-bit add really carries
+    /// 9 bits).
+    DeclaredTypes,
+    /// Value-range analysis sizes every operator exactly (models both
+    /// the "reduced data widths" win of §2.4 and carry growth).
+    Inferred,
+    /// Everything is a 32-bit operator: the standard-datapath strawman
+    /// the paper's domain argument compares against.
+    Uniform32,
+  };
+  WidthModel Widths = WidthModel::DeclaredTypes;
+  /// When true, dependent operators chain combinationally within one
+  /// clock period. Monet-era behavioral synthesis scheduled one operator
+  /// level per cycle, so the default is off; enabling it models a more
+  /// aggressive modern scheduler (ablation bench).
+  bool OperatorChaining = false;
+
+  /// WildStar with fully pipelined memory accesses (read/write 1 cycle).
+  static TargetPlatform wildstarPipelined();
+  /// WildStar without pipelining (read 7 / write 3 cycles, §6.3).
+  static TargetPlatform wildstarNonPipelined();
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_HLS_TARGETPLATFORM_H

@@ -1,0 +1,88 @@
+//===- AffineExpr.h - Affine functions of loop indices ---------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An affine expression `sum(Coeff_i * Loop_i) + Constant` over loop index
+/// variables, identified by loop id. These are the only subscript forms the
+/// paper's input domain admits (§2.4), and they are the currency of the
+/// dependence and reuse analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_IR_AFFINEEXPR_H
+#define DEFACTO_IR_AFFINEEXPR_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace defacto {
+
+/// Immutable-by-convention affine function of loop index variables.
+/// Terms are kept sorted by loop id with no zero coefficients, so
+/// structural equality is value equality.
+class AffineExpr {
+public:
+  /// The zero expression.
+  AffineExpr() = default;
+
+  /// The constant expression \p C.
+  explicit AffineExpr(int64_t C) : Constant(C) {}
+
+  /// Builds Coeff * loop(LoopId) + C.
+  static AffineExpr term(int LoopId, int64_t Coeff, int64_t C = 0);
+
+  int64_t constant() const { return Constant; }
+
+  /// Coefficient of \p LoopId (0 if absent).
+  int64_t coeff(int LoopId) const;
+
+  /// Loop ids with nonzero coefficients, ascending.
+  std::vector<int> loopIds() const;
+
+  bool isConstant() const { return Terms.empty(); }
+  bool usesLoop(int LoopId) const { return coeff(LoopId) != 0; }
+
+  /// Number of loops with nonzero coefficient.
+  unsigned numTerms() const { return Terms.size(); }
+
+  AffineExpr add(const AffineExpr &Other) const;
+  AffineExpr sub(const AffineExpr &Other) const;
+  AffineExpr scale(int64_t Factor) const;
+  AffineExpr addConstant(int64_t C) const;
+
+  /// Replaces every occurrence of loop \p LoopId with \p Replacement.
+  /// Used by unrolling (i -> i + k) and normalization (i -> s*i + l).
+  AffineExpr substitute(int LoopId, const AffineExpr &Replacement) const;
+
+  /// Evaluates with \p ValueOf providing each referenced loop's value.
+  int64_t evaluate(
+      const std::function<int64_t(int LoopId)> &ValueOf) const;
+
+  bool operator==(const AffineExpr &Other) const {
+    return Constant == Other.Constant && Terms == Other.Terms;
+  }
+  bool operator!=(const AffineExpr &Other) const { return !(*this == Other); }
+
+  /// Renders like "2*i3 + j1 + 5" given a name for each loop id.
+  std::string
+  toString(const std::function<std::string(int LoopId)> &NameOf) const;
+
+  /// Renders with loop ids as "L<id>".
+  std::string toString() const;
+
+private:
+  void setCoeff(int LoopId, int64_t Coeff);
+
+  std::vector<std::pair<int, int64_t>> Terms; // sorted by loop id, no zeros
+  int64_t Constant = 0;
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_IR_AFFINEEXPR_H

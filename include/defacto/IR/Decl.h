@@ -1,0 +1,113 @@
+//===- Decl.h - Array and scalar variable declarations ---------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declarations for the two kinds of variables the input domain allows:
+/// multi-dimensional arrays with constant dimensions (resident in external
+/// memory) and scalars (mapped to on-chip registers). Data-layout results
+/// (virtual/physical memory bank assignment) are recorded on ArrayDecl.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_IR_DECL_H
+#define DEFACTO_IR_DECL_H
+
+#include "defacto/IR/Type.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace defacto {
+
+/// A multi-dimensional array variable with constant dimensions. Arrays live
+/// in the FPGA board's external memories; which memory is decided by the
+/// data layout pass and recorded here.
+class ArrayDecl {
+public:
+  ArrayDecl(std::string Name, ScalarType ElemTy, std::vector<int64_t> Dims)
+      : Name(std::move(Name)), ElemTy(ElemTy), Dims(std::move(Dims)) {
+    assert(!this->Dims.empty() && "array needs at least one dimension");
+  }
+
+  const std::string &name() const { return Name; }
+  ScalarType elementType() const { return ElemTy; }
+  unsigned numDims() const { return Dims.size(); }
+  int64_t dim(unsigned I) const {
+    assert(I < Dims.size() && "dimension index out of range");
+    return Dims[I];
+  }
+  const std::vector<int64_t> &dims() const { return Dims; }
+
+  int64_t numElements() const {
+    int64_t N = 1;
+    for (int64_t D : Dims)
+      N *= D;
+    return N;
+  }
+
+  /// Virtual memory id assigned by array renaming, or -1 before layout.
+  int virtualMemId() const { return VirtualMemId; }
+  void setVirtualMemId(int Id) { VirtualMemId = Id; }
+
+  /// Physical memory id assigned by memory mapping, or -1 before layout.
+  int physicalMemId() const { return PhysicalMemId; }
+  void setPhysicalMemId(int Id) { PhysicalMemId = Id; }
+
+  /// For arrays produced by array renaming: the original array and the
+  /// bank stride, so the simulator can map renamed elements back onto the
+  /// original data (element k of this array is element k*BankStride +
+  /// BankOffset of the origin, in the distributed dimension).
+  const ArrayDecl *renamedFrom() const { return RenamedFrom; }
+  int64_t bankOffset() const { return BankOffset; }
+  int64_t bankStride() const { return BankStride; }
+  /// Which dimension of the origin array was distributed across banks.
+  unsigned bankDim() const { return BankDim; }
+  void setRenaming(const ArrayDecl *Origin, unsigned Dim, int64_t Offset,
+                   int64_t Stride) {
+    RenamedFrom = Origin;
+    BankDim = Dim;
+    BankOffset = Offset;
+    BankStride = Stride;
+  }
+
+private:
+  std::string Name;
+  ScalarType ElemTy;
+  std::vector<int64_t> Dims;
+  int VirtualMemId = -1;
+  int PhysicalMemId = -1;
+  const ArrayDecl *RenamedFrom = nullptr;
+  unsigned BankDim = 0;
+  int64_t BankOffset = 0;
+  int64_t BankStride = 1;
+};
+
+/// A scalar variable. Scalars introduced by scalar replacement are marked
+/// as compiler temporaries (they become on-chip registers and never touch
+/// external memory).
+class ScalarDecl {
+public:
+  ScalarDecl(std::string Name, ScalarType Ty, bool IsCompilerTemp = false)
+      : Name(std::move(Name)), Ty(Ty), CompilerTemp(IsCompilerTemp) {}
+
+  const std::string &name() const { return Name; }
+  ScalarType type() const { return Ty; }
+
+  /// True for register temporaries created by scalar replacement or
+  /// other transformations (as opposed to source-level scalars).
+  bool isCompilerTemp() const { return CompilerTemp; }
+
+private:
+  std::string Name;
+  ScalarType Ty;
+  bool CompilerTemp;
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_IR_DECL_H

@@ -1,0 +1,42 @@
+//===- IRPrinter.h - C-like rendering of kernels ---------------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders kernels, statements, and expressions as C-like text for
+/// debugging, tests, and documentation. Loop indices print with their
+/// source names.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_IR_IRPRINTER_H
+#define DEFACTO_IR_IRPRINTER_H
+
+#include "defacto/IR/Kernel.h"
+
+#include <string>
+
+namespace defacto {
+
+/// Renders the whole kernel: declarations then body.
+std::string printKernel(const Kernel &K);
+
+/// Renders a statement list at the given indent depth. \p NameOf maps
+/// loop ids to index names; pass the result of makeLoopNamer.
+std::string printStmts(const StmtList &Stmts,
+                       const std::function<std::string(int)> &NameOf,
+                       unsigned Indent = 0);
+
+/// Renders one expression.
+std::string printExpr(const Expr *E,
+                      const std::function<std::string(int)> &NameOf);
+
+/// Builds a loop-id -> index-name mapping from the loops in \p K; unknown
+/// ids render as "L<id>".
+std::function<std::string(int)> makeLoopNamer(const Kernel &K);
+
+} // namespace defacto
+
+#endif // DEFACTO_IR_IRPRINTER_H

@@ -1,0 +1,105 @@
+//===- IRUtils.h - Walkers and rewrite helpers -----------------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Traversal and rewriting utilities shared by analyses and
+/// transformations: expression/statement walkers, array-access collection
+/// with read/write classification, loop discovery, and loop-index
+/// substitution inside subtrees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_IR_IRUTILS_H
+#define DEFACTO_IR_IRUTILS_H
+
+#include "defacto/IR/Kernel.h"
+
+#include <functional>
+#include <optional>
+
+namespace defacto {
+
+/// Visits \p E and all transitive sub-expressions, pre-order.
+void walkExpr(Expr *E, const std::function<void(Expr *)> &Fn);
+void walkExpr(const Expr *E, const std::function<void(const Expr *)> &Fn);
+
+/// Visits every statement in \p Stmts and nested bodies, pre-order.
+void walkStmts(StmtList &Stmts, const std::function<void(Stmt *)> &Fn);
+void walkStmts(const StmtList &Stmts,
+               const std::function<void(const Stmt *)> &Fn);
+
+/// Visits every expression appearing in \p Stmts (assignment destinations
+/// and values, loop-free: For bodies are descended into).
+void walkExprsInStmts(StmtList &Stmts,
+                      const std::function<void(Expr *)> &Fn);
+
+/// One array access together with its access direction.
+struct AccessInfo {
+  ArrayAccessExpr *Access = nullptr;
+  bool IsWrite = false;
+};
+
+/// Collects every array access in \p Stmts in deterministic program order.
+/// Assignment destinations are classified as writes; everything else reads.
+std::vector<AccessInfo> collectArrayAccesses(StmtList &Stmts);
+std::vector<AccessInfo> collectArrayAccesses(Kernel &K);
+
+/// Collects the loops of a perfect nest rooted at \p Root: follows bodies
+/// while they consist of a single ForStmt. Always returns at least {Root}.
+std::vector<ForStmt *> perfectNest(ForStmt *Root);
+
+/// Collects all ForStmts in \p Stmts (pre-order, includes nested loops).
+std::vector<ForStmt *> collectLoops(StmtList &Stmts);
+std::vector<const ForStmt *> collectLoops(const StmtList &Stmts);
+
+/// Post-order rewriting traversal over an owning expression slot. \p Fn may
+/// replace the node by assigning a new expression into the slot; children
+/// are visited before their parent, and a replacement node's subtree is not
+/// re-visited.
+void rewriteExpr(ExprPtr &Slot, const std::function<void(ExprPtr &)> &Fn);
+
+/// Applies rewriteExpr to every owning expression slot under \p Stmts
+/// (assignment destinations and values, if conditions), descending into
+/// loop and if bodies.
+void rewriteExprsInStmts(StmtList &Stmts,
+                         const std::function<void(ExprPtr &)> &Fn);
+
+/// Materializes an affine expression as an expression tree over
+/// LoopIndexExpr, IntLitExpr, Mul and Add nodes.
+ExprPtr affineToExpr(const AffineExpr &E);
+
+/// Substitutes loop \p LoopId with \p Replacement inside every affine
+/// subscript, and rewrites LoopIndexExpr uses into the materialized
+/// replacement tree.
+void substituteLoopInStmts(StmtList &Stmts, int LoopId,
+                           const AffineExpr &Replacement);
+void substituteLoopInExpr(ExprPtr &Slot, int LoopId,
+                          const AffineExpr &Replacement);
+
+/// True if any affine subscript under \p Stmts references \p LoopId.
+bool stmtsUseLoop(const StmtList &Stmts, int LoopId);
+
+/// Structural equality of expressions (same shape, same decls, same
+/// subscripts and literals).
+bool exprEquals(const Expr *A, const Expr *B);
+
+/// Folds an expression tree built from IntLit, LoopIndex, Add, Sub, Mul
+/// (with one constant side) and Neg into an affine function of loop
+/// indices. Returns std::nullopt when the tree is not affine.
+std::optional<AffineExpr> exprToAffine(const Expr *E);
+
+/// Counts statements of each kind under \p Stmts; handy for tests.
+struct StmtCounts {
+  unsigned Assign = 0;
+  unsigned For = 0;
+  unsigned If = 0;
+  unsigned Rotate = 0;
+};
+StmtCounts countStmts(const StmtList &Stmts);
+
+} // namespace defacto
+
+#endif // DEFACTO_IR_IRUTILS_H

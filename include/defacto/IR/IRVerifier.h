@@ -1,0 +1,34 @@
+//===- IRVerifier.h - Structural invariant checking ------------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks the structural invariants every pass must preserve: unique loop
+/// ids, positive steps and nonempty ranges, affine subscripts referencing
+/// only enclosing loops, declaration pointers owned by the kernel, lvalue
+/// assignment destinations, and subscript counts matching array ranks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_IR_IRVERIFIER_H
+#define DEFACTO_IR_IRVERIFIER_H
+
+#include "defacto/IR/Kernel.h"
+
+#include <string>
+#include <vector>
+
+namespace defacto {
+
+/// Verifies \p K; returns a list of human-readable violations (empty when
+/// the kernel is well formed).
+std::vector<std::string> verifyKernel(const Kernel &K);
+
+/// Convenience wrapper: true when verifyKernel reports nothing.
+bool isKernelValid(const Kernel &K);
+
+} // namespace defacto
+
+#endif // DEFACTO_IR_IRVERIFIER_H

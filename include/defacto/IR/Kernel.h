@@ -1,0 +1,90 @@
+//===- Kernel.h - A loop-nest computation ----------------------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Kernel is one loop-nest computation to be mapped to hardware: the set
+/// of array and scalar declarations plus a top-level statement list
+/// (typically a single perfectly nested loop before transformation). The
+/// Kernel owns all declarations and statements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_IR_KERNEL_H
+#define DEFACTO_IR_KERNEL_H
+
+#include "defacto/IR/Stmt.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace defacto {
+
+/// One loop-nest computation plus its variable declarations.
+class Kernel {
+public:
+  explicit Kernel(std::string Name) : Name(std::move(Name)) {}
+
+  Kernel(const Kernel &) = delete;
+  Kernel &operator=(const Kernel &) = delete;
+  Kernel(Kernel &&) = default;
+  Kernel &operator=(Kernel &&) = default;
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// Creates and owns a new array declaration. Names must be unique
+  /// across arrays and scalars.
+  ArrayDecl *makeArray(std::string ArrName, ScalarType ElemTy,
+                       std::vector<int64_t> Dims);
+
+  /// Creates and owns a new scalar declaration.
+  ScalarDecl *makeScalar(std::string VarName, ScalarType Ty,
+                         bool IsCompilerTemp = false);
+
+  /// Creates a scalar with a unique name derived from \p Prefix.
+  ScalarDecl *makeTempScalar(const std::string &Prefix, ScalarType Ty);
+
+  /// Looks up a declaration by name; null if absent.
+  ArrayDecl *findArray(const std::string &ArrName) const;
+  ScalarDecl *findScalar(const std::string &VarName) const;
+
+  const std::vector<std::unique_ptr<ArrayDecl>> &arrays() const {
+    return Arrays;
+  }
+  const std::vector<std::unique_ptr<ScalarDecl>> &scalars() const {
+    return Scalars;
+  }
+
+  StmtList &body() { return Body; }
+  const StmtList &body() const { return Body; }
+
+  /// Allocates a kernel-unique loop id for a new ForStmt.
+  int allocateLoopId() { return NextLoopId++; }
+  int nextLoopId() const { return NextLoopId; }
+  /// Ensures future ids are > \p Id (used when importing loops).
+  void reserveLoopIdsThrough(int Id);
+
+  /// Deep copy: clones declarations and statements, remapping all
+  /// declaration pointers into the new kernel.
+  Kernel clone() const;
+
+  /// Outermost ForStmt of the kernel body if the body is a single loop,
+  /// else null.
+  ForStmt *topLoop() const;
+
+private:
+  std::string Name;
+  std::vector<std::unique_ptr<ArrayDecl>> Arrays;
+  std::vector<std::unique_ptr<ScalarDecl>> Scalars;
+  StmtList Body;
+  int NextLoopId = 0;
+  unsigned NextTempId = 0;
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_IR_KERNEL_H

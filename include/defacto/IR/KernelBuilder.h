@@ -1,0 +1,154 @@
+//===- KernelBuilder.h - Fluent programmatic kernel construction *- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fluent builder for constructing kernels programmatically — the
+/// alternative to the C front end for tools that generate loop nests
+/// (code generators, benchmark synthesizers, the test fuzzer). The
+/// builder tracks the open loop stack, checks the same structural rules
+/// the parser enforces (affine subscripts arrive as AffineExpr by
+/// construction; ranks are asserted), and finishes with a verified
+/// Kernel.
+///
+/// \code
+///   KernelBuilder B("fir");
+///   auto S = B.array("S", ScalarType::Int32, {96});
+///   auto C = B.array("C", ScalarType::Int32, {32});
+///   auto D = B.array("D", ScalarType::Int32, {64});
+///   auto J = B.beginLoop("j", 0, 64);
+///   auto I = B.beginLoop("i", 0, 32);
+///   B.assign(B.access(D, {B.idx(J)}),
+///            B.add(B.access(D, {B.idx(J)}),
+///                  B.mul(B.access(S, {B.idx(I).add(B.idx(J))}),
+///                        B.access(C, {B.idx(I)}))));
+///   B.endLoop();
+///   B.endLoop();
+///   Kernel K = std::move(B).finish();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_IR_KERNELBUILDER_H
+#define DEFACTO_IR_KERNELBUILDER_H
+
+#include "defacto/IR/Kernel.h"
+
+#include <string>
+#include <vector>
+
+namespace defacto {
+
+/// Fluent kernel construction. All pointers returned by the builder are
+/// owned by the kernel under construction.
+class KernelBuilder {
+public:
+  /// Handle to an open loop; convertible to an affine index expression.
+  struct LoopHandle {
+    int LoopId = -1;
+  };
+
+  explicit KernelBuilder(std::string Name) : K(std::move(Name)) {}
+
+  //===------------------------------------------------------------------===//
+  // Declarations
+  //===------------------------------------------------------------------===//
+
+  ArrayDecl *array(const std::string &Name, ScalarType ElemTy,
+                   std::vector<int64_t> Dims) {
+    return K.makeArray(Name, ElemTy, std::move(Dims));
+  }
+
+  ScalarDecl *scalar(const std::string &Name, ScalarType Ty) {
+    return K.makeScalar(Name, Ty);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Structure
+  //===------------------------------------------------------------------===//
+
+  /// Opens `for (name = Lower; name < Upper; name += Step)`.
+  LoopHandle beginLoop(const std::string &IndexName, int64_t Lower,
+                       int64_t Upper, int64_t Step = 1);
+
+  /// Closes the innermost open loop.
+  void endLoop();
+
+  /// Opens `if (Cond != 0)`; statements go to the then-branch.
+  void beginIf(ExprPtr Cond);
+  /// Switches the open if to its else-branch.
+  void beginElse();
+  /// Closes the innermost open if.
+  void endIf();
+
+  /// Appends an assignment. \p Dest must be a scalar or array access.
+  void assign(ExprPtr Dest, ExprPtr Value);
+
+  /// Appends a register-rotation statement.
+  void rotate(std::vector<const ScalarDecl *> Chain);
+
+  //===------------------------------------------------------------------===//
+  // Expressions
+  //===------------------------------------------------------------------===//
+
+  /// The affine index of an open (or previously opened) loop.
+  AffineExpr idx(LoopHandle Loop) const {
+    return AffineExpr::term(Loop.LoopId, 1);
+  }
+
+  ExprPtr lit(int64_t Value) const {
+    return std::make_unique<IntLitExpr>(Value);
+  }
+  ExprPtr read(const ScalarDecl *S) const {
+    return std::make_unique<ScalarRefExpr>(S);
+  }
+  /// The loop index as a general expression (for guards like j == 0).
+  ExprPtr indexExpr(LoopHandle Loop) const {
+    return std::make_unique<LoopIndexExpr>(Loop.LoopId);
+  }
+  ExprPtr access(const ArrayDecl *A, std::vector<AffineExpr> Subs) const;
+
+  ExprPtr add(ExprPtr L, ExprPtr R) const {
+    return binary(BinaryOp::Add, std::move(L), std::move(R));
+  }
+  ExprPtr sub(ExprPtr L, ExprPtr R) const {
+    return binary(BinaryOp::Sub, std::move(L), std::move(R));
+  }
+  ExprPtr mul(ExprPtr L, ExprPtr R) const {
+    return binary(BinaryOp::Mul, std::move(L), std::move(R));
+  }
+  ExprPtr binary(BinaryOp Op, ExprPtr L, ExprPtr R) const {
+    return std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R));
+  }
+  ExprPtr unary(UnaryOp Op, ExprPtr E) const {
+    return std::make_unique<UnaryExpr>(Op, std::move(E));
+  }
+  ExprPtr select(ExprPtr Cond, ExprPtr TrueV, ExprPtr FalseV) const {
+    return std::make_unique<SelectExpr>(std::move(Cond), std::move(TrueV),
+                                        std::move(FalseV));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Completion
+  //===------------------------------------------------------------------===//
+
+  /// Finishes construction. Fatal if loops or ifs remain open or the
+  /// kernel fails verification (programmatic misuse).
+  Kernel finish() &&;
+
+private:
+  StmtList &currentBody();
+
+  Kernel K;
+  struct Frame {
+    Stmt *Owner = nullptr; // ForStmt or IfStmt
+    bool InElse = false;
+  };
+  std::vector<Frame> Stack;
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_IR_KERNELBUILDER_H

@@ -1,0 +1,37 @@
+//===- Type.h - Scalar element types ---------------------------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Element types for the multimedia domain the paper targets: signed 8-,
+/// 16-, and 32-bit integers (§2.4). Bit widths feed the balance metric
+/// (fetch/consumption rates are measured in bits per cycle).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_IR_TYPE_H
+#define DEFACTO_IR_TYPE_H
+
+#include <cstdint>
+#include <string>
+
+namespace defacto {
+
+/// Signed integer element types supported for array and scalar variables.
+enum class ScalarType { Int8, Int16, Int32 };
+
+/// Width of \p Ty in bits.
+unsigned bitWidth(ScalarType Ty);
+
+/// C-style spelling ("char", "short", "int") used by the printer and
+/// VHDL emitter naming.
+std::string typeName(ScalarType Ty);
+
+/// Wraps \p Value to the signed range of \p Ty (two's complement).
+int64_t truncateToType(int64_t Value, ScalarType Ty);
+
+} // namespace defacto
+
+#endif // DEFACTO_IR_TYPE_H

@@ -1,0 +1,56 @@
+//===- Kernels.h - The paper's five multimedia kernels ---------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five multimedia kernels of the paper's evaluation (§6.1), written
+/// as standard C programs with no pragmas or annotations, exactly as the
+/// DEFACTO flow ingests them:
+///  - FIR: integer multiply-accumulate of 32 consecutive elements over a
+///    64-element output.
+///  - MM: dense integer matrix multiply, 32x16 by 16x4.
+///  - PAT: character pattern matching, pattern 16 over a string of 64.
+///  - JAC: 4-point Jacobi stencil averaging.
+///  - SOBEL: 3x3 window edge-detection operator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_KERNELS_KERNELS_H
+#define DEFACTO_KERNELS_KERNELS_H
+
+#include "defacto/IR/Kernel.h"
+
+#include <string>
+#include <vector>
+
+namespace defacto {
+
+/// One benchmark kernel: name, C source, and a one-line description.
+struct KernelSpec {
+  std::string Name;
+  std::string Source;
+  std::string Description;
+};
+
+/// The five kernels in the paper's order: FIR, MM, PAT, JAC, SOBEL.
+const std::vector<KernelSpec> &paperKernels();
+
+/// Additional kernels from the paper's motivating application class
+/// (§2.4 names image correlation and erosion/dilation alongside the
+/// evaluated five): CORR (2-D template correlation, a 4-deep nest),
+/// DILATE and ERODE (3x3 morphological max/min).
+const std::vector<KernelSpec> &extendedKernels();
+
+/// Spec by name, searching the paper set then the extended set; null
+/// when unknown.
+const KernelSpec *findKernelSpec(const std::string &Name);
+
+/// Parses and verifies the named kernel. Fatal on unknown names or parse
+/// errors (the sources are compiled-in and must always parse).
+Kernel buildKernel(const std::string &Name);
+
+} // namespace defacto
+
+#endif // DEFACTO_KERNELS_KERNELS_H

@@ -1,0 +1,91 @@
+//===- Interpreter.h - Functional simulator for kernels --------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A functional interpreter for the kernel IR. The paper relies on the
+/// compiler preserving semantics through every transformation; here that
+/// obligation is discharged mechanically: tests run the original and the
+/// transformed kernel on identical memory images and compare all array
+/// contents.
+///
+/// Arrays renamed by the data layout pass carry no storage of their own:
+/// accesses are routed through to the origin array's storage using the
+/// recorded bank offset/stride, so results remain comparable by original
+/// array name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_SIM_INTERPRETER_H
+#define DEFACTO_SIM_INTERPRETER_H
+
+#include "defacto/IR/Kernel.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace defacto {
+
+/// Storage for a kernel's arrays and scalars. Origin arrays own flattened
+/// row-major buffers; renamed arrays alias their origin.
+class MemoryImage {
+public:
+  /// Allocates storage for every origin array in \p K and fills it with
+  /// deterministic pseudo-random values derived from \p Seed and the
+  /// array's name (so clones of a kernel get identical images). Values
+  /// are kept small to avoid multiplication overflow in deep reductions.
+  MemoryImage(const Kernel &K, uint64_t Seed);
+
+  /// Reads one element; \p Indices must match the array's rank and be in
+  /// range. Renamed arrays are routed to their origin.
+  int64_t load(const ArrayDecl *A, const std::vector<int64_t> &Indices) const;
+
+  /// Writes one element, truncating to the element type.
+  void store(const ArrayDecl *A, const std::vector<int64_t> &Indices,
+             int64_t Value);
+
+  int64_t scalar(const ScalarDecl *S) const;
+  void setScalar(const ScalarDecl *S, int64_t Value);
+
+  /// Flattened contents of the origin array named \p Name; asserts if
+  /// absent.
+  const std::vector<int64_t> &arrayData(const std::string &Name) const;
+
+  /// Names of all origin arrays (sorted).
+  std::vector<std::string> arrayNames() const;
+
+private:
+  const ArrayDecl *resolve(const ArrayDecl *A,
+                           std::vector<int64_t> &Indices) const;
+  size_t flatten(const ArrayDecl *A,
+                 const std::vector<int64_t> &Indices) const;
+
+  std::map<std::string, std::vector<int64_t>> Arrays; // origin name -> data
+  std::map<std::string, ScalarType> ArrayTypes;
+  std::map<const ScalarDecl *, int64_t> Scalars;
+};
+
+/// Execution statistics, usable as a coarse dynamic-cost cross-check.
+struct SimStats {
+  uint64_t AssignsExecuted = 0;
+  uint64_t MemoryReads = 0;  // array element loads
+  uint64_t MemoryWrites = 0; // array element stores
+  uint64_t RotatesExecuted = 0;
+};
+
+/// Runs \p K against \p Mem. Returns execution statistics. Division and
+/// modulo by zero yield zero (the IR has no trapping semantics).
+SimStats runKernel(const Kernel &K, MemoryImage &Mem);
+
+/// Convenience: runs \p K on a fresh image seeded with \p Seed and
+/// returns the final contents of every origin array by name.
+std::map<std::string, std::vector<int64_t>> simulate(const Kernel &K,
+                                                     uint64_t Seed);
+
+} // namespace defacto
+
+#endif // DEFACTO_SIM_INTERPRETER_H

@@ -1,0 +1,69 @@
+//===- Diagnostics.h - Source locations and user diagnostics ---*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recoverable error reporting for user input (front-end source programs).
+/// Diagnostics are collected in a DiagnosticEngine; clients inspect them
+/// after a phase completes. Internal invariant violations use
+/// ErrorHandling.h instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_SUPPORT_DIAGNOSTICS_H
+#define DEFACTO_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace defacto {
+
+/// A 1-based line/column position in a source buffer. Line 0 means
+/// "no location" (e.g. a semantic error with no single anchor point).
+struct SourceLocation {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string toString() const;
+};
+
+/// Severity of a reported diagnostic.
+enum class DiagSeverity { Error, Warning, Note };
+
+/// One reported problem: severity, optional location, and message text.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLocation Loc;
+  std::string Message;
+
+  /// Renders as "line:col: error: message" (location omitted if invalid).
+  std::string toString() const;
+};
+
+/// Accumulates diagnostics produced by a front-end phase.
+class DiagnosticEngine {
+public:
+  void error(SourceLocation Loc, std::string Message);
+  void warning(SourceLocation Loc, std::string Message);
+  void note(SourceLocation Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string toString() const;
+
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,33 @@
+//===- ErrorHandling.h - Fatal error and unreachable support ---*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting used for programmatic errors. The library is built
+/// without exceptions; invariant violations abort with a message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_SUPPORT_ERRORHANDLING_H
+#define DEFACTO_SUPPORT_ERRORHANDLING_H
+
+namespace defacto {
+
+/// Prints \p Reason to stderr and aborts. Used for unrecoverable internal
+/// errors; user-input errors go through the Diagnostics machinery instead.
+[[noreturn]] void reportFatalError(const char *Reason);
+
+/// Marks a point in code that must never be reached if program invariants
+/// hold. Prints the message, file, and line, then aborts.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace defacto
+
+/// Marks unreachable control flow; always aborts with location information.
+#define defacto_unreachable(msg)                                               \
+  ::defacto::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // DEFACTO_SUPPORT_ERRORHANDLING_H

@@ -1,0 +1,52 @@
+//===- MathExtras.h - Integer math helpers ---------------------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small integer math helpers used throughout the compiler: gcd/lcm on
+/// signed 64-bit values, divisor enumeration, and rounding division.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_SUPPORT_MATHEXTRAS_H
+#define DEFACTO_SUPPORT_MATHEXTRAS_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace defacto {
+
+/// Greatest common divisor of the absolute values; gcd(0, 0) == 0.
+int64_t gcd64(int64_t A, int64_t B);
+
+/// Least common multiple of the absolute values; lcm(x, 0) == 0.
+int64_t lcm64(int64_t A, int64_t B);
+
+/// Returns all positive divisors of \p N in increasing order.
+/// \pre N >= 1.
+std::vector<int64_t> divisorsOf(int64_t N);
+
+/// Integer division rounding toward +infinity. \pre B > 0.
+inline int64_t ceilDiv(int64_t A, int64_t B) {
+  assert(B > 0 && "ceilDiv requires a positive divisor");
+  int64_t Q = A / B;
+  return Q + ((A % B != 0 && A > 0) ? 1 : 0);
+}
+
+/// Floor division. \pre B > 0.
+inline int64_t floorDiv(int64_t A, int64_t B) {
+  assert(B > 0 && "floorDiv requires a positive divisor");
+  int64_t Q = A / B;
+  return Q - ((A % B != 0 && A < 0) ? 1 : 0);
+}
+
+/// True if \p N is an integral power of two. \pre N may be any value;
+/// nonpositive values return false.
+inline bool isPowerOf2(int64_t N) { return N > 0 && (N & (N - 1)) == 0; }
+
+} // namespace defacto
+
+#endif // DEFACTO_SUPPORT_MATHEXTRAS_H

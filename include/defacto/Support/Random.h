@@ -1,0 +1,62 @@
+//===- Random.h - Deterministic PRNG for tests and workloads ---*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small SplitMix64-based pseudo-random generator. Used to build
+/// deterministic synthetic inputs (image data, strings, matrices) for the
+/// simulator-based correctness tests and the benchmark workload generators.
+/// std::mt19937 is avoided so that sequences are identical across standard
+/// library implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_SUPPORT_RANDOM_H
+#define DEFACTO_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace defacto {
+
+/// SplitMix64 generator: tiny state, excellent distribution, fully
+/// deterministic for a given seed.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \pre Bound > 0.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "bound must be positive");
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive. \pre Lo <= Hi.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_SUPPORT_RANDOM_H

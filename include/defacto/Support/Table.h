@@ -1,0 +1,56 @@
+//===- Table.h - ASCII table and CSV rendering -----------------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-aligned ASCII table builder used by the benchmark
+/// harnesses to print paper-style result tables, with CSV export for
+/// downstream plotting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_SUPPORT_TABLE_H
+#define DEFACTO_SUPPORT_TABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace defacto {
+
+/// Column-aligned text table. Add a header then rows of equal width;
+/// render as aligned ASCII or CSV.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void addRow(std::vector<std::string> Row);
+
+  unsigned numRows() const { return Rows.size(); }
+  unsigned numColumns() const { return Header.size(); }
+
+  /// Renders with columns padded to the widest cell, a separator rule
+  /// under the header, and \p Indent leading spaces per line.
+  std::string toString(unsigned Indent = 0) const;
+
+  /// Renders as RFC-4180-style CSV (cells containing commas or quotes are
+  /// quoted).
+  std::string toCsv() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats a double with \p Precision digits after the decimal point.
+std::string formatDouble(double Value, unsigned Precision = 2);
+
+/// Formats an integer with thousands separators ("12,288").
+std::string formatWithCommas(int64_t Value);
+
+} // namespace defacto
+
+#endif // DEFACTO_SUPPORT_TABLE_H

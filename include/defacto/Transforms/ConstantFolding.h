@@ -1,0 +1,33 @@
+//===- ConstantFolding.h - Expression and branch folding -------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Folds constant subexpressions and statically-decided branches. Used by
+/// loop peeling: substituting the peeled iteration's index value turns the
+/// scalar-replacement load guards (`if (j == 0)`) into constant branches
+/// that fold away.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_TRANSFORMS_CONSTANTFOLDING_H
+#define DEFACTO_TRANSFORMS_CONSTANTFOLDING_H
+
+#include "defacto/IR/Kernel.h"
+
+namespace defacto {
+
+/// Folds constants in every expression under \p Stmts and flattens if
+/// statements with constant conditions (splicing the taken branch's body
+/// in place). Select expressions with constant conditions fold to the
+/// taken value.
+void foldConstants(StmtList &Stmts);
+
+/// Folds one owning expression slot in place.
+void foldConstantsInExpr(ExprPtr &Slot);
+
+} // namespace defacto
+
+#endif // DEFACTO_TRANSFORMS_CONSTANTFOLDING_H

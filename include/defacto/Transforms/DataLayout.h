@@ -1,0 +1,54 @@
+//===- DataLayout.h - Array renaming and memory mapping --------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Custom data layout (§4), in the paper's two phases:
+///
+/// 1. *Array renaming*: each array whose accesses are all uniformly
+///    generated is distributed cyclically across B virtual memories along
+///    one dimension (B derived from the subscript coefficients and the
+///    number of board memories), creating renamed bank arrays (S -> S0,
+///    S1 in Figure 1(d)) and rewriting subscripts to bank-local form.
+///    Arrays with non-uniformly-generated accesses map to one virtual
+///    memory.
+/// 2. *Memory mapping*: virtual memories are bound to physical memories
+///    round-robin, reads first in program order, then writes, so parallel
+///    reads land in distinct physical memories (matching the paper's
+///    conflict-avoidance discipline).
+///
+/// Precondition: loops normalized (step 1), so bank-local subscripts are
+/// exact integer divisions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_TRANSFORMS_DATALAYOUT_H
+#define DEFACTO_TRANSFORMS_DATALAYOUT_H
+
+#include "defacto/IR/Kernel.h"
+
+namespace defacto {
+
+struct DataLayoutOptions {
+  /// Number of physical external memories on the board (4 on the
+  /// Annapolis WildStar the paper targets).
+  unsigned NumMemories = 4;
+};
+
+struct DataLayoutStats {
+  /// Arrays split into more than one bank.
+  unsigned ArraysDistributed = 0;
+  /// Total virtual memories created (banks plus single-memory arrays).
+  unsigned VirtualMemories = 0;
+};
+
+/// Applies both phases in place. Every array access in \p K ends up
+/// pointing at a (possibly renamed) array with an assigned physical
+/// memory id.
+DataLayoutStats applyDataLayout(Kernel &K, const DataLayoutOptions &Opts);
+
+} // namespace defacto
+
+#endif // DEFACTO_TRANSFORMS_DATALAYOUT_H

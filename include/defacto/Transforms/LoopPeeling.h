@@ -1,0 +1,38 @@
+//===- LoopPeeling.h - Peel guarded first iterations -----------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop peeling (§4): scalar replacement emits first-iteration guards
+/// (`if (j == 0) { c_0_0 = C[i]; ... }`) for chain and window warm-up
+/// loads. This pass peels the first iteration of every loop that owns
+/// such a guard, so the steady-state loop body has a uniform number of
+/// memory accesses that high-level synthesis can schedule tightly. The
+/// peeled copy is constant-folded (resolving the guards); operator reuse
+/// between the peeled and main bodies is the synthesis tool's job, so the
+/// code growth does not imply design growth (per the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_TRANSFORMS_LOOPPEELING_H
+#define DEFACTO_TRANSFORMS_LOOPPEELING_H
+
+#include "defacto/IR/Kernel.h"
+
+namespace defacto {
+
+struct PeelingStats {
+  unsigned LoopsPeeled = 0;
+};
+
+/// Peels, to a fixed point, the first iteration of every loop whose body
+/// contains a guard of the form `if (<index> == <lower bound>)`. Cloned
+/// loops receive fresh loop ids. Loops with a single iteration are
+/// replaced entirely by their peeled body.
+PeelingStats peelGuardedIterations(Kernel &K);
+
+} // namespace defacto
+
+#endif // DEFACTO_TRANSFORMS_LOOPPEELING_H

@@ -1,0 +1,28 @@
+//===- Normalize.h - Loop normalization ------------------------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rewrites every loop to lower bound 0 and step 1, folding the original
+/// lower bound and step into the affine subscripts (i becomes step*i' +
+/// lower everywhere). The paper's final generated code is normalized
+/// (Figure 1(d)); normalization after unrolling is also what lets array
+/// renaming divide subscripts by the bank count exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_TRANSFORMS_NORMALIZE_H
+#define DEFACTO_TRANSFORMS_NORMALIZE_H
+
+#include "defacto/IR/Kernel.h"
+
+namespace defacto {
+
+/// Normalizes every loop in \p K in place. Idempotent.
+void normalizeLoops(Kernel &K);
+
+} // namespace defacto
+
+#endif // DEFACTO_TRANSFORMS_NORMALIZE_H

@@ -1,0 +1,66 @@
+//===- Pipeline.h - The paper's transformation sequence --------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Composes the paper's code transformations (§4) into the sequence the
+/// DSE algorithm applies per candidate design:
+///
+///   normalize -> (strip-mine for register control, §5.4) -> unroll-and-
+///   jam -> normalize -> scalar replacement -> loop peeling -> data layout
+///
+/// The input kernel is cloned; each candidate gets an independent copy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_TRANSFORMS_PIPELINE_H
+#define DEFACTO_TRANSFORMS_PIPELINE_H
+
+#include "defacto/IR/Kernel.h"
+#include "defacto/Transforms/DataLayout.h"
+#include "defacto/Transforms/LoopPeeling.h"
+#include "defacto/Transforms/ScalarReplacement.h"
+#include "defacto/Transforms/UnrollAndJam.h"
+
+#include <optional>
+
+namespace defacto {
+
+/// Configuration of one candidate design's code transformations.
+struct TransformOptions {
+  /// Unroll factors per nest position (outermost first); missing entries
+  /// default to 1.
+  UnrollVector Unroll;
+  /// Strip-mine the nest loop at this position to this tile size before
+  /// unrolling (register-pressure control, §5.4).
+  std::optional<std::pair<unsigned, int64_t>> StripMine;
+  bool EnableScalarReplacement = true;
+  bool EnablePeeling = true;
+  bool EnableDataLayout = true;
+  ScalarReplacementOptions SR;
+  DataLayoutOptions Layout;
+};
+
+/// Outcome of the pipeline: the transformed kernel plus per-pass
+/// statistics the DSE algorithm and the tests consume.
+struct TransformResult {
+  Kernel K;
+  ScalarReplacementStats SR;
+  PeelingStats Peeling;
+  DataLayoutStats Layout;
+  bool UnrollApplied = false;
+
+  explicit TransformResult(Kernel Transformed) : K(std::move(Transformed)) {}
+};
+
+/// Runs the pipeline on a clone of \p Source. The unroll vector must be
+/// valid for the (possibly strip-mined) nest or UnrollApplied is false
+/// and only the remaining passes run.
+TransformResult applyPipeline(const Kernel &Source,
+                              const TransformOptions &Opts);
+
+} // namespace defacto
+
+#endif // DEFACTO_TRANSFORMS_PIPELINE_H

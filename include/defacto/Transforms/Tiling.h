@@ -1,0 +1,34 @@
+//===- Tiling.h - Strip-mining for register control ------------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop tiling via strip-mining (§5.4): when full reuse would require too
+/// many on-chip registers, tiling the nest shrinks the localized
+/// iteration space so scalar replacement's rotating chains match a
+/// register budget. Strip-mining keeps every loop bound constant (the
+/// inner strip runs 0..T and the original index becomes `T*outer +
+/// inner`), which the rest of the pipeline requires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_TRANSFORMS_TILING_H
+#define DEFACTO_TRANSFORMS_TILING_H
+
+#include "defacto/IR/Kernel.h"
+
+#include <cstdint>
+
+namespace defacto {
+
+/// Splits the loop with \p LoopId into an outer tile loop (keeping the
+/// id) and an inner strip of \p TileSize iterations. Requires the loop to
+/// be normalized (lower 0, step 1) and TileSize to divide the trip count
+/// with 1 < TileSize < trip. Returns false (kernel untouched) otherwise.
+bool stripMine(Kernel &K, int LoopId, int64_t TileSize);
+
+} // namespace defacto
+
+#endif // DEFACTO_TRANSFORMS_TILING_H

@@ -1,0 +1,52 @@
+//===- UnrollAndJam.h - Unroll-and-jam of a perfect nest -------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unroll-and-jam (§4, Figure 1(b)): unrolls one or more loops of a
+/// perfect nest and fuses the copies, exposing operator parallelism to
+/// high-level synthesis and shortening dependence distances for reuse.
+///
+/// For a perfect nest, unroll-and-jam with factor vector U is equivalent
+/// to scaling each loop's step by its factor and replicating the innermost
+/// body over the cross product of unroll offsets (outer-major order, the
+/// order of Figure 1(b)); that is how it is implemented here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_TRANSFORMS_UNROLLANDJAM_H
+#define DEFACTO_TRANSFORMS_UNROLLANDJAM_H
+
+#include "defacto/IR/Kernel.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace defacto {
+
+/// A vector of unroll factors, one per nest loop, outermost first.
+using UnrollVector = std::vector<int64_t>;
+
+/// The product of all factors (P(U) in the paper).
+int64_t unrollProduct(const UnrollVector &U);
+
+/// Renders like "(2, 4)".
+std::string unrollVectorToString(const UnrollVector &U);
+
+/// Checks that \p U is applicable to \p K's nest: one factor per nest
+/// loop (shorter vectors are padded with 1), every factor >= 1 and an
+/// exact divisor of the loop's trip count (remainderless unrolling; the
+/// paper's kernels have power-of-two bounds making divisor factors
+/// natural).
+bool canUnroll(const Kernel &K, const UnrollVector &U);
+
+/// Applies unroll-and-jam in place. Returns false (leaving \p K
+/// untouched) when canUnroll fails.
+bool unrollAndJam(Kernel &K, const UnrollVector &U);
+
+} // namespace defacto
+
+#endif // DEFACTO_TRANSFORMS_UNROLLANDJAM_H

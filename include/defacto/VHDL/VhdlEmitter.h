@@ -1,0 +1,64 @@
+//===- VhdlEmitter.h - Behavioral VHDL code generation ---------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SUIF2VHDL stand-in: renders a (typically transformed) kernel as a
+/// behavioral VHDL design suitable for a behavioral synthesis tool. The
+/// generated entity exposes a clock/reset/start/done handshake; each
+/// physical external memory becomes a RAM array in the architecture with
+/// a comment tying it back to the board memory it models. Loops remain
+/// loops (behavioral style — the synthesis tool schedules them), scalars
+/// become process variables, and register rotations become parallel
+/// variable shifts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_VHDL_VHDLEMITTER_H
+#define DEFACTO_VHDL_VHDLEMITTER_H
+
+#include "defacto/IR/Kernel.h"
+
+#include <string>
+
+namespace defacto {
+
+/// Emission options.
+struct VhdlOptions {
+  /// Entity name; defaults to the kernel name lowercased with a
+  /// "defacto_" prefix.
+  std::string EntityName;
+  /// Annotate each statement group with the originating construct.
+  bool EmitComments = true;
+};
+
+/// Renders \p K as one self-contained VHDL design file.
+std::string emitVhdl(const Kernel &K, const VhdlOptions &Opts = {});
+
+/// Quick structural well-formedness check used by tests and examples:
+/// balanced entity/architecture/process/loop constructs and declared
+/// identifiers. Returns an empty string when OK, else a description of
+/// the first problem.
+std::string checkVhdlStructure(const std::string &Vhdl);
+
+/// Emits a self-checking VHDL testbench for \p K: it instantiates the
+/// design entity, drives clock/reset/start, pre-loads every input memory
+/// with the contents of \p Inputs (a simulator memory image), and after
+/// `done` asserts every output element against the golden values in
+/// \p Expected (the image after running the functional simulator). This
+/// is the verification hand-off a DEFACTO user runs in an HDL simulator
+/// before committing to synthesis.
+///
+/// Renamed bank arrays are loaded through their origin's data using the
+/// recorded bank offset/stride, so the testbench works for transformed
+/// designs too.
+std::string emitVhdlTestbench(const Kernel &K,
+                              const class MemoryImage &Inputs,
+                              const class MemoryImage &Expected,
+                              const VhdlOptions &Opts = {});
+
+} // namespace defacto
+
+#endif // DEFACTO_VHDL_VHDLEMITTER_H

@@ -1,0 +1,385 @@
+//===- DependenceAnalysis.cpp ---------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Analysis/DependenceAnalysis.h"
+
+#include "defacto/Analysis/UniformlyGenerated.h"
+#include "defacto/Support/ErrorHandling.h"
+#include "defacto/Support/MathExtras.h"
+
+#include <algorithm>
+
+using namespace defacto;
+
+const char *defacto::depKindName(DepKind Kind) {
+  switch (Kind) {
+  case DepKind::Flow:
+    return "flow";
+  case DepKind::Anti:
+    return "anti";
+  case DepKind::Output:
+    return "output";
+  case DepKind::Input:
+    return "input";
+  }
+  defacto_unreachable("unknown dependence kind");
+}
+
+std::string DistanceEntry::toString() const {
+  return isStar() ? "*" : std::to_string(Value);
+}
+
+bool Dependence::isLoopIndependent() const {
+  if (!Consistent)
+    return false;
+  for (const DistanceEntry &E : Distance)
+    if (!E.isExactZero())
+      return false;
+  return true;
+}
+
+int Dependence::carrierPosition() const {
+  if (!Consistent)
+    return 0; // Conservatively carried by the outermost loop.
+  for (unsigned P = 0; P != Distance.size(); ++P)
+    if (!Distance[P].isExactZero())
+      return static_cast<int>(P);
+  return -1;
+}
+
+std::string Dependence::toString(
+    const std::function<std::string(int)> &NameOf) const {
+  std::string Out = depKindName(Kind);
+  Out += " dep on ";
+  Out += Src->array()->name();
+  if (!Consistent)
+    return Out + " (inconsistent)";
+  Out += " distance (";
+  for (unsigned P = 0; P != Distance.size(); ++P) {
+    if (P != 0)
+      Out += ", ";
+    Out += Distance[P].toString();
+  }
+  Out += ")";
+  (void)NameOf;
+  return Out;
+}
+
+namespace {
+
+/// Iteration-space information for one nest loop.
+struct LoopRange {
+  int LoopId;
+  int64_t Lower;     // first index value
+  int64_t LastValue; // last index value actually taken
+  int64_t Step;
+};
+
+/// Outcome of the exact distance solve for a uniformly generated pair.
+struct SolveResult {
+  enum class Status {
+    NoDependence,  ///< The accesses can never touch the same element.
+    Exact,         ///< Unique distance vector (with possible stars).
+    Underdetermined, ///< Solutions exist but are not unique: inconsistent.
+  };
+  Status St = Status::NoDependence;
+  std::vector<DistanceEntry> Distance; // valid when Exact
+};
+
+/// Solves sum(a_l * d_l) = Rhs_dim for every dimension, where d_l is the
+/// iteration-count distance of loop l (index-value difference divided by
+/// the loop step). Handles the common subscript forms exactly: every
+/// dimension whose linear part involves a single loop pins that loop;
+/// dimensions involving two or more loops make the system underdetermined
+/// unless the involved loops are already pinned.
+SolveResult solveUniformDistance(const ArrayAccessExpr *A,
+                                 const ArrayAccessExpr *B,
+                                 const std::vector<LoopRange> &Loops) {
+  unsigned N = Loops.size();
+  std::vector<bool> Pinned(N, false);
+  std::vector<int64_t> Value(N, 0); // index-value distance when pinned
+
+  struct Equation {
+    std::vector<int64_t> Coeff; // per nest position, index-value units
+    int64_t Rhs;
+  };
+  std::vector<Equation> Eqs;
+  for (unsigned D = 0, ND = A->numSubscripts(); D != ND; ++D) {
+    const AffineExpr &SA = A->subscript(D);
+    const AffineExpr &SB = B->subscript(D);
+    Equation Eq;
+    Eq.Coeff.assign(N, 0);
+    bool Any = false;
+    for (unsigned P = 0; P != N; ++P) {
+      Eq.Coeff[P] = SA.coeff(Loops[P].LoopId);
+      if (Eq.Coeff[P] != 0)
+        Any = true;
+    }
+    // Same element: SA(I) == SB(I'), i.e. sum a_l (I'_l - I_l) = bA - bB.
+    Eq.Rhs = SA.constant() - SB.constant();
+    if (!Any) {
+      if (Eq.Rhs != 0)
+        return {SolveResult::Status::NoDependence, {}};
+      continue;
+    }
+    Eqs.push_back(std::move(Eq));
+  }
+
+  // Propagate single-unknown equations to a fixed point.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (Equation &Eq : Eqs) {
+      int UnknownPos = -1;
+      unsigned NumUnknown = 0;
+      int64_t Residual = Eq.Rhs;
+      for (unsigned P = 0; P != N; ++P) {
+        if (Eq.Coeff[P] == 0)
+          continue;
+        if (Pinned[P]) {
+          Residual -= Eq.Coeff[P] * Value[P];
+          Eq.Rhs -= Eq.Coeff[P] * Value[P];
+          Eq.Coeff[P] = 0;
+          Changed = true;
+          continue;
+        }
+        ++NumUnknown;
+        UnknownPos = static_cast<int>(P);
+      }
+      if (NumUnknown == 0) {
+        if (Residual != 0)
+          return {SolveResult::Status::NoDependence, {}};
+        continue;
+      }
+      if (NumUnknown != 1)
+        continue;
+      int64_t C = Eq.Coeff[UnknownPos];
+      if (Residual % C != 0)
+        return {SolveResult::Status::NoDependence, {}};
+      int64_t V = Residual / C;
+      // The index-value distance must be a multiple of the loop step and
+      // within the loop's span.
+      const LoopRange &L = Loops[UnknownPos];
+      if (V % L.Step != 0)
+        return {SolveResult::Status::NoDependence, {}};
+      int64_t Span = L.LastValue - L.Lower;
+      if (V > Span || V < -Span)
+        return {SolveResult::Status::NoDependence, {}};
+      Pinned[UnknownPos] = true;
+      Value[UnknownPos] = V;
+      Eq.Coeff[UnknownPos] = 0;
+      Eq.Rhs = 0;
+      Changed = true;
+    }
+  }
+
+  // Any equation still mentioning >= 2 unpinned unknowns leaves the
+  // system underdetermined: no consistent distance (the paper's S[i+j]
+  // case).
+  for (const Equation &Eq : Eqs)
+    for (unsigned P = 0; P != N; ++P)
+      if (Eq.Coeff[P] != 0 && !Pinned[P])
+        return {SolveResult::Status::Underdetermined, {}};
+
+  SolveResult Res;
+  Res.St = SolveResult::Status::Exact;
+  Res.Distance.resize(N);
+  for (unsigned P = 0; P != N; ++P) {
+    if (Pinned[P])
+      Res.Distance[P] = DistanceEntry::exact(Value[P] / Loops[P].Step);
+    else
+      Res.Distance[P] = DistanceEntry::star();
+  }
+  return Res;
+}
+
+/// GCD + Banerjee existence test per dimension for pairs without an exact
+/// distance. Returns true when a dependence may exist.
+bool mayDepend(const ArrayAccessExpr *A, const ArrayAccessExpr *B,
+               const std::vector<LoopRange> &Loops) {
+  for (unsigned D = 0, ND = A->numSubscripts(); D != ND; ++D) {
+    const AffineExpr &SA = A->subscript(D);
+    const AffineExpr &SB = B->subscript(D);
+    // h(I, I') = SA(I) - SB(I') must admit a zero.
+    int64_t Const = SA.constant() - SB.constant();
+    int64_t G = 0;
+    int64_t Min = Const, Max = Const;
+    for (const LoopRange &L : Loops) {
+      for (int Side = 0; Side != 2; ++Side) {
+        int64_t C = Side == 0 ? SA.coeff(L.LoopId) : -SB.coeff(L.LoopId);
+        if (C == 0)
+          continue;
+        // Index values range over [Lower, LastValue] in Step multiples.
+        G = gcd64(G, C * L.Step);
+        if (C > 0) {
+          Min += C * L.Lower;
+          Max += C * L.LastValue;
+        } else {
+          Min += C * L.LastValue;
+          Max += C * L.Lower;
+        }
+      }
+    }
+    if (G == 0) {
+      if (Const != 0)
+        return false;
+      continue;
+    }
+    // GCD test: the gcd of the step-scaled coefficients must divide the
+    // constant offset relative to the base index values. Using the raw
+    // coefficient gcd is conservative; keep it simple and sound.
+    int64_t CoeffGcd = 0;
+    for (const LoopRange &L : Loops) {
+      CoeffGcd = gcd64(CoeffGcd, SA.coeff(L.LoopId));
+      CoeffGcd = gcd64(CoeffGcd, SB.coeff(L.LoopId));
+    }
+    if (CoeffGcd != 0 && Const % CoeffGcd != 0)
+      return false;
+    // Banerjee bounds.
+    if (Min > 0 || Max < 0)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+DependenceInfo DependenceInfo::compute(Kernel &K) {
+  DependenceInfo Info;
+  ForStmt *Top = K.topLoop();
+  if (!Top)
+    return Info;
+  Info.Nest = perfectNest(Top);
+
+  std::vector<LoopRange> Loops;
+  for (ForStmt *F : Info.Nest) {
+    LoopRange R;
+    R.LoopId = F->loopId();
+    R.Lower = F->lower();
+    R.Step = F->step();
+    R.LastValue = F->lower() + (F->tripCount() - 1) * F->step();
+    Loops.push_back(R);
+  }
+
+  std::vector<AccessInfo> Accesses = collectArrayAccesses(K);
+  for (unsigned I = 0; I != Accesses.size(); ++I) {
+    for (unsigned J = I; J != Accesses.size(); ++J) {
+      const AccessInfo &AI = Accesses[I];
+      const AccessInfo &BJ = Accesses[J];
+      if (AI.Access->array() != BJ.Access->array())
+        continue;
+
+      auto classify = [&](bool SrcWrite, bool DstWrite) {
+        if (SrcWrite && DstWrite)
+          return DepKind::Output;
+        if (SrcWrite)
+          return DepKind::Flow;
+        if (DstWrite)
+          return DepKind::Anti;
+        return DepKind::Input;
+      };
+
+      if (areUniformlyGenerated(AI.Access, BJ.Access)) {
+        SolveResult Res = solveUniformDistance(AI.Access, BJ.Access, Loops);
+        if (Res.St == SolveResult::Status::NoDependence)
+          continue;
+        if (Res.St == SolveResult::Status::Exact) {
+          // Orient the dependence so the distance is lexicographically
+          // non-negative (stars orient forward).
+          bool Swap = false;
+          bool AllZero = true;
+          for (const DistanceEntry &E : Res.Distance) {
+            if (E.isStar()) {
+              AllZero = false;
+              break;
+            }
+            if (E.Value != 0) {
+              Swap = E.Value < 0;
+              AllZero = false;
+              break;
+            }
+          }
+          if (AllZero && I == J)
+            continue; // An access trivially "depends" on itself.
+          Dependence Dep;
+          Dep.Consistent = true;
+          if (Swap) {
+            Dep.Src = BJ.Access;
+            Dep.Dst = AI.Access;
+            Dep.Kind = classify(BJ.IsWrite, AI.IsWrite);
+            for (DistanceEntry &E : Res.Distance)
+              if (E.isExact())
+                E.Value = -E.Value;
+          } else {
+            Dep.Src = AI.Access;
+            Dep.Dst = BJ.Access;
+            Dep.Kind = classify(AI.IsWrite, BJ.IsWrite);
+          }
+          Dep.Distance = std::move(Res.Distance);
+          Info.Deps.push_back(std::move(Dep));
+          continue;
+        }
+        // Underdetermined: fall through to the existence test below.
+      }
+
+      if (I == J && !AI.IsWrite)
+        continue; // Self input dependence without a distance is useless.
+      if (!mayDepend(AI.Access, BJ.Access, Loops))
+        continue;
+      Dependence Dep;
+      Dep.Src = AI.Access;
+      Dep.Dst = BJ.Access;
+      Dep.Kind = classify(AI.IsWrite, BJ.IsWrite);
+      Dep.Consistent = false;
+      Info.Deps.push_back(std::move(Dep));
+    }
+  }
+  return Info;
+}
+
+bool DependenceInfo::carriesNoDependence(unsigned NestPosition) const {
+  for (const Dependence &Dep : Deps) {
+    if (Dep.Kind == DepKind::Input)
+      continue;
+    if (!Dep.Consistent)
+      return false; // Conservative: could be carried anywhere.
+    if (Dep.carrierPosition() == static_cast<int>(NestPosition))
+      return false;
+    // A star at this position with an outer exact carrier still permits
+    // instances of this loop to conflict; treat stars as carried here too.
+    if (Dep.carrierPosition() >= 0 &&
+        static_cast<unsigned>(Dep.carrierPosition()) < NestPosition &&
+        NestPosition < Dep.Distance.size() &&
+        Dep.Distance[NestPosition].isStar())
+      return false;
+  }
+  return true;
+}
+
+std::optional<int64_t>
+DependenceInfo::minCarriedDistance(unsigned NestPosition) const {
+  std::optional<int64_t> Min;
+  for (const Dependence &Dep : Deps) {
+    if (Dep.Kind == DepKind::Input || !Dep.Consistent)
+      continue;
+    if (Dep.carrierPosition() != static_cast<int>(NestPosition))
+      continue;
+    const DistanceEntry &E = Dep.Distance[NestPosition];
+    if (!E.isExact())
+      continue;
+    int64_t V = E.Value;
+    if (V > 0 && (!Min || V < *Min))
+      Min = V;
+  }
+  return Min;
+}
+
+int DependenceInfo::positionOf(int LoopId) const {
+  for (unsigned P = 0; P != Nest.size(); ++P)
+    if (Nest[P]->loopId() == LoopId)
+      return static_cast<int>(P);
+  return -1;
+}

@@ -1,0 +1,170 @@
+//===- ReuseAnalysis.cpp --------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Analysis/ReuseAnalysis.h"
+
+#include "defacto/Support/ErrorHandling.h"
+
+#include <map>
+#include <numeric>
+
+using namespace defacto;
+
+const char *defacto::reuseShapeName(ReuseShape Shape) {
+  switch (Shape) {
+  case ReuseShape::LoopIndependent:
+    return "loop-independent";
+  case ReuseShape::InnerInvariant:
+    return "inner-invariant";
+  case ReuseShape::OuterCarriedChain:
+    return "outer-carried-chain";
+  case ReuseShape::InnerCarriedWindow:
+    return "inner-carried-window";
+  case ReuseShape::None:
+    return "none";
+  }
+  defacto_unreachable("unknown reuse shape");
+}
+
+namespace {
+
+/// Small union-find over access indices.
+class UnionFind {
+public:
+  explicit UnionFind(unsigned N) : Parent(N) {
+    std::iota(Parent.begin(), Parent.end(), 0u);
+  }
+  unsigned find(unsigned X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+  void merge(unsigned A, unsigned B) { Parent[find(A)] = find(B); }
+
+private:
+  std::vector<unsigned> Parent;
+};
+
+} // namespace
+
+std::vector<ReuseGroup>
+defacto::computeReuseGroups(Kernel &K, const DependenceInfo &DI) {
+  std::vector<AccessInfo> Accesses = collectArrayAccesses(K);
+  std::map<const ArrayAccessExpr *, unsigned> IndexOf;
+  for (unsigned I = 0; I != Accesses.size(); ++I)
+    IndexOf[Accesses[I].Access] = I;
+
+  UnionFind UF(Accesses.size());
+  // Union endpoints of consistent dependences: those are the pairs whose
+  // reuse scalar replacement can exploit.
+  for (const Dependence &Dep : DI.dependences()) {
+    if (!Dep.Consistent)
+      continue;
+    auto SrcIt = IndexOf.find(Dep.Src);
+    auto DstIt = IndexOf.find(Dep.Dst);
+    if (SrcIt == IndexOf.end() || DstIt == IndexOf.end())
+      continue;
+    UF.merge(SrcIt->second, DstIt->second);
+  }
+  // Identical subscript vectors always share (loop-independent reuse).
+  for (unsigned I = 0; I != Accesses.size(); ++I)
+    for (unsigned J = I + 1; J != Accesses.size(); ++J)
+      if (Accesses[I].Access->array() == Accesses[J].Access->array() &&
+          Accesses[I].Access->subscripts() ==
+              Accesses[J].Access->subscripts())
+        UF.merge(I, J);
+
+  std::map<unsigned, ReuseGroup> Groups; // root -> group, ordered
+  for (unsigned I = 0; I != Accesses.size(); ++I) {
+    ReuseGroup &G = Groups[UF.find(I)];
+    G.Array = Accesses[I].Access->array();
+    G.Accesses.push_back(Accesses[I].Access);
+    G.HasWrite |= Accesses[I].IsWrite;
+  }
+
+  const std::vector<ForStmt *> &Nest = DI.nest();
+  auto nestPosition = [&Nest](int LoopId) {
+    for (unsigned P = 0; P != Nest.size(); ++P)
+      if (Nest[P]->loopId() == LoopId)
+        return static_cast<int>(P);
+    return -1;
+  };
+
+  std::vector<ReuseGroup> Out;
+  for (auto &[Root, G] : Groups) {
+    (void)Root;
+    // Deepest nest position any member's subscripts vary with.
+    int MaxVary = -1;
+    for (const ArrayAccessExpr *A : G.Accesses)
+      for (const AffineExpr &Sub : A->subscripts())
+        for (int Id : Sub.loopIds())
+          MaxVary = std::max(MaxVary, nestPosition(Id));
+
+    // Consistent dependences internal to the group.
+    std::vector<const Dependence *> GroupDeps;
+    for (const Dependence &Dep : DI.dependences()) {
+      if (!Dep.Consistent)
+        continue;
+      bool SrcIn = false, DstIn = false;
+      for (const ArrayAccessExpr *A : G.Accesses) {
+        SrcIn |= A == Dep.Src;
+        DstIn |= A == Dep.Dst;
+      }
+      if (SrcIn && DstIn)
+        GroupDeps.push_back(&Dep);
+    }
+
+    if (MaxVary < static_cast<int>(Nest.size()) - 1) {
+      // Invariant in at least the innermost loop: registers live across
+      // the inner sweep (D[j] in FIR, Z[i][j] in MM).
+      G.Shape = ReuseShape::InnerInvariant;
+      G.CarrierPosition = MaxVary + 1;
+    } else {
+      // Varies with the innermost loop; look for carried reuse.
+      const Dependence *OuterDep = nullptr;
+      std::optional<int64_t> WindowDist;
+      for (const Dependence *Dep : GroupDeps) {
+        int P = Dep->carrierPosition();
+        if (P < 0)
+          continue;
+        if (P < MaxVary && !OuterDep)
+          OuterDep = Dep;
+        if (P == MaxVary && Dep->Distance[P].isExact()) {
+          int64_t V = Dep->Distance[P].Value;
+          if (V > 0 && (!WindowDist || V > *WindowDist))
+            WindowDist = V;
+        }
+      }
+      // A group can carry reuse both across an outer loop (row reuse in
+      // a stencil) and along the innermost loop (the sliding window);
+      // the window is what scalar replacement materializes, so it takes
+      // precedence in the classification.
+      if (WindowDist) {
+        G.Shape = ReuseShape::InnerCarriedWindow;
+        G.CarrierPosition = MaxVary;
+        G.Distance = WindowDist;
+      } else if (OuterDep) {
+        G.Shape = ReuseShape::OuterCarriedChain;
+        G.CarrierPosition = OuterDep->carrierPosition();
+        const DistanceEntry &E = OuterDep->Distance[G.CarrierPosition];
+        G.Distance = E.isExact() ? E.Value : 1;
+      } else {
+        bool Identical = false;
+        for (unsigned I = 0; I != G.Accesses.size() && !Identical; ++I)
+          for (unsigned J = I + 1; J != G.Accesses.size(); ++J)
+            if (G.Accesses[I]->subscripts() == G.Accesses[J]->subscripts()) {
+              Identical = true;
+              break;
+            }
+        G.Shape = Identical ? ReuseShape::LoopIndependent : ReuseShape::None;
+      }
+    }
+    Out.push_back(std::move(G));
+  }
+  return Out;
+}

@@ -1,0 +1,83 @@
+//===- UniformlyGenerated.cpp ---------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Analysis/UniformlyGenerated.h"
+
+using namespace defacto;
+
+bool defacto::areUniformlyGenerated(const ArrayAccessExpr *A,
+                                    const ArrayAccessExpr *B) {
+  if (A->array() != B->array())
+    return false;
+  if (A->numSubscripts() != B->numSubscripts())
+    return false;
+  for (unsigned D = 0, N = A->numSubscripts(); D != N; ++D) {
+    const AffineExpr &SA = A->subscript(D);
+    const AffineExpr &SB = B->subscript(D);
+    // Same linear part: the difference must be constant.
+    if (!SA.sub(SB).isConstant())
+      return false;
+  }
+  return true;
+}
+
+static void insertIntoSets(std::vector<UGSet> &Sets, ArrayAccessExpr *Access,
+                           bool IsWrite) {
+  for (UGSet &Set : Sets) {
+    if (Set.Array != Access->array())
+      continue;
+    if (areUniformlyGenerated(Set.Accesses.front(), Access)) {
+      Set.Accesses.push_back(Access);
+      return;
+    }
+  }
+  UGSet New;
+  New.Array = Access->array();
+  New.IsWrite = IsWrite;
+  New.Accesses.push_back(Access);
+  Sets.push_back(std::move(New));
+}
+
+UGPartition defacto::computeUniformlyGenerated(StmtList &Stmts) {
+  UGPartition Part;
+  for (const AccessInfo &Info : collectArrayAccesses(Stmts)) {
+    if (Info.IsWrite)
+      insertIntoSets(Part.WriteSets, Info.Access, /*IsWrite=*/true);
+    else
+      insertIntoSets(Part.ReadSets, Info.Access, /*IsWrite=*/false);
+  }
+  return Part;
+}
+
+UGPartition defacto::computeUniformlyGenerated(Kernel &K) {
+  return computeUniformlyGenerated(K.body());
+}
+
+bool UGPartition::isArrayUniform(const ArrayDecl *Array) const {
+  unsigned ReadSetsOfArray = 0, WriteSetsOfArray = 0;
+  for (const UGSet &Set : ReadSets)
+    if (Set.Array == Array)
+      ++ReadSetsOfArray;
+  for (const UGSet &Set : WriteSets)
+    if (Set.Array == Array)
+      ++WriteSetsOfArray;
+  // All reads uniformly generated with each other, likewise all writes,
+  // and reads uniformly generated with writes when both exist.
+  if (ReadSetsOfArray > 1 || WriteSetsOfArray > 1)
+    return false;
+  if (ReadSetsOfArray == 1 && WriteSetsOfArray == 1) {
+    const UGSet *Read = nullptr, *Write = nullptr;
+    for (const UGSet &Set : ReadSets)
+      if (Set.Array == Array)
+        Read = &Set;
+    for (const UGSet &Set : WriteSets)
+      if (Set.Array == Array)
+        Write = &Set;
+    return areUniformlyGenerated(Read->Accesses.front(),
+                                 Write->Accesses.front());
+  }
+  return true;
+}

@@ -1,0 +1,215 @@
+//===- ValueRange.cpp -----------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Analysis/ValueRange.h"
+
+#include "defacto/IR/IRUtils.h"
+#include "defacto/Support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace defacto;
+
+namespace {
+
+/// Saturating clamp keeping ranges within a safe 48-bit envelope so
+/// products of products cannot overflow int64 arithmetic.
+constexpr int64_t RangeCap = (1LL << 47);
+
+int64_t clampV(int64_t V) {
+  return std::min(RangeCap, std::max(-RangeCap, V));
+}
+
+} // namespace
+
+ValueRange ValueRange::ofType(ScalarType Ty) {
+  switch (Ty) {
+  case ScalarType::Int8:
+    return {-128, 127};
+  case ScalarType::Int16:
+    return {-32768, 32767};
+  case ScalarType::Int32:
+    return {-2147483648LL, 2147483647LL};
+  }
+  defacto_unreachable("unknown scalar type");
+}
+
+unsigned ValueRange::bitsNeeded() const {
+  for (unsigned B = 1; B != 64; ++B) {
+    int64_t Lo = B == 64 ? INT64_MIN : -(1LL << (B - 1));
+    int64_t Hi = (1LL << (B - 1)) - 1;
+    if (Min >= Lo && Max <= Hi)
+      return B;
+  }
+  return 64;
+}
+
+ValueRange ValueRange::add(const ValueRange &O) const {
+  return {clampV(Min + O.Min), clampV(Max + O.Max)};
+}
+
+ValueRange ValueRange::sub(const ValueRange &O) const {
+  return {clampV(Min - O.Max), clampV(Max - O.Min)};
+}
+
+ValueRange ValueRange::mul(const ValueRange &O) const {
+  int64_t Products[4] = {clampV(Min * O.Min), clampV(Min * O.Max),
+                         clampV(Max * O.Min), clampV(Max * O.Max)};
+  return {*std::min_element(Products, Products + 4),
+          *std::max_element(Products, Products + 4)};
+}
+
+ValueRange ValueRange::unionWith(const ValueRange &O) const {
+  return {std::min(Min, O.Min), std::max(Max, O.Max)};
+}
+
+ValueRange ValueRange::negate() const {
+  return {clampV(-Max), clampV(-Min)};
+}
+
+ValueRange ValueRange::abs() const {
+  int64_t Lo = 0;
+  if (Min > 0)
+    Lo = Min;
+  else if (Max < 0)
+    Lo = clampV(-Max);
+  int64_t Hi = std::max(clampV(-Min), Max);
+  return {Lo, Hi};
+}
+
+namespace {
+
+class RangeWalk {
+public:
+  explicit RangeWalk(std::map<const Expr *, ValueRange> &Ranges)
+      : Ranges(Ranges) {}
+
+  void walkList(const StmtList &Stmts) {
+    for (const StmtPtr &SP : Stmts) {
+      const Stmt *S = SP.get();
+      if (const auto *F = dyn_cast<ForStmt>(S)) {
+        // The index value range over the loop's actual bounds.
+        LoopRanges[F->loopId()] = {
+            F->lower(), F->lower() + (F->tripCount() - 1) * F->step()};
+        walkList(F->body());
+        LoopRanges.erase(F->loopId());
+      } else if (const auto *I = dyn_cast<IfStmt>(S)) {
+        visit(I->cond());
+        walkList(I->thenBody());
+        walkList(I->elseBody());
+      } else if (const auto *A = dyn_cast<AssignStmt>(S)) {
+        visit(A->dest());
+        visit(A->value());
+      }
+    }
+  }
+
+private:
+  ValueRange visit(const Expr *E) {
+    ValueRange R = compute(E);
+    Ranges[E] = R;
+    return R;
+  }
+
+  ValueRange compute(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+      return ValueRange::constant(cast<IntLitExpr>(E)->value());
+    case Expr::Kind::LoopIndex: {
+      auto It = LoopRanges.find(cast<LoopIndexExpr>(E)->loopId());
+      if (It != LoopRanges.end())
+        return It->second;
+      return ValueRange::ofType(ScalarType::Int32);
+    }
+    case Expr::Kind::ScalarRef:
+      // Assignments truncate to the declared type: sound and simple.
+      return ValueRange::ofType(cast<ScalarRefExpr>(E)->decl()->type());
+    case Expr::Kind::ArrayAccess:
+      return ValueRange::ofType(
+          cast<ArrayAccessExpr>(E)->array()->elementType());
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      ValueRange In = visit(U->operand());
+      switch (U->op()) {
+      case UnaryOp::Neg:
+        return In.negate();
+      case UnaryOp::Abs:
+        return In.abs();
+      case UnaryOp::Not:
+        return {0, 1};
+      }
+      defacto_unreachable("unknown unary op");
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      ValueRange L = visit(B->lhs());
+      ValueRange R = visit(B->rhs());
+      switch (B->op()) {
+      case BinaryOp::Add:
+        return L.add(R);
+      case BinaryOp::Sub:
+        return L.sub(R);
+      case BinaryOp::Mul:
+        return L.mul(R);
+      case BinaryOp::Div:
+        // Quotient magnitude never exceeds the dividend's.
+        return L.unionWith(L.negate());
+      case BinaryOp::Mod:
+        return L.unionWith(R.unionWith(R.negate()));
+      case BinaryOp::Min:
+        return {std::min(L.Min, R.Min), std::min(L.Max, R.Max)};
+      case BinaryOp::Max:
+        return {std::max(L.Min, R.Min), std::max(L.Max, R.Max)};
+      case BinaryOp::And:
+      case BinaryOp::Or:
+      case BinaryOp::Xor:
+        // Bitwise results stay within the wider operand's width.
+        return L.unionWith(R);
+      case BinaryOp::Shl:
+        // Conservative: behaves like a multiply by up to 2^31; clamp.
+        return {clampV(std::min(L.Min, -RangeCap)),
+                clampV(std::max(L.Max, RangeCap))};
+      case BinaryOp::Shr:
+        return L.unionWith({0, 0});
+      case BinaryOp::CmpEq:
+      case BinaryOp::CmpNe:
+      case BinaryOp::CmpLt:
+      case BinaryOp::CmpLe:
+      case BinaryOp::CmpGt:
+      case BinaryOp::CmpGe:
+        return {0, 1};
+      }
+      defacto_unreachable("unknown binary op");
+    }
+    case Expr::Kind::Select: {
+      const auto *S = cast<SelectExpr>(E);
+      visit(S->cond());
+      return visit(S->trueValue()).unionWith(visit(S->falseValue()));
+    }
+    }
+    defacto_unreachable("unknown expression kind");
+  }
+
+  std::map<const Expr *, ValueRange> &Ranges;
+  std::map<int, ValueRange> LoopRanges;
+};
+
+} // namespace
+
+ValueRangeAnalysis::ValueRangeAnalysis(const Kernel &K) {
+  RangeWalk(Ranges).walkList(K.body());
+}
+
+ValueRange ValueRangeAnalysis::rangeOf(const Expr *E) const {
+  auto It = Ranges.find(E);
+  if (It != Ranges.end())
+    return It->second;
+  return ValueRange::ofType(ScalarType::Int32);
+}
+
+unsigned ValueRangeAnalysis::widthOf(const Expr *E) const {
+  return rangeOf(E).bitsNeeded();
+}

@@ -1,0 +1,167 @@
+//===- DesignSpace.cpp ----------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/DesignSpace.h"
+
+#include "defacto/Support/MathExtras.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace defacto;
+
+UnrollSpace::UnrollSpace(std::vector<int64_t> TripCounts)
+    : Trips(std::move(TripCounts)) {
+  for (int64_t T : Trips) {
+    assert(T >= 1 && "trip counts must be positive");
+    Divisors.push_back(divisorsOf(T));
+  }
+}
+
+uint64_t UnrollSpace::fullSize() const {
+  uint64_t N = 1;
+  for (int64_t T : Trips)
+    N *= static_cast<uint64_t>(T);
+  return N;
+}
+
+UnrollVector UnrollSpace::base() const {
+  return UnrollVector(Trips.size(), 1);
+}
+
+UnrollVector UnrollSpace::max() const { return Trips; }
+
+bool UnrollSpace::isCandidate(const UnrollVector &U) const {
+  if (U.size() != Trips.size())
+    return false;
+  for (size_t P = 0; P != U.size(); ++P)
+    if (U[P] < 1 || Trips[P] % U[P] != 0)
+      return false;
+  return true;
+}
+
+std::vector<UnrollVector> UnrollSpace::allCandidates() const {
+  std::vector<UnrollVector> Out;
+  UnrollVector Cur(Trips.size(), 1);
+  std::vector<size_t> Index(Trips.size(), 0);
+  while (true) {
+    for (size_t P = 0; P != Trips.size(); ++P)
+      Cur[P] = Divisors[P][Index[P]];
+    Out.push_back(Cur);
+    size_t P = Trips.size();
+    while (P > 0) {
+      --P;
+      if (++Index[P] < Divisors[P].size())
+        break;
+      Index[P] = 0;
+      if (P == 0)
+        return Out;
+    }
+  }
+}
+
+bool UnrollSpace::between(const UnrollVector &U, const UnrollVector &Lo,
+                          const UnrollVector &Hi) {
+  for (size_t P = 0; P != U.size(); ++P)
+    if (U[P] < Lo[P] || U[P] > Hi[P])
+      return false;
+  return true;
+}
+
+std::vector<UnrollVector>
+UnrollSpace::candidatesWithProduct(const UnrollVector &Lo,
+                                   const UnrollVector &Hi,
+                                   int64_t Product) const {
+  std::vector<UnrollVector> Out;
+  UnrollVector Cur(Trips.size(), 1);
+  // Depth-first over divisor choices with product pruning.
+  std::function<void(size_t, int64_t)> Rec = [&](size_t P,
+                                                 int64_t Remaining) {
+    if (P == Trips.size()) {
+      if (Remaining == 1)
+        Out.push_back(Cur);
+      return;
+    }
+    for (int64_t D : Divisors[P]) {
+      if (D < Lo[P] || D > Hi[P])
+        continue;
+      if (Remaining % D != 0)
+        continue;
+      Cur[P] = D;
+      Rec(P + 1, Remaining / D);
+    }
+    Cur[P] = 1;
+  };
+  Rec(0, Product);
+  return Out;
+}
+
+UnrollVector
+UnrollSpace::increase(const UnrollVector &U,
+                      const std::vector<unsigned> &Preference) const {
+  // Doubling one position doubles the product; try positions in
+  // preference order, then the rest outermost-first.
+  std::vector<unsigned> Order = Preference;
+  for (unsigned P = 0; P != Trips.size(); ++P)
+    if (std::find(Order.begin(), Order.end(), P) == Order.end())
+      Order.push_back(P);
+
+  // Among the preferred positions, double the one with the smallest
+  // current factor (keeps the factor vector balanced, which keeps both
+  // memory and operator parallelism growing together).
+  unsigned Best = Trips.size();
+  int64_t BestFactor = 0;
+  for (unsigned P : Order) {
+    if (P >= Trips.size())
+      continue;
+    int64_t Doubled = U[P] * 2;
+    if (Doubled > Trips[P] || Trips[P] % Doubled != 0)
+      continue;
+    if (Best == Trips.size() || U[P] < BestFactor) {
+      Best = P;
+      BestFactor = U[P];
+    }
+  }
+  if (Best == Trips.size())
+    return U;
+  UnrollVector Out = U;
+  Out[Best] *= 2;
+  return Out;
+}
+
+UnrollVector UnrollSpace::selectBetween(const UnrollVector &Small,
+                                        const UnrollVector &Large,
+                                        int64_t Quantum) const {
+  int64_t PSmall = unrollProduct(Small);
+  int64_t PLarge = unrollProduct(Large);
+  if (PLarge <= PSmall || Quantum <= 0)
+    return Small;
+  int64_t Mid = (PSmall + PLarge) / 2;
+
+  // Componentwise envelope of the two vectors.
+  UnrollVector Lo = Small, Hi = Large;
+  for (size_t P = 0; P != Lo.size(); ++P) {
+    Lo[P] = std::min(Small[P], Large[P]);
+    Hi[P] = std::max(Small[P], Large[P]);
+  }
+
+  UnrollVector Best = Small;
+  int64_t BestDist = -1;
+  for (int64_t Product = Quantum; Product < PLarge; Product += Quantum) {
+    if (Product <= PSmall)
+      continue;
+    std::vector<UnrollVector> Candidates =
+        candidatesWithProduct(Lo, Hi, Product);
+    if (Candidates.empty())
+      continue;
+    int64_t Dist = Product > Mid ? Product - Mid : Mid - Product;
+    if (BestDist < 0 || Dist < BestDist) {
+      BestDist = Dist;
+      Best = Candidates.front();
+    }
+  }
+  return Best;
+}

@@ -1,0 +1,340 @@
+//===- Explorer.cpp -------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/Explorer.h"
+
+#include "defacto/Analysis/DependenceAnalysis.h"
+#include "defacto/Support/MathExtras.h"
+#include "defacto/Support/Random.h"
+#include "defacto/Support/Table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+using namespace defacto;
+
+DesignSpaceExplorer::DesignSpaceExplorer(const Kernel &Source,
+                                         ExplorerOptions Opts)
+    : Source(Source), Opts(std::move(Opts)),
+      Sat(computeSaturation(Source, this->Opts.Platform.NumMemories)),
+      Space(Sat.Trips.empty() ? std::vector<int64_t>{1} : Sat.Trips) {
+  // Build the unroll preference order (§5.3): loops carrying no
+  // dependence first (their unrolled iterations are fully parallel),
+  // then loops by decreasing minimum carried distance; within a class,
+  // loops that add memory parallelism come first.
+  Kernel Analyzed = Source.clone();
+  DependenceInfo DI = DependenceInfo::compute(Analyzed);
+  unsigned N = Sat.Trips.size();
+  struct Rank {
+    unsigned Pos;
+    bool DepFree;
+    bool MemVarying;
+    int64_t MinDist;
+  };
+  std::vector<Rank> Ranks;
+  for (unsigned P = 0; P != N; ++P) {
+    Rank R;
+    R.Pos = P;
+    R.DepFree = DI.carriesNoDependence(P);
+    R.MemVarying = P < Sat.MemoryVarying.size() && Sat.MemoryVarying[P];
+    R.MinDist = DI.minCarriedDistance(P).value_or(0);
+    Ranks.push_back(R);
+  }
+  std::stable_sort(Ranks.begin(), Ranks.end(), [](const Rank &A,
+                                                  const Rank &B) {
+    if (A.DepFree != B.DepFree)
+      return A.DepFree;
+    if (A.MemVarying != B.MemVarying)
+      return A.MemVarying;
+    return A.MinDist > B.MinDist;
+  });
+  for (const Rank &R : Ranks)
+    Preference.push_back(R.Pos);
+}
+
+UnrollVector DesignSpaceExplorer::initialVector() const {
+  unsigned N = Space.numLoops();
+  UnrollVector U(N, 1);
+  if (N == 0)
+    return U;
+  int64_t Psat = Sat.Psat;
+
+  // Single dependence-free, memory-varying loop that admits the whole
+  // saturation product: Sat_i.
+  for (unsigned P : Preference) {
+    bool DepFreeFirst = P == Preference.front();
+    (void)DepFreeFirst;
+    if (P >= Sat.MemoryVarying.size() || !Sat.MemoryVarying[P])
+      continue;
+    if (Space.trip(P) % Psat == 0) {
+      U[P] = Psat;
+      return U;
+    }
+  }
+
+  // Otherwise distribute the product across loops in preference order,
+  // larger shares to earlier (larger-distance) loops.
+  int64_t Remaining = Psat;
+  for (unsigned P : Preference) {
+    if (Remaining == 1)
+      break;
+    int64_t BestDiv = 1;
+    for (int64_t D : divisorsOf(Space.trip(P)))
+      if (Remaining % D == 0)
+        BestDiv = std::max(BestDiv, D);
+    U[P] = BestDiv;
+    Remaining /= BestDiv;
+  }
+  return U;
+}
+
+SynthesisEstimate
+DesignSpaceExplorer::evaluateUncached(const UnrollVector &U) {
+  TransformOptions TO = Opts.BaseTransforms;
+  TO.Unroll = U;
+  TO.Layout.NumMemories = Opts.Platform.NumMemories;
+
+  TransformResult R = applyPipeline(Source, TO);
+  SynthesisEstimate Est = estimateDesign(R.K, Opts.Platform);
+
+  // §5.4: shrink reuse chains until the register budget is met. Less
+  // reuse is exploited, slowing the fetch rate; the smaller design may
+  // then afford more operator parallelism.
+  if (Opts.RegisterCap) {
+    unsigned ChainLimit = TO.SR.MaxChainLength;
+    while (Est.Registers > *Opts.RegisterCap && ChainLimit > 1) {
+      ChainLimit /= 2;
+      TO.SR.MaxChainLength = ChainLimit;
+      TransformResult Capped = applyPipeline(Source, TO);
+      Est = estimateDesign(Capped.K, Opts.Platform);
+    }
+  }
+  return Est;
+}
+
+std::optional<SynthesisEstimate>
+DesignSpaceExplorer::evaluate(const UnrollVector &U) {
+  if (!Space.isCandidate(U))
+    return std::nullopt;
+  auto It = Cache.find(U);
+  if (It != Cache.end())
+    return It->second;
+  SynthesisEstimate Est = evaluateUncached(U);
+  Cache.emplace(U, Est);
+  return Est;
+}
+
+ExplorationResult DesignSpaceExplorer::run() {
+  ExplorationResult Res;
+  Res.Sat = Sat;
+  Res.FullSpaceSize = Space.fullSize();
+  Res.BaselineEstimate = *evaluate(Space.base());
+
+  auto record = [&](const UnrollVector &U,
+                    const char *Role) -> SynthesisEstimate {
+    SynthesisEstimate Est = *evaluate(U);
+    for (const EvaluatedDesign &D : Res.Visited)
+      if (D.U == U)
+        return Est;
+    Res.Visited.push_back({U, Est, Role});
+    Res.Trace += "eval " + unrollVectorToString(U) + " [" + Role +
+                 "]: " + Est.toString() + "\n";
+    return Est;
+  };
+
+  double Capacity = Opts.Platform.CapacitySlices;
+  int64_t Quantum = std::max<int64_t>(1, Sat.Psat);
+
+  UnrollVector Uinit = initialVector();
+  UnrollVector Ucurr = Uinit;
+  UnrollVector Ucb = Space.base();
+  UnrollVector Umb = Space.max();
+  bool SeenComputeBound = false;
+  bool SeenMemoryBound = false;
+  bool Ok = false;
+  std::set<UnrollVector> Visited;
+  const char *Role = "Uinit";
+
+  while (!Ok && Res.Visited.size() < Opts.MaxEvaluations) {
+    if (!Visited.insert(Ucurr).second) {
+      Res.Trace += "revisit of " + unrollVectorToString(Ucurr) +
+                   "; search converged\n";
+      break;
+    }
+    const SynthesisEstimate Est = record(Ucurr, Role);
+    double B = Est.Balance;
+
+    if (Est.Slices > Capacity) {
+      if (Ucurr == Uinit) {
+        // FindLargestFit(Ubase, Uinit): the largest design not exceeding
+        // the device, regardless of balance.
+        Res.Trace += "Uinit exceeds capacity; FindLargestFit\n";
+        std::vector<UnrollVector> Candidates;
+        for (const UnrollVector &C : Space.allCandidates())
+          if (UnrollSpace::between(C, Space.base(), Uinit) && C != Uinit)
+            Candidates.push_back(C);
+        std::stable_sort(Candidates.begin(), Candidates.end(),
+                         [](const UnrollVector &A, const UnrollVector &B2) {
+                           return unrollProduct(A) > unrollProduct(B2);
+                         });
+        Ucurr = Space.base();
+        for (const UnrollVector &C : Candidates) {
+          if (Res.Visited.size() >= Opts.MaxEvaluations)
+            break;
+          if (record(C, "fit").Slices <= Capacity) {
+            Ucurr = C;
+            break;
+          }
+        }
+        Ok = true;
+        continue;
+      }
+      Res.Trace += "exceeds capacity; bisect toward " +
+                   unrollVectorToString(Ucb) + "\n";
+      UnrollVector Next = Space.selectBetween(Ucb, Ucurr, Quantum);
+      if (Next == Ucb)
+        Ok = true;
+      Ucurr = Next;
+      Role = "bisect";
+      continue;
+    }
+
+    if (std::abs(B - 1.0) <= Opts.BalanceTolerance) {
+      Res.Trace += "balanced; done\n";
+      Ok = true;
+      continue;
+    }
+
+    if (B < 1.0) {
+      SeenMemoryBound = true;
+      Umb = Ucurr;
+      if (Ucurr == Uinit) {
+        // Memory bound at the saturation point: more unrolling cannot
+        // raise the fetch rate (Observation 1); stop.
+        Res.Trace += "memory bound at Uinit; done\n";
+        Ok = true;
+        continue;
+      }
+      UnrollVector Next = Space.selectBetween(Ucb, Umb, Quantum);
+      if (Next == Ucb)
+        Ok = true;
+      Ucurr = Next;
+      Role = "bisect";
+      continue;
+    }
+
+    // Compute bound.
+    SeenComputeBound = true;
+    Ucb = Ucurr;
+    if (!SeenMemoryBound) {
+      UnrollVector Next = Space.increase(Ucurr, Preference);
+      if (Next == Ucurr) {
+        Res.Trace += "no larger candidate; done\n";
+        Ok = true;
+        continue;
+      }
+      Ucurr = Next;
+      Role = "increase";
+      continue;
+    }
+    UnrollVector Next = Space.selectBetween(Ucb, Umb, Quantum);
+    if (Next == Ucb)
+      Ok = true;
+    Ucurr = Next;
+    Role = "bisect";
+  }
+
+  // The selected design must fit; fall back to the baseline otherwise.
+  std::optional<SynthesisEstimate> Sel = evaluate(Ucurr);
+  if (!Sel || Sel->Slices > Capacity) {
+    Ucurr = Space.base();
+    Sel = evaluate(Ucurr);
+    Res.Trace += "selected design does not fit; baseline selected\n";
+    if (Sel->Slices > Capacity) {
+      Res.SelectedFits = false;
+      Res.Trace += "no design fits this device (baseline alone needs " +
+                   formatDouble(Sel->Slices, 0) + " slices)\n";
+    }
+  }
+  (void)SeenComputeBound;
+  Res.Selected = Ucurr;
+  Res.SelectedEstimate = *Sel;
+  return Res;
+}
+
+namespace {
+
+ExplorationResult pickBest(const Kernel &Source,
+                           const ExplorerOptions &Opts,
+                           const std::vector<UnrollVector> &Candidates,
+                           const char *Role) {
+  DesignSpaceExplorer Ex(Source, Opts);
+  ExplorationResult Res;
+  Res.Sat = Ex.saturation();
+  Res.FullSpaceSize = Ex.space().fullSize();
+  Res.BaselineEstimate = *Ex.evaluate(Ex.space().base());
+
+  for (const UnrollVector &U : Candidates) {
+    auto Est = Ex.evaluate(U);
+    if (!Est)
+      continue;
+    Res.Visited.push_back({U, *Est, Role});
+  }
+
+  // Fastest fitting design; among designs within 5% of it, the smallest.
+  double Capacity = Opts.Platform.CapacitySlices;
+  const EvaluatedDesign *Fastest = nullptr;
+  for (const EvaluatedDesign &D : Res.Visited) {
+    if (D.Estimate.Slices > Capacity)
+      continue;
+    if (!Fastest || D.Estimate.Cycles < Fastest->Estimate.Cycles)
+      Fastest = &D;
+  }
+  const EvaluatedDesign *Best = Fastest;
+  if (Fastest) {
+    for (const EvaluatedDesign &D : Res.Visited) {
+      if (D.Estimate.Slices > Capacity)
+        continue;
+      if (D.Estimate.Cycles <=
+              static_cast<uint64_t>(Fastest->Estimate.Cycles * 1.05) &&
+          D.Estimate.Slices < Best->Estimate.Slices)
+        Best = &D;
+    }
+  }
+  if (Best) {
+    Res.Selected = Best->U;
+    Res.SelectedEstimate = Best->Estimate;
+  } else {
+    Res.Selected = Ex.space().base();
+    Res.SelectedEstimate = Res.BaselineEstimate;
+  }
+  return Res;
+}
+
+} // namespace
+
+ExplorationResult defacto::exploreExhaustive(const Kernel &Source,
+                                             const ExplorerOptions &Opts) {
+  DesignSpaceExplorer Ex(Source, Opts);
+  return pickBest(Source, Opts, Ex.space().allCandidates(), "exhaustive");
+}
+
+ExplorationResult defacto::exploreRandom(const Kernel &Source,
+                                         const ExplorerOptions &Opts,
+                                         unsigned Samples, uint64_t Seed) {
+  DesignSpaceExplorer Ex(Source, Opts);
+  std::vector<UnrollVector> All = Ex.space().allCandidates();
+  SplitMix64 Rng(Seed);
+  std::vector<UnrollVector> Picked;
+  std::set<uint64_t> Chosen;
+  while (Picked.size() < Samples && Chosen.size() < All.size()) {
+    uint64_t I = Rng.nextBelow(All.size());
+    if (Chosen.insert(I).second)
+      Picked.push_back(All[I]);
+  }
+  return pickBest(Source, Opts, Picked, "random");
+}

@@ -1,0 +1,80 @@
+//===- SystemMapper.cpp ---------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/SystemMapper.h"
+
+#include <algorithm>
+
+using namespace defacto;
+
+SystemMapping
+defacto::mapKernelsToDevice(const std::vector<const Kernel *> &Kernels,
+                            const ExplorerOptions &Opts) {
+  SystemMapping Mapping;
+  double Capacity = Opts.Platform.CapacitySlices;
+
+  // Round 0: every kernel explores with the full device available.
+  for (const Kernel *K : Kernels) {
+    MappedKernel MK;
+    MK.Name = K->name();
+    MK.BudgetSlices = Capacity;
+    MK.Result = DesignSpaceExplorer(*K, Opts).run();
+    Mapping.Kernels.push_back(std::move(MK));
+  }
+
+  auto totalSlices = [&]() {
+    double Sum = 0;
+    for (const MappedKernel &MK : Mapping.Kernels)
+      Sum += MK.Result.SelectedEstimate.Slices;
+    return Sum;
+  };
+
+  // Budget negotiation: shrink the largest consumer's budget to what the
+  // others leave over, and re-explore it. Each round strictly reduces
+  // one kernel's budget, so the loop terminates quickly.
+  for (unsigned Round = 0; Round != 4 * Kernels.size() + 4; ++Round) {
+    double Sum = totalSlices();
+    if (Sum <= Capacity)
+      break;
+    ++Mapping.Rounds;
+
+    auto Largest = std::max_element(
+        Mapping.Kernels.begin(), Mapping.Kernels.end(),
+        [](const MappedKernel &A, const MappedKernel &B) {
+          return A.Result.SelectedEstimate.Slices <
+                 B.Result.SelectedEstimate.Slices;
+        });
+    double Others = Sum - Largest->Result.SelectedEstimate.Slices;
+    double NewBudget = Capacity - Others;
+    // Tighten below the current size so progress is guaranteed; never
+    // below a sliver that even a baseline design could miss.
+    NewBudget = std::min(NewBudget,
+                         Largest->Result.SelectedEstimate.Slices * 0.9);
+    if (NewBudget < 1.0)
+      NewBudget = 1.0;
+    if (NewBudget >= Largest->BudgetSlices)
+      break; // No room to negotiate further.
+
+    const Kernel *Source = nullptr;
+    for (const Kernel *K : Kernels)
+      if (K->name() == Largest->Name)
+        Source = K;
+    if (!Source)
+      break;
+
+    ExplorerOptions Tight = Opts;
+    Tight.Platform.CapacitySlices = NewBudget;
+    Largest->BudgetSlices = NewBudget;
+    Largest->Result = DesignSpaceExplorer(*Source, Tight).run();
+  }
+
+  Mapping.TotalSlices = totalSlices();
+  Mapping.Fits = Mapping.TotalSlices <= Capacity;
+  Mapping.TotalCycles = 0;
+  for (const MappedKernel &MK : Mapping.Kernels)
+    Mapping.TotalCycles += MK.Result.SelectedEstimate.Cycles;
+  return Mapping;
+}

@@ -1,0 +1,317 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Frontend/Lexer.h"
+
+#include "defacto/Support/ErrorHandling.h"
+
+#include <cctype>
+
+using namespace defacto;
+
+const char *defacto::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwChar:
+    return "'char'";
+  case TokenKind::KwShort:
+    return "'short'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::PlusAssign:
+    return "'+='";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Shl:
+    return "'<<'";
+  case TokenKind::Shr:
+    return "'>>'";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::Ne:
+    return "'!='";
+  }
+  defacto_unreachable("unknown token kind");
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  if (Pos + Ahead >= Source.size())
+    return '\0';
+  return Source[Pos + Ahead];
+}
+
+char Lexer::advance() {
+  char Ch = Source[Pos++];
+  if (Ch == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return Ch;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char Ch = peek();
+    if (std::isspace(static_cast<unsigned char>(Ch))) {
+      advance();
+      continue;
+    }
+    if (Ch == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (Ch == '/' && peek(1) == '*') {
+      SourceLocation Start = here();
+      advance();
+      advance();
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (atEnd()) {
+        Diags.error(Start, "unterminated block comment");
+        return;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = next();
+    bool Done = T.is(TokenKind::Eof);
+    Tokens.push_back(std::move(T));
+    if (Done)
+      return Tokens;
+  }
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  Token T;
+  T.Loc = here();
+  if (atEnd()) {
+    T.Kind = TokenKind::Eof;
+    return T;
+  }
+
+  char Ch = peek();
+  if (std::isalpha(static_cast<unsigned char>(Ch)) || Ch == '_') {
+    std::string Word;
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_'))
+      Word += advance();
+    if (Word == "for")
+      T.Kind = TokenKind::KwFor;
+    else if (Word == "if")
+      T.Kind = TokenKind::KwIf;
+    else if (Word == "else")
+      T.Kind = TokenKind::KwElse;
+    else if (Word == "char")
+      T.Kind = TokenKind::KwChar;
+    else if (Word == "short")
+      T.Kind = TokenKind::KwShort;
+    else if (Word == "int")
+      T.Kind = TokenKind::KwInt;
+    else {
+      T.Kind = TokenKind::Identifier;
+      T.Text = std::move(Word);
+    }
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(Ch))) {
+    int64_t Value = 0;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      Value = Value * 10 + (advance() - '0');
+    T.Kind = TokenKind::IntLiteral;
+    T.IntValue = Value;
+    return T;
+  }
+
+  advance();
+  auto twoChar = [&](char Next, TokenKind Two, TokenKind One) {
+    if (peek() == Next) {
+      advance();
+      T.Kind = Two;
+    } else {
+      T.Kind = One;
+    }
+  };
+
+  switch (Ch) {
+  case '(':
+    T.Kind = TokenKind::LParen;
+    break;
+  case ')':
+    T.Kind = TokenKind::RParen;
+    break;
+  case '{':
+    T.Kind = TokenKind::LBrace;
+    break;
+  case '}':
+    T.Kind = TokenKind::RBrace;
+    break;
+  case '[':
+    T.Kind = TokenKind::LBracket;
+    break;
+  case ']':
+    T.Kind = TokenKind::RBracket;
+    break;
+  case ';':
+    T.Kind = TokenKind::Semi;
+    break;
+  case ',':
+    T.Kind = TokenKind::Comma;
+    break;
+  case '?':
+    T.Kind = TokenKind::Question;
+    break;
+  case ':':
+    T.Kind = TokenKind::Colon;
+    break;
+  case '^':
+    T.Kind = TokenKind::Caret;
+    break;
+  case '%':
+    T.Kind = TokenKind::Percent;
+    break;
+  case '*':
+    T.Kind = TokenKind::Star;
+    break;
+  case '/':
+    T.Kind = TokenKind::Slash;
+    break;
+  case '=':
+    twoChar('=', TokenKind::EqEq, TokenKind::Assign);
+    break;
+  case '!':
+    twoChar('=', TokenKind::Ne, TokenKind::Bang);
+    break;
+  case '&':
+    twoChar('&', TokenKind::AmpAmp, TokenKind::Amp);
+    break;
+  case '|':
+    twoChar('|', TokenKind::PipePipe, TokenKind::Pipe);
+    break;
+  case '+':
+    if (peek() == '+') {
+      advance();
+      T.Kind = TokenKind::PlusPlus;
+    } else if (peek() == '=') {
+      advance();
+      T.Kind = TokenKind::PlusAssign;
+    } else {
+      T.Kind = TokenKind::Plus;
+    }
+    break;
+  case '-':
+    T.Kind = TokenKind::Minus;
+    break;
+  case '<':
+    if (peek() == '<') {
+      advance();
+      T.Kind = TokenKind::Shl;
+    } else if (peek() == '=') {
+      advance();
+      T.Kind = TokenKind::Le;
+    } else {
+      T.Kind = TokenKind::Lt;
+    }
+    break;
+  case '>':
+    if (peek() == '>') {
+      advance();
+      T.Kind = TokenKind::Shr;
+    } else if (peek() == '=') {
+      advance();
+      T.Kind = TokenKind::Ge;
+    } else {
+      T.Kind = TokenKind::Gt;
+    }
+    break;
+  default:
+    T.Kind = TokenKind::Error;
+    T.Text = std::string(1, Ch);
+    Diags.error(T.Loc, "unexpected character '" + T.Text + "'");
+    break;
+  }
+  return T;
+}

@@ -1,0 +1,621 @@
+//===- Parser.cpp ---------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Frontend/Parser.h"
+
+#include "defacto/IR/IRUtils.h"
+
+#include <cassert>
+
+using namespace defacto;
+
+namespace {
+
+/// The recursive-descent parser. Any error sets Failed and parsing
+/// unwinds; callers must check Failed before using results.
+class Parser {
+public:
+  Parser(const std::string &Source, const std::string &KernelName,
+         DiagnosticEngine &Diags)
+      : Diags(Diags), K(KernelName) {
+    Lexer Lex(Source, Diags);
+    Tokens = Lex.lexAll();
+    Failed = Diags.hasErrors();
+  }
+
+  std::optional<Kernel> run() {
+    parseProgram();
+    if (Failed || Diags.hasErrors())
+      return std::nullopt;
+    return std::move(K);
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Token plumbing
+  //===------------------------------------------------------------------===//
+
+  const Token &cur() const { return Tokens[Index]; }
+  const Token &peekAhead(unsigned N = 1) const {
+    size_t I = Index + N;
+    return Tokens[I < Tokens.size() ? I : Tokens.size() - 1];
+  }
+
+  void consume() {
+    if (Index + 1 < Tokens.size())
+      ++Index;
+  }
+
+  bool accept(TokenKind Kind) {
+    if (!cur().is(Kind))
+      return false;
+    consume();
+    return true;
+  }
+
+  bool expect(TokenKind Kind, const char *Context) {
+    if (accept(Kind))
+      return true;
+    error(cur().Loc, std::string("expected ") + tokenKindName(Kind) + " " +
+                         Context + ", found " + tokenKindName(cur().Kind));
+    return false;
+  }
+
+  void error(SourceLocation Loc, std::string Msg) {
+    // Report only the first error after a failure to avoid cascades.
+    if (!Failed)
+      Diags.error(Loc, std::move(Msg));
+    Failed = true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Declarations
+  //===------------------------------------------------------------------===//
+
+  bool isTypeToken(TokenKind Kind) const {
+    return Kind == TokenKind::KwChar || Kind == TokenKind::KwShort ||
+           Kind == TokenKind::KwInt;
+  }
+
+  ScalarType parseType() {
+    if (accept(TokenKind::KwChar))
+      return ScalarType::Int8;
+    if (accept(TokenKind::KwShort))
+      return ScalarType::Int16;
+    expect(TokenKind::KwInt, "in declaration");
+    return ScalarType::Int32;
+  }
+
+  void parseDecl() {
+    ScalarType Ty = parseType();
+    if (Failed)
+      return;
+    SourceLocation NameLoc = cur().Loc;
+    std::string Name = cur().Text;
+    if (!expect(TokenKind::Identifier, "in declaration"))
+      return;
+    if (K.findArray(Name) || K.findScalar(Name)) {
+      error(NameLoc, "redeclaration of '" + Name + "'");
+      return;
+    }
+    std::vector<int64_t> Dims;
+    while (accept(TokenKind::LBracket)) {
+      if (!cur().is(TokenKind::IntLiteral)) {
+        error(cur().Loc, "array dimension must be an integer constant");
+        return;
+      }
+      if (cur().IntValue <= 0) {
+        error(cur().Loc, "array dimension must be positive");
+        return;
+      }
+      Dims.push_back(cur().IntValue);
+      consume();
+      if (!expect(TokenKind::RBracket, "after array dimension"))
+        return;
+    }
+    if (!expect(TokenKind::Semi, "after declaration"))
+      return;
+    if (Dims.empty())
+      K.makeScalar(Name, Ty);
+    else
+      K.makeArray(Name, Ty, std::move(Dims));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  void parseProgram() {
+    while (!Failed && isTypeToken(cur().Kind))
+      parseDecl();
+    while (!Failed && !cur().is(TokenKind::Eof)) {
+      StmtPtr S = parseStmt();
+      if (S)
+        K.body().push_back(std::move(S));
+    }
+  }
+
+  StmtList parseBody(const char *Context) {
+    StmtList Body;
+    if (accept(TokenKind::LBrace)) {
+      while (!Failed && !cur().is(TokenKind::RBrace) &&
+             !cur().is(TokenKind::Eof)) {
+        StmtPtr S = parseStmt();
+        if (S)
+          Body.push_back(std::move(S));
+      }
+      expect(TokenKind::RBrace, Context);
+      return Body;
+    }
+    StmtPtr S = parseStmt();
+    if (S)
+      Body.push_back(std::move(S));
+    return Body;
+  }
+
+  StmtPtr parseStmt() {
+    if (Failed)
+      return nullptr;
+    switch (cur().Kind) {
+    case TokenKind::KwFor:
+      return parseFor();
+    case TokenKind::KwIf:
+      return parseIf();
+    case TokenKind::Semi:
+      consume();
+      return nullptr;
+    case TokenKind::Identifier:
+      return parseAssign();
+    case TokenKind::KwChar:
+    case TokenKind::KwShort:
+    case TokenKind::KwInt:
+      error(cur().Loc, "declarations must precede all statements");
+      return nullptr;
+    default:
+      error(cur().Loc, std::string("expected statement, found ") +
+                           tokenKindName(cur().Kind));
+      return nullptr;
+    }
+  }
+
+  /// Parses a constant expression (for loop bounds). The paper requires
+  /// constant bounds; anything else is rejected.
+  std::optional<int64_t> parseConstExpr(const char *Context) {
+    SourceLocation Loc = cur().Loc;
+    ExprPtr E = parseExpr();
+    if (Failed || !E)
+      return std::nullopt;
+    auto Aff = exprToAffine(E.get());
+    if (!Aff || !Aff->isConstant()) {
+      error(Loc, std::string("loop ") + Context +
+                     " must be a constant expression (the input domain "
+                     "requires constant loop bounds)");
+      return std::nullopt;
+    }
+    return Aff->constant();
+  }
+
+  StmtPtr parseFor() {
+    SourceLocation ForLoc = cur().Loc;
+    consume(); // 'for'
+    if (!expect(TokenKind::LParen, "after 'for'"))
+      return nullptr;
+
+    // Initialization: ident '=' const.
+    SourceLocation IdxLoc = cur().Loc;
+    std::string IdxName = cur().Text;
+    if (!expect(TokenKind::Identifier, "as loop index"))
+      return nullptr;
+    if (K.findArray(IdxName) || K.findScalar(IdxName)) {
+      error(IdxLoc, "loop index '" + IdxName +
+                        "' shadows a declared variable");
+      return nullptr;
+    }
+    for (const auto &[Name, Id] : LoopScope) {
+      (void)Id;
+      if (Name == IdxName) {
+        error(IdxLoc, "loop index '" + IdxName +
+                          "' shadows an enclosing loop index");
+        return nullptr;
+      }
+    }
+    if (!expect(TokenKind::Assign, "in loop initialization"))
+      return nullptr;
+    auto Lower = parseConstExpr("lower bound");
+    if (!Lower)
+      return nullptr;
+    if (!expect(TokenKind::Semi, "after loop initialization"))
+      return nullptr;
+
+    // Condition: ident '<' const  (or '<=' const).
+    SourceLocation CondLoc = cur().Loc;
+    std::string CondName = cur().Text;
+    if (!expect(TokenKind::Identifier, "in loop condition"))
+      return nullptr;
+    if (CondName != IdxName) {
+      error(CondLoc, "loop condition must test the loop index '" + IdxName +
+                         "'");
+      return nullptr;
+    }
+    bool Inclusive = false;
+    if (accept(TokenKind::Le))
+      Inclusive = true;
+    else if (!expect(TokenKind::Lt, "in loop condition"))
+      return nullptr;
+    auto Upper = parseConstExpr("upper bound");
+    if (!Upper)
+      return nullptr;
+    if (!expect(TokenKind::Semi, "after loop condition"))
+      return nullptr;
+
+    // Increment: ident '++' | ident '+=' intlit.
+    SourceLocation IncLoc = cur().Loc;
+    std::string IncName = cur().Text;
+    if (!expect(TokenKind::Identifier, "in loop increment"))
+      return nullptr;
+    if (IncName != IdxName) {
+      error(IncLoc, "loop increment must update the loop index '" + IdxName +
+                        "'");
+      return nullptr;
+    }
+    int64_t Step = 1;
+    if (accept(TokenKind::PlusPlus)) {
+      // Step stays 1.
+    } else if (accept(TokenKind::PlusAssign)) {
+      auto StepVal = parseConstExpr("step");
+      if (!StepVal)
+        return nullptr;
+      Step = *StepVal;
+      if (Step <= 0) {
+        error(IncLoc, "loop step must be positive (fixed-stride domain)");
+        return nullptr;
+      }
+    } else if (accept(TokenKind::Assign)) {
+      // The `i = i + <constant>` spelling.
+      std::string RhsName = cur().Text;
+      if (!expect(TokenKind::Identifier, "in loop increment"))
+        return nullptr;
+      if (RhsName != IdxName) {
+        error(IncLoc, "loop increment must update the loop index '" +
+                          IdxName + "'");
+        return nullptr;
+      }
+      if (!expect(TokenKind::Plus, "in loop increment"))
+        return nullptr;
+      auto StepVal = parseConstExpr("step");
+      if (!StepVal)
+        return nullptr;
+      Step = *StepVal;
+      if (Step <= 0) {
+        error(IncLoc, "loop step must be positive (fixed-stride domain)");
+        return nullptr;
+      }
+    } else {
+      error(cur().Loc, "expected '++', '+= <constant>', or '= <index> + "
+                       "<constant>' in loop increment");
+      return nullptr;
+    }
+    if (!expect(TokenKind::RParen, "after loop header"))
+      return nullptr;
+
+    int LoopId = K.allocateLoopId();
+    auto Loop = std::make_unique<ForStmt>(
+        LoopId, IdxName, *Lower, Inclusive ? *Upper + 1 : *Upper, Step);
+    if (Loop->tripCount() <= 0) {
+      error(ForLoc, "loop '" + IdxName + "' has an empty iteration range");
+      return nullptr;
+    }
+    LoopScope.push_back({IdxName, LoopId});
+    Loop->body() = parseBody("to close loop body");
+    LoopScope.pop_back();
+    return Loop;
+  }
+
+  StmtPtr parseIf() {
+    consume(); // 'if'
+    if (!expect(TokenKind::LParen, "after 'if'"))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (Failed || !Cond)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "after if condition"))
+      return nullptr;
+    auto If = std::make_unique<IfStmt>(std::move(Cond));
+    If->thenBody() = parseBody("to close if body");
+    if (accept(TokenKind::KwElse))
+      If->elseBody() = parseBody("to close else body");
+    return If;
+  }
+
+  StmtPtr parseAssign() {
+    SourceLocation Loc = cur().Loc;
+    ExprPtr Dest = parsePrimary();
+    if (Failed || !Dest)
+      return nullptr;
+    if (!isa<ScalarRefExpr>(Dest.get()) &&
+        !isa<ArrayAccessExpr>(Dest.get())) {
+      error(Loc, "assignment destination must be a scalar or array element");
+      return nullptr;
+    }
+    bool Compound = false;
+    if (accept(TokenKind::PlusAssign))
+      Compound = true;
+    else if (!expect(TokenKind::Assign, "in assignment"))
+      return nullptr;
+    ExprPtr Value = parseExpr();
+    if (Failed || !Value)
+      return nullptr;
+    if (!expect(TokenKind::Semi, "after assignment"))
+      return nullptr;
+    if (Compound)
+      Value = std::make_unique<BinaryExpr>(BinaryOp::Add, Dest->clone(),
+                                           std::move(Value));
+    return std::make_unique<AssignStmt>(std::move(Dest), std::move(Value));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expressions (precedence climbing)
+  //===------------------------------------------------------------------===//
+
+  ExprPtr parseExpr() { return parseTernary(); }
+
+  ExprPtr parseTernary() {
+    ExprPtr Cond = parseLogicalOr();
+    if (Failed || !Cond)
+      return nullptr;
+    if (!accept(TokenKind::Question))
+      return Cond;
+    ExprPtr TrueV = parseExpr();
+    if (Failed || !TrueV)
+      return nullptr;
+    if (!expect(TokenKind::Colon, "in conditional expression"))
+      return nullptr;
+    ExprPtr FalseV = parseTernary();
+    if (Failed || !FalseV)
+      return nullptr;
+    return std::make_unique<SelectExpr>(std::move(Cond), std::move(TrueV),
+                                        std::move(FalseV));
+  }
+
+  /// Normalizes `a op b` for logical ops into bit ops over 0/1 values:
+  /// a && b -> (a != 0) & (b != 0).
+  static ExprPtr boolize(ExprPtr E) {
+    if (auto *B = dyn_cast<BinaryExpr>(E.get()))
+      if (isComparisonOp(B->op()))
+        return E;
+    return std::make_unique<BinaryExpr>(BinaryOp::CmpNe, std::move(E),
+                                        std::make_unique<IntLitExpr>(0));
+  }
+
+  ExprPtr parseLogicalOr() {
+    ExprPtr Lhs = parseLogicalAnd();
+    while (!Failed && Lhs && cur().is(TokenKind::PipePipe)) {
+      consume();
+      ExprPtr Rhs = parseLogicalAnd();
+      if (Failed || !Rhs)
+        return nullptr;
+      Lhs = std::make_unique<BinaryExpr>(BinaryOp::Or, boolize(std::move(Lhs)),
+                                         boolize(std::move(Rhs)));
+    }
+    return Lhs;
+  }
+
+  ExprPtr parseLogicalAnd() {
+    ExprPtr Lhs = parseBitOr();
+    while (!Failed && Lhs && cur().is(TokenKind::AmpAmp)) {
+      consume();
+      ExprPtr Rhs = parseBitOr();
+      if (Failed || !Rhs)
+        return nullptr;
+      Lhs = std::make_unique<BinaryExpr>(
+          BinaryOp::And, boolize(std::move(Lhs)), boolize(std::move(Rhs)));
+    }
+    return Lhs;
+  }
+
+  ExprPtr parseBinaryChain(ExprPtr (Parser::*Next)(),
+                           std::initializer_list<std::pair<TokenKind,
+                                                           BinaryOp>> Ops) {
+    ExprPtr Lhs = (this->*Next)();
+    while (!Failed && Lhs) {
+      bool Matched = false;
+      for (const auto &[Kind, Op] : Ops) {
+        if (!cur().is(Kind))
+          continue;
+        consume();
+        ExprPtr Rhs = (this->*Next)();
+        if (Failed || !Rhs)
+          return nullptr;
+        Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs),
+                                           std::move(Rhs));
+        Matched = true;
+        break;
+      }
+      if (!Matched)
+        break;
+    }
+    return Lhs;
+  }
+
+  ExprPtr parseBitOr() {
+    return parseBinaryChain(&Parser::parseBitXor,
+                            {{TokenKind::Pipe, BinaryOp::Or}});
+  }
+  ExprPtr parseBitXor() {
+    return parseBinaryChain(&Parser::parseBitAnd,
+                            {{TokenKind::Caret, BinaryOp::Xor}});
+  }
+  ExprPtr parseBitAnd() {
+    return parseBinaryChain(&Parser::parseEquality,
+                            {{TokenKind::Amp, BinaryOp::And}});
+  }
+  ExprPtr parseEquality() {
+    return parseBinaryChain(&Parser::parseRelational,
+                            {{TokenKind::EqEq, BinaryOp::CmpEq},
+                             {TokenKind::Ne, BinaryOp::CmpNe}});
+  }
+  ExprPtr parseRelational() {
+    return parseBinaryChain(&Parser::parseShift,
+                            {{TokenKind::Lt, BinaryOp::CmpLt},
+                             {TokenKind::Le, BinaryOp::CmpLe},
+                             {TokenKind::Gt, BinaryOp::CmpGt},
+                             {TokenKind::Ge, BinaryOp::CmpGe}});
+  }
+  ExprPtr parseShift() {
+    return parseBinaryChain(&Parser::parseAdditive,
+                            {{TokenKind::Shl, BinaryOp::Shl},
+                             {TokenKind::Shr, BinaryOp::Shr}});
+  }
+  ExprPtr parseAdditive() {
+    return parseBinaryChain(&Parser::parseMultiplicative,
+                            {{TokenKind::Plus, BinaryOp::Add},
+                             {TokenKind::Minus, BinaryOp::Sub}});
+  }
+  ExprPtr parseMultiplicative() {
+    return parseBinaryChain(&Parser::parseUnary,
+                            {{TokenKind::Star, BinaryOp::Mul},
+                             {TokenKind::Slash, BinaryOp::Div},
+                             {TokenKind::Percent, BinaryOp::Mod}});
+  }
+
+  ExprPtr parseUnary() {
+    if (accept(TokenKind::Minus)) {
+      ExprPtr E = parseUnary();
+      if (Failed || !E)
+        return nullptr;
+      return std::make_unique<UnaryExpr>(UnaryOp::Neg, std::move(E));
+    }
+    if (accept(TokenKind::Bang)) {
+      ExprPtr E = parseUnary();
+      if (Failed || !E)
+        return nullptr;
+      return std::make_unique<UnaryExpr>(UnaryOp::Not, std::move(E));
+    }
+    if (accept(TokenKind::Plus))
+      return parseUnary();
+    return parsePrimary();
+  }
+
+  /// Parses one affine subscript expression and verifies affinity.
+  std::optional<AffineExpr> parseSubscript(const std::string &ArrayName) {
+    SourceLocation Loc = cur().Loc;
+    ExprPtr E = parseExpr();
+    if (Failed || !E)
+      return std::nullopt;
+    auto Aff = exprToAffine(E.get());
+    if (!Aff) {
+      error(Loc, "subscript of '" + ArrayName +
+                     "' is not an affine function of loop indices");
+      return std::nullopt;
+    }
+    return Aff;
+  }
+
+  ExprPtr parseBuiltinCall(const std::string &Name, unsigned Arity) {
+    consume(); // '('
+    std::vector<ExprPtr> Args;
+    for (unsigned I = 0; I != Arity; ++I) {
+      if (I != 0 && !expect(TokenKind::Comma, "between builtin arguments"))
+        return nullptr;
+      ExprPtr A = parseExpr();
+      if (Failed || !A)
+        return nullptr;
+      Args.push_back(std::move(A));
+    }
+    if (!expect(TokenKind::RParen, ("after arguments of '" + Name + "'")
+                                       .c_str()))
+      return nullptr;
+    if (Name == "abs")
+      return std::make_unique<UnaryExpr>(UnaryOp::Abs, std::move(Args[0]));
+    BinaryOp Op = Name == "min" ? BinaryOp::Min : BinaryOp::Max;
+    return std::make_unique<BinaryExpr>(Op, std::move(Args[0]),
+                                        std::move(Args[1]));
+  }
+
+  ExprPtr parsePrimary() {
+    if (cur().is(TokenKind::IntLiteral)) {
+      int64_t V = cur().IntValue;
+      consume();
+      return std::make_unique<IntLitExpr>(V);
+    }
+    if (accept(TokenKind::LParen)) {
+      ExprPtr E = parseExpr();
+      if (Failed || !E)
+        return nullptr;
+      if (!expect(TokenKind::RParen, "to close parenthesized expression"))
+        return nullptr;
+      return E;
+    }
+    if (!cur().is(TokenKind::Identifier)) {
+      error(cur().Loc, std::string("expected expression, found ") +
+                           tokenKindName(cur().Kind));
+      return nullptr;
+    }
+
+    SourceLocation Loc = cur().Loc;
+    std::string Name = cur().Text;
+    consume();
+
+    // Builtins.
+    if (cur().is(TokenKind::LParen)) {
+      if (Name == "abs")
+        return parseBuiltinCall(Name, 1);
+      if (Name == "min" || Name == "max")
+        return parseBuiltinCall(Name, 2);
+      error(Loc, "unknown function '" + Name +
+                     "' (only abs, min, max are supported)");
+      return nullptr;
+    }
+
+    // Loop index?
+    for (const auto &[IdxName, Id] : LoopScope)
+      if (IdxName == Name)
+        return std::make_unique<LoopIndexExpr>(Id);
+
+    // Array access?
+    if (ArrayDecl *A = K.findArray(Name)) {
+      std::vector<AffineExpr> Subs;
+      while (accept(TokenKind::LBracket)) {
+        auto Sub = parseSubscript(Name);
+        if (!Sub)
+          return nullptr;
+        Subs.push_back(std::move(*Sub));
+        if (!expect(TokenKind::RBracket, "after subscript"))
+          return nullptr;
+      }
+      if (Subs.size() != A->numDims()) {
+        error(Loc, "array '" + Name + "' has " +
+                       std::to_string(A->numDims()) +
+                       " dimensions but is accessed with " +
+                       std::to_string(Subs.size()) + " subscripts");
+        return nullptr;
+      }
+      return std::make_unique<ArrayAccessExpr>(A, std::move(Subs));
+    }
+
+    // Scalar?
+    if (ScalarDecl *S = K.findScalar(Name))
+      return std::make_unique<ScalarRefExpr>(S);
+
+    error(Loc, "use of undeclared identifier '" + Name + "'");
+    return nullptr;
+  }
+
+  DiagnosticEngine &Diags;
+  Kernel K;
+  std::vector<Token> Tokens;
+  size_t Index = 0;
+  bool Failed = false;
+  std::vector<std::pair<std::string, int>> LoopScope;
+};
+
+} // namespace
+
+std::optional<Kernel> defacto::parseKernel(const std::string &Source,
+                                           const std::string &KernelName,
+                                           DiagnosticEngine &Diags) {
+  return Parser(Source, KernelName, Diags).run();
+}

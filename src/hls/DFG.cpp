@@ -1,0 +1,233 @@
+//===- DFG.cpp ------------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/HLS/DFG.h"
+
+#include "defacto/Support/ErrorHandling.h"
+
+#include <map>
+
+using namespace defacto;
+
+unsigned DFG::numMemReads() const {
+  unsigned N = 0;
+  for (const DFGNode &Node : Nodes)
+    N += Node.NodeKind == DFGNode::Kind::MemRead;
+  return N;
+}
+
+unsigned DFG::numMemWrites() const {
+  unsigned N = 0;
+  for (const DFGNode &Node : Nodes)
+    N += Node.NodeKind == DFGNode::Kind::MemWrite;
+  return N;
+}
+
+unsigned DFG::numComputeOfClass(OpClass Class) const {
+  unsigned N = 0;
+  for (const DFGNode &Node : Nodes)
+    N += Node.NodeKind == DFGNode::Kind::Compute && Node.Class == Class;
+  return N;
+}
+
+namespace {
+
+/// The value an expression evaluates to: the producing node (if any) and
+/// its width. Values with no node are ready at time zero (constants,
+/// loop indices from counters, register reads of loop-carried values).
+struct ValueRef {
+  int Node = -1; // -1: available immediately
+  unsigned WidthBits = 8;
+};
+
+class DFGBuilder {
+public:
+  DFGBuilder(const std::function<int(const ArrayAccessExpr *)> &PortOf,
+             const std::function<unsigned(const Expr *)> &WidthOf)
+      : PortOf(PortOf), WidthOf(WidthOf) {}
+
+  DFG build(const std::vector<const Stmt *> &Segment) {
+    for (const Stmt *S : Segment)
+      buildStmt(S, /*Pred=*/ValueRef{});
+    return std::move(Graph);
+  }
+
+private:
+  unsigned addNode(DFGNode Node) {
+    Graph.Nodes.push_back(std::move(Node));
+    return Graph.Nodes.size() - 1;
+  }
+
+  static void addPred(DFGNode &Node, const ValueRef &V) {
+    if (V.Node >= 0)
+      Node.Preds.push_back(static_cast<unsigned>(V.Node));
+  }
+
+  ValueRef buildExpr(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLit: {
+      int64_t V = cast<IntLitExpr>(E)->value();
+      unsigned W = 8;
+      for (int64_t M = 127; V > M || V < -M - 1; M = (M << 8) | 0xFF)
+        W += 8;
+      return {-1, W};
+    }
+    case Expr::Kind::LoopIndex:
+      return {-1, 16}; // Index counters are part of the control FSM.
+    case Expr::Kind::ScalarRef: {
+      const ScalarDecl *D = cast<ScalarRefExpr>(E)->decl();
+      auto It = ScalarDef.find(D);
+      if (It != ScalarDef.end())
+        return It->second;
+      return {-1, bitWidth(D->type())};
+    }
+    case Expr::Kind::ArrayAccess: {
+      const auto *A = cast<ArrayAccessExpr>(E);
+      DFGNode Node;
+      Node.NodeKind = DFGNode::Kind::MemRead;
+      Node.WidthBits = bitWidth(A->array()->elementType());
+      Node.Port = PortOf(A);
+      unsigned Idx = addNode(std::move(Node));
+      return {static_cast<int>(Idx), bitWidth(A->array()->elementType())};
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      ValueRef In = buildExpr(U->operand());
+      DFGNode Node;
+      Node.NodeKind = DFGNode::Kind::Compute;
+      Node.Class = classifyUnary(U->op());
+      Node.WidthBits = width(E, In.WidthBits);
+      addPred(Node, In);
+      unsigned W = Node.WidthBits;
+      return {static_cast<int>(addNode(std::move(Node))), W};
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      ValueRef L = buildExpr(B->lhs());
+      ValueRef R = buildExpr(B->rhs());
+      bool HasConst = false;
+      int64_t ConstVal = 0;
+      if (const auto *Lit = dyn_cast<IntLitExpr>(B->lhs())) {
+        HasConst = true;
+        ConstVal = Lit->value();
+      } else if (const auto *Lit2 = dyn_cast<IntLitExpr>(B->rhs())) {
+        HasConst = true;
+        ConstVal = Lit2->value();
+      }
+      DFGNode Node;
+      Node.NodeKind = DFGNode::Kind::Compute;
+      Node.Class = classifyBinary(B->op(), HasConst, ConstVal);
+      Node.WidthBits = width(E, std::max(L.WidthBits, R.WidthBits));
+      unsigned W =
+          isComparisonOp(B->op()) ? 8 : Node.WidthBits; // Flags are narrow.
+      addPred(Node, L);
+      addPred(Node, R);
+      return {static_cast<int>(addNode(std::move(Node))), W};
+    }
+    case Expr::Kind::Select: {
+      const auto *S = cast<SelectExpr>(E);
+      ValueRef C = buildExpr(S->cond());
+      ValueRef T = buildExpr(S->trueValue());
+      ValueRef F = buildExpr(S->falseValue());
+      DFGNode Node;
+      Node.NodeKind = DFGNode::Kind::Compute;
+      Node.Class = OpClass::Mux;
+      Node.WidthBits = width(E, std::max(T.WidthBits, F.WidthBits));
+      addPred(Node, C);
+      addPred(Node, T);
+      addPred(Node, F);
+      unsigned W = Node.WidthBits;
+      return {static_cast<int>(addNode(std::move(Node))), W};
+    }
+    }
+    defacto_unreachable("unknown expression kind");
+  }
+
+  /// \p Pred carries an enclosing if's condition value (for predication).
+  void buildStmt(const Stmt *S, ValueRef Pred) {
+    switch (S->kind()) {
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      ValueRef V = buildExpr(A->value());
+      if (const auto *SR = dyn_cast<ScalarRefExpr>(A->dest())) {
+        if (Pred.Node >= 0) {
+          // Predicated register update: mux between old and new value.
+          ValueRef Old{-1, bitWidth(SR->decl()->type())};
+          auto It = ScalarDef.find(SR->decl());
+          if (It != ScalarDef.end())
+            Old = It->second;
+          DFGNode Mux;
+          Mux.NodeKind = DFGNode::Kind::Compute;
+          Mux.Class = OpClass::Mux;
+          Mux.WidthBits = std::max(V.WidthBits, Old.WidthBits);
+          addPred(Mux, Pred);
+          addPred(Mux, V);
+          addPred(Mux, Old);
+          unsigned W = Mux.WidthBits;
+          ScalarDef[SR->decl()] = {static_cast<int>(addNode(std::move(Mux))),
+                                   W};
+        } else {
+          ScalarDef[SR->decl()] = V;
+        }
+        return;
+      }
+      const auto *AA = cast<ArrayAccessExpr>(A->dest());
+      DFGNode Node;
+      Node.NodeKind = DFGNode::Kind::MemWrite;
+      Node.WidthBits = bitWidth(AA->array()->elementType());
+      Node.Port = PortOf(AA);
+      addPred(Node, V);
+      addPred(Node, Pred); // Conditional accesses wait on the predicate.
+      addNode(std::move(Node));
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      ValueRef C = buildExpr(I->cond());
+      ValueRef ThenPred = C;
+      if (Pred.Node >= 0) {
+        // Nested predication: and the conditions together.
+        DFGNode AndNode;
+        AndNode.NodeKind = DFGNode::Kind::Compute;
+        AndNode.Class = OpClass::Logic;
+        AndNode.WidthBits = 8;
+        addPred(AndNode, C);
+        addPred(AndNode, Pred);
+        ThenPred = {static_cast<int>(addNode(std::move(AndNode))), 8};
+      }
+      for (const StmtPtr &T : I->thenBody())
+        buildStmt(T.get(), ThenPred);
+      for (const StmtPtr &T : I->elseBody())
+        buildStmt(T.get(), ThenPred);
+      return;
+    }
+    case Stmt::Kind::Rotate:
+      return; // Parallel register shift at the clock edge: free.
+    case Stmt::Kind::For:
+      defacto_unreachable("loops are not part of straight-line segments");
+    }
+    defacto_unreachable("unknown statement kind");
+  }
+
+  /// Width override from range analysis, when enabled.
+  unsigned width(const Expr *E, unsigned Fallback) const {
+    return WidthOf ? WidthOf(E) : Fallback;
+  }
+
+  const std::function<int(const ArrayAccessExpr *)> &PortOf;
+  const std::function<unsigned(const Expr *)> &WidthOf;
+  DFG Graph;
+  std::map<const ScalarDecl *, ValueRef> ScalarDef;
+};
+
+} // namespace
+
+DFG defacto::buildSegmentDFG(
+    const std::vector<const Stmt *> &Segment,
+    const std::function<int(const ArrayAccessExpr *)> &PortOf,
+    const std::function<unsigned(const Expr *)> &WidthOf) {
+  return DFGBuilder(PortOf, WidthOf).build(Segment);
+}

@@ -1,0 +1,141 @@
+//===- OperatorLibrary.cpp ------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/HLS/OperatorLibrary.h"
+
+#include "defacto/Support/ErrorHandling.h"
+#include "defacto/Support/MathExtras.h"
+
+using namespace defacto;
+
+const char *defacto::opClassName(OpClass Class) {
+  switch (Class) {
+  case OpClass::AddSub:
+    return "addsub";
+  case OpClass::Mul:
+    return "mul";
+  case OpClass::ConstMul:
+    return "constmul";
+  case OpClass::Div:
+    return "div";
+  case OpClass::Logic:
+    return "logic";
+  case OpClass::Compare:
+    return "cmp";
+  case OpClass::Mux:
+    return "mux";
+  case OpClass::Wire:
+    return "wire";
+  }
+  defacto_unreachable("unknown operator class");
+}
+
+double defacto::operatorDelayNs(OpClass Class, unsigned WidthBits) {
+  double W = WidthBits;
+  switch (Class) {
+  case OpClass::AddSub:
+    return 2.0 + 0.25 * W; // Ripple carry: 32-bit ~ 10 ns.
+  case OpClass::Mul:
+    return 6.0 + 0.9 * W; // 32-bit ~ 35 ns: one full 40 ns cycle.
+  case OpClass::ConstMul:
+    return 3.0 + 0.3 * W; // Shift-add tree.
+  case OpClass::Div:
+    return 2.5 * W; // Iterative; 32-bit spans two 40 ns cycles.
+  case OpClass::Logic:
+    return 2.0;
+  case OpClass::Compare:
+    return 2.0 + 0.15 * W;
+  case OpClass::Mux:
+    return 3.0;
+  case OpClass::Wire:
+    return 0.0;
+  }
+  defacto_unreachable("unknown operator class");
+}
+
+double defacto::operatorAreaSlices(OpClass Class, unsigned WidthBits) {
+  double W = WidthBits;
+  switch (Class) {
+  case OpClass::AddSub:
+    return W / 2.0; // One slice carries two bits.
+  case OpClass::Mul:
+    return W * W / 8.0; // 32-bit ~ 128 slices.
+  case OpClass::ConstMul:
+    return W; // A few shift-add stages.
+  case OpClass::Div:
+    return W * W / 4.0;
+  case OpClass::Logic:
+    return W / 4.0;
+  case OpClass::Compare:
+    return W / 4.0;
+  case OpClass::Mux:
+    return W / 4.0;
+  case OpClass::Wire:
+    return 0.0;
+  }
+  defacto_unreachable("unknown operator class");
+}
+
+double defacto::registerAreaSlices(unsigned WidthBits) {
+  return WidthBits / 2.0;
+}
+
+OpClass defacto::classifyBinary(BinaryOp Op, bool HasConstOperand,
+                                int64_t ConstOperand) {
+  switch (Op) {
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+    return OpClass::AddSub;
+  case BinaryOp::Mul:
+    if (HasConstOperand) {
+      int64_t C = ConstOperand < 0 ? -ConstOperand : ConstOperand;
+      if (C == 0 || C == 1 || isPowerOf2(C))
+        return OpClass::Wire;
+      return OpClass::ConstMul;
+    }
+    return OpClass::Mul;
+  case BinaryOp::Div:
+  case BinaryOp::Mod:
+    if (HasConstOperand) {
+      int64_t C = ConstOperand < 0 ? -ConstOperand : ConstOperand;
+      if (C == 1 || isPowerOf2(C))
+        return OpClass::Wire;
+    }
+    return OpClass::Div;
+  case BinaryOp::Min:
+  case BinaryOp::Max:
+    return OpClass::Compare; // Comparator + mux; the mux is folded in.
+  case BinaryOp::And:
+  case BinaryOp::Or:
+  case BinaryOp::Xor:
+    return OpClass::Logic;
+  case BinaryOp::Shl:
+  case BinaryOp::Shr:
+    // Shift by a constant is wiring; a variable shift needs a barrel
+    // shifter, modeled as a mux cascade.
+    return HasConstOperand ? OpClass::Wire : OpClass::Mux;
+  case BinaryOp::CmpEq:
+  case BinaryOp::CmpNe:
+  case BinaryOp::CmpLt:
+  case BinaryOp::CmpLe:
+  case BinaryOp::CmpGt:
+  case BinaryOp::CmpGe:
+    return OpClass::Compare;
+  }
+  defacto_unreachable("unknown binary op");
+}
+
+OpClass defacto::classifyUnary(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Neg:
+    return OpClass::AddSub;
+  case UnaryOp::Abs:
+    return OpClass::AddSub; // Negate + select, dominated by the adder.
+  case UnaryOp::Not:
+    return OpClass::Compare;
+  }
+  defacto_unreachable("unknown unary op");
+}

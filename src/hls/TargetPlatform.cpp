@@ -1,0 +1,27 @@
+//===- TargetPlatform.cpp -------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/HLS/TargetPlatform.h"
+
+using namespace defacto;
+
+TargetPlatform TargetPlatform::wildstarPipelined() {
+  TargetPlatform P;
+  P.Name = "wildstar-pipelined";
+  P.Timing.ReadLatencyCycles = 1;
+  P.Timing.WriteLatencyCycles = 1;
+  P.Timing.Pipelined = true;
+  return P;
+}
+
+TargetPlatform TargetPlatform::wildstarNonPipelined() {
+  TargetPlatform P;
+  P.Name = "wildstar-nonpipelined";
+  P.Timing.ReadLatencyCycles = 7;
+  P.Timing.WriteLatencyCycles = 3;
+  P.Timing.Pipelined = false;
+  return P;
+}

@@ -1,0 +1,121 @@
+//===- AffineExpr.cpp -----------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/IR/AffineExpr.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace defacto;
+
+AffineExpr AffineExpr::term(int LoopId, int64_t Coeff, int64_t C) {
+  AffineExpr E(C);
+  E.setCoeff(LoopId, Coeff);
+  return E;
+}
+
+void AffineExpr::setCoeff(int LoopId, int64_t Coeff) {
+  auto It = std::lower_bound(
+      Terms.begin(), Terms.end(), LoopId,
+      [](const std::pair<int, int64_t> &T, int Id) { return T.first < Id; });
+  if (It != Terms.end() && It->first == LoopId) {
+    if (Coeff == 0)
+      Terms.erase(It);
+    else
+      It->second = Coeff;
+    return;
+  }
+  if (Coeff != 0)
+    Terms.insert(It, {LoopId, Coeff});
+}
+
+int64_t AffineExpr::coeff(int LoopId) const {
+  auto It = std::lower_bound(
+      Terms.begin(), Terms.end(), LoopId,
+      [](const std::pair<int, int64_t> &T, int Id) { return T.first < Id; });
+  if (It != Terms.end() && It->first == LoopId)
+    return It->second;
+  return 0;
+}
+
+std::vector<int> AffineExpr::loopIds() const {
+  std::vector<int> Ids;
+  Ids.reserve(Terms.size());
+  for (const auto &[Id, Coeff] : Terms)
+    Ids.push_back(Id);
+  return Ids;
+}
+
+AffineExpr AffineExpr::add(const AffineExpr &Other) const {
+  AffineExpr Out = *this;
+  Out.Constant += Other.Constant;
+  for (const auto &[Id, Coeff] : Other.Terms)
+    Out.setCoeff(Id, Out.coeff(Id) + Coeff);
+  return Out;
+}
+
+AffineExpr AffineExpr::sub(const AffineExpr &Other) const {
+  return add(Other.scale(-1));
+}
+
+AffineExpr AffineExpr::scale(int64_t Factor) const {
+  AffineExpr Out;
+  Out.Constant = Constant * Factor;
+  if (Factor != 0)
+    for (const auto &[Id, Coeff] : Terms)
+      Out.Terms.push_back({Id, Coeff * Factor});
+  return Out;
+}
+
+AffineExpr AffineExpr::addConstant(int64_t C) const {
+  AffineExpr Out = *this;
+  Out.Constant += C;
+  return Out;
+}
+
+AffineExpr AffineExpr::substitute(int LoopId,
+                                  const AffineExpr &Replacement) const {
+  int64_t C = coeff(LoopId);
+  if (C == 0)
+    return *this;
+  AffineExpr Out = *this;
+  Out.setCoeff(LoopId, 0);
+  return Out.add(Replacement.scale(C));
+}
+
+int64_t AffineExpr::evaluate(
+    const std::function<int64_t(int LoopId)> &ValueOf) const {
+  int64_t V = Constant;
+  for (const auto &[Id, Coeff] : Terms)
+    V += Coeff * ValueOf(Id);
+  return V;
+}
+
+std::string AffineExpr::toString(
+    const std::function<std::string(int LoopId)> &NameOf) const {
+  std::string Out;
+  for (const auto &[Id, Coeff] : Terms) {
+    if (!Out.empty())
+      Out += Coeff < 0 ? " - " : " + ";
+    else if (Coeff < 0)
+      Out += "-";
+    int64_t Mag = Coeff < 0 ? -Coeff : Coeff;
+    if (Mag != 1)
+      Out += std::to_string(Mag) + "*";
+    Out += NameOf(Id);
+  }
+  if (Out.empty())
+    return std::to_string(Constant);
+  if (Constant > 0)
+    Out += " + " + std::to_string(Constant);
+  else if (Constant < 0)
+    Out += " - " + std::to_string(-Constant);
+  return Out;
+}
+
+std::string AffineExpr::toString() const {
+  return toString([](int Id) { return "L" + std::to_string(Id); });
+}

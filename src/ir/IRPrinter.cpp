@@ -1,0 +1,145 @@
+//===- IRPrinter.cpp ------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/IR/IRPrinter.h"
+
+#include "defacto/IR/IRUtils.h"
+#include "defacto/Support/ErrorHandling.h"
+
+#include <map>
+
+using namespace defacto;
+
+std::function<std::string(int)> defacto::makeLoopNamer(const Kernel &K) {
+  auto Names = std::make_shared<std::map<int, std::string>>();
+  for (const ForStmt *F : collectLoops(K.body()))
+    (*Names)[F->loopId()] = F->indexName();
+  return [Names](int Id) {
+    auto It = Names->find(Id);
+    if (It != Names->end())
+      return It->second;
+    return "L" + std::to_string(Id);
+  };
+}
+
+std::string defacto::printExpr(const Expr *E,
+                               const std::function<std::string(int)> &NameOf) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return std::to_string(cast<IntLitExpr>(E)->value());
+  case Expr::Kind::LoopIndex:
+    return NameOf(cast<LoopIndexExpr>(E)->loopId());
+  case Expr::Kind::ScalarRef:
+    return cast<ScalarRefExpr>(E)->decl()->name();
+  case Expr::Kind::ArrayAccess: {
+    const auto *A = cast<ArrayAccessExpr>(E);
+    std::string Out = A->array()->name();
+    for (const AffineExpr &Sub : A->subscripts())
+      Out += "[" + Sub.toString(NameOf) + "]";
+    return Out;
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    std::string Inner = printExpr(U->operand(), NameOf);
+    switch (U->op()) {
+    case UnaryOp::Neg:
+      return "-(" + Inner + ")";
+    case UnaryOp::Abs:
+      return "abs(" + Inner + ")";
+    case UnaryOp::Not:
+      return "!(" + Inner + ")";
+    }
+    defacto_unreachable("unknown unary op");
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    std::string L = printExpr(B->lhs(), NameOf);
+    std::string R = printExpr(B->rhs(), NameOf);
+    if (B->op() == BinaryOp::Min || B->op() == BinaryOp::Max)
+      return std::string(binaryOpSpelling(B->op())) + "(" + L + ", " + R +
+             ")";
+    return "(" + L + " " + binaryOpSpelling(B->op()) + " " + R + ")";
+  }
+  case Expr::Kind::Select: {
+    const auto *S = cast<SelectExpr>(E);
+    return "(" + printExpr(S->cond(), NameOf) + " ? " +
+           printExpr(S->trueValue(), NameOf) + " : " +
+           printExpr(S->falseValue(), NameOf) + ")";
+  }
+  }
+  defacto_unreachable("unknown expression kind");
+}
+
+std::string defacto::printStmts(const StmtList &Stmts,
+                                const std::function<std::string(int)> &NameOf,
+                                unsigned Indent) {
+  std::string Pad(Indent * 2, ' ');
+  std::string Out;
+  for (const StmtPtr &SP : Stmts) {
+    const Stmt *S = SP.get();
+    switch (S->kind()) {
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      Out += Pad + printExpr(A->dest(), NameOf) + " = " +
+             printExpr(A->value(), NameOf) + ";\n";
+      break;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      const std::string &I = F->indexName();
+      Out += Pad + "for (" + I + " = " + std::to_string(F->lower()) + "; " +
+             I + " < " + std::to_string(F->upper()) + "; " + I + " += " +
+             std::to_string(F->step()) + ") {\n";
+      Out += printStmts(F->body(), NameOf, Indent + 1);
+      Out += Pad + "}\n";
+      break;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      Out += Pad + "if (" + printExpr(I->cond(), NameOf) + ") {\n";
+      Out += printStmts(I->thenBody(), NameOf, Indent + 1);
+      if (!I->elseBody().empty()) {
+        Out += Pad + "} else {\n";
+        Out += printStmts(I->elseBody(), NameOf, Indent + 1);
+      }
+      Out += Pad + "}\n";
+      break;
+    }
+    case Stmt::Kind::Rotate: {
+      const auto *R = cast<RotateStmt>(S);
+      Out += Pad + "rotate_registers(";
+      for (size_t K = 0; K != R->chain().size(); ++K) {
+        if (K != 0)
+          Out += ", ";
+        Out += R->chain()[K]->name();
+      }
+      Out += ");\n";
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+std::string defacto::printKernel(const Kernel &K) {
+  std::string Out = "// kernel " + K.name() + "\n";
+  for (const auto &A : K.arrays()) {
+    Out += typeName(A->elementType()) + " " + A->name();
+    for (int64_t D : A->dims())
+      Out += "[" + std::to_string(D) + "]";
+    Out += ";";
+    if (A->virtualMemId() >= 0)
+      Out += "  // vmem " + std::to_string(A->virtualMemId());
+    if (A->physicalMemId() >= 0)
+      Out += " pmem " + std::to_string(A->physicalMemId());
+    Out += "\n";
+  }
+  for (const auto &S : K.scalars())
+    Out += typeName(S->type()) + " " + S->name() + ";" +
+           (S->isCompilerTemp() ? "  // register temp\n" : "\n");
+  Out += printStmts(K.body(), makeLoopNamer(K));
+  return Out;
+}

@@ -1,0 +1,354 @@
+//===- IRUtils.cpp --------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/IR/IRUtils.h"
+
+#include "defacto/Support/ErrorHandling.h"
+
+using namespace defacto;
+
+void defacto::walkExpr(Expr *E, const std::function<void(Expr *)> &Fn) {
+  Fn(E);
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::LoopIndex:
+  case Expr::Kind::ScalarRef:
+  case Expr::Kind::ArrayAccess:
+    return;
+  case Expr::Kind::Unary:
+    walkExpr(cast<UnaryExpr>(E)->operand(), Fn);
+    return;
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    walkExpr(B->lhs(), Fn);
+    walkExpr(B->rhs(), Fn);
+    return;
+  }
+  case Expr::Kind::Select: {
+    auto *S = cast<SelectExpr>(E);
+    walkExpr(S->cond(), Fn);
+    walkExpr(S->trueValue(), Fn);
+    walkExpr(S->falseValue(), Fn);
+    return;
+  }
+  }
+  defacto_unreachable("unknown expression kind");
+}
+
+void defacto::walkExpr(const Expr *E,
+                       const std::function<void(const Expr *)> &Fn) {
+  walkExpr(const_cast<Expr *>(E),
+           [&Fn](Expr *X) { Fn(const_cast<const Expr *>(X)); });
+}
+
+void defacto::walkStmts(StmtList &Stmts,
+                        const std::function<void(Stmt *)> &Fn) {
+  for (StmtPtr &S : Stmts) {
+    Fn(S.get());
+    if (auto *F = dyn_cast<ForStmt>(S.get())) {
+      walkStmts(F->body(), Fn);
+    } else if (auto *I = dyn_cast<IfStmt>(S.get())) {
+      walkStmts(I->thenBody(), Fn);
+      walkStmts(I->elseBody(), Fn);
+    }
+  }
+}
+
+void defacto::walkStmts(const StmtList &Stmts,
+                        const std::function<void(const Stmt *)> &Fn) {
+  walkStmts(const_cast<StmtList &>(Stmts),
+            [&Fn](Stmt *S) { Fn(const_cast<const Stmt *>(S)); });
+}
+
+void defacto::walkExprsInStmts(StmtList &Stmts,
+                               const std::function<void(Expr *)> &Fn) {
+  walkStmts(Stmts, [&Fn](Stmt *S) {
+    if (auto *A = dyn_cast<AssignStmt>(S)) {
+      walkExpr(A->dest(), Fn);
+      walkExpr(A->value(), Fn);
+    } else if (auto *I = dyn_cast<IfStmt>(S)) {
+      walkExpr(I->cond(), Fn);
+    }
+  });
+}
+
+std::vector<AccessInfo> defacto::collectArrayAccesses(StmtList &Stmts) {
+  std::vector<AccessInfo> Out;
+  walkStmts(Stmts, [&Out](Stmt *S) {
+    if (auto *A = dyn_cast<AssignStmt>(S)) {
+      if (auto *Dest = dyn_cast<ArrayAccessExpr>(A->dest()))
+        Out.push_back({Dest, /*IsWrite=*/true});
+      walkExpr(A->value(), [&Out](Expr *E) {
+        if (auto *Acc = dyn_cast<ArrayAccessExpr>(E))
+          Out.push_back({Acc, /*IsWrite=*/false});
+      });
+    } else if (auto *I = dyn_cast<IfStmt>(S)) {
+      walkExpr(I->cond(), [&Out](Expr *E) {
+        if (auto *Acc = dyn_cast<ArrayAccessExpr>(E))
+          Out.push_back({Acc, /*IsWrite=*/false});
+      });
+    }
+  });
+  return Out;
+}
+
+std::vector<AccessInfo> defacto::collectArrayAccesses(Kernel &K) {
+  return collectArrayAccesses(K.body());
+}
+
+std::vector<ForStmt *> defacto::perfectNest(ForStmt *Root) {
+  std::vector<ForStmt *> Nest;
+  ForStmt *Cur = Root;
+  while (Cur) {
+    Nest.push_back(Cur);
+    if (Cur->body().size() != 1)
+      break;
+    Cur = dyn_cast<ForStmt>(Cur->body().front().get());
+  }
+  return Nest;
+}
+
+std::vector<ForStmt *> defacto::collectLoops(StmtList &Stmts) {
+  std::vector<ForStmt *> Loops;
+  walkStmts(Stmts, [&Loops](Stmt *S) {
+    if (auto *F = dyn_cast<ForStmt>(S))
+      Loops.push_back(F);
+  });
+  return Loops;
+}
+
+std::vector<const ForStmt *> defacto::collectLoops(const StmtList &Stmts) {
+  std::vector<const ForStmt *> Loops;
+  walkStmts(Stmts, [&Loops](const Stmt *S) {
+    if (const auto *F = dyn_cast<ForStmt>(S))
+      Loops.push_back(F);
+  });
+  return Loops;
+}
+
+void defacto::rewriteExpr(ExprPtr &Slot,
+                          const std::function<void(ExprPtr &)> &Fn) {
+  switch (Slot->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::LoopIndex:
+  case Expr::Kind::ScalarRef:
+  case Expr::Kind::ArrayAccess:
+    break;
+  case Expr::Kind::Unary:
+    rewriteExpr(cast<UnaryExpr>(Slot.get())->operandRef(), Fn);
+    break;
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(Slot.get());
+    rewriteExpr(B->lhsRef(), Fn);
+    rewriteExpr(B->rhsRef(), Fn);
+    break;
+  }
+  case Expr::Kind::Select: {
+    auto *S = cast<SelectExpr>(Slot.get());
+    rewriteExpr(S->condRef(), Fn);
+    rewriteExpr(S->trueValueRef(), Fn);
+    rewriteExpr(S->falseValueRef(), Fn);
+    break;
+  }
+  }
+  Fn(Slot);
+}
+
+void defacto::rewriteExprsInStmts(StmtList &Stmts,
+                                  const std::function<void(ExprPtr &)> &Fn) {
+  for (StmtPtr &SP : Stmts) {
+    if (auto *A = dyn_cast<AssignStmt>(SP.get())) {
+      rewriteExpr(A->destRef(), Fn);
+      rewriteExpr(A->valueRef(), Fn);
+    } else if (auto *I = dyn_cast<IfStmt>(SP.get())) {
+      rewriteExpr(I->condRef(), Fn);
+      rewriteExprsInStmts(I->thenBody(), Fn);
+      rewriteExprsInStmts(I->elseBody(), Fn);
+    } else if (auto *F = dyn_cast<ForStmt>(SP.get())) {
+      rewriteExprsInStmts(F->body(), Fn);
+    }
+  }
+}
+
+ExprPtr defacto::affineToExpr(const AffineExpr &E) {
+  ExprPtr Tree;
+  auto addTerm = [&Tree](ExprPtr Term) {
+    if (!Tree)
+      Tree = std::move(Term);
+    else
+      Tree = std::make_unique<BinaryExpr>(BinaryOp::Add, std::move(Tree),
+                                          std::move(Term));
+  };
+  for (int Id : E.loopIds()) {
+    int64_t C = E.coeff(Id);
+    ExprPtr Idx = std::make_unique<LoopIndexExpr>(Id);
+    if (C != 1)
+      Idx = std::make_unique<BinaryExpr>(
+          BinaryOp::Mul, std::make_unique<IntLitExpr>(C), std::move(Idx));
+    addTerm(std::move(Idx));
+  }
+  if (!Tree || E.constant() != 0)
+    addTerm(std::make_unique<IntLitExpr>(E.constant()));
+  return Tree;
+}
+
+void defacto::substituteLoopInExpr(ExprPtr &Slot, int LoopId,
+                                   const AffineExpr &Replacement) {
+  rewriteExpr(Slot, [LoopId, &Replacement](ExprPtr &E) {
+    if (auto *A = dyn_cast<ArrayAccessExpr>(E.get())) {
+      for (unsigned I = 0, N = A->numSubscripts(); I != N; ++I)
+        A->setSubscript(I, A->subscript(I).substitute(LoopId, Replacement));
+      return;
+    }
+    if (auto *L = dyn_cast<LoopIndexExpr>(E.get()))
+      if (L->loopId() == LoopId)
+        E = affineToExpr(Replacement);
+  });
+}
+
+void defacto::substituteLoopInStmts(StmtList &Stmts, int LoopId,
+                                    const AffineExpr &Replacement) {
+  rewriteExprsInStmts(Stmts, [LoopId, &Replacement](ExprPtr &E) {
+    if (auto *A = dyn_cast<ArrayAccessExpr>(E.get())) {
+      for (unsigned I = 0, N = A->numSubscripts(); I != N; ++I)
+        A->setSubscript(I, A->subscript(I).substitute(LoopId, Replacement));
+      return;
+    }
+    if (auto *L = dyn_cast<LoopIndexExpr>(E.get()))
+      if (L->loopId() == LoopId)
+        E = affineToExpr(Replacement);
+  });
+}
+
+bool defacto::stmtsUseLoop(const StmtList &Stmts, int LoopId) {
+  bool Found = false;
+  walkStmts(Stmts, [&Found, LoopId](const Stmt *S) {
+    if (Found)
+      return;
+    auto checkExpr = [&Found, LoopId](const Expr *E) {
+      walkExpr(E, [&Found, LoopId](const Expr *X) {
+        if (const auto *A = dyn_cast<ArrayAccessExpr>(X)) {
+          for (const AffineExpr &Sub : A->subscripts())
+            if (Sub.usesLoop(LoopId))
+              Found = true;
+        } else if (const auto *L = dyn_cast<LoopIndexExpr>(X)) {
+          if (L->loopId() == LoopId)
+            Found = true;
+        }
+      });
+    };
+    if (const auto *A = dyn_cast<AssignStmt>(S)) {
+      checkExpr(A->dest());
+      checkExpr(A->value());
+    } else if (const auto *I = dyn_cast<IfStmt>(S)) {
+      checkExpr(I->cond());
+    }
+  });
+  return Found;
+}
+
+bool defacto::exprEquals(const Expr *A, const Expr *B) {
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case Expr::Kind::IntLit:
+    return cast<IntLitExpr>(A)->value() == cast<IntLitExpr>(B)->value();
+  case Expr::Kind::LoopIndex:
+    return cast<LoopIndexExpr>(A)->loopId() ==
+           cast<LoopIndexExpr>(B)->loopId();
+  case Expr::Kind::ScalarRef:
+    return cast<ScalarRefExpr>(A)->decl() == cast<ScalarRefExpr>(B)->decl();
+  case Expr::Kind::ArrayAccess: {
+    const auto *X = cast<ArrayAccessExpr>(A);
+    const auto *Y = cast<ArrayAccessExpr>(B);
+    return X->array() == Y->array() && X->subscripts() == Y->subscripts();
+  }
+  case Expr::Kind::Unary: {
+    const auto *X = cast<UnaryExpr>(A);
+    const auto *Y = cast<UnaryExpr>(B);
+    return X->op() == Y->op() && exprEquals(X->operand(), Y->operand());
+  }
+  case Expr::Kind::Binary: {
+    const auto *X = cast<BinaryExpr>(A);
+    const auto *Y = cast<BinaryExpr>(B);
+    return X->op() == Y->op() && exprEquals(X->lhs(), Y->lhs()) &&
+           exprEquals(X->rhs(), Y->rhs());
+  }
+  case Expr::Kind::Select: {
+    const auto *X = cast<SelectExpr>(A);
+    const auto *Y = cast<SelectExpr>(B);
+    return exprEquals(X->cond(), Y->cond()) &&
+           exprEquals(X->trueValue(), Y->trueValue()) &&
+           exprEquals(X->falseValue(), Y->falseValue());
+  }
+  }
+  defacto_unreachable("unknown expression kind");
+}
+
+std::optional<AffineExpr> defacto::exprToAffine(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return AffineExpr(cast<IntLitExpr>(E)->value());
+  case Expr::Kind::LoopIndex:
+    return AffineExpr::term(cast<LoopIndexExpr>(E)->loopId(), 1);
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->op() != UnaryOp::Neg)
+      return std::nullopt;
+    auto Inner = exprToAffine(U->operand());
+    if (!Inner)
+      return std::nullopt;
+    return Inner->scale(-1);
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    auto L = exprToAffine(B->lhs());
+    auto R = exprToAffine(B->rhs());
+    if (!L || !R)
+      return std::nullopt;
+    switch (B->op()) {
+    case BinaryOp::Add:
+      return L->add(*R);
+    case BinaryOp::Sub:
+      return L->sub(*R);
+    case BinaryOp::Mul:
+      if (L->isConstant())
+        return R->scale(L->constant());
+      if (R->isConstant())
+        return L->scale(R->constant());
+      return std::nullopt;
+    default:
+      return std::nullopt;
+    }
+  }
+  case Expr::Kind::ScalarRef:
+  case Expr::Kind::ArrayAccess:
+  case Expr::Kind::Select:
+    return std::nullopt;
+  }
+  defacto_unreachable("unknown expression kind");
+}
+
+StmtCounts defacto::countStmts(const StmtList &Stmts) {
+  StmtCounts Counts;
+  walkStmts(Stmts, [&Counts](const Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::Kind::Assign:
+      ++Counts.Assign;
+      break;
+    case Stmt::Kind::For:
+      ++Counts.For;
+      break;
+    case Stmt::Kind::If:
+      ++Counts.If;
+      break;
+    case Stmt::Kind::Rotate:
+      ++Counts.Rotate;
+      break;
+    }
+  });
+  return Counts;
+}

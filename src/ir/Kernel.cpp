@@ -1,0 +1,120 @@
+//===- Kernel.cpp ---------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/IR/Kernel.h"
+
+#include "defacto/IR/IRUtils.h"
+#include "defacto/Support/ErrorHandling.h"
+
+#include <cassert>
+#include <map>
+
+using namespace defacto;
+
+ArrayDecl *Kernel::makeArray(std::string ArrName, ScalarType ElemTy,
+                             std::vector<int64_t> Dims) {
+  assert(!findArray(ArrName) && !findScalar(ArrName) &&
+         "duplicate declaration name");
+  Arrays.push_back(std::make_unique<ArrayDecl>(std::move(ArrName), ElemTy,
+                                               std::move(Dims)));
+  return Arrays.back().get();
+}
+
+ScalarDecl *Kernel::makeScalar(std::string VarName, ScalarType Ty,
+                               bool IsCompilerTemp) {
+  assert(!findArray(VarName) && !findScalar(VarName) &&
+         "duplicate declaration name");
+  Scalars.push_back(
+      std::make_unique<ScalarDecl>(std::move(VarName), Ty, IsCompilerTemp));
+  return Scalars.back().get();
+}
+
+ScalarDecl *Kernel::makeTempScalar(const std::string &Prefix, ScalarType Ty) {
+  std::string TempName;
+  do {
+    TempName = Prefix + "_" + std::to_string(NextTempId++);
+  } while (findScalar(TempName) || findArray(TempName));
+  return makeScalar(TempName, Ty, /*IsCompilerTemp=*/true);
+}
+
+ArrayDecl *Kernel::findArray(const std::string &ArrName) const {
+  for (const auto &A : Arrays)
+    if (A->name() == ArrName)
+      return A.get();
+  return nullptr;
+}
+
+ScalarDecl *Kernel::findScalar(const std::string &VarName) const {
+  for (const auto &S : Scalars)
+    if (S->name() == VarName)
+      return S.get();
+  return nullptr;
+}
+
+void Kernel::reserveLoopIdsThrough(int Id) {
+  if (NextLoopId <= Id)
+    NextLoopId = Id + 1;
+}
+
+ForStmt *Kernel::topLoop() const {
+  if (Body.size() != 1)
+    return nullptr;
+  return dyn_cast<ForStmt>(Body.front().get());
+}
+
+Kernel Kernel::clone() const {
+  Kernel New(Name);
+  New.NextLoopId = NextLoopId;
+  New.NextTempId = NextTempId;
+
+  std::map<const ArrayDecl *, ArrayDecl *> ArrayMap;
+  std::map<const ScalarDecl *, ScalarDecl *> ScalarMap;
+
+  for (const auto &A : Arrays) {
+    ArrayDecl *NewA = New.makeArray(A->name(), A->elementType(), A->dims());
+    NewA->setVirtualMemId(A->virtualMemId());
+    NewA->setPhysicalMemId(A->physicalMemId());
+    ArrayMap[A.get()] = NewA;
+  }
+  // Renaming origins must be remapped after all arrays exist.
+  for (const auto &A : Arrays) {
+    if (const ArrayDecl *Origin = A->renamedFrom()) {
+      auto It = ArrayMap.find(Origin);
+      assert(It != ArrayMap.end() && "renaming origin not owned by kernel");
+      ArrayMap[A.get()]->setRenaming(It->second, A->bankDim(),
+                                     A->bankOffset(), A->bankStride());
+    }
+  }
+  for (const auto &S : Scalars)
+    ScalarMap[S.get()] = New.makeScalar(S->name(), S->type(),
+                                        S->isCompilerTemp());
+
+  New.Body = cloneStmtList(Body);
+
+  // Remap declaration pointers in the cloned tree.
+  walkExprsInStmts(New.Body, [&](Expr *E) {
+    if (auto *SR = dyn_cast<ScalarRefExpr>(E)) {
+      auto It = ScalarMap.find(SR->decl());
+      assert(It != ScalarMap.end() && "scalar not owned by kernel");
+      SR->setDecl(It->second);
+    } else if (auto *AA = dyn_cast<ArrayAccessExpr>(E)) {
+      auto It = ArrayMap.find(AA->array());
+      assert(It != ArrayMap.end() && "array not owned by kernel");
+      AA->setArray(It->second);
+    }
+  });
+  walkStmts(New.Body, [&](Stmt *S) {
+    auto *R = dyn_cast<RotateStmt>(S);
+    if (!R)
+      return;
+    for (const ScalarDecl *&D : R->chain()) {
+      auto It = ScalarMap.find(D);
+      assert(It != ScalarMap.end() && "rotate register not owned by kernel");
+      D = It->second;
+    }
+  });
+  return New;
+}

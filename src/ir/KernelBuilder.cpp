@@ -1,0 +1,91 @@
+//===- KernelBuilder.cpp --------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/IR/KernelBuilder.h"
+
+#include "defacto/IR/IRVerifier.h"
+#include "defacto/Support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace defacto;
+
+StmtList &KernelBuilder::currentBody() {
+  if (Stack.empty())
+    return K.body();
+  Frame &Top = Stack.back();
+  if (auto *F = dyn_cast<ForStmt>(Top.Owner))
+    return F->body();
+  auto *I = cast<IfStmt>(Top.Owner);
+  return Top.InElse ? I->elseBody() : I->thenBody();
+}
+
+KernelBuilder::LoopHandle KernelBuilder::beginLoop(
+    const std::string &IndexName, int64_t Lower, int64_t Upper,
+    int64_t Step) {
+  assert(Step > 0 && "loop step must be positive");
+  assert(Upper > Lower && "loop range must be nonempty");
+  int Id = K.allocateLoopId();
+  auto Loop = std::make_unique<ForStmt>(Id, IndexName, Lower, Upper, Step);
+  ForStmt *Raw = Loop.get();
+  currentBody().push_back(std::move(Loop));
+  Stack.push_back({Raw, false});
+  return {Id};
+}
+
+void KernelBuilder::endLoop() {
+  assert(!Stack.empty() && isa<ForStmt>(Stack.back().Owner) &&
+         "endLoop without an open loop");
+  Stack.pop_back();
+}
+
+void KernelBuilder::beginIf(ExprPtr Cond) {
+  auto If = std::make_unique<IfStmt>(std::move(Cond));
+  IfStmt *Raw = If.get();
+  currentBody().push_back(std::move(If));
+  Stack.push_back({Raw, false});
+}
+
+void KernelBuilder::beginElse() {
+  assert(!Stack.empty() && isa<IfStmt>(Stack.back().Owner) &&
+         !Stack.back().InElse && "beginElse without an open if");
+  Stack.back().InElse = true;
+}
+
+void KernelBuilder::endIf() {
+  assert(!Stack.empty() && isa<IfStmt>(Stack.back().Owner) &&
+         "endIf without an open if");
+  Stack.pop_back();
+}
+
+void KernelBuilder::assign(ExprPtr Dest, ExprPtr Value) {
+  assert((isa<ScalarRefExpr>(Dest.get()) ||
+          isa<ArrayAccessExpr>(Dest.get())) &&
+         "assignment destination must be a scalar or array access");
+  currentBody().push_back(
+      std::make_unique<AssignStmt>(std::move(Dest), std::move(Value)));
+}
+
+void KernelBuilder::rotate(std::vector<const ScalarDecl *> Chain) {
+  assert(Chain.size() >= 2 && "rotation needs at least two registers");
+  currentBody().push_back(std::make_unique<RotateStmt>(std::move(Chain)));
+}
+
+ExprPtr KernelBuilder::access(const ArrayDecl *A,
+                              std::vector<AffineExpr> Subs) const {
+  assert(Subs.size() == A->numDims() &&
+         "subscript count must match the array rank");
+  return std::make_unique<ArrayAccessExpr>(A, std::move(Subs));
+}
+
+Kernel KernelBuilder::finish() && {
+  if (!Stack.empty())
+    reportFatalError("KernelBuilder::finish with open loops or ifs");
+  std::vector<std::string> Problems = verifyKernel(K);
+  if (!Problems.empty())
+    reportFatalError("KernelBuilder produced an invalid kernel");
+  return std::move(K);
+}

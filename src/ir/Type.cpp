@@ -1,0 +1,46 @@
+//===- Type.cpp -----------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/IR/Type.h"
+
+#include "defacto/Support/ErrorHandling.h"
+
+using namespace defacto;
+
+unsigned defacto::bitWidth(ScalarType Ty) {
+  switch (Ty) {
+  case ScalarType::Int8:
+    return 8;
+  case ScalarType::Int16:
+    return 16;
+  case ScalarType::Int32:
+    return 32;
+  }
+  defacto_unreachable("unknown scalar type");
+}
+
+std::string defacto::typeName(ScalarType Ty) {
+  switch (Ty) {
+  case ScalarType::Int8:
+    return "char";
+  case ScalarType::Int16:
+    return "short";
+  case ScalarType::Int32:
+    return "int";
+  }
+  defacto_unreachable("unknown scalar type");
+}
+
+int64_t defacto::truncateToType(int64_t Value, ScalarType Ty) {
+  unsigned Bits = bitWidth(Ty);
+  uint64_t Mask = (Bits == 64) ? ~0ULL : ((1ULL << Bits) - 1);
+  uint64_t U = static_cast<uint64_t>(Value) & Mask;
+  // Sign-extend from bit (Bits - 1).
+  uint64_t SignBit = 1ULL << (Bits - 1);
+  if (U & SignBit)
+    U |= ~Mask;
+  return static_cast<int64_t>(U);
+}

@@ -1,0 +1,141 @@
+//===- Kernels.cpp --------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Kernels/Kernels.h"
+
+#include "defacto/Frontend/Parser.h"
+#include "defacto/IR/IRVerifier.h"
+#include "defacto/Support/ErrorHandling.h"
+
+#include <cstdio>
+
+using namespace defacto;
+
+const std::vector<KernelSpec> &defacto::paperKernels() {
+  static const std::vector<KernelSpec> Specs = {
+      {"FIR",
+       "int S[96];\n"
+       "int C[32];\n"
+       "int D[64];\n"
+       "for (j = 0; j < 64; j++)\n"
+       "  for (i = 0; i < 32; i++)\n"
+       "    D[j] = D[j] + (S[i + j] * C[i]);\n",
+       "finite impulse response filter: integer multiply-accumulate over "
+       "32 consecutive elements of a 96-element signal"},
+
+      {"MM",
+       "int A[32][16];\n"
+       "int B[16][4];\n"
+       "int Z[32][4];\n"
+       "for (i = 0; i < 32; i++)\n"
+       "  for (j = 0; j < 4; j++)\n"
+       "    for (k = 0; k < 16; k++)\n"
+       "      Z[i][j] = Z[i][j] + A[i][k] * B[k][j];\n",
+       "integer dense matrix multiply of a 32x16 matrix by a 16x4 matrix"},
+
+      {"PAT",
+       "char T[80];\n"
+       "char P[16];\n"
+       "int M[64];\n"
+       "for (i = 0; i < 64; i++)\n"
+       "  for (j = 0; j < 16; j++)\n"
+       "    M[i] = M[i] + (T[i + j] == P[j]);\n",
+       "string pattern matching: character match of a length-16 pattern "
+       "over a length-64 input string"},
+
+      {"JAC",
+       "short A[34][34];\n"
+       "short B[34][34];\n"
+       "for (i = 1; i < 33; i++)\n"
+       "  for (j = 1; j < 33; j++)\n"
+       "    B[i][j] = (A[i - 1][j] + A[i + 1][j] + A[i][j - 1] + "
+       "A[i][j + 1]) / 4;\n",
+       "Jacobi iteration: 4-point stencil averaging over a 32x32 interior"},
+
+      {"SOBEL",
+       "char I[34][34];\n"
+       "short E[34][34];\n"
+       "for (i = 1; i < 33; i++)\n"
+       "  for (j = 1; j < 33; j++)\n"
+       "    E[i][j] = min(255,\n"
+       "      abs(I[i - 1][j - 1] + 2 * I[i - 1][j] + I[i - 1][j + 1]\n"
+       "        - I[i + 1][j - 1] - 2 * I[i + 1][j] - I[i + 1][j + 1])\n"
+       "      + abs(I[i - 1][j - 1] + 2 * I[i][j - 1] + I[i + 1][j - 1]\n"
+       "        - I[i - 1][j + 1] - 2 * I[i][j + 1] - I[i + 1][j + 1]));\n",
+       "Sobel edge detection: 3x3 window Laplacian operator over a 32x32 "
+       "image interior"},
+  };
+  return Specs;
+}
+
+const std::vector<KernelSpec> &defacto::extendedKernels() {
+  static const std::vector<KernelSpec> Specs = {
+      {"CORR",
+       "short I[19][19];\n"
+       "short T[4][4];\n"
+       "int R[16][16];\n"
+       "for (x = 0; x < 16; x++)\n"
+       "  for (y = 0; y < 16; y++)\n"
+       "    for (u = 0; u < 4; u++)\n"
+       "      for (v = 0; v < 4; v++)\n"
+       "        R[x][y] = R[x][y] + I[x + u][y + v] * T[u][v];\n",
+       "image correlation: 4x4 template over a 16x16 image, a 4-deep "
+       "affine nest"},
+
+      {"DILATE",
+       "char I[34][34];\n"
+       "char D[34][34];\n"
+       "for (i = 1; i < 33; i++)\n"
+       "  for (j = 1; j < 33; j++)\n"
+       "    D[i][j] = max(max(max(I[i - 1][j - 1], I[i - 1][j]),\n"
+       "                      max(I[i - 1][j + 1], I[i][j - 1])),\n"
+       "                  max(max(I[i][j], I[i][j + 1]),\n"
+       "                      max(I[i + 1][j - 1],\n"
+       "                          max(I[i + 1][j], I[i + 1][j + 1]))));\n",
+       "morphological dilation: 3x3 window maximum over a 32x32 image "
+       "interior"},
+
+      {"ERODE",
+       "char I[34][34];\n"
+       "char E[34][34];\n"
+       "for (i = 1; i < 33; i++)\n"
+       "  for (j = 1; j < 33; j++)\n"
+       "    E[i][j] = min(min(min(I[i - 1][j - 1], I[i - 1][j]),\n"
+       "                      min(I[i - 1][j + 1], I[i][j - 1])),\n"
+       "                  min(min(I[i][j], I[i][j + 1]),\n"
+       "                      min(I[i + 1][j - 1],\n"
+       "                          min(I[i + 1][j], I[i + 1][j + 1]))));\n",
+       "morphological erosion: 3x3 window minimum over a 32x32 image "
+       "interior"},
+  };
+  return Specs;
+}
+
+const KernelSpec *defacto::findKernelSpec(const std::string &Name) {
+  for (const KernelSpec &Spec : paperKernels())
+    if (Spec.Name == Name)
+      return &Spec;
+  for (const KernelSpec &Spec : extendedKernels())
+    if (Spec.Name == Name)
+      return &Spec;
+  return nullptr;
+}
+
+Kernel defacto::buildKernel(const std::string &Name) {
+  const KernelSpec *Spec = findKernelSpec(Name);
+  if (!Spec)
+    reportFatalError("unknown kernel name");
+  DiagnosticEngine Diags;
+  std::optional<Kernel> K = parseKernel(Spec->Source, Spec->Name, Diags);
+  if (!K) {
+    std::fprintf(stderr, "%s\n", Diags.toString().c_str());
+    reportFatalError("built-in kernel failed to parse");
+  }
+  std::vector<std::string> Problems = verifyKernel(*K);
+  if (!Problems.empty())
+    reportFatalError("built-in kernel failed verification");
+  return std::move(*K);
+}

@@ -1,0 +1,287 @@
+//===- Interpreter.cpp ----------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Sim/Interpreter.h"
+
+#include "defacto/Support/ErrorHandling.h"
+#include "defacto/Support/Random.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace defacto;
+
+MemoryImage::MemoryImage(const Kernel &K, uint64_t Seed) {
+  for (const auto &A : K.arrays()) {
+    if (A->renamedFrom())
+      continue; // Aliases share the origin's storage.
+    std::vector<int64_t> Data(A->numElements());
+    // Mix the name into the seed so every array gets its own stream while
+    // clones of the kernel see identical images.
+    uint64_t NameHash = 1469598103934665603ULL;
+    for (char Ch : A->name())
+      NameHash = (NameHash ^ static_cast<unsigned char>(Ch)) *
+                 1099511628211ULL;
+    SplitMix64 Rng(Seed ^ NameHash);
+    for (int64_t &V : Data)
+      V = Rng.nextInRange(-100, 100);
+    ArrayTypes[A->name()] = A->elementType();
+    Arrays[A->name()] = std::move(Data);
+  }
+  for (const auto &S : K.scalars())
+    Scalars[S.get()] = 0;
+}
+
+const ArrayDecl *MemoryImage::resolve(const ArrayDecl *A,
+                                      std::vector<int64_t> &Indices) const {
+  while (const ArrayDecl *Origin = A->renamedFrom()) {
+    unsigned D = A->bankDim();
+    assert(D < Indices.size() && "bank dimension out of range");
+    Indices[D] = Indices[D] * A->bankStride() + A->bankOffset();
+    A = Origin;
+  }
+  return A;
+}
+
+size_t MemoryImage::flatten(const ArrayDecl *A,
+                            const std::vector<int64_t> &Indices) const {
+  assert(Indices.size() == A->numDims() && "rank mismatch");
+  size_t Flat = 0;
+  for (unsigned D = 0; D != A->numDims(); ++D) {
+    assert(Indices[D] >= 0 && Indices[D] < A->dim(D) &&
+           "array index out of bounds");
+    Flat = Flat * static_cast<size_t>(A->dim(D)) +
+           static_cast<size_t>(Indices[D]);
+  }
+  return Flat;
+}
+
+int64_t MemoryImage::load(const ArrayDecl *A,
+                          const std::vector<int64_t> &Indices) const {
+  std::vector<int64_t> Idx = Indices;
+  const ArrayDecl *Origin = resolve(A, Idx);
+  auto It = Arrays.find(Origin->name());
+  assert(It != Arrays.end() && "array has no storage");
+  return It->second[flatten(Origin, Idx)];
+}
+
+void MemoryImage::store(const ArrayDecl *A,
+                        const std::vector<int64_t> &Indices, int64_t Value) {
+  std::vector<int64_t> Idx = Indices;
+  const ArrayDecl *Origin = resolve(A, Idx);
+  auto It = Arrays.find(Origin->name());
+  assert(It != Arrays.end() && "array has no storage");
+  It->second[flatten(Origin, Idx)] =
+      truncateToType(Value, Origin->elementType());
+}
+
+int64_t MemoryImage::scalar(const ScalarDecl *S) const {
+  auto It = Scalars.find(S);
+  assert(It != Scalars.end() && "scalar has no storage");
+  return It->second;
+}
+
+void MemoryImage::setScalar(const ScalarDecl *S, int64_t Value) {
+  auto It = Scalars.find(S);
+  assert(It != Scalars.end() && "scalar has no storage");
+  It->second = truncateToType(Value, S->type());
+}
+
+const std::vector<int64_t> &
+MemoryImage::arrayData(const std::string &Name) const {
+  auto It = Arrays.find(Name);
+  if (It == Arrays.end())
+    reportFatalError("arrayData: no such origin array");
+  return It->second;
+}
+
+std::vector<std::string> MemoryImage::arrayNames() const {
+  std::vector<std::string> Names;
+  for (const auto &[Name, Data] : Arrays) {
+    (void)Data;
+    Names.push_back(Name);
+  }
+  return Names;
+}
+
+namespace {
+
+/// Tree-walking evaluator.
+class Evaluator {
+public:
+  Evaluator(MemoryImage &Mem, SimStats &Stats) : Mem(Mem), Stats(Stats) {}
+
+  void runStmts(const StmtList &Stmts) {
+    for (const StmtPtr &S : Stmts)
+      runStmt(S.get());
+  }
+
+private:
+  int64_t loopValue(int LoopId) const {
+    auto It = LoopValues.find(LoopId);
+    assert(It != LoopValues.end() && "loop index evaluated outside its loop");
+    return It->second;
+  }
+
+  std::vector<int64_t> evalSubscripts(const ArrayAccessExpr *A) {
+    std::vector<int64_t> Idx;
+    Idx.reserve(A->numSubscripts());
+    for (const AffineExpr &Sub : A->subscripts())
+      Idx.push_back(
+          Sub.evaluate([this](int Id) { return loopValue(Id); }));
+    return Idx;
+  }
+
+  int64_t evalExpr(const Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+      return cast<IntLitExpr>(E)->value();
+    case Expr::Kind::LoopIndex:
+      return loopValue(cast<LoopIndexExpr>(E)->loopId());
+    case Expr::Kind::ScalarRef:
+      return Mem.scalar(cast<ScalarRefExpr>(E)->decl());
+    case Expr::Kind::ArrayAccess: {
+      const auto *A = cast<ArrayAccessExpr>(E);
+      ++Stats.MemoryReads;
+      return Mem.load(A->array(), evalSubscripts(A));
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      int64_t V = evalExpr(U->operand());
+      switch (U->op()) {
+      case UnaryOp::Neg:
+        return -V;
+      case UnaryOp::Abs:
+        return V < 0 ? -V : V;
+      case UnaryOp::Not:
+        return V == 0 ? 1 : 0;
+      }
+      defacto_unreachable("unknown unary op");
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      int64_t L = evalExpr(B->lhs());
+      int64_t R = evalExpr(B->rhs());
+      switch (B->op()) {
+      case BinaryOp::Add:
+        return L + R;
+      case BinaryOp::Sub:
+        return L - R;
+      case BinaryOp::Mul:
+        return L * R;
+      case BinaryOp::Div:
+        return R == 0 ? 0 : L / R;
+      case BinaryOp::Mod:
+        return R == 0 ? 0 : L % R;
+      case BinaryOp::Min:
+        return L < R ? L : R;
+      case BinaryOp::Max:
+        return L > R ? L : R;
+      case BinaryOp::And:
+        return L & R;
+      case BinaryOp::Or:
+        return L | R;
+      case BinaryOp::Xor:
+        return L ^ R;
+      case BinaryOp::Shl:
+        return (R < 0 || R > 62) ? 0 : static_cast<int64_t>(
+                                           static_cast<uint64_t>(L) << R);
+      case BinaryOp::Shr:
+        return (R < 0 || R > 62) ? 0 : (L >> R);
+      case BinaryOp::CmpEq:
+        return L == R;
+      case BinaryOp::CmpNe:
+        return L != R;
+      case BinaryOp::CmpLt:
+        return L < R;
+      case BinaryOp::CmpLe:
+        return L <= R;
+      case BinaryOp::CmpGt:
+        return L > R;
+      case BinaryOp::CmpGe:
+        return L >= R;
+      }
+      defacto_unreachable("unknown binary op");
+    }
+    case Expr::Kind::Select: {
+      const auto *S = cast<SelectExpr>(E);
+      return evalExpr(S->cond()) != 0 ? evalExpr(S->trueValue())
+                                      : evalExpr(S->falseValue());
+    }
+    }
+    defacto_unreachable("unknown expression kind");
+  }
+
+  void runStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      int64_t V = evalExpr(A->value());
+      ++Stats.AssignsExecuted;
+      if (const auto *SR = dyn_cast<ScalarRefExpr>(A->dest())) {
+        Mem.setScalar(SR->decl(), V);
+      } else {
+        const auto *AA = cast<ArrayAccessExpr>(A->dest());
+        ++Stats.MemoryWrites;
+        Mem.store(AA->array(), evalSubscripts(AA), V);
+      }
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      for (int64_t I = F->lower(); I < F->upper(); I += F->step()) {
+        LoopValues[F->loopId()] = I;
+        runStmts(F->body());
+      }
+      LoopValues.erase(F->loopId());
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      if (evalExpr(I->cond()) != 0)
+        runStmts(I->thenBody());
+      else
+        runStmts(I->elseBody());
+      return;
+    }
+    case Stmt::Kind::Rotate: {
+      const auto *R = cast<RotateStmt>(S);
+      ++Stats.RotatesExecuted;
+      const auto &Chain = R->chain();
+      if (Chain.size() < 2)
+        return;
+      int64_t First = Mem.scalar(Chain.front());
+      for (size_t I = 0; I + 1 < Chain.size(); ++I)
+        Mem.setScalar(Chain[I], Mem.scalar(Chain[I + 1]));
+      Mem.setScalar(Chain.back(), First);
+      return;
+    }
+    }
+    defacto_unreachable("unknown statement kind");
+  }
+
+  MemoryImage &Mem;
+  SimStats &Stats;
+  std::map<int, int64_t> LoopValues;
+};
+
+} // namespace
+
+SimStats defacto::runKernel(const Kernel &K, MemoryImage &Mem) {
+  SimStats Stats;
+  Evaluator(Mem, Stats).runStmts(K.body());
+  return Stats;
+}
+
+std::map<std::string, std::vector<int64_t>>
+defacto::simulate(const Kernel &K, uint64_t Seed) {
+  MemoryImage Mem(K, Seed);
+  runKernel(K, Mem);
+  std::map<std::string, std::vector<int64_t>> Out;
+  for (const std::string &Name : Mem.arrayNames())
+    Out[Name] = Mem.arrayData(Name);
+  return Out;
+}

@@ -1,0 +1,61 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Support/Diagnostics.h"
+
+using namespace defacto;
+
+std::string SourceLocation::toString() const {
+  if (!isValid())
+    return "<no-loc>";
+  return std::to_string(Line) + ":" + std::to_string(Column);
+}
+
+std::string Diagnostic::toString() const {
+  std::string Out;
+  if (Loc.isValid())
+    Out += Loc.toString() + ": ";
+  switch (Severity) {
+  case DiagSeverity::Error:
+    Out += "error: ";
+    break;
+  case DiagSeverity::Warning:
+    Out += "warning: ";
+    break;
+  case DiagSeverity::Note:
+    Out += "note: ";
+    break;
+  }
+  Out += Message;
+  return Out;
+}
+
+void DiagnosticEngine::error(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::note(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::toString() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.toString();
+    Out += '\n';
+  }
+  return Out;
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+}

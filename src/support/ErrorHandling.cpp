@@ -1,0 +1,23 @@
+//===- ErrorHandling.cpp --------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace defacto;
+
+void defacto::reportFatalError(const char *Reason) {
+  std::fprintf(stderr, "defacto fatal error: %s\n", Reason);
+  std::abort();
+}
+
+void defacto::unreachableInternal(const char *Msg, const char *File,
+                                  unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

@@ -1,0 +1,47 @@
+//===- MathExtras.cpp -----------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Support/MathExtras.h"
+
+#include <algorithm>
+
+using namespace defacto;
+
+int64_t defacto::gcd64(int64_t A, int64_t B) {
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+int64_t defacto::lcm64(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  int64_t G = gcd64(A, B);
+  int64_t Res = (A / G) * B;
+  return Res < 0 ? -Res : Res;
+}
+
+std::vector<int64_t> defacto::divisorsOf(int64_t N) {
+  assert(N >= 1 && "divisorsOf requires a positive argument");
+  std::vector<int64_t> Small, Large;
+  for (int64_t D = 1; D * D <= N; ++D) {
+    if (N % D != 0)
+      continue;
+    Small.push_back(D);
+    if (D != N / D)
+      Large.push_back(N / D);
+  }
+  std::reverse(Large.begin(), Large.end());
+  Small.insert(Small.end(), Large.begin(), Large.end());
+  return Small;
+}

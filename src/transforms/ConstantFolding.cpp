@@ -1,0 +1,171 @@
+//===- ConstantFolding.cpp ------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Transforms/ConstantFolding.h"
+
+#include "defacto/IR/IRUtils.h"
+#include "defacto/Support/ErrorHandling.h"
+
+using namespace defacto;
+
+namespace {
+
+std::optional<int64_t> constantValue(const Expr *E) {
+  if (const auto *Lit = dyn_cast<IntLitExpr>(E))
+    return Lit->value();
+  return std::nullopt;
+}
+
+int64_t foldBinary(BinaryOp Op, int64_t L, int64_t R) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return L + R;
+  case BinaryOp::Sub:
+    return L - R;
+  case BinaryOp::Mul:
+    return L * R;
+  case BinaryOp::Div:
+    return R == 0 ? 0 : L / R;
+  case BinaryOp::Mod:
+    return R == 0 ? 0 : L % R;
+  case BinaryOp::Min:
+    return L < R ? L : R;
+  case BinaryOp::Max:
+    return L > R ? L : R;
+  case BinaryOp::And:
+    return L & R;
+  case BinaryOp::Or:
+    return L | R;
+  case BinaryOp::Xor:
+    return L ^ R;
+  case BinaryOp::Shl:
+    return (R < 0 || R > 62) ? 0 : static_cast<int64_t>(
+                                       static_cast<uint64_t>(L) << R);
+  case BinaryOp::Shr:
+    return (R < 0 || R > 62) ? 0 : (L >> R);
+  case BinaryOp::CmpEq:
+    return L == R;
+  case BinaryOp::CmpNe:
+    return L != R;
+  case BinaryOp::CmpLt:
+    return L < R;
+  case BinaryOp::CmpLe:
+    return L <= R;
+  case BinaryOp::CmpGt:
+    return L > R;
+  case BinaryOp::CmpGe:
+    return L >= R;
+  }
+  defacto_unreachable("unknown binary op");
+}
+
+} // namespace
+
+void defacto::foldConstantsInExpr(ExprPtr &Slot) {
+  rewriteExpr(Slot, [](ExprPtr &E) {
+    switch (E->kind()) {
+    case Expr::Kind::Unary: {
+      auto *U = cast<UnaryExpr>(E.get());
+      auto V = constantValue(U->operand());
+      if (!V)
+        return;
+      int64_t Folded = 0;
+      switch (U->op()) {
+      case UnaryOp::Neg:
+        Folded = -*V;
+        break;
+      case UnaryOp::Abs:
+        Folded = *V < 0 ? -*V : *V;
+        break;
+      case UnaryOp::Not:
+        Folded = *V == 0 ? 1 : 0;
+        break;
+      }
+      E = std::make_unique<IntLitExpr>(Folded);
+      return;
+    }
+    case Expr::Kind::Binary: {
+      auto *B = cast<BinaryExpr>(E.get());
+      auto L = constantValue(B->lhs());
+      auto R = constantValue(B->rhs());
+      if (L && R) {
+        E = std::make_unique<IntLitExpr>(foldBinary(B->op(), *L, *R));
+        return;
+      }
+      // Identity simplifications keep generated code tidy.
+      if (B->op() == BinaryOp::Add && L && *L == 0) {
+        E = std::move(B->rhsRef());
+        return;
+      }
+      if ((B->op() == BinaryOp::Add || B->op() == BinaryOp::Sub) && R &&
+          *R == 0) {
+        E = std::move(B->lhsRef());
+        return;
+      }
+      if (B->op() == BinaryOp::Mul && L && *L == 1) {
+        E = std::move(B->rhsRef());
+        return;
+      }
+      if (B->op() == BinaryOp::Mul && R && *R == 1) {
+        E = std::move(B->lhsRef());
+        return;
+      }
+      return;
+    }
+    case Expr::Kind::Select: {
+      auto *S = cast<SelectExpr>(E.get());
+      auto C = constantValue(S->cond());
+      if (!C)
+        return;
+      E = *C != 0 ? std::move(S->trueValueRef())
+                  : std::move(S->falseValueRef());
+      return;
+    }
+    default:
+      return;
+    }
+  });
+}
+
+void defacto::foldConstants(StmtList &Stmts) {
+  StmtList Out;
+  Out.reserve(Stmts.size());
+  for (StmtPtr &SP : Stmts) {
+    switch (SP->kind()) {
+    case Stmt::Kind::Assign: {
+      auto *A = cast<AssignStmt>(SP.get());
+      foldConstantsInExpr(A->destRef());
+      foldConstantsInExpr(A->valueRef());
+      Out.push_back(std::move(SP));
+      break;
+    }
+    case Stmt::Kind::For: {
+      auto *F = cast<ForStmt>(SP.get());
+      foldConstants(F->body());
+      Out.push_back(std::move(SP));
+      break;
+    }
+    case Stmt::Kind::If: {
+      auto *I = cast<IfStmt>(SP.get());
+      foldConstantsInExpr(I->condRef());
+      foldConstants(I->thenBody());
+      foldConstants(I->elseBody());
+      if (auto C = constantValue(I->cond())) {
+        StmtList &Taken = *C != 0 ? I->thenBody() : I->elseBody();
+        for (StmtPtr &S : Taken)
+          Out.push_back(std::move(S));
+        break; // The if statement itself is dropped.
+      }
+      Out.push_back(std::move(SP));
+      break;
+    }
+    case Stmt::Kind::Rotate:
+      Out.push_back(std::move(SP));
+      break;
+    }
+  }
+  Stmts = std::move(Out);
+}

@@ -1,0 +1,175 @@
+//===- DataLayout.cpp -----------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Transforms/DataLayout.h"
+
+#include "defacto/Analysis/UniformlyGenerated.h"
+#include "defacto/IR/IRUtils.h"
+#include "defacto/Support/MathExtras.h"
+
+#include <cassert>
+#include <map>
+
+using namespace defacto;
+
+namespace {
+
+/// (Sub - Bank) / Banks with exact division of every coefficient.
+AffineExpr bankLocalSubscript(const AffineExpr &Sub, int64_t Banks,
+                              int64_t Bank) {
+  AffineExpr Out;
+  for (int Id : Sub.loopIds()) {
+    int64_t C = Sub.coeff(Id);
+    assert(C % Banks == 0 && "coefficient not divisible by bank count");
+    Out = Out.add(AffineExpr::term(Id, C / Banks));
+  }
+  int64_t K = Sub.constant() - Bank;
+  assert(K % Banks == 0 && "constant not divisible after bank removal");
+  return Out.addConstant(K / Banks);
+}
+
+/// Number of distinct constant offsets of \p Accs in dimension \p D,
+/// optionally reduced mod \p Mod (Mod == 0: no reduction).
+unsigned distinctConstants(const std::vector<ArrayAccessExpr *> &Accs,
+                           unsigned D, int64_t Mod) {
+  std::vector<int64_t> Seen;
+  for (ArrayAccessExpr *Acc : Accs) {
+    int64_t C = Acc->subscript(D).constant();
+    if (Mod > 0)
+      C = ((C % Mod) + Mod) % Mod;
+    bool Found = false;
+    for (int64_t V : Seen)
+      Found |= V == C;
+    if (!Found)
+      Seen.push_back(C);
+  }
+  return Seen.size();
+}
+
+} // namespace
+
+DataLayoutStats defacto::applyDataLayout(Kernel &K,
+                                         const DataLayoutOptions &Opts) {
+  DataLayoutStats Stats;
+  int64_t M = Opts.NumMemories == 0 ? 1 : Opts.NumMemories;
+
+  // Group accesses by origin array, in declaration order.
+  std::vector<ArrayDecl *> Order;
+  std::map<const ArrayDecl *, std::vector<ArrayAccessExpr *>> ByArray;
+  for (const auto &A : K.arrays())
+    if (!A->renamedFrom())
+      Order.push_back(A.get());
+  for (const AccessInfo &Info : collectArrayAccesses(K))
+    ByArray[Info.Access->array()].push_back(Info.Access);
+
+  // Phase 1 preparation: per array, pick the distribution dimension (the
+  // one unrolling spread constants along) and record each access's cyclic
+  // residue mod M in that dimension *before* any subscript rewriting.
+  // The residue determines the access's bank relative to the other
+  // accesses of the same array on every iteration — the paper's steady
+  // state mapping — regardless of whether the bank index is iteration-
+  // invariant.
+  struct PortClass {
+    const ArrayDecl *Array;
+    int64_t Residue;
+    bool operator<(const PortClass &O) const {
+      return Array != O.Array ? Array < O.Array : Residue < O.Residue;
+    }
+  };
+  std::map<const ArrayAccessExpr *, PortClass> ClassOf;
+
+  int NextVirtualId = 0;
+  for (ArrayDecl *A : Order) {
+    auto It = ByArray.find(A);
+    if (It == ByArray.end())
+      continue; // Never accessed; no memory needed.
+    std::vector<ArrayAccessExpr *> &Accs = It->second;
+
+    // Distribution dimension: most distinct residues mod M; ties go to
+    // the fastest-varying (last) dimension.
+    unsigned Dim = A->numDims() - 1;
+    unsigned BestSpread = 0;
+    for (unsigned D = 0; D != A->numDims(); ++D) {
+      unsigned Spread = distinctConstants(Accs, D, M);
+      if (Spread >= BestSpread) {
+        BestSpread = Spread;
+        Dim = D;
+      }
+    }
+    for (ArrayAccessExpr *Acc : Accs) {
+      int64_t R = ((Acc->subscript(Dim).constant() % M) + M) % M;
+      ClassOf[Acc] = {A, R};
+    }
+
+    // Phase 1b: array renaming when the bank index is iteration-invariant
+    // along Dim: every loop coefficient divisible by the bank count
+    // (coincides with the uniformly generated condition on the source
+    // nest). Produces the S0/S1-style bank arrays of Figure 1(d).
+    int64_t G = 0;
+    for (ArrayAccessExpr *Acc : Accs)
+      for (int Id : Acc->subscript(Dim).loopIds())
+        G = gcd64(G, Acc->subscript(Dim).coeff(Id));
+    int64_t Banks = G == 0 ? M : gcd64(M, G);
+    if (Banks > A->dim(Dim))
+      Banks = 1;
+
+    if (Banks <= 1) {
+      A->setVirtualMemId(NextVirtualId++);
+      ++Stats.VirtualMemories;
+      continue;
+    }
+
+    std::vector<ArrayDecl *> BankArrays(Banks);
+    for (int64_t B = 0; B != Banks; ++B) {
+      std::string Name = A->name() + std::to_string(B);
+      while (K.findArray(Name) || K.findScalar(Name))
+        Name += "_";
+      std::vector<int64_t> Dims = A->dims();
+      Dims[Dim] = ceilDiv(Dims[Dim], Banks);
+      ArrayDecl *BankArr = K.makeArray(Name, A->elementType(), Dims);
+      BankArr->setRenaming(A, Dim, B, Banks);
+      BankArr->setVirtualMemId(NextVirtualId++);
+      BankArrays[B] = BankArr;
+      ++Stats.VirtualMemories;
+    }
+    ++Stats.ArraysDistributed;
+
+    for (ArrayAccessExpr *Acc : Accs) {
+      const AffineExpr &Sub = Acc->subscript(Dim);
+      int64_t Bank = ((Sub.constant() % Banks) + Banks) % Banks;
+      Acc->setSubscript(Dim, bankLocalSubscript(Sub, Banks, Bank));
+      Acc->setArray(BankArrays[Bank]);
+    }
+  }
+
+  // Phase 2: memory mapping. Bind port classes to physical memories
+  // round-robin, reads first in program order then writes, so reads that
+  // can be parallel land in distinct memories (§5.2). Every access gets a
+  // scheduling port; (renamed) arrays additionally record the port of
+  // their first access for display and codegen.
+  int NextPhysical = 0;
+  std::map<PortClass, int> PortOfClass;
+  auto bind = [&](ArrayAccessExpr *Acc) {
+    auto ClassIt = ClassOf.find(Acc);
+    if (ClassIt == ClassOf.end())
+      return;
+    auto [It, Inserted] = PortOfClass.try_emplace(ClassIt->second, 0);
+    if (Inserted)
+      It->second = NextPhysical++ % static_cast<int>(M);
+    Acc->setSteadyStatePort(It->second);
+    auto *Arr = const_cast<ArrayDecl *>(Acc->array());
+    if (Arr->physicalMemId() < 0)
+      Arr->setPhysicalMemId(It->second);
+  };
+  for (const AccessInfo &Info : collectArrayAccesses(K))
+    if (!Info.IsWrite)
+      bind(Info.Access);
+  for (const AccessInfo &Info : collectArrayAccesses(K))
+    if (Info.IsWrite)
+      bind(Info.Access);
+
+  return Stats;
+}

@@ -1,0 +1,132 @@
+//===- LoopPeeling.cpp ----------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Transforms/LoopPeeling.h"
+
+#include "defacto/IR/IRUtils.h"
+#include "defacto/Transforms/ConstantFolding.h"
+
+#include <cassert>
+
+using namespace defacto;
+
+namespace {
+
+/// True when \p E is `<index of LoopId> == <Lower>`.
+bool isFirstIterationGuard(const Expr *E, int LoopId, int64_t Lower) {
+  const auto *B = dyn_cast<BinaryExpr>(E);
+  if (!B || B->op() != BinaryOp::CmpEq)
+    return false;
+  const Expr *L = B->lhs();
+  const Expr *R = B->rhs();
+  if (isa<IntLitExpr>(L))
+    std::swap(L, R);
+  const auto *Idx = dyn_cast<LoopIndexExpr>(L);
+  const auto *Lit = dyn_cast<IntLitExpr>(R);
+  return Idx && Lit && Idx->loopId() == LoopId && Lit->value() == Lower;
+}
+
+/// True when any if under \p Stmts guards on the first iteration of
+/// \p LoopId.
+bool containsGuardFor(const StmtList &Stmts, int LoopId, int64_t Lower) {
+  bool Found = false;
+  walkStmts(Stmts, [&](const Stmt *S) {
+    if (Found)
+      return;
+    if (const auto *If = dyn_cast<IfStmt>(S))
+      if (isFirstIterationGuard(If->cond(), LoopId, Lower))
+        Found = true;
+  });
+  return Found;
+}
+
+/// Gives every cloned loop a fresh id (subscripts and index uses in its
+/// body are rewritten to the new id).
+void renameClonedLoops(StmtList &Stmts, Kernel &K) {
+  for (StmtPtr &SP : Stmts) {
+    if (auto *F = dyn_cast<ForStmt>(SP.get())) {
+      int NewId = K.allocateLoopId();
+      substituteLoopInStmts(F->body(), F->loopId(),
+                            AffineExpr::term(NewId, 1));
+      F->setLoopId(NewId);
+      F->setIndexName(F->indexName() + "p");
+      renameClonedLoops(F->body(), K);
+    } else if (auto *If = dyn_cast<IfStmt>(SP.get())) {
+      renameClonedLoops(If->thenBody(), K);
+      renameClonedLoops(If->elseBody(), K);
+    }
+  }
+}
+
+/// Rewrites guards of \p LoopId's first iteration to a constant false in
+/// \p Stmts (the loop's remaining range no longer visits Lower).
+void falsifyGuards(StmtList &Stmts, int LoopId, int64_t Lower) {
+  walkStmts(Stmts, [&](Stmt *S) {
+    if (auto *If = dyn_cast<IfStmt>(S))
+      if (isFirstIterationGuard(If->cond(), LoopId, Lower))
+        If->setCond(std::make_unique<IntLitExpr>(0));
+  });
+}
+
+/// One peeling pass over a statement list; returns true when something
+/// was peeled (caller repeats to a fixed point).
+bool peelOnce(StmtList &Stmts, Kernel &K, PeelingStats &Stats) {
+  for (size_t Idx = 0; Idx != Stmts.size(); ++Idx) {
+    Stmt *S = Stmts[Idx].get();
+    if (auto *If = dyn_cast<IfStmt>(S)) {
+      if (peelOnce(If->thenBody(), K, Stats) ||
+          peelOnce(If->elseBody(), K, Stats))
+        return true;
+      continue;
+    }
+    auto *F = dyn_cast<ForStmt>(S);
+    if (!F)
+      continue;
+    if (!containsGuardFor(F->body(), F->loopId(), F->lower())) {
+      if (peelOnce(F->body(), K, Stats))
+        return true;
+      continue;
+    }
+
+    // Build the peeled first iteration.
+    StmtList Peeled = cloneStmtList(F->body());
+    substituteLoopInStmts(Peeled, F->loopId(), AffineExpr(F->lower()));
+    renameClonedLoops(Peeled, K);
+    foldConstants(Peeled);
+
+    // Remaining iterations never see the first-iteration guard again.
+    falsifyGuards(F->body(), F->loopId(), F->lower());
+    foldConstants(F->body());
+    F->setBounds(F->lower() + F->step(), F->upper(), F->step());
+    ++Stats.LoopsPeeled;
+
+    // Splice: peeled body before the (possibly now empty) loop.
+    StmtList NewStmts;
+    for (size_t J = 0; J != Stmts.size(); ++J) {
+      if (J == Idx)
+        for (StmtPtr &P : Peeled)
+          NewStmts.push_back(std::move(P));
+      if (J == Idx && F->tripCount() <= 0)
+        continue; // Loop fully peeled away.
+      NewStmts.push_back(std::move(Stmts[J]));
+    }
+    Stmts = std::move(NewStmts);
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+PeelingStats defacto::peelGuardedIterations(Kernel &K) {
+  PeelingStats Stats;
+  // Fixed point; each round peels at most one loop. The bound is
+  // generous: peeling can cascade through cloned inner loops.
+  for (unsigned Round = 0; Round != 1000; ++Round)
+    if (!peelOnce(K.body(), K, Stats))
+      return Stats;
+  return Stats;
+}

@@ -1,0 +1,23 @@
+//===- Normalize.cpp ------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Transforms/Normalize.h"
+
+#include "defacto/IR/IRUtils.h"
+
+using namespace defacto;
+
+void defacto::normalizeLoops(Kernel &K) {
+  for (ForStmt *F : collectLoops(K.body())) {
+    if (F->lower() == 0 && F->step() == 1)
+      continue;
+    // Old index value = step * i' + lower.
+    AffineExpr Replacement =
+        AffineExpr::term(F->loopId(), F->step(), F->lower());
+    substituteLoopInStmts(F->body(), F->loopId(), Replacement);
+    F->setBounds(0, F->tripCount(), 1);
+  }
+}

@@ -1,0 +1,49 @@
+//===- Pipeline.cpp -------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Transforms/Pipeline.h"
+
+#include "defacto/IR/IRUtils.h"
+#include "defacto/IR/IRVerifier.h"
+#include "defacto/Support/ErrorHandling.h"
+#include "defacto/Transforms/ConstantFolding.h"
+#include "defacto/Transforms/Normalize.h"
+#include "defacto/Transforms/Tiling.h"
+
+using namespace defacto;
+
+TransformResult defacto::applyPipeline(const Kernel &Source,
+                                       const TransformOptions &Opts) {
+  TransformResult Result(Source.clone());
+  Kernel &K = Result.K;
+
+  normalizeLoops(K);
+
+  if (Opts.StripMine) {
+    ForStmt *Top = K.topLoop();
+    if (Top) {
+      std::vector<ForStmt *> Nest = perfectNest(Top);
+      unsigned Pos = Opts.StripMine->first;
+      if (Pos < Nest.size())
+        stripMine(K, Nest[Pos]->loopId(), Opts.StripMine->second);
+    }
+  }
+
+  Result.UnrollApplied = unrollAndJam(K, Opts.Unroll);
+  normalizeLoops(K);
+
+  if (Opts.EnableScalarReplacement)
+    Result.SR = scalarReplace(K, Opts.SR);
+  if (Opts.EnablePeeling)
+    Result.Peeling = peelGuardedIterations(K);
+  foldConstants(K.body());
+  if (Opts.EnableDataLayout)
+    Result.Layout = applyDataLayout(K, Opts.Layout);
+
+  if (!isKernelValid(K))
+    reportFatalError("transformation pipeline produced an invalid kernel");
+  return Result;
+}

@@ -1,0 +1,42 @@
+//===- Tiling.cpp ---------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Transforms/Tiling.h"
+
+#include "defacto/IR/IRUtils.h"
+
+using namespace defacto;
+
+bool defacto::stripMine(Kernel &K, int LoopId, int64_t TileSize) {
+  ForStmt *Target = nullptr;
+  for (ForStmt *F : collectLoops(K.body()))
+    if (F->loopId() == LoopId)
+      Target = F;
+  if (!Target)
+    return false;
+  if (Target->lower() != 0 || Target->step() != 1)
+    return false;
+  int64_t Trip = Target->tripCount();
+  if (TileSize <= 1 || TileSize >= Trip || Trip % TileSize != 0)
+    return false;
+
+  int InnerId = K.allocateLoopId();
+  auto Inner = std::make_unique<ForStmt>(
+      InnerId, Target->indexName() + "s", 0, TileSize, 1);
+  Inner->body() = std::move(Target->body());
+
+  // Original index value = TileSize * tile + strip. The tile loop keeps
+  // the original id, so the substitution rebuilds its coefficient scaled
+  // by the tile size.
+  AffineExpr Replacement = AffineExpr::term(Target->loopId(), TileSize)
+                               .add(AffineExpr::term(InnerId, 1));
+  substituteLoopInStmts(Inner->body(), Target->loopId(), Replacement);
+
+  Target->body().clear();
+  Target->body().push_back(std::move(Inner));
+  Target->setBounds(0, Trip / TileSize, 1);
+  return true;
+}

@@ -1,0 +1,98 @@
+//===- UnrollAndJam.cpp ---------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Transforms/UnrollAndJam.h"
+
+#include "defacto/IR/IRUtils.h"
+
+#include <cassert>
+
+using namespace defacto;
+
+int64_t defacto::unrollProduct(const UnrollVector &U) {
+  int64_t P = 1;
+  for (int64_t F : U)
+    P *= F;
+  return P;
+}
+
+std::string defacto::unrollVectorToString(const UnrollVector &U) {
+  std::string Out = "(";
+  for (size_t I = 0; I != U.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += std::to_string(U[I]);
+  }
+  return Out + ")";
+}
+
+bool defacto::canUnroll(const Kernel &K, const UnrollVector &U) {
+  ForStmt *Top = const_cast<Kernel &>(K).topLoop();
+  if (!Top)
+    return false;
+  std::vector<ForStmt *> Nest = perfectNest(Top);
+  if (U.size() > Nest.size())
+    return false;
+  for (size_t P = 0; P != U.size(); ++P) {
+    if (U[P] < 1)
+      return false;
+    if (Nest[P]->tripCount() % U[P] != 0)
+      return false;
+  }
+  return true;
+}
+
+bool defacto::unrollAndJam(Kernel &K, const UnrollVector &U) {
+  if (!canUnroll(K, U))
+    return false;
+  std::vector<ForStmt *> Nest = perfectNest(K.topLoop());
+
+  UnrollVector Factors = U;
+  Factors.resize(Nest.size(), 1);
+
+  bool AnyUnroll = false;
+  for (int64_t F : Factors)
+    AnyUnroll |= F > 1;
+  if (!AnyUnroll)
+    return true;
+
+  ForStmt *Innermost = Nest.back();
+  StmtList Original = std::move(Innermost->body());
+  Innermost->body().clear();
+
+  // Enumerate offset combinations in outer-major lexicographic order
+  // (Figure 1(b): unroll(0,0), unroll(0,1), unroll(1,0), unroll(1,1)).
+  std::vector<int64_t> Offsets(Nest.size(), 0);
+  while (true) {
+    StmtList Copy = cloneStmtList(Original);
+    for (size_t P = 0; P != Nest.size(); ++P) {
+      if (Offsets[P] == 0)
+        continue;
+      int64_t Shift = Offsets[P] * Nest[P]->step();
+      substituteLoopInStmts(
+          Copy, Nest[P]->loopId(),
+          AffineExpr::term(Nest[P]->loopId(), 1, Shift));
+    }
+    for (StmtPtr &S : Copy)
+      Innermost->body().push_back(std::move(S));
+
+    // Advance the odometer, innermost position fastest.
+    size_t P = Nest.size();
+    while (P > 0) {
+      --P;
+      if (++Offsets[P] < Factors[P])
+        break;
+      Offsets[P] = 0;
+      if (P == 0)
+        goto done;
+    }
+  }
+done:
+  for (size_t P = 0; P != Nest.size(); ++P)
+    Nest[P]->setBounds(Nest[P]->lower(), Nest[P]->upper(),
+                       Nest[P]->step() * Factors[P]);
+  return true;
+}

@@ -1,0 +1,608 @@
+//===- VhdlEmitter.cpp ----------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/VHDL/VhdlEmitter.h"
+
+#include "defacto/IR/IRPrinter.h"
+#include "defacto/IR/IRUtils.h"
+#include "defacto/Sim/Interpreter.h"
+#include "defacto/Support/ErrorHandling.h"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+using namespace defacto;
+
+namespace {
+
+std::string toLowerIdent(const std::string &Name) {
+  std::string Out;
+  for (char Ch : Name)
+    Out += std::isalnum(static_cast<unsigned char>(Ch))
+               ? static_cast<char>(
+                     std::tolower(static_cast<unsigned char>(Ch)))
+               : '_';
+  if (Out.empty() || std::isdigit(static_cast<unsigned char>(Out[0])))
+    Out = "k" + Out;
+  return Out;
+}
+
+class Emitter {
+public:
+  Emitter(const Kernel &K, const VhdlOptions &Opts) : K(K), Opts(Opts) {
+    NameOf = makeLoopNamer(K);
+  }
+
+  std::string run();
+  std::string runTestbench(const MemoryImage &Inputs,
+                           const MemoryImage &Expected);
+
+private:
+  /// Arrays the kernel touches, in declaration order, with their access
+  /// direction.
+  struct UsedArray {
+    const ArrayDecl *Array;
+    bool Written;
+  };
+  std::vector<UsedArray> usedArrays() const;
+  void emitHelpers();
+  void emitScalarAndIndexVariables();
+  /// Renders a VHDL positional aggregate of \p A's elements from \p Img
+  /// (alias-resolved through renamed banks); out-of-origin padding
+  /// elements render as 0.
+  std::string initAggregate(const ArrayDecl *A, const MemoryImage &Img);
+  void line(const std::string &Text) {
+    Out += std::string(Indent * 2, ' ') + Text + "\n";
+  }
+  void blank() { Out += "\n"; }
+
+  std::string exprText(const Expr *E);
+  std::string subscriptText(const ArrayAccessExpr *A);
+  void emitStmts(const StmtList &Stmts);
+
+  const Kernel &K;
+  const VhdlOptions &Opts;
+  std::function<std::string(int)> NameOf;
+  std::string Out;
+  std::string Body;
+  std::vector<std::string> RotateTemps;
+  unsigned Indent = 0;
+  unsigned NextTemp = 0;
+};
+
+std::string Emitter::subscriptText(const ArrayAccessExpr *A) {
+  // Row-major linearization of the (bank-local) subscripts.
+  std::string Idx;
+  const ArrayDecl *Arr = A->array();
+  for (unsigned D = 0; D != A->numSubscripts(); ++D) {
+    std::string Sub = "(" + A->subscript(D).toString(NameOf) + ")";
+    if (Idx.empty())
+      Idx = Sub;
+    else
+      Idx = "(" + Idx + ") * " + std::to_string(Arr->dim(D)) + " + " + Sub;
+  }
+  if (Idx.empty())
+    Idx = "0";
+  return Idx;
+}
+
+std::string Emitter::exprText(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit: {
+    int64_t V = cast<IntLitExpr>(E)->value();
+    return V < 0 ? "(" + std::to_string(V) + ")" : std::to_string(V);
+  }
+  case Expr::Kind::LoopIndex:
+    return NameOf(cast<LoopIndexExpr>(E)->loopId());
+  case Expr::Kind::ScalarRef:
+    return toLowerIdent(cast<ScalarRefExpr>(E)->decl()->name());
+  case Expr::Kind::ArrayAccess: {
+    const auto *A = cast<ArrayAccessExpr>(E);
+    return "mem_" + toLowerIdent(A->array()->name()) + "(" +
+           subscriptText(A) + ")";
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    std::string Inner = exprText(U->operand());
+    switch (U->op()) {
+    case UnaryOp::Neg:
+      return "(-(" + Inner + "))";
+    case UnaryOp::Abs:
+      return "abs(" + Inner + ")";
+    case UnaryOp::Not:
+      return "bool_to_int(" + Inner + " = 0)";
+    }
+    defacto_unreachable("unknown unary op");
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    std::string L = exprText(B->lhs());
+    std::string R = exprText(B->rhs());
+    switch (B->op()) {
+    case BinaryOp::Add:
+      return "(" + L + " + " + R + ")";
+    case BinaryOp::Sub:
+      return "(" + L + " - " + R + ")";
+    case BinaryOp::Mul:
+      return "(" + L + " * " + R + ")";
+    case BinaryOp::Div:
+      return "int_div(" + L + ", " + R + ")";
+    case BinaryOp::Mod:
+      return "int_mod(" + L + ", " + R + ")";
+    case BinaryOp::Min:
+      return "int_min(" + L + ", " + R + ")";
+    case BinaryOp::Max:
+      return "int_max(" + L + ", " + R + ")";
+    case BinaryOp::And:
+      return "bit_and(" + L + ", " + R + ")";
+    case BinaryOp::Or:
+      return "bit_or(" + L + ", " + R + ")";
+    case BinaryOp::Xor:
+      return "bit_xor(" + L + ", " + R + ")";
+    case BinaryOp::Shl:
+      return "shift_left_i(" + L + ", " + R + ")";
+    case BinaryOp::Shr:
+      return "shift_right_i(" + L + ", " + R + ")";
+    case BinaryOp::CmpEq:
+      return "bool_to_int(" + L + " = " + R + ")";
+    case BinaryOp::CmpNe:
+      return "bool_to_int(" + L + " /= " + R + ")";
+    case BinaryOp::CmpLt:
+      return "bool_to_int(" + L + " < " + R + ")";
+    case BinaryOp::CmpLe:
+      return "bool_to_int(" + L + " <= " + R + ")";
+    case BinaryOp::CmpGt:
+      return "bool_to_int(" + L + " > " + R + ")";
+    case BinaryOp::CmpGe:
+      return "bool_to_int(" + L + " >= " + R + ")";
+    }
+    defacto_unreachable("unknown binary op");
+  }
+  case Expr::Kind::Select: {
+    const auto *S = cast<SelectExpr>(E);
+    return "sel(" + exprText(S->cond()) + " /= 0, " +
+           exprText(S->trueValue()) + ", " + exprText(S->falseValue()) +
+           ")";
+  }
+  }
+  defacto_unreachable("unknown expression kind");
+}
+
+void Emitter::emitStmts(const StmtList &Stmts) {
+  for (const StmtPtr &SP : Stmts) {
+    const Stmt *S = SP.get();
+    switch (S->kind()) {
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      if (const auto *SR = dyn_cast<ScalarRefExpr>(A->dest())) {
+        line(toLowerIdent(SR->decl()->name()) + " := " +
+             exprText(A->value()) + ";");
+      } else {
+        const auto *AA = cast<ArrayAccessExpr>(A->dest());
+        line("mem_" + toLowerIdent(AA->array()->name()) + "(" +
+             subscriptText(AA) + ") := " + exprText(A->value()) + ";");
+      }
+      break;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      std::string I = NameOf(F->loopId());
+      if (F->step() == 1) {
+        line("for " + I + " in " + std::to_string(F->lower()) + " to " +
+             std::to_string(F->upper() - 1) + " loop");
+      } else {
+        // Behavioral VHDL has no stepped for; iterate the trip count and
+        // derive the index.
+        std::string T = I + "_t";
+        line("for " + T + " in 0 to " +
+             std::to_string(F->tripCount() - 1) + " loop");
+        ++Indent;
+        line(I + " := " + std::to_string(F->lower()) + " + " + T + " * " +
+             std::to_string(F->step()) + ";");
+        --Indent;
+      }
+      ++Indent;
+      emitStmts(F->body());
+      --Indent;
+      line("end loop;");
+      break;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      line("if " + exprText(I->cond()) + " /= 0 then");
+      ++Indent;
+      emitStmts(I->thenBody());
+      --Indent;
+      if (!I->elseBody().empty()) {
+        line("else");
+        ++Indent;
+        emitStmts(I->elseBody());
+        --Indent;
+      }
+      line("end if;");
+      break;
+    }
+    case Stmt::Kind::Rotate: {
+      const auto *R = cast<RotateStmt>(S);
+      const auto &Chain = R->chain();
+      if (Chain.size() < 2)
+        break;
+      if (Opts.EmitComments)
+        line("-- rotate register chain (parallel shift in hardware)");
+      std::string Tmp = "rot_tmp_" + std::to_string(NextTemp++);
+      RotateTemps.push_back(Tmp);
+      line(Tmp + " := " + toLowerIdent(Chain.front()->name()) + ";");
+      for (size_t J = 0; J + 1 < Chain.size(); ++J)
+        line(toLowerIdent(Chain[J]->name()) + " := " +
+             toLowerIdent(Chain[J + 1]->name()) + ";");
+      line(toLowerIdent(Chain.back()->name()) + " := " + Tmp + ";");
+      break;
+    }
+    }
+  }
+}
+
+std::string Emitter::run() {
+  std::string Entity = Opts.EntityName.empty()
+                           ? "defacto_" + toLowerIdent(K.name())
+                           : Opts.EntityName;
+
+  // Pre-scan rotates so their temporaries can be declared up front: VHDL
+  // process variables must be declared in the declarative region. Run a
+  // dry pass over the body into a scratch buffer.
+  {
+    unsigned BodyIndent = 4; // Depth of the emitted body inside the
+                             // process; match it in the dry run.
+    Indent = BodyIndent;
+    emitStmts(K.body());
+    Body = std::move(Out);
+    Out.clear();
+    Indent = 0;
+  }
+
+  line("-- Generated by DEFACTO-DSE (SUIF2VHDL-equivalent back end).");
+  line("-- Kernel: " + K.name());
+  line("library ieee;");
+  line("use ieee.std_logic_1164.all;");
+  blank();
+  line("entity " + Entity + " is");
+  ++Indent;
+  line("port (");
+  ++Indent;
+  line("clk   : in  std_logic;");
+  line("rst   : in  std_logic;");
+  line("start : in  std_logic;");
+  line("done  : out std_logic");
+  --Indent;
+  line(");");
+  --Indent;
+  line("end entity " + Entity + ";");
+  blank();
+  line("architecture behavioral of " + Entity + " is");
+  ++Indent;
+  if (Opts.EmitComments)
+    line("-- Board memories (external SRAM banks on the target board).");
+  for (const UsedArray &U : usedArrays()) {
+    const ArrayDecl *A = U.Array;
+    std::string MemName = "mem_" + toLowerIdent(A->name());
+    std::string Note;
+    if (A->physicalMemId() >= 0)
+      Note = "  -- physical memory " + std::to_string(A->physicalMemId());
+    line("type " + MemName + "_t is array (0 to " +
+         std::to_string(A->numElements() - 1) + ") of integer;");
+    line("shared variable " + MemName + " : " + MemName + "_t;" + Note);
+  }
+  blank();
+  emitHelpers();
+  --Indent;
+  line("begin");
+  ++Indent;
+  line("main : process(clk)");
+  ++Indent;
+  emitScalarAndIndexVariables();
+  --Indent;
+  line("begin");
+  ++Indent;
+  line("if rising_edge(clk) then");
+  ++Indent;
+  line("if rst = '1' then");
+  ++Indent;
+  line("done <= '0';");
+  --Indent;
+  line("elsif start = '1' then");
+  ++Indent;
+  Out += Body;
+  line("done <= '1';");
+  --Indent;
+  line("end if;");
+  --Indent;
+  line("end if;");
+  --Indent;
+  line("end process main;");
+  --Indent;
+  line("end architecture behavioral;");
+  return Out;
+}
+
+std::vector<Emitter::UsedArray> Emitter::usedArrays() const {
+  std::vector<UsedArray> Out;
+  for (const auto &A : K.arrays()) {
+    bool Accessed = false;
+    bool Written = false;
+    walkStmts(const_cast<Kernel &>(K).body(), [&](const Stmt *S) {
+      auto check = [&](const Expr *E) {
+        walkExpr(E, [&](const Expr *X) {
+          if (const auto *Acc = dyn_cast<ArrayAccessExpr>(X))
+            Accessed |= Acc->array() == A.get();
+        });
+      };
+      if (const auto *As = dyn_cast<AssignStmt>(S)) {
+        if (const auto *Dst = dyn_cast<ArrayAccessExpr>(As->dest()))
+          Written |= Dst->array() == A.get();
+        check(As->dest());
+        check(As->value());
+      } else if (const auto *If = dyn_cast<IfStmt>(S)) {
+        check(If->cond());
+      }
+    });
+    if (Accessed)
+      Out.push_back({A.get(), Written});
+  }
+  return Out;
+}
+
+void Emitter::emitHelpers() {
+  line("-- Helper operators.");
+  line("function bool_to_int(b : boolean) return integer is");
+  line("begin if b then return 1; else return 0; end if; end;");
+  line("function sel(b : boolean; x : integer; y : integer) "
+       "return integer is");
+  line("begin if b then return x; else return y; end if; end;");
+  line("function int_min(x : integer; y : integer) return integer is");
+  line("begin if x < y then return x; else return y; end if; end;");
+  line("function int_max(x : integer; y : integer) return integer is");
+  line("begin if x > y then return x; else return y; end if; end;");
+  line("function int_div(x : integer; y : integer) return integer is");
+  line("begin if y = 0 then return 0; else return x / y; end if; end;");
+  line("function int_mod(x : integer; y : integer) return integer is");
+  line("begin if y = 0 then return 0; else return x mod y; end if; end;");
+  for (const char *Op : {"and", "or", "xor"}) {
+    std::string Fn = std::string("bit_") + Op;
+    line("function " + Fn + "(x : integer; y : integer) "
+         "return integer is");
+    ++Indent;
+    line("variable a : integer := x;");
+    line("variable b : integer := y;");
+    line("variable r : integer := 0;");
+    line("variable p : integer := 1;");
+    --Indent;
+    line("begin");
+    ++Indent;
+    line("for i in 0 to 30 loop");
+    ++Indent;
+    std::string Cond =
+        std::string(Op) == "and"
+            ? "(a mod 2 = 1) and (b mod 2 = 1)"
+            : (std::string(Op) == "or"
+                   ? "(a mod 2 = 1) or (b mod 2 = 1)"
+                   : "(a mod 2) /= (b mod 2)");
+    line("if " + Cond + " then");
+    ++Indent;
+    line("r := r + p;");
+    --Indent;
+    line("end if;");
+    line("a := a / 2;");
+    line("b := b / 2;");
+    line("p := p * 2;");
+    --Indent;
+    line("end loop;");
+    line("return r;");
+    --Indent;
+    line("end;");
+  }
+  line("function shift_left_i(x : integer; y : integer) "
+       "return integer is");
+  line("begin return x * (2 ** y); end;");
+  line("function shift_right_i(x : integer; y : integer) "
+       "return integer is");
+  line("begin return x / (2 ** y); end;");
+}
+
+void Emitter::emitScalarAndIndexVariables() {
+  if (Opts.EmitComments)
+    line("-- Scalars become datapath registers.");
+  for (const auto &Sc : K.scalars())
+    line("variable " + toLowerIdent(Sc->name()) + " : integer := 0;");
+  for (const ForStmt *F : collectLoops(const_cast<Kernel &>(K).body())) {
+    line("variable " + NameOf(F->loopId()) + " : integer := 0;");
+    if (F->step() != 1)
+      line("variable " + NameOf(F->loopId()) + "_t : integer := 0;");
+  }
+  for (const std::string &Tmp : RotateTemps)
+    line("variable " + Tmp + " : integer := 0;");
+}
+
+std::string Emitter::initAggregate(const ArrayDecl *A,
+                                   const MemoryImage &Img) {
+  const ArrayDecl *Origin = A->renamedFrom() ? A->renamedFrom() : A;
+  std::string Out = "(";
+  std::string Line;
+  int64_t N = A->numElements();
+  for (int64_t Flat = 0; Flat != N; ++Flat) {
+    // Unflatten to per-dim indices of A.
+    std::vector<int64_t> Idx(A->numDims());
+    int64_t Rem = Flat;
+    for (int D = static_cast<int>(A->numDims()) - 1; D >= 0; --D) {
+      Idx[D] = Rem % A->dim(D);
+      Rem /= A->dim(D);
+    }
+    // Padding elements of renamed banks map outside the origin: zero.
+    int64_t V = 0;
+    bool InRange = true;
+    if (A->renamedFrom()) {
+      int64_t OriginIdx =
+          Idx[A->bankDim()] * A->bankStride() + A->bankOffset();
+      InRange = OriginIdx < Origin->dim(A->bankDim());
+    }
+    if (InRange)
+      V = Img.load(A, Idx);
+    if (!Line.empty())
+      Line += ", ";
+    Line += std::to_string(V);
+    if (Line.size() > 60) {
+      Out += Line + (Flat + 1 != N ? ",\n      " : "");
+      Line.clear();
+    } else if (Flat + 1 != N) {
+      // Separator added on the next append.
+    }
+  }
+  Out += Line + ")";
+  return Out;
+}
+
+std::string Emitter::runTestbench(const MemoryImage &Inputs,
+                                  const MemoryImage &Expected) {
+  std::string Entity = Opts.EntityName.empty()
+                           ? "defacto_" + toLowerIdent(K.name()) + "_tb"
+                           : Opts.EntityName;
+
+  // Dry-run the body for rotate temporaries.
+  {
+    Indent = 2;
+    emitStmts(K.body());
+    Body = std::move(Out);
+    Out.clear();
+    Indent = 0;
+  }
+
+  line("-- Generated by DEFACTO-DSE: self-checking simulation model.");
+  line("-- Kernel: " + K.name());
+  line("-- Memories are pre-loaded with the host-side test image; after");
+  line("-- the computation every written element is asserted against");
+  line("-- golden values produced by the functional simulator.");
+  line("entity " + Entity + " is");
+  line("end entity " + Entity + ";");
+  blank();
+  line("architecture sim of " + Entity + " is");
+  ++Indent;
+  emitHelpers();
+  --Indent;
+  line("begin");
+  ++Indent;
+  line("check : process");
+  ++Indent;
+  emitScalarAndIndexVariables();
+  for (const UsedArray &U : usedArrays()) {
+    const ArrayDecl *A = U.Array;
+    std::string MemName = "mem_" + toLowerIdent(A->name());
+    line("type " + MemName + "_t is array (0 to " +
+         std::to_string(A->numElements() - 1) + ") of integer;");
+    line("variable " + MemName + " : " + MemName + "_t := " +
+         initAggregate(A, Inputs) + ";");
+    if (U.Written)
+      line("variable exp_" + toLowerIdent(A->name()) + " : " + MemName +
+           "_t := " + initAggregate(A, Expected) + ";");
+  }
+  --Indent;
+  line("begin");
+  ++Indent;
+  Out += Body;
+  blank();
+  if (Opts.EmitComments)
+    line("-- Golden checks.");
+  for (const UsedArray &U : usedArrays()) {
+    if (!U.Written)
+      continue;
+    std::string MemName = "mem_" + toLowerIdent(U.Array->name());
+    std::string ExpName = "exp_" + toLowerIdent(U.Array->name());
+    std::string Loop = "chk_" + toLowerIdent(U.Array->name());
+    line("for " + Loop + " in 0 to " +
+         std::to_string(U.Array->numElements() - 1) + " loop");
+    ++Indent;
+    line("assert " + MemName + "(" + Loop + ") = " + ExpName + "(" +
+         Loop + ")");
+    ++Indent;
+    line("report \"mismatch in " + U.Array->name() + "\" severity "
+         "failure;");
+    --Indent;
+    --Indent;
+    line("end loop;");
+  }
+  line("report \"TESTBENCH PASSED\" severity note;");
+  line("wait;");
+  --Indent;
+  line("end process check;");
+  --Indent;
+  line("end architecture sim;");
+  return Out;
+}
+
+} // namespace
+
+std::string defacto::emitVhdl(const Kernel &K, const VhdlOptions &Opts) {
+  return Emitter(K, Opts).run();
+}
+
+std::string defacto::checkVhdlStructure(const std::string &Vhdl) {
+  int Entity = 0, Architecture = 0, Process = 0, Loop = 0, If = 0;
+  size_t Pos = 0;
+  auto startsAt = [&](size_t At, const char *Word) {
+    return Vhdl.compare(At, std::string(Word).size(), Word) == 0;
+  };
+  while (Pos < Vhdl.size()) {
+    size_t LineEnd = Vhdl.find('\n', Pos);
+    if (LineEnd == std::string::npos)
+      LineEnd = Vhdl.size();
+    size_t First = Vhdl.find_first_not_of(" \t", Pos);
+    if (First != std::string::npos && First < LineEnd &&
+        !startsAt(First, "--")) {
+      if (startsAt(First, "entity ") && Vhdl.find(" is", First) < LineEnd)
+        ++Entity;
+      else if (startsAt(First, "end entity"))
+        --Entity;
+      else if (startsAt(First, "architecture "))
+        ++Architecture;
+      else if (startsAt(First, "end architecture"))
+        --Architecture;
+      else if (Vhdl.find(": process", First) < LineEnd ||
+               Vhdl.find(" : process", First) < LineEnd)
+        ++Process;
+      else if (startsAt(First, "end process"))
+        --Process;
+      else if (startsAt(First, "for ") && Vhdl.find(" loop", First) < LineEnd)
+        ++Loop;
+      else if (startsAt(First, "end loop"))
+        --Loop;
+      else if (startsAt(First, "if ") && Vhdl.find(" then", First) < LineEnd)
+        ++If;
+      else if (startsAt(First, "end if"))
+        --If;
+      if (Entity < 0 || Architecture < 0 || Process < 0 || Loop < 0 ||
+          If < 0)
+        return "unbalanced construct near offset " + std::to_string(First);
+    }
+    Pos = LineEnd + 1;
+  }
+  if (Entity != 0)
+    return "unbalanced entity/end entity";
+  if (Architecture != 0)
+    return "unbalanced architecture/end architecture";
+  if (Process != 0)
+    return "unbalanced process/end process";
+  if (Loop != 0)
+    return "unbalanced for/end loop";
+  if (If != 0)
+    return "unbalanced if/end if";
+  return "";
+}
+
+std::string defacto::emitVhdlTestbench(const Kernel &K,
+                                       const MemoryImage &Inputs,
+                                       const MemoryImage &Expected,
+                                       const VhdlOptions &Opts) {
+  return Emitter(K, Opts).runTestbench(Inputs, Expected);
+}

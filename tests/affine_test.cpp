@@ -1,0 +1,135 @@
+//===- affine_test.cpp - Unit tests for AffineExpr ------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/IR/AffineExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+TEST(AffineExpr, ConstantBasics) {
+  AffineExpr Zero;
+  EXPECT_TRUE(Zero.isConstant());
+  EXPECT_EQ(Zero.constant(), 0);
+  EXPECT_EQ(Zero.numTerms(), 0u);
+
+  AffineExpr Five(5);
+  EXPECT_TRUE(Five.isConstant());
+  EXPECT_EQ(Five.constant(), 5);
+}
+
+TEST(AffineExpr, TermConstruction) {
+  AffineExpr E = AffineExpr::term(3, 2, 7); // 2*L3 + 7
+  EXPECT_FALSE(E.isConstant());
+  EXPECT_EQ(E.coeff(3), 2);
+  EXPECT_EQ(E.coeff(0), 0);
+  EXPECT_EQ(E.constant(), 7);
+  EXPECT_TRUE(E.usesLoop(3));
+  EXPECT_FALSE(E.usesLoop(2));
+  EXPECT_EQ(E.loopIds(), (std::vector<int>{3}));
+}
+
+TEST(AffineExpr, ZeroCoefficientIsDropped) {
+  AffineExpr E = AffineExpr::term(1, 0, 3);
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_EQ(E.numTerms(), 0u);
+}
+
+TEST(AffineExpr, AddSub) {
+  AffineExpr A = AffineExpr::term(0, 1, 2);  // i + 2
+  AffineExpr B = AffineExpr::term(1, 3, -1); // 3j - 1
+  AffineExpr Sum = A.add(B);
+  EXPECT_EQ(Sum.coeff(0), 1);
+  EXPECT_EQ(Sum.coeff(1), 3);
+  EXPECT_EQ(Sum.constant(), 1);
+
+  AffineExpr Diff = Sum.sub(B);
+  EXPECT_EQ(Diff, A);
+
+  // Cancellation removes the term entirely.
+  AffineExpr Zeroed = A.sub(AffineExpr::term(0, 1));
+  EXPECT_TRUE(Zeroed.isConstant());
+  EXPECT_EQ(Zeroed.constant(), 2);
+}
+
+TEST(AffineExpr, Scale) {
+  AffineExpr A = AffineExpr::term(0, 2, 3);
+  AffineExpr S = A.scale(-2);
+  EXPECT_EQ(S.coeff(0), -4);
+  EXPECT_EQ(S.constant(), -6);
+  EXPECT_TRUE(A.scale(0).isConstant());
+  EXPECT_EQ(A.scale(0).constant(), 0);
+}
+
+TEST(AffineExpr, SubstituteSimple) {
+  // i + 1 with i := i + 4  =>  i + 5 (unrolling shift).
+  AffineExpr E = AffineExpr::term(0, 1, 1);
+  AffineExpr R = E.substitute(0, AffineExpr::term(0, 1, 4));
+  EXPECT_EQ(R.coeff(0), 1);
+  EXPECT_EQ(R.constant(), 5);
+}
+
+TEST(AffineExpr, SubstituteScaled) {
+  // 2i with i := 3i' + 1  =>  6i' + 2 (normalization).
+  AffineExpr E = AffineExpr::term(0, 2);
+  AffineExpr R = E.substitute(0, AffineExpr::term(0, 3, 1));
+  EXPECT_EQ(R.coeff(0), 6);
+  EXPECT_EQ(R.constant(), 2);
+}
+
+TEST(AffineExpr, SubstituteIntroducesLoop) {
+  // i with i := T*t + s (strip-mining).
+  AffineExpr E = AffineExpr::term(0, 1, 5);
+  AffineExpr R = E.substitute(
+      0, AffineExpr::term(0, 4).add(AffineExpr::term(9, 1)));
+  EXPECT_EQ(R.coeff(0), 4);
+  EXPECT_EQ(R.coeff(9), 1);
+  EXPECT_EQ(R.constant(), 5);
+}
+
+TEST(AffineExpr, SubstituteAbsentLoopIsNoop) {
+  AffineExpr E = AffineExpr::term(0, 1, 1);
+  EXPECT_EQ(E.substitute(7, AffineExpr(100)), E);
+}
+
+TEST(AffineExpr, Evaluate) {
+  // 2i + 3j - 4 at i=5, j=1 -> 9.
+  AffineExpr E =
+      AffineExpr::term(0, 2).add(AffineExpr::term(1, 3)).addConstant(-4);
+  int64_t V = E.evaluate([](int Id) { return Id == 0 ? 5 : 1; });
+  EXPECT_EQ(V, 9);
+}
+
+TEST(AffineExpr, Equality) {
+  AffineExpr A = AffineExpr::term(0, 1, 2);
+  AffineExpr B = AffineExpr::term(0, 1, 2);
+  AffineExpr C = AffineExpr::term(0, 1, 3);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_NE(A, AffineExpr(2));
+}
+
+TEST(AffineExpr, ToString) {
+  EXPECT_EQ(AffineExpr(7).toString(), "7");
+  EXPECT_EQ(AffineExpr(-3).toString(), "-3");
+  EXPECT_EQ(AffineExpr::term(2, 1).toString(), "L2");
+  EXPECT_EQ(AffineExpr::term(2, -1).toString(), "-L2");
+  EXPECT_EQ(AffineExpr::term(2, 3, -5).toString(), "3*L2 - 5");
+  AffineExpr Mixed =
+      AffineExpr::term(0, 1).add(AffineExpr::term(1, -2)).addConstant(4);
+  EXPECT_EQ(Mixed.toString(), "L0 - 2*L1 + 4");
+  EXPECT_EQ(Mixed.toString([](int Id) {
+    return Id == 0 ? std::string("i") : std::string("j");
+  }),
+            "i - 2*j + 4");
+}
+
+TEST(AffineExpr, TermsStaySorted) {
+  AffineExpr E = AffineExpr::term(5, 1)
+                     .add(AffineExpr::term(1, 2))
+                     .add(AffineExpr::term(3, 4));
+  EXPECT_EQ(E.loopIds(), (std::vector<int>{1, 3, 5}));
+}

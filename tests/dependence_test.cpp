@@ -1,0 +1,225 @@
+//===- dependence_test.cpp - Dependence analysis tests --------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Analysis/DependenceAnalysis.h"
+#include "defacto/Analysis/UniformlyGenerated.h"
+#include "defacto/Frontend/Parser.h"
+#include "defacto/Kernels/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+namespace {
+
+Kernel parseOrDie(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto K = parseKernel(Src, "t", Diags);
+  EXPECT_TRUE(K.has_value()) << Diags.toString();
+  return std::move(*K);
+}
+
+} // namespace
+
+TEST(UniformlyGenerated, PairPredicate) {
+  Kernel K = parseOrDie("int A[64];\n"
+                        "for (i = 0; i < 8; i++)\n"
+                        "  for (j = 0; j < 8; j++)\n"
+                        "    A[i + j + 1] = A[i + j] + A[2*i + j];\n");
+  std::vector<AccessInfo> Accs = collectArrayAccesses(K);
+  ASSERT_EQ(Accs.size(), 3u);
+  // A[i+j+1] vs A[i+j]: same linear part.
+  EXPECT_TRUE(areUniformlyGenerated(Accs[0].Access, Accs[1].Access));
+  // A[i+j+1] vs A[2i+j]: different linear part.
+  EXPECT_FALSE(areUniformlyGenerated(Accs[0].Access, Accs[2].Access));
+}
+
+TEST(UniformlyGenerated, PartitionCounts) {
+  Kernel FIR = buildKernel("FIR");
+  UGPartition Part = computeUniformlyGenerated(FIR);
+  // Reads: D[j], S[i+j], C[i] -> 3 sets; writes: D[j] -> 1 set.
+  EXPECT_EQ(Part.numReadSets(), 3u);
+  EXPECT_EQ(Part.numWriteSets(), 1u);
+  EXPECT_TRUE(Part.isArrayUniform(FIR.findArray("D")));
+  EXPECT_TRUE(Part.isArrayUniform(FIR.findArray("S")));
+}
+
+TEST(Dependence, FirFlowOnDCarriedByInner) {
+  Kernel FIR = buildKernel("FIR");
+  DependenceInfo DI = DependenceInfo::compute(FIR);
+  ASSERT_EQ(DI.nest().size(), 2u);
+
+  // D[j] = D[j] + ...: flow dependence with distance (0, *) - exact zero
+  // in j, star in i (any i reuses the same D element).
+  bool Found = false;
+  for (const Dependence &D : DI.dependences()) {
+    if (D.Kind != DepKind::Flow || D.Src->array()->name() != "D")
+      continue;
+    Found = true;
+    ASSERT_TRUE(D.Consistent);
+    ASSERT_EQ(D.Distance.size(), 2u);
+    EXPECT_TRUE(D.Distance[0].isExactZero());
+    EXPECT_TRUE(D.Distance[1].isStar());
+    EXPECT_EQ(D.carrierPosition(), 1);
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Dependence, FirOuterLoopIsParallel) {
+  Kernel FIR = buildKernel("FIR");
+  DependenceInfo DI = DependenceInfo::compute(FIR);
+  EXPECT_TRUE(DI.carriesNoDependence(0));  // j loop: parallel.
+  EXPECT_FALSE(DI.carriesNoDependence(1)); // i loop: carries D's flow dep.
+}
+
+TEST(Dependence, FirInputReuseOnC) {
+  Kernel FIR = buildKernel("FIR");
+  DependenceInfo DI = DependenceInfo::compute(FIR);
+  // C[i] is reused across j: an input dependence carried by j (star).
+  bool Found = false;
+  for (const Dependence &D : DI.dependences()) {
+    if (D.Kind != DepKind::Input || D.Src->array()->name() != "C")
+      continue;
+    if (!D.Consistent)
+      continue;
+    Found = true;
+    EXPECT_TRUE(D.Distance[0].isStar());
+    EXPECT_TRUE(D.Distance[1].isExactZero());
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Dependence, FirSHasNoConsistentDistance) {
+  // S[i+j]'s reuse is underdetermined (the paper's example): any
+  // dependence among different S references must be inconsistent.
+  Kernel FIR = buildKernel("FIR");
+  DependenceInfo DI = DependenceInfo::compute(FIR);
+  for (const Dependence &D : DI.dependences()) {
+    if (D.Src->array()->name() != "S")
+      continue;
+    EXPECT_FALSE(D.Consistent);
+  }
+}
+
+TEST(Dependence, MmOuterLoopsParallel) {
+  Kernel MM = buildKernel("MM");
+  DependenceInfo DI = DependenceInfo::compute(MM);
+  ASSERT_EQ(DI.nest().size(), 3u);
+  EXPECT_TRUE(DI.carriesNoDependence(0));  // i
+  EXPECT_TRUE(DI.carriesNoDependence(1));  // j
+  EXPECT_FALSE(DI.carriesNoDependence(2)); // k carries Z's recurrence.
+}
+
+TEST(Dependence, JacobiFullyParallel) {
+  Kernel JAC = buildKernel("JAC");
+  DependenceInfo DI = DependenceInfo::compute(JAC);
+  EXPECT_TRUE(DI.carriesNoDependence(0));
+  EXPECT_TRUE(DI.carriesNoDependence(1));
+  // But there is consistent input reuse on A with distance 2 in j:
+  // A[i][j+1] read again two iterations later as A[i][j-1].
+  bool Found = false;
+  for (const Dependence &D : DI.dependences()) {
+    if (D.Kind != DepKind::Input || !D.Consistent)
+      continue;
+    if (D.carrierPosition() == 1 && D.Distance[1].isExact() &&
+        D.Distance[1].Value == 2)
+      Found = true;
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Dependence, ExactDistanceComputation) {
+  Kernel K = parseOrDie("int A[32];\n"
+                        "for (i = 0; i < 16; i++)\n"
+                        "  A[i + 3] = A[i] + 1;\n");
+  DependenceInfo DI = DependenceInfo::compute(K);
+  bool Found = false;
+  for (const Dependence &D : DI.dependences()) {
+    if (D.Kind != DepKind::Flow)
+      continue;
+    Found = true;
+    ASSERT_TRUE(D.Consistent);
+    EXPECT_EQ(D.Distance[0].Value, 3);
+    EXPECT_EQ(D.carrierPosition(), 0);
+  }
+  EXPECT_TRUE(Found);
+  EXPECT_EQ(DI.minCarriedDistance(0), std::optional<int64_t>(3));
+}
+
+TEST(Dependence, NoDependenceWhenStridesMiss) {
+  // A[2i] and A[2i+1] touch disjoint elements: the GCD test proves
+  // independence.
+  Kernel K = parseOrDie("int A[32];\n"
+                        "for (i = 0; i < 16; i++)\n"
+                        "  A[2*i] = A[2*i + 1] + 1;\n");
+  DependenceInfo DI = DependenceInfo::compute(K);
+  for (const Dependence &D : DI.dependences())
+    EXPECT_EQ(D.Kind, DepKind::Input) << "unexpected cross dependence";
+  EXPECT_TRUE(DI.carriesNoDependence(0));
+}
+
+TEST(Dependence, NoDependenceWhenDistanceExceedsBounds) {
+  // Distance 40 exceeds the 16-iteration range: no dependence.
+  Kernel K = parseOrDie("int A[64];\n"
+                        "for (i = 0; i < 16; i++)\n"
+                        "  A[i + 40] = A[i] + 1;\n");
+  DependenceInfo DI = DependenceInfo::compute(K);
+  EXPECT_TRUE(DI.carriesNoDependence(0));
+}
+
+TEST(Dependence, AntiDependenceDetected) {
+  Kernel K = parseOrDie("int A[32];\n"
+                        "for (i = 0; i < 16; i++)\n"
+                        "  A[i] = A[i + 2] + 1;\n");
+  DependenceInfo DI = DependenceInfo::compute(K);
+  bool FoundAnti = false;
+  for (const Dependence &D : DI.dependences())
+    if (D.Kind == DepKind::Anti && D.Consistent &&
+        D.Distance[0].Value == 2)
+      FoundAnti = true;
+  EXPECT_TRUE(FoundAnti);
+}
+
+TEST(Dependence, OutputSelfDependence) {
+  Kernel K = parseOrDie("int A[8]; int s;\n"
+                        "for (i = 0; i < 8; i++)\n"
+                        "  for (j = 0; j < 8; j++)\n"
+                        "    A[i] = j;\n");
+  DependenceInfo DI = DependenceInfo::compute(K);
+  bool Found = false;
+  for (const Dependence &D : DI.dependences())
+    if (D.Kind == DepKind::Output && D.Consistent &&
+        D.carrierPosition() == 1)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(Dependence, TwoDimensionalExact) {
+  Kernel K = parseOrDie("int A[16][16];\n"
+                        "for (i = 1; i < 15; i++)\n"
+                        "  for (j = 1; j < 15; j++)\n"
+                        "    A[i][j] = A[i - 1][j] + 1;\n");
+  DependenceInfo DI = DependenceInfo::compute(K);
+  bool Found = false;
+  for (const Dependence &D : DI.dependences()) {
+    if (D.Kind != DepKind::Flow || !D.Consistent)
+      continue;
+    Found = true;
+    EXPECT_EQ(D.Distance[0].Value, 1);
+    EXPECT_TRUE(D.Distance[1].isExactZero());
+    EXPECT_EQ(D.carrierPosition(), 0);
+  }
+  EXPECT_TRUE(Found);
+  EXPECT_FALSE(DI.carriesNoDependence(0));
+  EXPECT_TRUE(DI.carriesNoDependence(1));
+}
+
+TEST(Dependence, KindNames) {
+  EXPECT_STREQ(depKindName(DepKind::Flow), "flow");
+  EXPECT_STREQ(depKindName(DepKind::Anti), "anti");
+  EXPECT_STREQ(depKindName(DepKind::Output), "output");
+  EXPECT_STREQ(depKindName(DepKind::Input), "input");
+}

@@ -1,0 +1,96 @@
+//===- designspace_test.cpp - Unroll space lattice tests ------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/DesignSpace.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+TEST(UnrollSpace, FullSizeIsProductOfTrips) {
+  UnrollSpace S({64, 32});
+  EXPECT_EQ(S.fullSize(), 2048u); // The paper's FIR space.
+  EXPECT_EQ(S.numLoops(), 2u);
+  EXPECT_EQ(S.trip(0), 64);
+}
+
+TEST(UnrollSpace, BaseAndMax) {
+  UnrollSpace S({8, 4});
+  EXPECT_EQ(S.base(), (UnrollVector{1, 1}));
+  EXPECT_EQ(S.max(), (UnrollVector{8, 4}));
+}
+
+TEST(UnrollSpace, CandidatesAreDivisorVectors) {
+  UnrollSpace S({4, 6});
+  std::vector<UnrollVector> All = S.allCandidates();
+  // Divisors of 4: {1,2,4}; of 6: {1,2,3,6} -> 12 candidates.
+  EXPECT_EQ(All.size(), 12u);
+  for (const UnrollVector &U : All)
+    EXPECT_TRUE(S.isCandidate(U));
+  EXPECT_FALSE(S.isCandidate({3, 1}));
+  EXPECT_FALSE(S.isCandidate({1, 4}));
+  EXPECT_FALSE(S.isCandidate({1}));
+}
+
+TEST(UnrollSpace, Between) {
+  EXPECT_TRUE(UnrollSpace::between({2, 2}, {1, 1}, {4, 4}));
+  EXPECT_TRUE(UnrollSpace::between({1, 4}, {1, 1}, {1, 4}));
+  EXPECT_FALSE(UnrollSpace::between({2, 8}, {1, 1}, {4, 4}));
+}
+
+TEST(UnrollSpace, CandidatesWithProduct) {
+  UnrollSpace S({8, 8});
+  std::vector<UnrollVector> C =
+      S.candidatesWithProduct({1, 1}, {8, 8}, 8);
+  // (1,8), (2,4), (4,2), (8,1).
+  EXPECT_EQ(C.size(), 4u);
+  for (const UnrollVector &U : C)
+    EXPECT_EQ(unrollProduct(U), 8);
+  EXPECT_TRUE(S.candidatesWithProduct({1, 1}, {8, 8}, 7).empty());
+  // Bounds restrict the set: (2,4), (4,2), (8,1).
+  EXPECT_EQ(S.candidatesWithProduct({2, 1}, {8, 4}, 8).size(), 3u);
+  // Tighter bounds cut further.
+  EXPECT_EQ(S.candidatesWithProduct({2, 2}, {4, 4}, 8).size(), 2u);
+}
+
+TEST(UnrollSpace, IncreaseDoublesBalancedly) {
+  UnrollSpace S({64, 32});
+  // Doubling prefers the position with the smaller current factor.
+  EXPECT_EQ(S.increase({4, 1}, {0, 1}), (UnrollVector{4, 2}));
+  EXPECT_EQ(S.increase({4, 4}, {0, 1}), (UnrollVector{8, 4}));
+  EXPECT_EQ(S.increase({2, 4}, {0, 1}), (UnrollVector{4, 4}));
+}
+
+TEST(UnrollSpace, IncreaseRespectsTripBounds) {
+  UnrollSpace S({4, 2});
+  EXPECT_EQ(S.increase({4, 2}, {0, 1}), (UnrollVector{4, 2})); // Maxed.
+  EXPECT_EQ(S.increase({4, 1}, {0, 1}), (UnrollVector{4, 2}));
+  EXPECT_EQ(S.increase({2, 2}, {0, 1}), (UnrollVector{4, 2}));
+}
+
+TEST(UnrollSpace, IncreasePreferenceOrder) {
+  UnrollSpace S({16, 16});
+  // Equal factors: the preferred position doubles.
+  EXPECT_EQ(S.increase({2, 2}, {1, 0}), (UnrollVector{2, 4}));
+  EXPECT_EQ(S.increase({2, 2}, {0, 1}), (UnrollVector{4, 2}));
+}
+
+TEST(UnrollSpace, SelectBetweenBisectsOnQuantum) {
+  UnrollSpace S({64, 32});
+  // Between products 4 and 32 with quantum 4: midpoint 18 -> nearest
+  // multiple-of-4 product with a candidate: 16.
+  UnrollVector Mid = S.selectBetween({4, 1}, {8, 4}, 4);
+  EXPECT_EQ(unrollProduct(Mid), 16);
+  EXPECT_TRUE(UnrollSpace::between(Mid, {4, 1}, {8, 4}));
+}
+
+TEST(UnrollSpace, SelectBetweenReturnsSmallWhenNoRoom) {
+  UnrollSpace S({64, 32});
+  // Products 4 and 8 with quantum 4: nothing strictly between.
+  EXPECT_EQ(S.selectBetween({4, 1}, {8, 1}, 4), (UnrollVector{4, 1}));
+  // Degenerate order.
+  EXPECT_EQ(S.selectBetween({8, 1}, {4, 1}, 4), (UnrollVector{8, 1}));
+}

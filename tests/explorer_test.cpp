@@ -1,0 +1,228 @@
+//===- explorer_test.cpp - Design space exploration tests -----------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/Explorer.h"
+#include "defacto/Frontend/Parser.h"
+#include "defacto/Kernels/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+namespace {
+
+ExplorerOptions pipelined() {
+  ExplorerOptions Opts;
+  Opts.Platform = TargetPlatform::wildstarPipelined();
+  return Opts;
+}
+
+ExplorerOptions nonPipelined() {
+  ExplorerOptions Opts;
+  Opts.Platform = TargetPlatform::wildstarNonPipelined();
+  return Opts;
+}
+
+} // namespace
+
+TEST(Explorer, InitialVectorIsAtSaturation) {
+  Kernel FIR = buildKernel("FIR");
+  DesignSpaceExplorer Ex(FIR, pipelined());
+  UnrollVector Uinit = Ex.initialVector();
+  EXPECT_EQ(unrollProduct(Uinit), Ex.saturation().Psat);
+  EXPECT_TRUE(Ex.space().isCandidate(Uinit));
+}
+
+TEST(Explorer, EvaluationIsCachedAndValidated) {
+  Kernel FIR = buildKernel("FIR");
+  DesignSpaceExplorer Ex(FIR, pipelined());
+  auto A = Ex.evaluate({2, 2});
+  ASSERT_TRUE(A.has_value());
+  auto B = Ex.evaluate({2, 2});
+  ASSERT_TRUE(B.has_value());
+  EXPECT_EQ(A->Cycles, B->Cycles);
+  EXPECT_FALSE(Ex.evaluate({3, 2}).has_value()); // Not a candidate.
+}
+
+TEST(Explorer, SelectedDesignFitsAndBeatsBaseline) {
+  for (const KernelSpec &Spec : paperKernels()) {
+    Kernel K = buildKernel(Spec.Name);
+    for (const ExplorerOptions &Opts : {pipelined(), nonPipelined()}) {
+      DesignSpaceExplorer Ex(K, Opts);
+      ExplorationResult R = Ex.run();
+      EXPECT_LE(R.SelectedEstimate.Slices, Opts.Platform.CapacitySlices)
+          << Spec.Name;
+      EXPECT_LE(R.SelectedEstimate.Cycles, R.BaselineEstimate.Cycles)
+          << Spec.Name;
+      EXPECT_GE(R.speedup(), 1.0) << Spec.Name;
+      EXPECT_FALSE(R.Visited.empty()) << Spec.Name;
+      EXPECT_FALSE(R.Trace.empty()) << Spec.Name;
+    }
+  }
+}
+
+TEST(Explorer, SearchesTinyFractionOfSpace) {
+  // The paper's headline: ~0.3% of the design space on average.
+  double Total = 0;
+  unsigned N = 0;
+  for (const KernelSpec &Spec : paperKernels()) {
+    Kernel K = buildKernel(Spec.Name);
+    for (const ExplorerOptions &Opts : {pipelined(), nonPipelined()}) {
+      ExplorationResult R = DesignSpaceExplorer(K, Opts).run();
+      EXPECT_LT(R.fractionSearched(), 0.02) << Spec.Name;
+      Total += R.fractionSearched();
+      ++N;
+    }
+  }
+  EXPECT_LT(Total / N, 0.01); // Average under 1%.
+}
+
+TEST(Explorer, NonPipelinedFirStopsMemoryBoundAtSaturation) {
+  // The paper: non-pipelined FIR designs are always memory bound, so
+  // the search stops at the saturation point.
+  Kernel FIR = buildKernel("FIR");
+  ExplorationResult R = DesignSpaceExplorer(FIR, nonPipelined()).run();
+  EXPECT_EQ(R.Visited.size(), 1u);
+  EXPECT_EQ(unrollProduct(R.Selected), R.Sat.Psat);
+  EXPECT_LT(R.SelectedEstimate.Balance, 1.0);
+  EXPECT_NE(R.Trace.find("memory bound at Uinit"), std::string::npos);
+}
+
+TEST(Explorer, PipelinedFirGrowsWhileComputeBound) {
+  Kernel FIR = buildKernel("FIR");
+  ExplorationResult R = DesignSpaceExplorer(FIR, pipelined()).run();
+  // The search moves beyond the saturation point and finds a large
+  // parallel design (the paper reports 17x; the model lands in the same
+  // regime).
+  EXPECT_GT(unrollProduct(R.Selected), R.Sat.Psat);
+  EXPECT_GT(R.speedup(), 8.0);
+  EXPECT_GT(R.Visited.size(), 2u);
+}
+
+TEST(Explorer, SelectedPerformanceNearExhaustiveBest) {
+  // Criterion 2/3 of §3: close to the fastest design; smaller when
+  // comparable. The balance-guided stop is allowed a bounded gap.
+  for (const KernelSpec &Spec : paperKernels()) {
+    Kernel K = buildKernel(Spec.Name);
+    ExplorationResult Dse = DesignSpaceExplorer(K, pipelined()).run();
+    ExplorationResult Exh = exploreExhaustive(K, pipelined());
+    ASSERT_GT(Exh.SelectedEstimate.Cycles, 0u);
+    double Gap = static_cast<double>(Dse.SelectedEstimate.Cycles) /
+                 static_cast<double>(Exh.SelectedEstimate.Cycles);
+    EXPECT_LT(Gap, 5.0) << Spec.Name;
+    // And the selected design is never larger than the exhaustive
+    // winner by more than its performance deficit would justify.
+    EXPECT_LE(Dse.SelectedEstimate.Slices,
+              Exh.SelectedEstimate.Slices * 1.25)
+        << Spec.Name;
+  }
+}
+
+TEST(Explorer, ExhaustiveVisitsEveryCandidate) {
+  Kernel FIR = buildKernel("FIR");
+  ExplorerOptions Opts = pipelined();
+  ExplorationResult R = exploreExhaustive(FIR, Opts);
+  DesignSpaceExplorer Ex(FIR, Opts);
+  EXPECT_EQ(R.Visited.size(), Ex.space().allCandidates().size());
+  // The exhaustive winner fits.
+  EXPECT_LE(R.SelectedEstimate.Slices, Opts.Platform.CapacitySlices);
+}
+
+TEST(Explorer, RandomBaselineIsDeterministic) {
+  Kernel FIR = buildKernel("FIR");
+  ExplorationResult A = exploreRandom(FIR, pipelined(), 6, 99);
+  ExplorationResult B = exploreRandom(FIR, pipelined(), 6, 99);
+  EXPECT_EQ(A.Selected, B.Selected);
+  EXPECT_EQ(A.Visited.size(), 6u);
+  ExplorationResult C = exploreRandom(FIR, pipelined(), 6, 100);
+  // A different seed usually picks different candidates; at minimum it
+  // remains a valid exploration.
+  EXPECT_EQ(C.Visited.size(), 6u);
+}
+
+TEST(Explorer, CapacityConstraintForcesSmallerDesign) {
+  // Shrink the device so the saturation design cannot fit: the explorer
+  // must fall back to FindLargestFit and still return a fitting design.
+  Kernel MM = buildKernel("MM");
+  ExplorerOptions Opts = pipelined();
+  Opts.Platform.CapacitySlices = 5000; // MM's Uinit needs ~7000.
+  ExplorationResult R = DesignSpaceExplorer(MM, Opts).run();
+  EXPECT_LE(R.SelectedEstimate.Slices, Opts.Platform.CapacitySlices);
+  EXPECT_NE(R.Trace.find("FindLargestFit"), std::string::npos);
+}
+
+TEST(Explorer, RegisterCapLimitsRegisters) {
+  Kernel MM = buildKernel("MM"); // Baseline needs ~81 registers.
+  ExplorerOptions Opts = pipelined();
+  Opts.RegisterCap = 40;
+  DesignSpaceExplorer Ex(MM, Opts);
+  auto Est = Ex.evaluate({1, 1, 1});
+  ASSERT_TRUE(Est.has_value());
+  EXPECT_LE(Est->Registers, 40u);
+}
+
+TEST(Explorer, BalanceToleranceStopsEarly) {
+  Kernel JAC = buildKernel("JAC");
+  ExplorerOptions Opts = pipelined();
+  Opts.BalanceTolerance = 0.5; // Very lax: saturation design balances.
+  ExplorationResult R = DesignSpaceExplorer(JAC, Opts).run();
+  EXPECT_EQ(R.Visited.size(), 1u);
+}
+
+TEST(Explorer, AblationWithoutScalarReplacement) {
+  // The transform toggles flow through to evaluation: disabling scalar
+  // replacement leaves all memory traffic in place, so the baseline
+  // estimate is slower.
+  Kernel FIR = buildKernel("FIR");
+  ExplorerOptions With = pipelined();
+  ExplorerOptions Without = pipelined();
+  Without.BaseTransforms.EnableScalarReplacement = false;
+  auto EstWith = DesignSpaceExplorer(FIR, With).evaluate({1, 1});
+  auto EstWithout = DesignSpaceExplorer(FIR, Without).evaluate({1, 1});
+  ASSERT_TRUE(EstWith && EstWithout);
+  EXPECT_GT(EstWithout->Cycles, EstWith->Cycles);
+}
+
+TEST(Explorer, MaxEvaluationsBoundsTheSearch) {
+  Kernel FIR = buildKernel("FIR");
+  ExplorerOptions Opts = pipelined();
+  Opts.MaxEvaluations = 2;
+  ExplorationResult R = DesignSpaceExplorer(FIR, Opts).run();
+  EXPECT_LE(R.Visited.size(), 2u);
+  EXPECT_LE(R.SelectedEstimate.Slices, Opts.Platform.CapacitySlices);
+}
+
+TEST(Explorer, NonPowerOfTwoTripsDistributeSaturation) {
+  // Trip counts 6 and 10 admit no single loop with a factor of Psat=4;
+  // the initial vector must distribute the product across loops.
+  DiagnosticEngine Diags;
+  auto K = parseKernel("int A[32]; int B[32]; int R[8];\n"
+                       "for (i = 0; i < 6; i++)\n"
+                       "  for (j = 0; j < 10; j++)\n"
+                       "    R[i] = R[i] + A[i + j] * B[2*i + j];\n",
+                       "odd", Diags);
+  ASSERT_TRUE(K.has_value()) << Diags.toString();
+  ExplorerOptions Opts = pipelined();
+  DesignSpaceExplorer Ex(*K, Opts);
+  UnrollVector Uinit = Ex.initialVector();
+  EXPECT_TRUE(Ex.space().isCandidate(Uinit));
+  EXPECT_EQ(unrollProduct(Uinit), Ex.saturation().Psat);
+  ExplorationResult R = Ex.run();
+  EXPECT_GE(R.speedup(), 1.0);
+}
+
+TEST(Explorer, SingleLoopKernel) {
+  DiagnosticEngine Diags;
+  auto K = parseKernel("int A[64]; int s;\n"
+                       "for (i = 0; i < 64; i++) s = s + A[i];\n",
+                       "reduce", Diags);
+  ASSERT_TRUE(K.has_value()) << Diags.toString();
+  ExplorerOptions Opts = pipelined();
+  ExplorationResult R = DesignSpaceExplorer(*K, Opts).run();
+  EXPECT_EQ(R.Selected.size(), 1u);
+  EXPECT_GE(R.speedup(), 1.0);
+  EXPECT_TRUE(R.SelectedFits);
+}

@@ -1,0 +1,329 @@
+//===- hls_test.cpp - Behavioral synthesis estimator tests ----------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/HLS/Estimator.h"
+#include "defacto/IR/IRUtils.h"
+#include "defacto/HLS/PlaceRoute.h"
+#include "defacto/Kernels/Kernels.h"
+#include "defacto/Transforms/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace defacto;
+
+namespace {
+
+SynthesisEstimate estimateAt(const char *Name, UnrollVector U,
+                             const TargetPlatform &P) {
+  Kernel K = buildKernel(Name);
+  TransformOptions Opts;
+  Opts.Unroll = std::move(U);
+  Opts.Layout.NumMemories = P.NumMemories;
+  TransformResult R = applyPipeline(K, Opts);
+  EXPECT_TRUE(R.UnrollApplied);
+  return estimateDesign(R.K, P);
+}
+
+} // namespace
+
+TEST(OperatorLibrary, DelaysAndAreas) {
+  // A 32-bit multiply fits one 40 ns cycle; a divide does not.
+  EXPECT_LT(operatorDelayNs(OpClass::Mul, 32), 40.0);
+  EXPECT_GT(operatorDelayNs(OpClass::Div, 32), 40.0);
+  EXPECT_EQ(operatorDelayNs(OpClass::Wire, 32), 0.0);
+  // Multipliers dominate adders in area.
+  EXPECT_GT(operatorAreaSlices(OpClass::Mul, 32),
+            4 * operatorAreaSlices(OpClass::AddSub, 32));
+  // Register area scales with width.
+  EXPECT_EQ(registerAreaSlices(32), 16.0);
+  EXPECT_EQ(registerAreaSlices(8), 4.0);
+}
+
+TEST(OperatorLibrary, StrengthReduction) {
+  EXPECT_EQ(classifyBinary(BinaryOp::Mul, true, 4), OpClass::Wire);
+  EXPECT_EQ(classifyBinary(BinaryOp::Mul, true, 3), OpClass::ConstMul);
+  EXPECT_EQ(classifyBinary(BinaryOp::Mul, false, 0), OpClass::Mul);
+  EXPECT_EQ(classifyBinary(BinaryOp::Div, true, 8), OpClass::Wire);
+  EXPECT_EQ(classifyBinary(BinaryOp::Div, false, 0), OpClass::Div);
+  EXPECT_EQ(classifyBinary(BinaryOp::Shl, true, 2), OpClass::Wire);
+  EXPECT_EQ(classifyBinary(BinaryOp::CmpLt, false, 0), OpClass::Compare);
+  EXPECT_EQ(classifyUnary(UnaryOp::Abs), OpClass::AddSub);
+}
+
+TEST(Platform, Presets) {
+  TargetPlatform P = TargetPlatform::wildstarPipelined();
+  EXPECT_EQ(P.NumMemories, 4u);
+  EXPECT_EQ(P.Timing.ReadLatencyCycles, 1u);
+  EXPECT_TRUE(P.Timing.Pipelined);
+  EXPECT_EQ(P.ClockPeriodNs, 40.0);
+  TargetPlatform NP = TargetPlatform::wildstarNonPipelined();
+  EXPECT_EQ(NP.Timing.ReadLatencyCycles, 7u);
+  EXPECT_EQ(NP.Timing.WriteLatencyCycles, 3u);
+  EXPECT_FALSE(NP.Timing.Pipelined);
+}
+
+TEST(DFGBuild, CountsNodes) {
+  Kernel K = buildKernel("FIR");
+  // Use the single statement of FIR's inner body as a segment.
+  ForStmt *Inner = perfectNest(K.topLoop())[1];
+  std::vector<const Stmt *> Segment;
+  for (const StmtPtr &S : Inner->body())
+    Segment.push_back(S.get());
+  DFG G = buildSegmentDFG(Segment,
+                          [](const ArrayAccessExpr *) { return 0; });
+  // D[j] = D[j] + S[i+j]*C[i]: 3 reads, 1 write, mul + add.
+  EXPECT_EQ(G.numMemReads(), 3u);
+  EXPECT_EQ(G.numMemWrites(), 1u);
+  EXPECT_EQ(G.numComputeOfClass(OpClass::Mul), 1u);
+  EXPECT_EQ(G.numComputeOfClass(OpClass::AddSub), 1u);
+}
+
+TEST(Scheduler, PortSerialization) {
+  // Two reads on one port need two cycles; spread over two ports, one.
+  DFG G;
+  DFGNode Read;
+  Read.NodeKind = DFGNode::Kind::MemRead;
+  Read.WidthBits = 32;
+  Read.Port = 0;
+  G.Nodes.push_back(Read);
+  G.Nodes.push_back(Read);
+  TargetPlatform P = TargetPlatform::wildstarPipelined();
+  SegmentSchedule S1 = scheduleSegment(G, P);
+  EXPECT_EQ(S1.MemOnlyCycles, 2u);
+
+  G.Nodes[1].Port = 1;
+  SegmentSchedule S2 = scheduleSegment(G, P);
+  EXPECT_EQ(S2.MemOnlyCycles, 1u);
+  EXPECT_EQ(S2.BitsTransferred, 64u);
+  EXPECT_EQ(S2.MemReads, 2u);
+}
+
+TEST(Scheduler, NonPipelinedPortsStayBusy) {
+  DFG G;
+  DFGNode Read;
+  Read.NodeKind = DFGNode::Kind::MemRead;
+  Read.WidthBits = 32;
+  Read.Port = 0;
+  G.Nodes.push_back(Read);
+  G.Nodes.push_back(Read);
+  TargetPlatform P = TargetPlatform::wildstarNonPipelined();
+  SegmentSchedule S = scheduleSegment(G, P);
+  // Each read holds the port for 7 cycles.
+  EXPECT_EQ(S.MemOnlyCycles, 14u);
+  EXPECT_GE(S.JointCycles, 14u);
+}
+
+TEST(Scheduler, DependentComputeSerializesWithoutChaining) {
+  // read -> add -> add -> write on one port.
+  DFG G;
+  DFGNode Read;
+  Read.NodeKind = DFGNode::Kind::MemRead;
+  Read.WidthBits = 32;
+  Read.Port = 0;
+  G.Nodes.push_back(Read);
+  DFGNode Add;
+  Add.NodeKind = DFGNode::Kind::Compute;
+  Add.Class = OpClass::AddSub;
+  Add.WidthBits = 32;
+  Add.Preds = {0};
+  G.Nodes.push_back(Add);
+  Add.Preds = {1};
+  G.Nodes.push_back(Add);
+  DFGNode Write;
+  Write.NodeKind = DFGNode::Kind::MemWrite;
+  Write.WidthBits = 32;
+  Write.Port = 0;
+  Write.Preds = {2};
+  G.Nodes.push_back(Write);
+
+  TargetPlatform P = TargetPlatform::wildstarPipelined();
+  P.OperatorChaining = false;
+  SegmentSchedule NoChain = scheduleSegment(G, P);
+  // 1 read + 2 adds + 1 write = 4 cycles.
+  EXPECT_EQ(NoChain.JointCycles, 4u);
+  EXPECT_EQ(NoChain.CompOnlyCycles, 2u);
+
+  P.OperatorChaining = true;
+  SegmentSchedule Chained = scheduleSegment(G, P);
+  // Two 10 ns adds chain into one 40 ns cycle.
+  EXPECT_LT(Chained.JointCycles, NoChain.JointCycles);
+  EXPECT_EQ(Chained.CompOnlyCycles, 1u);
+}
+
+TEST(Scheduler, PeakUnitsBindConcurrency) {
+  // Four independent multiplies in one cycle need four units.
+  DFG G;
+  for (int I = 0; I != 4; ++I) {
+    DFGNode Mul;
+    Mul.NodeKind = DFGNode::Kind::Compute;
+    Mul.Class = OpClass::Mul;
+    Mul.WidthBits = 32;
+    G.Nodes.push_back(Mul);
+  }
+  TargetPlatform P = TargetPlatform::wildstarPipelined();
+  SegmentSchedule S = scheduleSegment(G, P);
+  EXPECT_EQ((S.PeakUnits[{OpClass::Mul, 32}]), 4u);
+}
+
+TEST(Estimator, FirBaselineSanity) {
+  TargetPlatform P = TargetPlatform::wildstarPipelined();
+  SynthesisEstimate E = estimateAt("FIR", {1, 1}, P);
+  EXPECT_GT(E.Cycles, 2048u); // At least one cycle per MAC.
+  EXPECT_GT(E.Slices, 0);
+  EXPECT_GT(E.Registers, 32u); // The 32-register C chain at least.
+  EXPECT_GT(E.FetchRate, 0);
+  EXPECT_GT(E.ConsumeRate, 0);
+  EXPECT_TRUE(E.fits(P.CapacitySlices));
+  EXPECT_FALSE(E.toString().empty());
+}
+
+TEST(Estimator, CyclesDecreaseWithUnroll) {
+  TargetPlatform P = TargetPlatform::wildstarPipelined();
+  uint64_t Prev = estimateAt("FIR", {1, 1}, P).Cycles;
+  for (UnrollVector U : {UnrollVector{2, 2}, UnrollVector{4, 4},
+                         UnrollVector{8, 8}}) {
+    uint64_t Cur = estimateAt("FIR", U, P).Cycles;
+    EXPECT_LT(Cur, Prev) << unrollVectorToString(U);
+    Prev = Cur;
+  }
+}
+
+TEST(Estimator, AreaGrowsWithUnroll) {
+  TargetPlatform P = TargetPlatform::wildstarPipelined();
+  double Small = estimateAt("FIR", {1, 1}, P).Slices;
+  double Large = estimateAt("FIR", {8, 8}, P).Slices;
+  EXPECT_GT(Large, Small);
+}
+
+TEST(Estimator, NonPipelinedIsSlower) {
+  for (const char *Name : {"FIR", "MM", "JAC"}) {
+    uint64_t Pip =
+        estimateAt(Name, {2, 2}, TargetPlatform::wildstarPipelined())
+            .Cycles;
+    uint64_t NonPip =
+        estimateAt(Name, {2, 2}, TargetPlatform::wildstarNonPipelined())
+            .Cycles;
+    EXPECT_GT(NonPip, Pip) << Name;
+  }
+}
+
+TEST(Estimator, NonPipelinedFirIsMemoryBound) {
+  // The paper: without pipelining, FIR designs are always memory bound.
+  TargetPlatform P = TargetPlatform::wildstarNonPipelined();
+  for (UnrollVector U : {UnrollVector{1, 1}, UnrollVector{2, 2},
+                         UnrollVector{4, 4}, UnrollVector{8, 16}}) {
+    SynthesisEstimate E = estimateAt("FIR", U, P);
+    EXPECT_LT(E.Balance, 1.0) << unrollVectorToString(U);
+  }
+}
+
+TEST(Estimator, BalanceEqualsFetchOverConsume) {
+  SynthesisEstimate E =
+      estimateAt("MM", {2, 2, 1}, TargetPlatform::wildstarPipelined());
+  ASSERT_GT(E.ConsumeRate, 0);
+  EXPECT_NEAR(E.Balance, E.FetchRate / E.ConsumeRate, 1e-9);
+}
+
+TEST(Estimator, MulUnitsTrackUnrolling) {
+  TargetPlatform P = TargetPlatform::wildstarPipelined();
+  SynthesisEstimate E1 = estimateAt("FIR", {1, 1}, P);
+  SynthesisEstimate E4 = estimateAt("4" ? "FIR" : "", {4, 1}, P);
+  unsigned Units1 = 0, Units4 = 0;
+  for (const auto &[Shape, N] : E1.Units)
+    if (Shape.first == OpClass::Mul)
+      Units1 += N;
+  for (const auto &[Shape, N] : E4.Units)
+    if (Shape.first == OpClass::Mul)
+      Units4 += N;
+  EXPECT_GE(Units4, Units1);
+  EXPECT_GE(Units4, 2u);
+}
+
+TEST(Estimator, BreakdownCoversTheWholeDesign) {
+  Kernel K = buildKernel("FIR");
+  TransformOptions Opts;
+  Opts.Unroll = {2, 2};
+  TransformResult R = applyPipeline(K, Opts);
+  TargetPlatform P = TargetPlatform::wildstarPipelined();
+  std::vector<RegionReport> Breakdown;
+  SynthesisEstimate Est = estimateDesign(R.K, P, &Breakdown);
+
+  ASSERT_FALSE(Breakdown.empty());
+  // Region cycles plus loop overhead account for the full estimate.
+  uint64_t Sum = 0;
+  for (const RegionReport &Region : Breakdown)
+    Sum += Region.totalCycles();
+  EXPECT_LE(Sum, Est.Cycles);
+  EXPECT_GE(Sum, Est.Cycles / 2); // Overhead is bounded.
+
+  // The steady-state inner body dominates and carries the S loads.
+  const RegionReport *Hottest = &Breakdown.front();
+  for (const RegionReport &Region : Breakdown)
+    if (Region.totalCycles() > Hottest->totalCycles())
+      Hottest = &Region;
+  EXPECT_NE(Hottest->Path.find("/"), std::string::npos);
+  EXPECT_GE(Hottest->MemReads, 1u);
+  EXPECT_GT(Hottest->Executions, 100u);
+}
+
+TEST(Estimator, BreakdownPathsNameLoops) {
+  Kernel K = buildKernel("MM");
+  TargetPlatform P = TargetPlatform::wildstarPipelined();
+  std::vector<RegionReport> Breakdown;
+  estimateDesign(K, P, &Breakdown);
+  ASSERT_FALSE(Breakdown.empty());
+  bool FoundInner = false;
+  for (const RegionReport &Region : Breakdown)
+    FoundInner |= Region.Path == "i/j/k";
+  EXPECT_TRUE(FoundInner);
+}
+
+TEST(Scheduler, DetailedPlacementsMatchSummary) {
+  Kernel K = buildKernel("FIR");
+  ForStmt *Inner = perfectNest(K.topLoop())[1];
+  std::vector<const Stmt *> Segment;
+  for (const StmtPtr &S : Inner->body())
+    Segment.push_back(S.get());
+  DFG G = buildSegmentDFG(Segment,
+                          [](const ArrayAccessExpr *) { return 0; });
+  TargetPlatform P = TargetPlatform::wildstarPipelined();
+  DetailedSchedule D = scheduleSegmentDetailed(G, P);
+  EXPECT_EQ(D.Summary.JointCycles, scheduleSegment(G, P).JointCycles);
+  ASSERT_EQ(D.Placements.size(), G.Nodes.size());
+  int64_t MaxEnd = 0;
+  for (const NodePlacement &N : D.Placements) {
+    EXPECT_LE(N.StartCycle, N.EndCycle);
+    MaxEnd = std::max(MaxEnd, N.EndCycle);
+  }
+  EXPECT_EQ(static_cast<uint64_t>(MaxEnd), D.Summary.JointCycles);
+}
+
+TEST(Scheduler, GanttRenders) {
+  Kernel K = buildKernel("FIR");
+  ForStmt *Inner = perfectNest(K.topLoop())[1];
+  std::vector<const Stmt *> Segment;
+  for (const StmtPtr &S : Inner->body())
+    Segment.push_back(S.get());
+  DFG G = buildSegmentDFG(Segment,
+                          [](const ArrayAccessExpr *) { return 0; });
+  TargetPlatform P = TargetPlatform::wildstarPipelined();
+  DetailedSchedule D = scheduleSegmentDetailed(G, P);
+  std::string Gantt = renderScheduleGantt(G, D);
+  // One row per node plus the header.
+  EXPECT_EQ(static_cast<size_t>(
+                std::count(Gantt.begin(), Gantt.end(), '\n')),
+            G.Nodes.size() + 1);
+  EXPECT_NE(Gantt.find("rd@m0"), std::string::npos);
+  EXPECT_NE(Gantt.find("mul32"), std::string::npos);
+  EXPECT_NE(Gantt.find("#"), std::string::npos);
+
+  DFG Empty;
+  EXPECT_EQ(renderScheduleGantt(
+                Empty, scheduleSegmentDetailed(Empty, P)),
+            "(empty schedule)\n");
+}

@@ -1,0 +1,111 @@
+//===- integration_test.cpp - Whole-system integration tests --------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The DEFACTO flow end to end: C source -> parse -> explore -> transform
+/// at the selected design -> verify semantics -> emit VHDL -> estimate vs
+/// implementation model. Exercises every library together.
+///
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/Explorer.h"
+#include "defacto/Frontend/Parser.h"
+#include "defacto/HLS/PlaceRoute.h"
+#include "defacto/IR/IRVerifier.h"
+#include "defacto/Kernels/Kernels.h"
+#include "defacto/Sim/Interpreter.h"
+#include "defacto/VHDL/VhdlEmitter.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+namespace {
+
+class FullFlow : public ::testing::TestWithParam<const char *> {};
+
+} // namespace
+
+TEST_P(FullFlow, SourceToSelectedDesignToVhdl) {
+  const char *Name = GetParam();
+
+  // 1. Front end.
+  const KernelSpec *Spec = findKernelSpec(Name);
+  ASSERT_NE(Spec, nullptr);
+  DiagnosticEngine Diags;
+  std::optional<Kernel> Parsed = parseKernel(Spec->Source, Name, Diags);
+  ASSERT_TRUE(Parsed.has_value()) << Diags.toString();
+  ASSERT_TRUE(isKernelValid(*Parsed));
+  auto Reference = simulate(*Parsed, 20260705);
+
+  // 2. Design space exploration.
+  ExplorerOptions Opts;
+  Opts.Platform = TargetPlatform::wildstarPipelined();
+  DesignSpaceExplorer Ex(*Parsed, Opts);
+  ExplorationResult R = Ex.run();
+  EXPECT_LE(R.SelectedEstimate.Slices, Opts.Platform.CapacitySlices);
+  EXPECT_GE(R.speedup(), 1.0);
+
+  // 3. Materialize the selected design and verify semantics.
+  TransformOptions TO;
+  TO.Unroll = R.Selected;
+  TO.Layout.NumMemories = Opts.Platform.NumMemories;
+  TransformResult Design = applyPipeline(*Parsed, TO);
+  EXPECT_TRUE(isKernelValid(Design.K));
+  EXPECT_EQ(simulate(Design.K, 20260705), Reference);
+
+  // 4. Back end.
+  std::string V = emitVhdl(Design.K);
+  EXPECT_EQ(checkVhdlStructure(V), "");
+  EXPECT_NE(V.find("entity defacto_"), std::string::npos);
+
+  // 5. Implementation model agrees with the estimate's cycle count and
+  //    the selected design routes.
+  ImplementationResult Impl =
+      placeAndRoute(R.SelectedEstimate, Opts.Platform);
+  EXPECT_EQ(Impl.Cycles, R.SelectedEstimate.Cycles);
+  EXPECT_TRUE(Impl.Routable);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, FullFlow,
+                         ::testing::Values("FIR", "MM", "PAT", "JAC",
+                                           "SOBEL"));
+
+TEST(Integration, CustomKernelFromSource) {
+  // A downstream user's kernel, written from scratch: dot product with a
+  // scaling table.
+  const char *Source = "int X[64];\n"
+                       "int Y[64];\n"
+                       "int W[16];\n"
+                       "int R[64];\n"
+                       "for (i = 0; i < 64; i++)\n"
+                       "  for (j = 0; j < 16; j++)\n"
+                       "    R[i] = R[i] + X[i] * W[j] + Y[i];\n";
+  DiagnosticEngine Diags;
+  std::optional<Kernel> K = parseKernel(Source, "dotscale", Diags);
+  ASSERT_TRUE(K.has_value()) << Diags.toString();
+  auto Reference = simulate(*K, 1);
+
+  ExplorerOptions Opts;
+  ExplorationResult R = DesignSpaceExplorer(*K, Opts).run();
+  EXPECT_GE(R.speedup(), 1.0);
+  EXPECT_LT(R.fractionSearched(), 0.05);
+
+  TransformOptions TO;
+  TO.Unroll = R.Selected;
+  TransformResult Design = applyPipeline(*K, TO);
+  EXPECT_EQ(simulate(Design.K, 1), Reference);
+}
+
+TEST(Integration, EstimatesAreDeterministic) {
+  Kernel FIR = buildKernel("FIR");
+  ExplorerOptions Opts;
+  ExplorationResult A = DesignSpaceExplorer(FIR, Opts).run();
+  ExplorationResult B = DesignSpaceExplorer(FIR, Opts).run();
+  EXPECT_EQ(A.Selected, B.Selected);
+  EXPECT_EQ(A.SelectedEstimate.Cycles, B.SelectedEstimate.Cycles);
+  EXPECT_EQ(A.SelectedEstimate.Slices, B.SelectedEstimate.Slices);
+  EXPECT_EQ(A.Visited.size(), B.Visited.size());
+}

@@ -1,0 +1,308 @@
+//===- ir_test.cpp - Unit tests for the IR library -------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/IR/IRPrinter.h"
+#include "defacto/IR/IRUtils.h"
+#include "defacto/IR/IRVerifier.h"
+#include "defacto/IR/Kernel.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+namespace {
+
+/// Builds: int A[8]; int s;
+/// for (i = 0; i < 8; i++) A[i] = A[i] + s;
+Kernel makeSimpleKernel() {
+  Kernel K("simple");
+  ArrayDecl *A = K.makeArray("A", ScalarType::Int32, {8});
+  ScalarDecl *S = K.makeScalar("s", ScalarType::Int32);
+  int Id = K.allocateLoopId();
+  auto Loop = std::make_unique<ForStmt>(Id, "i", 0, 8, 1);
+  auto Access = [&] {
+    return std::make_unique<ArrayAccessExpr>(
+        A, std::vector<AffineExpr>{AffineExpr::term(Id, 1)});
+  };
+  Loop->body().push_back(std::make_unique<AssignStmt>(
+      Access(), std::make_unique<BinaryExpr>(
+                    BinaryOp::Add, Access(),
+                    std::make_unique<ScalarRefExpr>(S))));
+  K.body().push_back(std::move(Loop));
+  return K;
+}
+
+} // namespace
+
+TEST(Type, Widths) {
+  EXPECT_EQ(bitWidth(ScalarType::Int8), 8u);
+  EXPECT_EQ(bitWidth(ScalarType::Int16), 16u);
+  EXPECT_EQ(bitWidth(ScalarType::Int32), 32u);
+  EXPECT_EQ(typeName(ScalarType::Int8), "char");
+  EXPECT_EQ(typeName(ScalarType::Int16), "short");
+  EXPECT_EQ(typeName(ScalarType::Int32), "int");
+}
+
+TEST(Type, Truncation) {
+  EXPECT_EQ(truncateToType(127, ScalarType::Int8), 127);
+  EXPECT_EQ(truncateToType(128, ScalarType::Int8), -128);
+  EXPECT_EQ(truncateToType(-129, ScalarType::Int8), 127);
+  EXPECT_EQ(truncateToType(65535, ScalarType::Int16), -1);
+  EXPECT_EQ(truncateToType(1, ScalarType::Int32), 1);
+  EXPECT_EQ(truncateToType((1LL << 31), ScalarType::Int32),
+            -(1LL << 31));
+}
+
+TEST(Decl, ArrayBasics) {
+  ArrayDecl A("img", ScalarType::Int16, {4, 6});
+  EXPECT_EQ(A.numDims(), 2u);
+  EXPECT_EQ(A.dim(0), 4);
+  EXPECT_EQ(A.dim(1), 6);
+  EXPECT_EQ(A.numElements(), 24);
+  EXPECT_EQ(A.virtualMemId(), -1);
+  EXPECT_EQ(A.physicalMemId(), -1);
+  EXPECT_EQ(A.renamedFrom(), nullptr);
+}
+
+TEST(Decl, Renaming) {
+  ArrayDecl Origin("A", ScalarType::Int32, {16});
+  ArrayDecl Bank("A0", ScalarType::Int32, {8});
+  Bank.setRenaming(&Origin, 0, 1, 2);
+  EXPECT_EQ(Bank.renamedFrom(), &Origin);
+  EXPECT_EQ(Bank.bankDim(), 0u);
+  EXPECT_EQ(Bank.bankOffset(), 1);
+  EXPECT_EQ(Bank.bankStride(), 2);
+}
+
+TEST(ForStmt, TripCount) {
+  ForStmt A(0, "i", 0, 8, 1);
+  EXPECT_EQ(A.tripCount(), 8);
+  ForStmt B(1, "j", 0, 8, 3);
+  EXPECT_EQ(B.tripCount(), 3); // 0, 3, 6
+  ForStmt C(2, "k", 5, 5, 1);
+  EXPECT_EQ(C.tripCount(), 0);
+  ForStmt D(3, "l", 2, 10, 2);
+  EXPECT_EQ(D.tripCount(), 4);
+}
+
+TEST(Expr, CloneDeep) {
+  ScalarDecl S("x", ScalarType::Int32);
+  auto E = std::make_unique<BinaryExpr>(
+      BinaryOp::Mul, std::make_unique<ScalarRefExpr>(&S),
+      std::make_unique<IntLitExpr>(3));
+  ExprPtr C = E->clone();
+  EXPECT_TRUE(exprEquals(E.get(), C.get()));
+  // The clone is a distinct tree.
+  EXPECT_NE(E.get(), C.get());
+  EXPECT_NE(cast<BinaryExpr>(E.get())->lhs(),
+            cast<BinaryExpr>(C.get())->lhs());
+}
+
+TEST(Expr, CloneCopiesSteadyPort) {
+  ArrayDecl A("A", ScalarType::Int32, {8});
+  ArrayAccessExpr Acc(&A, {AffineExpr(3)});
+  Acc.setSteadyStatePort(2);
+  ExprPtr C = Acc.clone();
+  EXPECT_EQ(cast<ArrayAccessExpr>(C.get())->steadyStatePort(), 2);
+}
+
+TEST(Kernel, CloneRemapsDecls) {
+  Kernel K = makeSimpleKernel();
+  Kernel C = K.clone();
+  EXPECT_EQ(C.name(), "simple");
+  ASSERT_NE(C.findArray("A"), nullptr);
+  ASSERT_NE(C.findScalar("s"), nullptr);
+  EXPECT_NE(C.findArray("A"), K.findArray("A"));
+
+  // Every access in the clone must reference the clone's declarations.
+  walkExprsInStmts(C.body(), [&](Expr *E) {
+    if (auto *AA = dyn_cast<ArrayAccessExpr>(E))
+      EXPECT_EQ(AA->array(), C.findArray("A"));
+    if (auto *SR = dyn_cast<ScalarRefExpr>(E))
+      EXPECT_EQ(SR->decl(), C.findScalar("s"));
+  });
+  EXPECT_TRUE(isKernelValid(C));
+}
+
+TEST(Kernel, TempScalarNamesUnique) {
+  Kernel K("t");
+  ScalarDecl *A = K.makeTempScalar("tmp", ScalarType::Int32);
+  ScalarDecl *B = K.makeTempScalar("tmp", ScalarType::Int32);
+  EXPECT_NE(A->name(), B->name());
+  EXPECT_TRUE(A->isCompilerTemp());
+}
+
+TEST(Kernel, TopLoop) {
+  Kernel K = makeSimpleKernel();
+  ASSERT_NE(K.topLoop(), nullptr);
+  EXPECT_EQ(K.topLoop()->indexName(), "i");
+  K.body().push_back(std::make_unique<RotateStmt>(
+      std::vector<const ScalarDecl *>{K.findScalar("s"),
+                                      K.makeScalar("s2", ScalarType::Int32)}));
+  EXPECT_EQ(K.topLoop(), nullptr); // No longer a single top statement.
+}
+
+TEST(IRUtils, CollectAccessesClassifiesWrites) {
+  Kernel K = makeSimpleKernel();
+  std::vector<AccessInfo> Accs = collectArrayAccesses(K);
+  ASSERT_EQ(Accs.size(), 2u);
+  EXPECT_TRUE(Accs[0].IsWrite);  // Destination first.
+  EXPECT_FALSE(Accs[1].IsWrite);
+}
+
+TEST(IRUtils, PerfectNest) {
+  Kernel K("nest");
+  int I = K.allocateLoopId(), J = K.allocateLoopId();
+  auto Outer = std::make_unique<ForStmt>(I, "i", 0, 4, 1);
+  auto Inner = std::make_unique<ForStmt>(J, "j", 0, 4, 1);
+  Outer->body().push_back(std::move(Inner));
+  K.body().push_back(std::move(Outer));
+  std::vector<ForStmt *> Nest = perfectNest(K.topLoop());
+  ASSERT_EQ(Nest.size(), 2u);
+  EXPECT_EQ(Nest[0]->indexName(), "i");
+  EXPECT_EQ(Nest[1]->indexName(), "j");
+}
+
+TEST(IRUtils, SubstituteLoopRewritesSubscriptsAndIndexUses) {
+  Kernel K = makeSimpleKernel();
+  int Id = K.topLoop()->loopId();
+  // Add a guard using the loop index directly.
+  auto Guard = std::make_unique<IfStmt>(std::make_unique<BinaryExpr>(
+      BinaryOp::CmpEq, std::make_unique<LoopIndexExpr>(Id),
+      std::make_unique<IntLitExpr>(0)));
+  K.topLoop()->body().push_back(std::move(Guard));
+
+  substituteLoopInStmts(K.topLoop()->body(), Id,
+                        AffineExpr::term(Id, 1, 3));
+  std::vector<AccessInfo> Accs = collectArrayAccesses(K);
+  for (const AccessInfo &Info : Accs)
+    EXPECT_EQ(Info.Access->subscript(0).constant(), 3);
+}
+
+TEST(IRUtils, ExprToAffine) {
+  // (2 * i) + (j - 1) is affine.
+  auto E = std::make_unique<BinaryExpr>(
+      BinaryOp::Add,
+      std::make_unique<BinaryExpr>(BinaryOp::Mul,
+                                   std::make_unique<IntLitExpr>(2),
+                                   std::make_unique<LoopIndexExpr>(0)),
+      std::make_unique<BinaryExpr>(BinaryOp::Sub,
+                                   std::make_unique<LoopIndexExpr>(1),
+                                   std::make_unique<IntLitExpr>(1)));
+  auto A = exprToAffine(E.get());
+  ASSERT_TRUE(A.has_value());
+  EXPECT_EQ(A->coeff(0), 2);
+  EXPECT_EQ(A->coeff(1), 1);
+  EXPECT_EQ(A->constant(), -1);
+
+  // i * j is not affine.
+  auto NonAffine = std::make_unique<BinaryExpr>(
+      BinaryOp::Mul, std::make_unique<LoopIndexExpr>(0),
+      std::make_unique<LoopIndexExpr>(1));
+  EXPECT_FALSE(exprToAffine(NonAffine.get()).has_value());
+
+  // Negation is affine.
+  auto Neg = std::make_unique<UnaryExpr>(
+      UnaryOp::Neg, std::make_unique<LoopIndexExpr>(0));
+  ASSERT_TRUE(exprToAffine(Neg.get()).has_value());
+  EXPECT_EQ(exprToAffine(Neg.get())->coeff(0), -1);
+}
+
+TEST(IRUtils, AffineToExprRoundTrip) {
+  AffineExpr A =
+      AffineExpr::term(0, 2).add(AffineExpr::term(1, -3)).addConstant(7);
+  ExprPtr E = affineToExpr(A);
+  auto Back = exprToAffine(E.get());
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(*Back, A);
+}
+
+TEST(IRUtils, CountStmts) {
+  Kernel K = makeSimpleKernel();
+  StmtCounts Counts = countStmts(K.body());
+  EXPECT_EQ(Counts.For, 1u);
+  EXPECT_EQ(Counts.Assign, 1u);
+  EXPECT_EQ(Counts.If, 0u);
+  EXPECT_EQ(Counts.Rotate, 0u);
+}
+
+TEST(Verifier, AcceptsWellFormed) {
+  Kernel K = makeSimpleKernel();
+  EXPECT_TRUE(verifyKernel(K).empty());
+}
+
+TEST(Verifier, RejectsForeignDecl) {
+  Kernel K = makeSimpleKernel();
+  ArrayDecl Foreign("F", ScalarType::Int32, {4});
+  K.topLoop()->body().push_back(std::make_unique<AssignStmt>(
+      std::make_unique<ArrayAccessExpr>(
+          &Foreign, std::vector<AffineExpr>{AffineExpr(0)}),
+      std::make_unique<IntLitExpr>(1)));
+  std::vector<std::string> Problems = verifyKernel(K);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("not owned"), std::string::npos);
+}
+
+TEST(Verifier, RejectsOutOfScopeLoopId) {
+  Kernel K = makeSimpleKernel();
+  int Bogus = K.allocateLoopId();
+  K.topLoop()->body().push_back(std::make_unique<AssignStmt>(
+      std::make_unique<ScalarRefExpr>(K.findScalar("s")),
+      std::make_unique<LoopIndexExpr>(Bogus)));
+  EXPECT_FALSE(verifyKernel(K).empty());
+}
+
+TEST(Verifier, RejectsRankMismatch) {
+  Kernel K("rank");
+  ArrayDecl *A = K.makeArray("A", ScalarType::Int32, {4, 4});
+  K.body().push_back(std::make_unique<AssignStmt>(
+      std::make_unique<ArrayAccessExpr>(
+          A, std::vector<AffineExpr>{AffineExpr(0)}),
+      std::make_unique<IntLitExpr>(1)));
+  std::vector<std::string> Problems = verifyKernel(K);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("dimensions"), std::string::npos);
+}
+
+TEST(Verifier, RejectsDuplicateLoopIds) {
+  Kernel K("dup");
+  int Id = K.allocateLoopId();
+  K.body().push_back(std::make_unique<ForStmt>(Id, "i", 0, 2, 1));
+  K.body().push_back(std::make_unique<ForStmt>(Id, "j", 0, 2, 1));
+  EXPECT_FALSE(verifyKernel(K).empty());
+}
+
+TEST(Verifier, RejectsShortRotate) {
+  Kernel K("rot");
+  ScalarDecl *S = K.makeScalar("s", ScalarType::Int32);
+  K.body().push_back(std::make_unique<RotateStmt>(
+      std::vector<const ScalarDecl *>{S}));
+  EXPECT_FALSE(verifyKernel(K).empty());
+}
+
+TEST(Printer, RendersCLikeText) {
+  Kernel K = makeSimpleKernel();
+  std::string Text = printKernel(K);
+  EXPECT_NE(Text.find("int A[8];"), std::string::npos);
+  EXPECT_NE(Text.find("for (i = 0; i < 8; i += 1)"), std::string::npos);
+  EXPECT_NE(Text.find("A[i] = (A[i] + s);"), std::string::npos);
+}
+
+TEST(Printer, RendersRotateAndSelect) {
+  Kernel K("p");
+  ScalarDecl *A = K.makeScalar("a", ScalarType::Int32);
+  ScalarDecl *B = K.makeScalar("b", ScalarType::Int32);
+  K.body().push_back(std::make_unique<RotateStmt>(
+      std::vector<const ScalarDecl *>{A, B}));
+  K.body().push_back(std::make_unique<AssignStmt>(
+      std::make_unique<ScalarRefExpr>(A),
+      std::make_unique<SelectExpr>(std::make_unique<IntLitExpr>(1),
+                                   std::make_unique<ScalarRefExpr>(B),
+                                   std::make_unique<IntLitExpr>(0))));
+  std::string Text = printKernel(K);
+  EXPECT_NE(Text.find("rotate_registers(a, b);"), std::string::npos);
+  EXPECT_NE(Text.find("(1 ? b : 0)"), std::string::npos);
+}

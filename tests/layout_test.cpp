@@ -1,0 +1,189 @@
+//===- layout_test.cpp - Data layout (renaming + mapping) tests -----------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/IR/IRPrinter.h"
+#include "defacto/IR/IRUtils.h"
+#include "defacto/IR/IRVerifier.h"
+#include "defacto/Kernels/Kernels.h"
+#include "defacto/Sim/Interpreter.h"
+#include "defacto/Transforms/DataLayout.h"
+#include "defacto/Transforms/LoopPeeling.h"
+#include "defacto/Transforms/Normalize.h"
+#include "defacto/Transforms/ScalarReplacement.h"
+#include "defacto/Transforms/UnrollAndJam.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace defacto;
+
+namespace {
+
+Kernel preparedFir(UnrollVector U) {
+  Kernel K = buildKernel("FIR");
+  normalizeLoops(K);
+  EXPECT_TRUE(unrollAndJam(K, U));
+  normalizeLoops(K);
+  scalarReplace(K);
+  peelGuardedIterations(K);
+  return K;
+}
+
+} // namespace
+
+TEST(DataLayout, FirUnroll2CreatesFigure1dBanks) {
+  Kernel K = preparedFir({2, 2});
+  DataLayoutStats Stats = applyDataLayout(K, {4});
+  EXPECT_TRUE(isKernelValid(K));
+  // S, C, D each split into two banks (Figure 1(d)).
+  EXPECT_EQ(Stats.ArraysDistributed, 3u);
+  for (const char *Name : {"S0", "S1", "C0", "C1", "D0", "D1"})
+    EXPECT_NE(K.findArray(Name), nullptr) << Name;
+  // Bank-local dimensions halve (rounded up).
+  EXPECT_EQ(K.findArray("S0")->dim(0), 48);
+  EXPECT_EQ(K.findArray("D0")->dim(0), 32);
+  // Renaming metadata routes back to the origins.
+  EXPECT_EQ(K.findArray("S1")->renamedFrom(), K.findArray("S"));
+  EXPECT_EQ(K.findArray("S1")->bankOffset(), 1);
+  EXPECT_EQ(K.findArray("S1")->bankStride(), 2);
+}
+
+TEST(DataLayout, EveryAccessGetsAPort) {
+  Kernel K = preparedFir({2, 2});
+  applyDataLayout(K, {4});
+  for (const AccessInfo &Info : collectArrayAccesses(K)) {
+    EXPECT_GE(Info.Access->steadyStatePort(), 0);
+    EXPECT_LT(Info.Access->steadyStatePort(), 4);
+    EXPECT_GE(Info.Access->array()->physicalMemId(), 0);
+  }
+}
+
+TEST(DataLayout, ParallelReadsLandOnDistinctPorts) {
+  Kernel K = preparedFir({2, 2});
+  applyDataLayout(K, {4});
+  // The three steady-state S loads have three distinct subscript
+  // constants; their ports must be pairwise distinct.
+  std::set<int> SPorts;
+  unsigned SLoads = 0;
+  for (const AccessInfo &Info : collectArrayAccesses(K)) {
+    const ArrayDecl *Origin = Info.Access->array()->renamedFrom()
+                                  ? Info.Access->array()->renamedFrom()
+                                  : Info.Access->array();
+    if (Origin->name() == "S" && !Info.IsWrite) {
+      SPorts.insert(Info.Access->steadyStatePort());
+      ++SLoads;
+    }
+  }
+  EXPECT_GE(SLoads, 3u);
+  EXPECT_GE(SPorts.size(), 3u);
+}
+
+TEST(DataLayout, BaselineWithoutUnrollKeepsArraysWhole) {
+  Kernel K = preparedFir({1, 1});
+  DataLayoutStats Stats = applyDataLayout(K, {4});
+  // Unit-stride subscripts are not divisible: no renaming, steady-state
+  // ports only.
+  EXPECT_EQ(Stats.ArraysDistributed, 0u);
+  EXPECT_EQ(K.findArray("S0"), nullptr);
+}
+
+TEST(DataLayout, SingleMemoryDegenerates) {
+  Kernel K = preparedFir({2, 2});
+  DataLayoutStats Stats = applyDataLayout(K, {1});
+  EXPECT_EQ(Stats.ArraysDistributed, 0u);
+  for (const AccessInfo &Info : collectArrayAccesses(K))
+    EXPECT_EQ(Info.Access->steadyStatePort(), 0);
+}
+
+TEST(DataLayout, MmDistributesAlongUnrolledDims) {
+  Kernel K = buildKernel("MM");
+  normalizeLoops(K);
+  ASSERT_TRUE(unrollAndJam(K, {2, 2, 1}));
+  normalizeLoops(K);
+  scalarReplace(K);
+  peelGuardedIterations(K);
+  DataLayoutStats Stats = applyDataLayout(K, {4});
+  EXPECT_TRUE(isKernelValid(K));
+  EXPECT_GE(Stats.ArraysDistributed, 2u); // A (rows) and Z at least.
+}
+
+namespace {
+
+struct LayoutCase {
+  const char *KernelName;
+  UnrollVector Factors;
+  unsigned Memories;
+};
+
+class LayoutSemantics : public ::testing::TestWithParam<LayoutCase> {};
+
+} // namespace
+
+TEST_P(LayoutSemantics, PreservesResults) {
+  const LayoutCase &Case = GetParam();
+  Kernel Original = buildKernel(Case.KernelName);
+  auto Reference = simulate(Original, 555);
+
+  Kernel K = buildKernel(Case.KernelName);
+  normalizeLoops(K);
+  ASSERT_TRUE(unrollAndJam(K, Case.Factors));
+  normalizeLoops(K);
+  scalarReplace(K);
+  peelGuardedIterations(K);
+  applyDataLayout(K, {Case.Memories});
+  EXPECT_TRUE(isKernelValid(K));
+  EXPECT_EQ(simulate(K, 555), Reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LayoutSemantics,
+    ::testing::Values(LayoutCase{"FIR", {2, 2}, 4},
+                      LayoutCase{"FIR", {4, 4}, 4},
+                      LayoutCase{"FIR", {8, 2}, 2},
+                      LayoutCase{"MM", {4, 2, 1}, 4},
+                      LayoutCase{"PAT", {4, 4}, 4},
+                      LayoutCase{"JAC", {2, 2}, 4},
+                      LayoutCase{"SOBEL", {2, 4}, 4},
+                      LayoutCase{"SOBEL", {4, 4}, 8}),
+    [](const ::testing::TestParamInfo<LayoutCase> &Info) {
+      std::string Name = Info.param.KernelName;
+      for (int64_t F : Info.param.Factors)
+        Name += "_" + std::to_string(F);
+      Name += "_m" + std::to_string(Info.param.Memories);
+      return Name;
+    });
+
+TEST(DataLayout, TwoDimBankDimsRoundUp) {
+  // DILATE's 34-wide rows split into two banks of 17.
+  Kernel K = buildKernel("DILATE");
+  normalizeLoops(K);
+  ASSERT_TRUE(unrollAndJam(K, {2, 2}));
+  normalizeLoops(K);
+  scalarReplace(K);
+  peelGuardedIterations(K);
+  applyDataLayout(K, {4});
+  bool FoundBank = false;
+  for (const auto &A : K.arrays()) {
+    if (!A->renamedFrom())
+      continue;
+    FoundBank = true;
+    EXPECT_EQ(A->dim(A->bankDim()),
+              (A->renamedFrom()->dim(A->bankDim()) + A->bankStride() - 1) /
+                  A->bankStride());
+  }
+  EXPECT_TRUE(FoundBank);
+}
+
+TEST(DataLayout, SteadyPortsRespectMemoryCount) {
+  for (unsigned M : {2u, 3u, 8u}) {
+    Kernel K = preparedFir({2, 2});
+    applyDataLayout(K, {M});
+    for (const AccessInfo &Info : collectArrayAccesses(K)) {
+      EXPECT_GE(Info.Access->steadyStatePort(), 0);
+      EXPECT_LT(Info.Access->steadyStatePort(), static_cast<int>(M));
+    }
+  }
+}

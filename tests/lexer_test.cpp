@@ -1,0 +1,129 @@
+//===- lexer_test.cpp - Unit tests for the lexer ---------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Src) {
+  DiagnosticEngine Diags;
+  Lexer L(Src, Diags);
+  return L.lexAll();
+}
+
+std::vector<TokenKind> kinds(const std::string &Src) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : lex(Src))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+} // namespace
+
+TEST(Lexer, EmptyInput) {
+  std::vector<Token> Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  std::vector<Token> Tokens = lex("for if else int char short foo _bar x1");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwFor);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::KwIf);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::KwElse);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::KwInt);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::KwChar);
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::KwShort);
+  EXPECT_EQ(Tokens[6].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[6].Text, "foo");
+  EXPECT_EQ(Tokens[7].Text, "_bar");
+  EXPECT_EQ(Tokens[8].Text, "x1");
+}
+
+TEST(Lexer, IntegerLiterals) {
+  std::vector<Token> Tokens = lex("0 42 123456");
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, 123456);
+}
+
+TEST(Lexer, OperatorsMaximalMunch) {
+  EXPECT_EQ(kinds("+ ++ +="),
+            (std::vector<TokenKind>{TokenKind::Plus, TokenKind::PlusPlus,
+                                    TokenKind::PlusAssign, TokenKind::Eof}));
+  EXPECT_EQ(kinds("< << <= > >> >="),
+            (std::vector<TokenKind>{TokenKind::Lt, TokenKind::Shl,
+                                    TokenKind::Le, TokenKind::Gt,
+                                    TokenKind::Shr, TokenKind::Ge,
+                                    TokenKind::Eof}));
+  EXPECT_EQ(kinds("= == ! != & && | ||"),
+            (std::vector<TokenKind>{
+                TokenKind::Assign, TokenKind::EqEq, TokenKind::Bang,
+                TokenKind::Ne, TokenKind::Amp, TokenKind::AmpAmp,
+                TokenKind::Pipe, TokenKind::PipePipe, TokenKind::Eof}));
+}
+
+TEST(Lexer, Punctuation) {
+  EXPECT_EQ(kinds("( ) { } [ ] ; , ? : ^ % * / -"),
+            (std::vector<TokenKind>{
+                TokenKind::LParen, TokenKind::RParen, TokenKind::LBrace,
+                TokenKind::RBrace, TokenKind::LBracket, TokenKind::RBracket,
+                TokenKind::Semi, TokenKind::Comma, TokenKind::Question,
+                TokenKind::Colon, TokenKind::Caret, TokenKind::Percent,
+                TokenKind::Star, TokenKind::Slash, TokenKind::Minus,
+                TokenKind::Eof}));
+}
+
+TEST(Lexer, LineComments) {
+  std::vector<Token> Tokens = lex("a // comment to end\nb");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+}
+
+TEST(Lexer, BlockComments) {
+  std::vector<Token> Tokens = lex("a /* multi\nline */ b");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+TEST(Lexer, UnterminatedBlockComment) {
+  DiagnosticEngine Diags;
+  Lexer L("a /* never closed", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.toString().find("unterminated"), std::string::npos);
+}
+
+TEST(Lexer, Locations) {
+  std::vector<Token> Tokens = lex("ab\n  cd");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3u);
+}
+
+TEST(Lexer, UnknownCharacter) {
+  DiagnosticEngine Diags;
+  Lexer L("a @ b", Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+  bool SawError = false;
+  for (const Token &T : Tokens)
+    SawError |= T.Kind == TokenKind::Error;
+  EXPECT_TRUE(SawError);
+}
+
+TEST(Lexer, TokenKindNames) {
+  EXPECT_STREQ(tokenKindName(TokenKind::PlusAssign), "'+='");
+  EXPECT_STREQ(tokenKindName(TokenKind::Identifier), "identifier");
+  EXPECT_STREQ(tokenKindName(TokenKind::Eof), "end of input");
+}

@@ -1,0 +1,154 @@
+//===- normalize_fold_test.cpp - Normalization and folding tests ----------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Frontend/Parser.h"
+#include "defacto/IR/IRPrinter.h"
+#include "defacto/IR/IRUtils.h"
+#include "defacto/IR/IRVerifier.h"
+#include "defacto/Kernels/Kernels.h"
+#include "defacto/Sim/Interpreter.h"
+#include "defacto/Transforms/ConstantFolding.h"
+#include "defacto/Transforms/Normalize.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+namespace {
+
+Kernel parseOrDie(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto K = parseKernel(Src, "t", Diags);
+  EXPECT_TRUE(K.has_value()) << Diags.toString();
+  return std::move(*K);
+}
+
+} // namespace
+
+TEST(Normalize, RewritesBoundsAndSubscripts) {
+  Kernel K = parseOrDie("int A[40];\n"
+                        "for (i = 4; i < 20; i += 2) A[2*i + 1] = i;\n");
+  normalizeLoops(K);
+  ForStmt *Loop = K.topLoop();
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_EQ(Loop->lower(), 0);
+  EXPECT_EQ(Loop->upper(), 8);
+  EXPECT_EQ(Loop->step(), 1);
+  std::vector<AccessInfo> Accs = collectArrayAccesses(K);
+  // 2*(2i' + 4) + 1 = 4i' + 9.
+  EXPECT_EQ(Accs[0].Access->subscript(0).coeff(Loop->loopId()), 4);
+  EXPECT_EQ(Accs[0].Access->subscript(0).constant(), 9);
+  EXPECT_TRUE(isKernelValid(K));
+}
+
+TEST(Normalize, PreservesSemantics) {
+  Kernel K = parseOrDie("int A[40]; int s;\n"
+                        "for (i = 4; i < 20; i += 2)\n"
+                        "  for (j = 1; j < 7; j += 3)\n"
+                        "    A[i + j] = A[i + j] + i - j;\n");
+  auto Before = simulate(K, 11);
+  normalizeLoops(K);
+  EXPECT_EQ(simulate(K, 11), Before);
+}
+
+TEST(Normalize, IdempotentOnKernels) {
+  for (const KernelSpec &Spec : paperKernels()) {
+    Kernel K = buildKernel(Spec.Name);
+    normalizeLoops(K);
+    std::string Once = printKernel(K);
+    normalizeLoops(K);
+    EXPECT_EQ(printKernel(K), Once) << Spec.Name;
+  }
+}
+
+TEST(Normalize, RewritesLoopIndexUses) {
+  Kernel K = parseOrDie("int A[10];\n"
+                        "for (i = 2; i < 10; i += 2) A[i] = i;\n");
+  auto Before = simulate(K, 0);
+  normalizeLoops(K);
+  EXPECT_EQ(simulate(K, 0), Before);
+}
+
+TEST(ConstantFolding, FoldsArithmetic) {
+  Kernel K = parseOrDie("int s;\n"
+                        "for (i = 0; i < 1; i++) s = 2 + 3 * 4 - 1;\n");
+  foldConstants(K.body());
+  std::string Text = printKernel(K);
+  EXPECT_NE(Text.find("s = 13;"), std::string::npos);
+}
+
+TEST(ConstantFolding, TakesThenBranch) {
+  Kernel K = parseOrDie("int s;\n"
+                        "for (i = 0; i < 1; i++) {\n"
+                        "  if (1 < 2) s = 10; else s = 20;\n"
+                        "}\n");
+  foldConstants(K.body());
+  StmtCounts Counts = countStmts(K.body());
+  EXPECT_EQ(Counts.If, 0u);
+  EXPECT_EQ(Counts.Assign, 1u);
+  EXPECT_NE(printKernel(K).find("s = 10;"), std::string::npos);
+}
+
+TEST(ConstantFolding, TakesElseBranch) {
+  Kernel K = parseOrDie("int s;\n"
+                        "for (i = 0; i < 1; i++) {\n"
+                        "  if (5 == 6) s = 10; else s = 20;\n"
+                        "}\n");
+  foldConstants(K.body());
+  EXPECT_NE(printKernel(K).find("s = 20;"), std::string::npos);
+  EXPECT_EQ(countStmts(K.body()).If, 0u);
+}
+
+TEST(ConstantFolding, DropsDeadGuardWithoutElse) {
+  Kernel K = parseOrDie("int s;\n"
+                        "for (i = 0; i < 2; i++) {\n"
+                        "  if (0) s = 10;\n"
+                        "  s = s + 1;\n"
+                        "}\n");
+  foldConstants(K.body());
+  StmtCounts Counts = countStmts(K.body());
+  EXPECT_EQ(Counts.If, 0u);
+  EXPECT_EQ(Counts.Assign, 1u);
+}
+
+TEST(ConstantFolding, FoldsSelect) {
+  Kernel K = parseOrDie("int s;\n"
+                        "for (i = 0; i < 1; i++) s = (3 > 1 ? 7 : 9);\n");
+  foldConstants(K.body());
+  EXPECT_NE(printKernel(K).find("s = 7;"), std::string::npos);
+}
+
+TEST(ConstantFolding, IdentitySimplifications) {
+  Kernel K = parseOrDie("int s; int t;\n"
+                        "for (i = 0; i < 1; i++) {\n"
+                        "  s = t + 0;\n"
+                        "  s = 1 * s;\n"
+                        "  s = s - 0;\n"
+                        "}\n");
+  foldConstants(K.body());
+  std::string Text = printKernel(K);
+  EXPECT_NE(Text.find("s = t;"), std::string::npos);
+  EXPECT_NE(Text.find("s = s;"), std::string::npos);
+}
+
+TEST(ConstantFolding, FoldsAbsAndMinMax) {
+  Kernel K = parseOrDie("int s;\n"
+                        "for (i = 0; i < 1; i++)\n"
+                        "  s = abs(0 - 4) + min(2, 5) + max(2, 5);\n");
+  foldConstants(K.body());
+  EXPECT_NE(printKernel(K).find("s = 11;"), std::string::npos);
+}
+
+TEST(ConstantFolding, LeavesDynamicConditionsAlone) {
+  Kernel K = parseOrDie("int A[4]; int s;\n"
+                        "for (i = 0; i < 4; i++) {\n"
+                        "  if (A[i] > 0) s = s + 1;\n"
+                        "}\n");
+  auto Before = simulate(K, 3);
+  foldConstants(K.body());
+  EXPECT_EQ(countStmts(K.body()).If, 1u);
+  EXPECT_EQ(simulate(K, 3), Before);
+}

@@ -1,0 +1,129 @@
+//===- pipeline_property_test.cpp - End-to-end transform properties -------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The central correctness property of the whole compiler: for every
+/// kernel, every unroll vector, and every pass configuration, the
+/// transformed kernel computes exactly what the source kernel computes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "defacto/IR/IRVerifier.h"
+#include "defacto/Kernels/Kernels.h"
+#include "defacto/Sim/Interpreter.h"
+#include "defacto/Transforms/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+namespace {
+
+struct PipelineCase {
+  const char *KernelName;
+  UnrollVector Factors;
+};
+
+std::string caseName(const ::testing::TestParamInfo<PipelineCase> &Info) {
+  std::string Name = Info.param.KernelName;
+  for (int64_t F : Info.param.Factors)
+    Name += "_" + std::to_string(F);
+  return Name;
+}
+
+class PipelineSemantics : public ::testing::TestWithParam<PipelineCase> {};
+
+} // namespace
+
+TEST_P(PipelineSemantics, FullPipelinePreservesResults) {
+  const PipelineCase &Case = GetParam();
+  Kernel Source = buildKernel(Case.KernelName);
+  auto Reference = simulate(Source, 2026);
+
+  TransformOptions Opts;
+  Opts.Unroll = Case.Factors;
+  TransformResult R = applyPipeline(Source, Opts);
+  ASSERT_TRUE(R.UnrollApplied);
+  EXPECT_TRUE(isKernelValid(R.K));
+  EXPECT_EQ(simulate(R.K, 2026), Reference);
+}
+
+TEST_P(PipelineSemantics, PassSubsetsPreserveResults) {
+  const PipelineCase &Case = GetParam();
+  Kernel Source = buildKernel(Case.KernelName);
+  auto Reference = simulate(Source, 77);
+
+  // Every on/off combination of the three optional passes.
+  for (int Mask = 0; Mask != 8; ++Mask) {
+    TransformOptions Opts;
+    Opts.Unroll = Case.Factors;
+    Opts.EnableScalarReplacement = Mask & 1;
+    Opts.EnablePeeling = Mask & 2;
+    Opts.EnableDataLayout = Mask & 4;
+    TransformResult R = applyPipeline(Source, Opts);
+    EXPECT_TRUE(isKernelValid(R.K)) << "mask " << Mask;
+    EXPECT_EQ(simulate(R.K, 77), Reference) << "mask " << Mask;
+  }
+}
+
+TEST_P(PipelineSemantics, ChainCapsPreserveResults) {
+  const PipelineCase &Case = GetParam();
+  Kernel Source = buildKernel(Case.KernelName);
+  auto Reference = simulate(Source, 5);
+  for (unsigned Cap : {1u, 2u, 7u, 64u}) {
+    TransformOptions Opts;
+    Opts.Unroll = Case.Factors;
+    Opts.SR.MaxChainLength = Cap;
+    TransformResult R = applyPipeline(Source, Opts);
+    EXPECT_TRUE(isKernelValid(R.K)) << "cap " << Cap;
+    EXPECT_EQ(simulate(R.K, 5), Reference) << "cap " << Cap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UnrollSweep, PipelineSemantics,
+    ::testing::Values(
+        PipelineCase{"FIR", {1, 1}}, PipelineCase{"FIR", {2, 1}},
+        PipelineCase{"FIR", {1, 2}}, PipelineCase{"FIR", {2, 2}},
+        PipelineCase{"FIR", {4, 8}}, PipelineCase{"FIR", {16, 4}},
+        PipelineCase{"FIR", {64, 32}}, PipelineCase{"MM", {1, 1, 1}},
+        PipelineCase{"MM", {2, 2, 1}}, PipelineCase{"MM", {4, 4, 4}},
+        PipelineCase{"MM", {8, 1, 2}}, PipelineCase{"MM", {32, 4, 16}},
+        PipelineCase{"PAT", {1, 1}}, PipelineCase{"PAT", {2, 4}},
+        PipelineCase{"PAT", {8, 16}}, PipelineCase{"PAT", {64, 16}},
+        PipelineCase{"JAC", {1, 1}}, PipelineCase{"JAC", {2, 2}},
+        PipelineCase{"JAC", {4, 8}}, PipelineCase{"JAC", {32, 32}},
+        PipelineCase{"SOBEL", {1, 1}}, PipelineCase{"SOBEL", {2, 2}},
+        PipelineCase{"SOBEL", {8, 4}}, PipelineCase{"SOBEL", {32, 32}}),
+    caseName);
+
+namespace {
+
+class PipelineStripMine : public ::testing::TestWithParam<PipelineCase> {};
+
+} // namespace
+
+TEST_P(PipelineStripMine, StripMinedPipelinePreservesResults) {
+  const PipelineCase &Case = GetParam();
+  Kernel Source = buildKernel(Case.KernelName);
+  auto Reference = simulate(Source, 88);
+
+  TransformOptions Opts;
+  Opts.Unroll = Case.Factors;
+  // Strip-mine the innermost nest loop to a small tile before unrolling
+  // (the register-control configuration of §5.4).
+  Opts.StripMine = {{Case.Factors.size() - 1, 4}};
+  TransformResult R = applyPipeline(Source, Opts);
+  EXPECT_TRUE(isKernelValid(R.K));
+  EXPECT_EQ(simulate(R.K, 88), Reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StripMineSweep, PipelineStripMine,
+    ::testing::Values(PipelineCase{"FIR", {2, 1}},
+                      PipelineCase{"PAT", {2, 1}},
+                      PipelineCase{"JAC", {2, 2}},
+                      PipelineCase{"SOBEL", {1, 2}}),
+    caseName);

@@ -1,0 +1,146 @@
+//===- reuse_test.cpp - Reuse analysis tests ------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Analysis/ReuseAnalysis.h"
+#include "defacto/Transforms/UnrollAndJam.h"
+#include "defacto/Kernels/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+namespace {
+
+const ReuseGroup *findGroup(const std::vector<ReuseGroup> &Groups,
+                            const std::string &Array) {
+  for (const ReuseGroup &G : Groups)
+    if (G.Array->name() == Array)
+      return &G;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(Reuse, FirShapes) {
+  Kernel FIR = buildKernel("FIR");
+  DependenceInfo DI = DependenceInfo::compute(FIR);
+  std::vector<ReuseGroup> Groups = computeReuseGroups(FIR, DI);
+
+  // D[j]: read + write, invariant in the inner loop.
+  const ReuseGroup *D = findGroup(Groups, "D");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Shape, ReuseShape::InnerInvariant);
+  EXPECT_TRUE(D->HasWrite);
+  EXPECT_EQ(D->Accesses.size(), 2u);
+
+  // C[i]: read-only, reuse carried by the outer loop.
+  const ReuseGroup *C = findGroup(Groups, "C");
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->Shape, ReuseShape::OuterCarriedChain);
+  EXPECT_EQ(C->CarrierPosition, 0);
+  EXPECT_FALSE(C->HasWrite);
+
+  // S[i+j]: no consistent reuse.
+  const ReuseGroup *S = findGroup(Groups, "S");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Shape, ReuseShape::None);
+}
+
+TEST(Reuse, MatrixMultiplyShapes) {
+  Kernel MM = buildKernel("MM");
+  DependenceInfo DI = DependenceInfo::compute(MM);
+  std::vector<ReuseGroup> Groups = computeReuseGroups(MM, DI);
+
+  // Z[i][j]: invariant in k.
+  const ReuseGroup *Z = findGroup(Groups, "Z");
+  ASSERT_NE(Z, nullptr);
+  EXPECT_EQ(Z->Shape, ReuseShape::InnerInvariant);
+  EXPECT_EQ(Z->CarrierPosition, 2);
+
+  // A[i][k]: invariant in j -> chain carried by j.
+  const ReuseGroup *A = findGroup(Groups, "A");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->Shape, ReuseShape::OuterCarriedChain);
+  EXPECT_EQ(A->CarrierPosition, 1);
+
+  // B[k][j]: invariant in i -> chain carried by i.
+  const ReuseGroup *B = findGroup(Groups, "B");
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->Shape, ReuseShape::OuterCarriedChain);
+  EXPECT_EQ(B->CarrierPosition, 0);
+}
+
+TEST(Reuse, JacobiWindow) {
+  Kernel JAC = buildKernel("JAC");
+  DependenceInfo DI = DependenceInfo::compute(JAC);
+  std::vector<ReuseGroup> Groups = computeReuseGroups(JAC, DI);
+
+  // The row accesses A[i][j-1], A[i][j+1] form an inner-carried window
+  // with distance 2; A is one connected group including them.
+  const ReuseGroup *A = findGroup(Groups, "A");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->Shape, ReuseShape::InnerCarriedWindow);
+  ASSERT_TRUE(A->Distance.has_value());
+  EXPECT_GE(*A->Distance, 2);
+}
+
+TEST(Reuse, PatShapes) {
+  Kernel PAT = buildKernel("PAT");
+  DependenceInfo DI = DependenceInfo::compute(PAT);
+  std::vector<ReuseGroup> Groups = computeReuseGroups(PAT, DI);
+
+  const ReuseGroup *M = findGroup(Groups, "M");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->Shape, ReuseShape::InnerInvariant);
+
+  const ReuseGroup *P = findGroup(Groups, "P");
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->Shape, ReuseShape::OuterCarriedChain);
+
+  const ReuseGroup *T = findGroup(Groups, "T");
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->Shape, ReuseShape::None);
+}
+
+TEST(Reuse, ShapeNames) {
+  EXPECT_STREQ(reuseShapeName(ReuseShape::LoopIndependent),
+               "loop-independent");
+  EXPECT_STREQ(reuseShapeName(ReuseShape::InnerInvariant),
+               "inner-invariant");
+  EXPECT_STREQ(reuseShapeName(ReuseShape::OuterCarriedChain),
+               "outer-carried-chain");
+  EXPECT_STREQ(reuseShapeName(ReuseShape::InnerCarriedWindow),
+               "inner-carried-window");
+  EXPECT_STREQ(reuseShapeName(ReuseShape::None), "none");
+}
+
+TEST(Reuse, EveryKernelGroupsCoverAllAccesses) {
+  for (const KernelSpec &Spec : paperKernels()) {
+    Kernel K = buildKernel(Spec.Name);
+    DependenceInfo DI = DependenceInfo::compute(K);
+    std::vector<ReuseGroup> Groups = computeReuseGroups(K, DI);
+    unsigned Total = 0;
+    for (const ReuseGroup &G : Groups)
+      Total += G.Accesses.size();
+    EXPECT_EQ(Total, collectArrayAccesses(K).size()) << Spec.Name;
+  }
+}
+
+TEST(Reuse, UnrolledFirExposesLoopIndependentGroup) {
+  // After unroll-and-jam by (2,2), copies unroll(0,1) and unroll(1,0)
+  // read the same S element (the paper's S_0): a loop-independent
+  // reuse group appears.
+  Kernel FIR = buildKernel("FIR");
+  ASSERT_TRUE(unrollAndJam(FIR, {2, 2}));
+  DependenceInfo DI = DependenceInfo::compute(FIR);
+  std::vector<ReuseGroup> Groups = computeReuseGroups(FIR, DI);
+  bool Found = false;
+  for (const ReuseGroup &G : Groups)
+    if (G.Array->name() == "S" &&
+        G.Shape == ReuseShape::LoopIndependent && G.Accesses.size() >= 2)
+      Found = true;
+  EXPECT_TRUE(Found);
+}

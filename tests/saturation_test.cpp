@@ -1,0 +1,75 @@
+//===- saturation_test.cpp - Saturation point analysis tests --------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/Saturation.h"
+#include "defacto/Kernels/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+TEST(Saturation, Fir) {
+  Kernel FIR = buildKernel("FIR");
+  SaturationInfo Sat = computeSaturation(FIR, 4);
+  // Residual steady accesses after scalar replacement: S read, D read,
+  // D write (C is chained away).
+  EXPECT_EQ(Sat.R, 2u);
+  EXPECT_EQ(Sat.W, 1u);
+  // Psat = lcm(gcd(2,1), 4) = 4.
+  EXPECT_EQ(Sat.Psat, 4);
+  ASSERT_EQ(Sat.Trips.size(), 2u);
+  EXPECT_EQ(Sat.Trips[0], 64);
+  EXPECT_EQ(Sat.Trips[1], 32);
+  // Both loops vary residual subscripts (S[i+j], D[j]).
+  EXPECT_TRUE(Sat.MemoryVarying[0]);
+  EXPECT_TRUE(Sat.MemoryVarying[1]);
+}
+
+TEST(Saturation, MmInnerLoopAddsNoMemoryParallelism) {
+  Kernel MM = buildKernel("MM");
+  SaturationInfo Sat = computeSaturation(MM, 4);
+  ASSERT_EQ(Sat.Trips.size(), 3u);
+  // Steady accesses are Z[i][j] load/store at the j level; k-varying
+  // accesses are all in registers. The paper: "we only consider unroll
+  // factors for the two outermost loops".
+  EXPECT_TRUE(Sat.MemoryVarying[0]);
+  EXPECT_TRUE(Sat.MemoryVarying[1]);
+  EXPECT_FALSE(Sat.MemoryVarying[2]);
+  EXPECT_EQ(Sat.R, 1u);
+  EXPECT_EQ(Sat.W, 1u);
+  EXPECT_EQ(Sat.Psat, 4);
+}
+
+TEST(Saturation, JacAndSobel) {
+  for (const char *Name : {"JAC", "SOBEL"}) {
+    Kernel K = buildKernel(Name);
+    SaturationInfo Sat = computeSaturation(K, 4);
+    EXPECT_GE(Sat.R, 1u) << Name;
+    EXPECT_EQ(Sat.W, 1u) << Name;
+    EXPECT_EQ(Sat.Psat % 4, 0) << Name;
+    EXPECT_TRUE(Sat.MemoryVarying[0]) << Name;
+    EXPECT_TRUE(Sat.MemoryVarying[1]) << Name;
+  }
+}
+
+TEST(Saturation, ScalesWithMemoryCount) {
+  Kernel FIR = buildKernel("FIR");
+  EXPECT_EQ(computeSaturation(FIR, 2).Psat, 2);
+  EXPECT_EQ(computeSaturation(FIR, 8).Psat, 8);
+  EXPECT_EQ(computeSaturation(FIR, 1).Psat, 1);
+  // Zero memories degenerate to one.
+  EXPECT_EQ(computeSaturation(FIR, 0).Psat, 1);
+}
+
+TEST(Saturation, PatChainsRemoveInnerReads) {
+  Kernel PAT = buildKernel("PAT");
+  SaturationInfo Sat = computeSaturation(PAT, 4);
+  // Residual: T read (varies i and j), M load/store (varies i).
+  EXPECT_EQ(Sat.R, 2u);
+  EXPECT_EQ(Sat.W, 1u);
+  EXPECT_TRUE(Sat.MemoryVarying[0]);
+  EXPECT_TRUE(Sat.MemoryVarying[1]);
+}

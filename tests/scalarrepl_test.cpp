@@ -1,0 +1,240 @@
+//===- scalarrepl_test.cpp - Scalar replacement tests ---------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Frontend/Parser.h"
+#include "defacto/IR/IRPrinter.h"
+#include "defacto/IR/IRUtils.h"
+#include "defacto/IR/IRVerifier.h"
+#include "defacto/Kernels/Kernels.h"
+#include "defacto/Sim/Interpreter.h"
+#include "defacto/Transforms/Normalize.h"
+#include "defacto/Transforms/ScalarReplacement.h"
+#include "defacto/Transforms/UnrollAndJam.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+namespace {
+
+Kernel parseOrDie(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto K = parseKernel(Src, "t", Diags);
+  EXPECT_TRUE(K.has_value()) << Diags.toString();
+  return std::move(*K);
+}
+
+/// Memory accesses remaining in the steady-state innermost body
+/// (excluding first-iteration guards). Scalar replacement hoists loads
+/// between levels, so the innermost loop is the one containing no nested
+/// loop.
+unsigned steadyBodyAccesses(Kernel &K) {
+  ForStmt *Inner = nullptr;
+  for (ForStmt *F : collectLoops(K.body()))
+    if (collectLoops(F->body()).empty())
+      Inner = F;
+  if (!Inner)
+    return 0;
+  unsigned N = 0;
+  for (const StmtPtr &S : Inner->body()) {
+    if (isa<IfStmt>(S.get()))
+      continue; // Guarded warm-up loads.
+    if (const auto *A = dyn_cast<AssignStmt>(S.get())) {
+      if (isa<ArrayAccessExpr>(A->dest()))
+        ++N;
+      walkExpr(A->value(), [&N](const Expr *E) {
+        if (isa<ArrayAccessExpr>(E))
+          ++N;
+      });
+    }
+  }
+  return N;
+}
+
+} // namespace
+
+TEST(ScalarReplacement, FirBaselineStructure) {
+  Kernel FIR = buildKernel("FIR");
+  normalizeLoops(FIR);
+  ScalarReplacementStats Stats = scalarReplace(FIR);
+  EXPECT_TRUE(isKernelValid(FIR));
+
+  // C[i] becomes a 32-register rotating chain; D[j] one register.
+  EXPECT_EQ(Stats.ChainsCreated, 1u);
+  EXPECT_GE(Stats.RegistersAllocated, 33u);
+  // Steady state: only the S load remains in the inner body.
+  EXPECT_EQ(steadyBodyAccesses(FIR), 1u);
+
+  // The guard of Figure 1(c): "if (j == 0) { c_0 = C[i]; }".
+  std::string Text = printKernel(FIR);
+  EXPECT_NE(Text.find("if ((j == 0))"), std::string::npos);
+  EXPECT_NE(Text.find("rotate_registers("), std::string::npos);
+}
+
+TEST(ScalarReplacement, FirUnrolledMatchesFigure1c) {
+  Kernel FIR = buildKernel("FIR");
+  normalizeLoops(FIR);
+  ASSERT_TRUE(unrollAndJam(FIR, {2, 2}));
+  normalizeLoops(FIR);
+  ScalarReplacementStats Stats = scalarReplace(FIR);
+
+  // Two C chains (even/odd), one CSE temp for the shared S element,
+  // two D registers.
+  EXPECT_EQ(Stats.ChainsCreated, 2u);
+  // Steady state loads: S appears with 3 distinct subscripts; one is
+  // shared (CSE) so 3 loads remain, plus no D/C traffic.
+  EXPECT_EQ(steadyBodyAccesses(FIR), 3u);
+  EXPECT_GE(Stats.LoadsRemoved, 1u);
+  EXPECT_GE(Stats.StoresRemoved, 1u);
+}
+
+TEST(ScalarReplacement, MmEliminatesAllInnerAccesses) {
+  Kernel MM = buildKernel("MM");
+  normalizeLoops(MM);
+  ScalarReplacementStats Stats = scalarReplace(MM);
+  EXPECT_TRUE(isKernelValid(MM));
+  // The paper: after the transformations the innermost (k) body has no
+  // memory accesses at all (A and B live in chains, Z in a register).
+  EXPECT_EQ(steadyBodyAccesses(MM), 0u);
+  EXPECT_EQ(Stats.ChainsCreated, 2u);
+}
+
+TEST(ScalarReplacement, JacobiWindows) {
+  Kernel JAC = buildKernel("JAC");
+  normalizeLoops(JAC);
+  ScalarReplacementStats Stats = scalarReplace(JAC);
+  EXPECT_TRUE(isKernelValid(JAC));
+  // The row accesses A[i][j-1..j+1] collapse into one sliding window
+  // with a single leading load; the column accesses stay (2 loads) and
+  // the B write stays.
+  EXPECT_EQ(Stats.WindowsCreated, 1u);
+  EXPECT_EQ(steadyBodyAccesses(JAC), 4u); // 2 col loads + 1 lead + 1 store
+}
+
+TEST(ScalarReplacement, WindowsCanBeDisabled) {
+  Kernel JAC = buildKernel("JAC");
+  normalizeLoops(JAC);
+  ScalarReplacementOptions Opts;
+  Opts.EnableWindows = false;
+  ScalarReplacementStats Stats = scalarReplace(JAC, Opts);
+  EXPECT_EQ(Stats.WindowsCreated, 0u);
+  EXPECT_EQ(steadyBodyAccesses(JAC), 5u); // All 4 loads + 1 store.
+}
+
+TEST(ScalarReplacement, ChainsCanBeDisabled) {
+  Kernel FIR = buildKernel("FIR");
+  normalizeLoops(FIR);
+  ScalarReplacementOptions Opts;
+  Opts.EnableOuterCarriedChains = false;
+  ScalarReplacementStats Stats = scalarReplace(FIR, Opts);
+  EXPECT_EQ(Stats.ChainsCreated, 0u);
+  // C load stays in the body.
+  EXPECT_EQ(steadyBodyAccesses(FIR), 2u);
+}
+
+TEST(ScalarReplacement, ChainLengthCapFallsBack) {
+  Kernel FIR = buildKernel("FIR");
+  normalizeLoops(FIR);
+  ScalarReplacementOptions Opts;
+  Opts.MaxChainLength = 8; // C needs 32.
+  ScalarReplacementStats Stats = scalarReplace(FIR, Opts);
+  EXPECT_EQ(Stats.ChainsCreated, 0u);
+}
+
+TEST(ScalarReplacement, ConditionalAccessesAreConservative) {
+  Kernel K = parseOrDie("int A[8]; int B[8]; int s;\n"
+                        "for (i = 0; i < 8; i++)\n"
+                        "  for (j = 0; j < 8; j++) {\n"
+                        "    if (B[j] > 0) A[i] = A[i] + 1;\n"
+                        "    s = s + B[j];\n"
+                        "  }\n");
+  normalizeLoops(K);
+  auto Reference = simulate(K, 77);
+  scalarReplace(K);
+  EXPECT_TRUE(isKernelValid(K));
+  EXPECT_EQ(simulate(K, 77), Reference);
+  // A and B are accessed under control flow: left in memory.
+  std::string Text = printKernel(K);
+  EXPECT_EQ(Text.find("A_r"), std::string::npos);
+}
+
+TEST(ScalarReplacement, WriteOnlyInvariantGetsNoLoad) {
+  Kernel K = parseOrDie("int A[8];\n"
+                        "for (i = 0; i < 8; i++)\n"
+                        "  for (j = 0; j < 4; j++)\n"
+                        "    A[i] = j;\n");
+  normalizeLoops(K);
+  auto Reference = simulate(K, 3);
+  ScalarReplacementStats Stats = scalarReplace(K);
+  EXPECT_EQ(simulate(K, 3), Reference);
+  EXPECT_EQ(Stats.StoresRemoved, 1u);
+  EXPECT_EQ(steadyBodyAccesses(K), 0u);
+  // No initial load for a write-only register.
+  EXPECT_EQ(Stats.LoadsRemoved, 0u);
+}
+
+namespace {
+
+class ScalarReplacementSemantics
+    : public ::testing::TestWithParam<const char *> {};
+
+} // namespace
+
+TEST_P(ScalarReplacementSemantics, PreservesResults) {
+  Kernel K = buildKernel(GetParam());
+  auto Reference = simulate(K, 4242);
+  normalizeLoops(K);
+  scalarReplace(K);
+  EXPECT_TRUE(isKernelValid(K));
+  EXPECT_EQ(simulate(K, 4242), Reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, ScalarReplacementSemantics,
+                         ::testing::Values("FIR", "MM", "PAT", "JAC",
+                                           "SOBEL"));
+
+TEST(ScalarReplacement, SobelWindowsShareColumns) {
+  // SOBEL's 3x3 window has three row streams; each becomes a window
+  // with one leading load, so the steady state needs 3 loads + 1 store
+  // instead of 8 loads + 1 store.
+  Kernel SOBEL = buildKernel("SOBEL");
+  normalizeLoops(SOBEL);
+  ScalarReplacementStats Stats = scalarReplace(SOBEL);
+  EXPECT_EQ(Stats.WindowsCreated, 3u);
+  EXPECT_EQ(steadyBodyAccesses(SOBEL), 4u);
+}
+
+TEST(ScalarReplacement, WindowWarmupGuardsTheInnerLoop) {
+  Kernel JAC = buildKernel("JAC");
+  normalizeLoops(JAC);
+  scalarReplace(JAC);
+  // The warm-up guard tests the *innermost* loop's first iteration.
+  ForStmt *Inner = perfectNest(JAC.topLoop()).back();
+  bool FoundGuard = false;
+  for (const StmtPtr &S : Inner->body()) {
+    const auto *If = dyn_cast<IfStmt>(S.get());
+    if (!If)
+      continue;
+    const auto *Cmp = dyn_cast<BinaryExpr>(If->cond());
+    ASSERT_NE(Cmp, nullptr);
+    const auto *Idx = dyn_cast<LoopIndexExpr>(Cmp->lhs());
+    ASSERT_NE(Idx, nullptr);
+    EXPECT_EQ(Idx->loopId(), Inner->loopId());
+    FoundGuard = true;
+  }
+  EXPECT_TRUE(FoundGuard);
+}
+
+TEST(ScalarReplacement, CorrFourDeepChains) {
+  // CORR's template T[u][v] is invariant in the two image loops: a
+  // chain carried at nest position 1 caches the whole 4x4 template.
+  Kernel CORR = buildKernel("CORR");
+  normalizeLoops(CORR);
+  ScalarReplacementStats Stats = scalarReplace(CORR);
+  EXPECT_GE(Stats.ChainsCreated, 1u);
+  // Steady state: only the image load and the R accumulator traffic.
+  EXPECT_LE(steadyBodyAccesses(CORR), 1u);
+}

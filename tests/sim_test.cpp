@@ -1,0 +1,182 @@
+//===- sim_test.cpp - Functional interpreter tests ------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Frontend/Parser.h"
+#include "defacto/Kernels/Kernels.h"
+#include "defacto/Sim/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+namespace {
+
+Kernel parseOrDie(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto K = parseKernel(Src, "t", Diags);
+  EXPECT_TRUE(K.has_value()) << Diags.toString();
+  return std::move(*K);
+}
+
+} // namespace
+
+TEST(Sim, DeterministicImages) {
+  Kernel K = buildKernel("FIR");
+  MemoryImage A(K, 1), B(K, 1), C(K, 2);
+  EXPECT_EQ(A.arrayData("S"), B.arrayData("S"));
+  EXPECT_NE(A.arrayData("S"), C.arrayData("S"));
+  // Different arrays get different streams under one seed.
+  EXPECT_NE(A.arrayData("S")[0], A.arrayData("C")[0]);
+}
+
+TEST(Sim, ClonesSeeSameImage) {
+  Kernel K = buildKernel("JAC");
+  Kernel C = K.clone();
+  EXPECT_EQ(simulate(K, 7), simulate(C, 7));
+}
+
+TEST(Sim, ArithmeticSemantics) {
+  Kernel K = parseOrDie(
+      "int A[12]; int x;\n"
+      "for (i = 0; i < 1; i++) {\n"
+      "  x = 7;\n"
+      "  A[0] = x + 3;\n"      // 10
+      "  A[1] = x - 10;\n"     // -3
+      "  A[2] = x * -2;\n"     // -14
+      "  A[3] = x / 2;\n"      // 3
+      "  A[4] = x % 3;\n"      // 1
+      "  A[5] = min(x, 3);\n"  // 3
+      "  A[6] = max(x, 9);\n"  // 9
+      "  A[7] = abs(0 - x);\n" // 7
+      "  A[8] = x == 7;\n"     // 1
+      "  A[9] = x < 7;\n"      // 0
+      "  A[10] = x >> 1;\n"    // 3
+      "  A[11] = (x > 0 ? 5 : 6);\n" // 5
+      "}\n");
+  auto Out = simulate(K, 0);
+  const std::vector<int64_t> &A = Out.at("A");
+  EXPECT_EQ(A[0], 10);
+  EXPECT_EQ(A[1], -3);
+  EXPECT_EQ(A[2], -14);
+  EXPECT_EQ(A[3], 3);
+  EXPECT_EQ(A[4], 1);
+  EXPECT_EQ(A[5], 3);
+  EXPECT_EQ(A[6], 9);
+  EXPECT_EQ(A[7], 7);
+  EXPECT_EQ(A[8], 1);
+  EXPECT_EQ(A[9], 0);
+  EXPECT_EQ(A[10], 3);
+  EXPECT_EQ(A[11], 5);
+}
+
+TEST(Sim, DivisionByZeroYieldsZero) {
+  Kernel K = parseOrDie("int A[2]; int z;\n"
+                        "for (i = 0; i < 1; i++) {\n"
+                        "  z = 0;\n"
+                        "  A[0] = 5 / z;\n"
+                        "  A[1] = 5 % z;\n"
+                        "}\n");
+  auto Out = simulate(K, 0);
+  EXPECT_EQ(Out.at("A")[0], 0);
+  EXPECT_EQ(Out.at("A")[1], 0);
+}
+
+TEST(Sim, StoreTruncatesToElementType) {
+  Kernel K = parseOrDie("char A[1];\n"
+                        "for (i = 0; i < 1; i++) A[0] = 200;\n");
+  auto Out = simulate(K, 0);
+  EXPECT_EQ(Out.at("A")[0], 200 - 256); // Wraps to -56.
+}
+
+TEST(Sim, RotateSemantics) {
+  Kernel K("rot");
+  ScalarDecl *R0 = K.makeScalar("r0", ScalarType::Int32);
+  ScalarDecl *R1 = K.makeScalar("r1", ScalarType::Int32);
+  ScalarDecl *R2 = K.makeScalar("r2", ScalarType::Int32);
+  MemoryImage Mem(K, 0);
+  Mem.setScalar(R0, 10);
+  Mem.setScalar(R1, 20);
+  Mem.setScalar(R2, 30);
+  K.body().push_back(std::make_unique<RotateStmt>(
+      std::vector<const ScalarDecl *>{R0, R1, R2}));
+  SimStats Stats = runKernel(K, Mem);
+  // Rotate left: (r0, r1, r2) <- (r1, r2, r0).
+  EXPECT_EQ(Mem.scalar(R0), 20);
+  EXPECT_EQ(Mem.scalar(R1), 30);
+  EXPECT_EQ(Mem.scalar(R2), 10);
+  EXPECT_EQ(Stats.RotatesExecuted, 1u);
+}
+
+TEST(Sim, RenamedArraysAliasOrigin) {
+  Kernel K("alias");
+  ArrayDecl *A = K.makeArray("A", ScalarType::Int32, {8});
+  ArrayDecl *Even = K.makeArray("A0", ScalarType::Int32, {4});
+  Even->setRenaming(A, 0, 0, 2);
+  ArrayDecl *Odd = K.makeArray("A1", ScalarType::Int32, {4});
+  Odd->setRenaming(A, 0, 1, 2);
+
+  MemoryImage Mem(K, 0);
+  // Write through the banks, read back through the origin.
+  Mem.store(Even, {1}, 42); // A[2]
+  Mem.store(Odd, {3}, 43);  // A[7]
+  EXPECT_EQ(Mem.load(A, {2}), 42);
+  EXPECT_EQ(Mem.load(A, {7}), 43);
+  EXPECT_EQ(Mem.load(Even, {1}), 42);
+  // Renamed arrays own no storage: only the origin appears by name.
+  EXPECT_EQ(Mem.arrayNames(), (std::vector<std::string>{"A"}));
+}
+
+TEST(Sim, StatsCountAccesses) {
+  Kernel K = parseOrDie("int A[4]; int s;\n"
+                        "for (i = 0; i < 4; i++) s = s + A[i];\n");
+  MemoryImage Mem(K, 0);
+  SimStats Stats = runKernel(K, Mem);
+  EXPECT_EQ(Stats.MemoryReads, 4u);
+  EXPECT_EQ(Stats.MemoryWrites, 0u);
+  EXPECT_EQ(Stats.AssignsExecuted, 4u);
+}
+
+TEST(Sim, ConditionalExecution) {
+  Kernel K = parseOrDie("int A[8];\n"
+                        "for (i = 0; i < 8; i++) {\n"
+                        "  if (i < 4) A[i] = 1; else A[i] = 2;\n"
+                        "}\n");
+  auto Out = simulate(K, 0);
+  for (int I = 0; I != 8; ++I)
+    EXPECT_EQ(Out.at("A")[I], I < 4 ? 1 : 2);
+}
+
+TEST(Sim, FirMatchesReferenceConvolution) {
+  Kernel K = buildKernel("FIR");
+  MemoryImage Mem(K, 99);
+  std::vector<int64_t> S = Mem.arrayData("S");
+  std::vector<int64_t> C = Mem.arrayData("C");
+  std::vector<int64_t> D = Mem.arrayData("D");
+  runKernel(K, Mem);
+  for (int J = 0; J != 64; ++J) {
+    int64_t Acc = D[J];
+    for (int I = 0; I != 32; ++I)
+      Acc = truncateToType(Acc + S[I + J] * C[I], ScalarType::Int32);
+    EXPECT_EQ(Mem.arrayData("D")[J], Acc) << "at j=" << J;
+  }
+}
+
+TEST(Sim, MatrixMultiplyMatchesReference) {
+  Kernel K = buildKernel("MM");
+  MemoryImage Mem(K, 5);
+  std::vector<int64_t> A = Mem.arrayData("A");
+  std::vector<int64_t> B = Mem.arrayData("B");
+  std::vector<int64_t> Z = Mem.arrayData("Z");
+  runKernel(K, Mem);
+  for (int I = 0; I != 32; ++I)
+    for (int J = 0; J != 4; ++J) {
+      int64_t Acc = Z[I * 4 + J];
+      for (int L = 0; L != 16; ++L)
+        Acc = truncateToType(Acc + A[I * 16 + L] * B[L * 4 + J],
+                             ScalarType::Int32);
+      EXPECT_EQ(Mem.arrayData("Z")[I * 4 + J], Acc);
+    }
+}

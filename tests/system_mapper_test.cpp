@@ -1,0 +1,69 @@
+//===- system_mapper_test.cpp - Multi-kernel device mapping tests ---------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/SystemMapper.h"
+#include "defacto/Kernels/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+TEST(SystemMapper, AllFiveKernelsShareOneWildStar) {
+  std::vector<Kernel> Owned;
+  for (const KernelSpec &Spec : paperKernels())
+    Owned.push_back(buildKernel(Spec.Name));
+  std::vector<const Kernel *> Kernels;
+  for (const Kernel &K : Owned)
+    Kernels.push_back(&K);
+
+  ExplorerOptions Opts;
+  SystemMapping M = mapKernelsToDevice(Kernels, Opts);
+  ASSERT_EQ(M.Kernels.size(), 5u);
+  EXPECT_TRUE(M.Fits);
+  EXPECT_LE(M.TotalSlices, Opts.Platform.CapacitySlices);
+  for (const MappedKernel &MK : M.Kernels) {
+    EXPECT_GE(MK.Result.speedup(), 1.0) << MK.Name;
+    EXPECT_GT(MK.Result.SelectedEstimate.Cycles, 0u) << MK.Name;
+  }
+}
+
+TEST(SystemMapper, TightDeviceForcesNegotiation) {
+  std::vector<Kernel> Owned;
+  Owned.push_back(buildKernel("FIR"));
+  Owned.push_back(buildKernel("MM"));
+  std::vector<const Kernel *> Kernels{&Owned[0], &Owned[1]};
+
+  ExplorerOptions Full;
+  SystemMapping Unconstrained = mapKernelsToDevice(Kernels, Full);
+
+  ExplorerOptions Tight;
+  Tight.Platform.CapacitySlices = 8000; // FIR+MM want ~13k together.
+  SystemMapping Constrained = mapKernelsToDevice(Kernels, Tight);
+
+  EXPECT_TRUE(Constrained.Fits);
+  EXPECT_GE(Constrained.Rounds, 1u);
+  EXPECT_LT(Constrained.TotalSlices, Unconstrained.TotalSlices);
+  // Performance is traded for area, never correctness: cycles rise.
+  EXPECT_GE(Constrained.TotalCycles, Unconstrained.TotalCycles);
+}
+
+TEST(SystemMapper, SingleKernelMatchesPlainExploration) {
+  Kernel FIR = buildKernel("FIR");
+  ExplorerOptions Opts;
+  SystemMapping M = mapKernelsToDevice({&FIR}, Opts);
+  ExplorationResult R = DesignSpaceExplorer(FIR, Opts).run();
+  ASSERT_EQ(M.Kernels.size(), 1u);
+  EXPECT_EQ(M.Kernels[0].Result.Selected, R.Selected);
+  EXPECT_EQ(M.TotalCycles, R.SelectedEstimate.Cycles);
+}
+
+TEST(SystemMapper, EmptyInputIsAFittingNoop) {
+  ExplorerOptions Opts;
+  SystemMapping M = mapKernelsToDevice({}, Opts);
+  EXPECT_TRUE(M.Fits);
+  EXPECT_EQ(M.TotalSlices, 0.0);
+  EXPECT_EQ(M.TotalCycles, 0u);
+}

@@ -1,0 +1,92 @@
+//===- tiling_test.cpp - Strip-mining tests -------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/IR/IRPrinter.h"
+#include "defacto/IR/IRUtils.h"
+#include "defacto/IR/IRVerifier.h"
+#include "defacto/Kernels/Kernels.h"
+#include "defacto/Sim/Interpreter.h"
+#include "defacto/Transforms/Normalize.h"
+#include "defacto/Transforms/ScalarReplacement.h"
+#include "defacto/Transforms/Tiling.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+TEST(StripMine, SplitsLoop) {
+  Kernel FIR = buildKernel("FIR");
+  normalizeLoops(FIR);
+  std::vector<ForStmt *> Nest = perfectNest(FIR.topLoop());
+  int InnerId = Nest[1]->loopId();
+  ASSERT_TRUE(stripMine(FIR, InnerId, 8));
+  EXPECT_TRUE(isKernelValid(FIR));
+
+  Nest = perfectNest(FIR.topLoop());
+  ASSERT_EQ(Nest.size(), 3u);
+  EXPECT_EQ(Nest[1]->tripCount(), 4); // 32 / 8 tiles.
+  EXPECT_EQ(Nest[2]->tripCount(), 8); // Strip of 8.
+  EXPECT_EQ(Nest[1]->loopId(), InnerId);
+}
+
+TEST(StripMine, PreservesSemantics) {
+  for (const KernelSpec &Spec : paperKernels()) {
+    Kernel K = buildKernel(Spec.Name);
+    auto Reference = simulate(K, 9);
+    normalizeLoops(K);
+    std::vector<ForStmt *> Nest = perfectNest(K.topLoop());
+    ForStmt *Inner = Nest.back();
+    int64_t Trip = Inner->tripCount();
+    // Pick a proper divisor tile if one exists.
+    int64_t Tile = 0;
+    for (int64_t T = 2; T < Trip; ++T)
+      if (Trip % T == 0) {
+        Tile = T;
+        break;
+      }
+    if (Tile == 0)
+      continue;
+    ASSERT_TRUE(stripMine(K, Inner->loopId(), Tile)) << Spec.Name;
+    EXPECT_TRUE(isKernelValid(K)) << Spec.Name;
+    EXPECT_EQ(simulate(K, 9), Reference) << Spec.Name;
+  }
+}
+
+TEST(StripMine, RejectsBadParameters) {
+  Kernel FIR = buildKernel("FIR");
+  normalizeLoops(FIR);
+  int Id = perfectNest(FIR.topLoop())[1]->loopId();
+  EXPECT_FALSE(stripMine(FIR, Id, 1));   // Tile 1: pointless.
+  EXPECT_FALSE(stripMine(FIR, Id, 32));  // Tile == trip.
+  EXPECT_FALSE(stripMine(FIR, Id, 5));   // Non-divisor.
+  EXPECT_FALSE(stripMine(FIR, 999, 4));  // Unknown loop.
+}
+
+TEST(StripMine, RejectsUnnormalizedLoop) {
+  Kernel JAC = buildKernel("JAC"); // Lower bound 1 before normalization.
+  int Id = perfectNest(JAC.topLoop())[0]->loopId();
+  EXPECT_FALSE(stripMine(JAC, Id, 4));
+}
+
+TEST(StripMine, ReducesChainLengthForRegisterControl) {
+  // §5.4: tiling shrinks the localized iteration space so scalar
+  // replacement's chains match a register budget. Strip-mining the inner
+  // loop of FIR shortens nothing by itself (the chain still spans the
+  // full sweep), but strip-mining and unrolling only the tile keeps the
+  // chain bounded by MaxChainLength fallback. Here we verify the
+  // combined effect: a chain-capped scalar replacement plus strip-mined
+  // nest still computes correctly.
+  Kernel K = buildKernel("FIR");
+  auto Reference = simulate(K, 21);
+  normalizeLoops(K);
+  int InnerId = perfectNest(K.topLoop())[1]->loopId();
+  ASSERT_TRUE(stripMine(K, InnerId, 4));
+  ScalarReplacementOptions Opts;
+  Opts.MaxChainLength = 16;
+  scalarReplace(K, Opts);
+  EXPECT_TRUE(isKernelValid(K));
+  EXPECT_EQ(simulate(K, 21), Reference);
+}

@@ -1,0 +1,124 @@
+//===- unroll_test.cpp - Unroll-and-jam tests -----------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/IR/IRPrinter.h"
+#include "defacto/IR/IRUtils.h"
+#include "defacto/IR/IRVerifier.h"
+#include "defacto/Kernels/Kernels.h"
+#include "defacto/Sim/Interpreter.h"
+#include "defacto/Transforms/UnrollAndJam.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+TEST(UnrollVectorOps, ProductAndPrinting) {
+  EXPECT_EQ(unrollProduct({2, 3, 4}), 24);
+  EXPECT_EQ(unrollProduct({}), 1);
+  EXPECT_EQ(unrollVectorToString({2, 4}), "(2, 4)");
+  EXPECT_EQ(unrollVectorToString({7}), "(7)");
+}
+
+TEST(UnrollAndJam, CanUnrollChecks) {
+  Kernel FIR = buildKernel("FIR");
+  EXPECT_TRUE(canUnroll(FIR, {2, 2}));
+  EXPECT_TRUE(canUnroll(FIR, {1, 1}));
+  EXPECT_TRUE(canUnroll(FIR, {64, 32}));
+  EXPECT_TRUE(canUnroll(FIR, {2}));        // Shorter: padded with 1.
+  EXPECT_FALSE(canUnroll(FIR, {3, 2}));    // 3 does not divide 64.
+  EXPECT_FALSE(canUnroll(FIR, {2, 2, 2})); // Deeper than the nest.
+  EXPECT_FALSE(canUnroll(FIR, {0, 1}));    // Nonpositive factor.
+}
+
+TEST(UnrollAndJam, BodyReplicationAndSteps) {
+  Kernel FIR = buildKernel("FIR");
+  ASSERT_TRUE(unrollAndJam(FIR, {2, 2}));
+  std::vector<ForStmt *> Nest = perfectNest(FIR.topLoop());
+  ASSERT_EQ(Nest.size(), 2u);
+  EXPECT_EQ(Nest[0]->step(), 2);
+  EXPECT_EQ(Nest[1]->step(), 2);
+  // The single MAC statement is replicated 4 times (Figure 1(b)).
+  EXPECT_EQ(Nest[1]->body().size(), 4u);
+  EXPECT_TRUE(isKernelValid(FIR));
+}
+
+TEST(UnrollAndJam, SubscriptShiftsMatchFigure1b) {
+  Kernel FIR = buildKernel("FIR");
+  ASSERT_TRUE(unrollAndJam(FIR, {2, 2}));
+  // Collect the D-write subscript constants: 0,0,1,1 in outer-major
+  // order (copies (0,0),(0,1),(1,0),(1,1)).
+  std::vector<int64_t> DConsts;
+  std::vector<int64_t> SConsts;
+  for (const AccessInfo &Info : collectArrayAccesses(FIR)) {
+    if (Info.IsWrite && Info.Access->array()->name() == "D")
+      DConsts.push_back(Info.Access->subscript(0).constant());
+    if (Info.Access->array()->name() == "S")
+      SConsts.push_back(Info.Access->subscript(0).constant());
+  }
+  EXPECT_EQ(DConsts, (std::vector<int64_t>{0, 0, 1, 1}));
+  EXPECT_EQ(SConsts, (std::vector<int64_t>{0, 1, 1, 2}));
+}
+
+TEST(UnrollAndJam, FactorOneIsIdentity) {
+  Kernel FIR = buildKernel("FIR");
+  std::string Before = printKernel(FIR);
+  ASSERT_TRUE(unrollAndJam(FIR, {1, 1}));
+  EXPECT_EQ(printKernel(FIR), Before);
+}
+
+TEST(UnrollAndJam, InvalidFactorsLeaveKernelUntouched) {
+  Kernel FIR = buildKernel("FIR");
+  std::string Before = printKernel(FIR);
+  EXPECT_FALSE(unrollAndJam(FIR, {3, 1}));
+  EXPECT_EQ(printKernel(FIR), Before);
+}
+
+TEST(UnrollAndJam, ThreeDeepNest) {
+  Kernel MM = buildKernel("MM");
+  ASSERT_TRUE(unrollAndJam(MM, {2, 2, 4}));
+  std::vector<ForStmt *> Nest = perfectNest(MM.topLoop());
+  ASSERT_EQ(Nest.size(), 3u);
+  EXPECT_EQ(Nest[2]->body().size(), 16u);
+  EXPECT_TRUE(isKernelValid(MM));
+}
+
+namespace {
+
+/// Unroll-and-jam must preserve semantics for every kernel and factor.
+struct UnrollCase {
+  const char *KernelName;
+  UnrollVector Factors;
+};
+
+class UnrollSemantics : public ::testing::TestWithParam<UnrollCase> {};
+
+} // namespace
+
+TEST_P(UnrollSemantics, PreservesResults) {
+  const UnrollCase &Case = GetParam();
+  Kernel K = buildKernel(Case.KernelName);
+  auto Reference = simulate(K, 1234);
+  ASSERT_TRUE(unrollAndJam(K, Case.Factors));
+  EXPECT_TRUE(isKernelValid(K));
+  EXPECT_EQ(simulate(K, 1234), Reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, UnrollSemantics,
+    ::testing::Values(UnrollCase{"FIR", {2, 2}}, UnrollCase{"FIR", {4, 1}},
+                      UnrollCase{"FIR", {1, 8}}, UnrollCase{"FIR", {64, 32}},
+                      UnrollCase{"MM", {2, 2, 2}}, UnrollCase{"MM", {8, 4, 1}},
+                      UnrollCase{"MM", {1, 1, 16}},
+                      UnrollCase{"PAT", {4, 4}}, UnrollCase{"PAT", {16, 1}},
+                      UnrollCase{"JAC", {2, 4}}, UnrollCase{"JAC", {8, 8}},
+                      UnrollCase{"SOBEL", {2, 2}},
+                      UnrollCase{"SOBEL", {1, 16}}),
+    [](const ::testing::TestParamInfo<UnrollCase> &Info) {
+      std::string Name = Info.param.KernelName;
+      for (int64_t F : Info.param.Factors)
+        Name += "_" + std::to_string(F);
+      return Name;
+    });
