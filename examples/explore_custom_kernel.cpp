@@ -8,17 +8,24 @@
 ///
 ///   explore_custom_kernel [file.c] [--non-pipelined] [--memories N]
 ///                         [--vhdl] [--register-cap N] [--breakdown]
-///                         [--schedule]
+///                         [--schedule] [--fail-rate P] [--fault-seed S]
+///                         [--deadline SEC] [--retries N]
 ///
 /// Reads a C loop-nest kernel (stdin or a file), reports diagnostics on
 /// malformed input, explores the design space, and optionally dumps the
 /// behavioral VHDL of the selected design. With no file argument a
 /// built-in demosaicing-style kernel is used.
 ///
+/// The fault flags demonstrate the degradation policy: --fail-rate
+/// injects seeded estimator failures, --deadline bounds the wall-clock,
+/// --retries sets the per-design retry budget; a degraded run reports
+/// its failure log and still returns the best design evaluated.
+///
 //===----------------------------------------------------------------------===//
 
 #include "defacto/Core/Explorer.h"
 #include "defacto/Frontend/Parser.h"
+#include "defacto/HLS/FaultInjector.h"
 #include "defacto/IR/IRPrinter.h"
 #include "defacto/IR/IRUtils.h"
 #include "defacto/Support/Table.h"
@@ -51,6 +58,7 @@ int main(int Argc, char **Argv) {
   bool EmitVhdlOutput = false;
   bool ShowBreakdown = false;
   bool ShowSchedule = false;
+  FaultInjectorOptions Faults;
 
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--non-pipelined") == 0) {
@@ -67,6 +75,14 @@ int main(int Argc, char **Argv) {
     } else if (std::strcmp(Argv[I], "--register-cap") == 0 &&
                I + 1 < Argc) {
       Opts.RegisterCap = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (std::strcmp(Argv[I], "--fail-rate") == 0 && I + 1 < Argc) {
+      Faults.FailureRate = std::atof(Argv[++I]);
+    } else if (std::strcmp(Argv[I], "--fault-seed") == 0 && I + 1 < Argc) {
+      Faults.Seed = static_cast<uint64_t>(std::atoll(Argv[++I]));
+    } else if (std::strcmp(Argv[I], "--deadline") == 0 && I + 1 < Argc) {
+      Opts.DeadlineSeconds = std::atof(Argv[++I]);
+    } else if (std::strcmp(Argv[I], "--retries") == 0 && I + 1 < Argc) {
+      Opts.MaxRetries = static_cast<unsigned>(std::atoi(Argv[++I]));
     } else {
       std::ifstream File(Argv[I]);
       if (!File) {
@@ -90,6 +106,10 @@ int main(int Argc, char **Argv) {
   std::printf("kernel '%s' accepted:\n%s\n", Name.c_str(),
               printKernel(*K).c_str());
 
+  FaultInjector Injector(Faults);
+  if (Faults.FailureRate > 0)
+    Opts.Estimator = Injector.wrapDefault();
+
   DesignSpaceExplorer Explorer(*K, Opts);
   ExplorationResult R = Explorer.run();
   std::printf("platform %s: Psat=%lld, space=%llu designs\n",
@@ -103,6 +123,16 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(R.SelectedEstimate.Cycles),
               R.SelectedEstimate.Slices, R.SelectedEstimate.Registers,
               R.speedup(), 100.0 * R.fractionSearched());
+  if (!R.SelectedFits)
+    std::printf("warning: no evaluated design fits this device\n");
+  if (R.Degraded) {
+    std::printf("degraded run: %u estimator call(s), %zu failure(s)\n",
+                R.EvaluationsUsed, R.Failures.size());
+    for (const EvaluationFailure &F : R.Failures)
+      std::printf("  %s after %u attempt(s): %s\n",
+                  unrollVectorToString(F.U).c_str(), F.Attempts,
+                  F.Error.toString().c_str());
+  }
 
   if (EmitVhdlOutput || ShowBreakdown || ShowSchedule) {
     TransformOptions TO;

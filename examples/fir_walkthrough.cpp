@@ -74,7 +74,7 @@ int main() {
     return 1;
 
   PeelingStats Peel = peelGuardedIterations(K);
-  DataLayoutStats Layout = applyDataLayout(K, {4});
+  DataLayoutStats Layout = *applyDataLayout(K, {4});
   std::printf("(d) final code: %u loop(s) peeled, %u arrays distributed "
               "across memory banks\n%s",
               Peel.LoopsPeeled, Layout.ArraysDistributed,

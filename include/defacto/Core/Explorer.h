@@ -27,8 +27,10 @@
 #include "defacto/Core/DesignSpace.h"
 #include "defacto/Core/Saturation.h"
 #include "defacto/HLS/Estimator.h"
+#include "defacto/Support/Error.h"
 #include "defacto/Transforms/Pipeline.h"
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -40,7 +42,9 @@ struct ExplorerOptions {
   TargetPlatform Platform = TargetPlatform::wildstarPipelined();
   /// |Balance - 1| <= tolerance counts as balanced (the paper's B == 1).
   double BalanceTolerance = 0.15;
-  /// Safety bound on synthesis estimations per exploration.
+  /// Budget of estimator attempts per run() (retries included). When it
+  /// runs out the search stops and the best design evaluated so far is
+  /// selected deterministically.
   unsigned MaxEvaluations = 100;
   /// §5.4: when set, designs needing more registers have their reuse
   /// chains shortened until the register count fits.
@@ -48,6 +52,41 @@ struct ExplorerOptions {
   /// Pass toggles, for ablation studies (unroll factors are supplied by
   /// the search; the Unroll field here is ignored).
   TransformOptions BaseTransforms;
+
+  //===--------------------------------------------------------------===//
+  // Degradation policy. A synthesis-estimation backend is an unreliable
+  // oracle (a real tool crashes, hangs, or times out); these knobs bound
+  // what one exploration may spend on it and how it recovers.
+  //===--------------------------------------------------------------===//
+
+  /// Estimation backend; estimateDesignChecked when unset. FaultInjector
+  /// (HLS/FaultInjector.h) wraps one backend in a fault-injecting one.
+  EstimatorFn Estimator;
+  /// Extra attempts after a failed estimation of the same design. A
+  /// design failing all 1 + MaxRetries attempts is negatively cached and
+  /// recorded in ExplorationResult::Failures.
+  unsigned MaxRetries = 2;
+  /// Pause before the first retry; doubled each further retry and capped
+  /// at MaxBackoffSeconds. 0 retries immediately.
+  double RetryBackoffSeconds = 0.0;
+  double MaxBackoffSeconds = 1.0;
+  /// Wall-clock budget for one exploration, measured by Clock from
+  /// explorer construction. 0 disables the deadline.
+  double DeadlineSeconds = 0.0;
+  /// Time source (seconds) and sleeper behind the deadline and backoff.
+  /// Defaults read the steady clock and really sleep; tests substitute a
+  /// virtual clock for determinism.
+  std::function<double()> Clock;
+  std::function<void(double /*Seconds*/)> Sleep;
+};
+
+/// One design whose estimation permanently failed (every retry included),
+/// or the condition that cut the search short (deadline or budget; then
+/// Attempts is 0 and U is the design the search wanted next).
+struct EvaluationFailure {
+  UnrollVector U;
+  unsigned Attempts = 0;
+  Status Error;
 };
 
 /// One synthesized-and-estimated candidate.
@@ -69,6 +108,16 @@ struct ExplorationResult {
   /// (the kernel's mandatory registers alone exceed it); Selected then
   /// holds the baseline regardless.
   bool SelectedFits = true;
+  /// True when the search did not run to healthy convergence: an
+  /// estimation permanently failed, or the deadline or evaluation budget
+  /// cut the walk short. Selected then holds the best design that was
+  /// successfully evaluated (baseline included).
+  bool Degraded = false;
+  /// Machine-readable failure log; every entry is also mirrored into
+  /// Trace as a "FAIL"/"stop" line.
+  std::vector<EvaluationFailure> Failures;
+  /// Estimator attempts actually spent (retries included).
+  unsigned EvaluationsUsed = 0;
   SaturationInfo Sat;
   uint64_t FullSpaceSize = 0;
   std::string Trace;
@@ -96,17 +145,31 @@ public:
   ExplorationResult run();
 
   /// Evaluates one unroll vector (cached). Returns std::nullopt for
-  /// non-candidate vectors.
+  /// non-candidate vectors and for designs whose estimation permanently
+  /// failed; evaluateChecked distinguishes the two.
   std::optional<SynthesisEstimate> evaluate(const UnrollVector &U);
+
+  /// Evaluates one unroll vector under the degradation policy: retries
+  /// with capped backoff, honors the deadline, caches successes and
+  /// permanent failures alike. Deadline/budget errors are global
+  /// conditions and are never cached against the vector.
+  Expected<SynthesisEstimate> evaluateChecked(const UnrollVector &U);
 
   const UnrollSpace &space() const { return Space; }
   const SaturationInfo &saturation() const { return Sat; }
+
+  /// Estimator attempts spent so far (retries included).
+  unsigned evaluationsUsed() const { return Used; }
+
+  /// Designs whose estimation permanently failed, in discovery order.
+  const std::vector<EvaluationFailure> &failures() const { return FailLog; }
 
   /// The search's starting point (§5.3's Uinit selection).
   UnrollVector initialVector() const;
 
 private:
-  SynthesisEstimate evaluateUncached(const UnrollVector &U);
+  Expected<SynthesisEstimate> evaluateUncached(const UnrollVector &U);
+  Status checkLimits() const;
 
   const Kernel &Source;
   ExplorerOptions Opts;
@@ -114,6 +177,13 @@ private:
   UnrollSpace Space;
   std::vector<unsigned> Preference; // nest positions, best first
   std::map<UnrollVector, SynthesisEstimate> Cache;
+  std::map<UnrollVector, Status> FailCache;
+  std::vector<EvaluationFailure> FailLog;
+  unsigned Used = 0;
+  /// MaxEvaluations is enforced only while run() is active; the
+  /// exhaustive and random baselines enumerate freely.
+  std::optional<unsigned> BudgetCap;
+  double StartSeconds = 0;
 };
 
 /// Exhaustive baseline: evaluates every divisor vector and picks the

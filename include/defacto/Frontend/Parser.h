@@ -35,7 +35,9 @@
 namespace defacto {
 
 /// Parses \p Source into a Kernel named \p KernelName. Returns
-/// std::nullopt on any error; inspect \p Diags for the reasons.
+/// std::nullopt on any error; inspect \p Diags for the reasons. The
+/// parser recovers at statement boundaries (';' and '}'), so a single
+/// parse reports every independent mistake, capped at 20 errors.
 std::optional<Kernel> parseKernel(const std::string &Source,
                                   const std::string &KernelName,
                                   DiagnosticEngine &Diags);

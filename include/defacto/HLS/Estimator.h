@@ -30,7 +30,9 @@
 
 #include "defacto/HLS/Scheduler.h"
 #include "defacto/IR/Kernel.h"
+#include "defacto/Support/Error.h"
 
+#include <functional>
 #include <map>
 #include <string>
 
@@ -90,6 +92,19 @@ struct RegionReport {
 SynthesisEstimate
 estimateDesign(const Kernel &K, const TargetPlatform &Platform,
                std::vector<RegionReport> *Breakdown = nullptr);
+
+/// Signature of a synthesis-estimation backend as the exploration engine
+/// consumes it. Backends may fail (a real synthesis tool crashes, times
+/// out, or returns garbage); FaultInjector wraps one backend in another.
+using EstimatorFn =
+    std::function<Expected<SynthesisEstimate>(const Kernel &,
+                                              const TargetPlatform &)>;
+
+/// The recoverable entry point: verifies \p K first and reports
+/// ErrorCode::MalformedIR instead of computing garbage on invalid IR,
+/// then estimates. This is the default backend behind ExplorerOptions.
+Expected<SynthesisEstimate>
+estimateDesignChecked(const Kernel &K, const TargetPlatform &Platform);
 
 } // namespace defacto
 

@@ -1,0 +1,90 @@
+//===- FaultInjector.h - Chaos testing hook for estimation -----*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the synthesis-estimation backend.
+/// The production explorer treats estimation as an unreliable oracle: a
+/// real behavioral-synthesis tool can crash, hang past its deadline, or
+/// return nonsense numbers. FaultInjector wraps any EstimatorFn in a
+/// backend that reproduces those failure modes on a seeded PRNG stream,
+/// so the degradation policy in Core/Explorer can be exercised — and its
+/// guarantees pinned by tests — without a flaky tool in the loop.
+///
+/// Per call, independently and in this order:
+///  - with probability FailureRate, fail with ErrorCode::EstimationFailed;
+///  - with probability StallRate, invoke the Sleep hook for StallSeconds
+///    before answering (simulating a slow or hung tool; tests point Sleep
+///    at a virtual clock);
+///  - with probability PerturbRate, scale the returned cycle count and
+///    area by independent factors in [1-PerturbMagnitude,
+///    1+PerturbMagnitude] (simulating estimation noise).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_HLS_FAULTINJECTOR_H
+#define DEFACTO_HLS_FAULTINJECTOR_H
+
+#include "defacto/HLS/Estimator.h"
+#include "defacto/Support/Random.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace defacto {
+
+/// Configuration of one injector. Rates are probabilities in [0, 1].
+struct FaultInjectorOptions {
+  uint64_t Seed = 0;
+  /// Probability a call fails outright.
+  double FailureRate = 0.0;
+  /// Probability a call stalls for StallSeconds before completing.
+  double StallRate = 0.0;
+  double StallSeconds = 0.0;
+  /// Probability a call's area/cycles are perturbed, and by how much.
+  double PerturbRate = 0.0;
+  double PerturbMagnitude = 0.25;
+};
+
+/// Wraps an EstimatorFn in a fault-injecting one. The injector owns the
+/// PRNG stream and failure counters, so it must outlive every backend
+/// returned by wrap().
+class FaultInjector {
+public:
+  struct Counters {
+    uint64_t Calls = 0;
+    uint64_t Failures = 0;
+    uint64_t Stalls = 0;
+    uint64_t Perturbations = 0;
+  };
+
+  explicit FaultInjector(FaultInjectorOptions Opts);
+
+  /// A backend that forwards to \p Inner under this injector's fault
+  /// model. Captures `this`; keep the injector alive.
+  EstimatorFn wrap(EstimatorFn Inner);
+
+  /// Convenience: wrap() around estimateDesignChecked.
+  EstimatorFn wrapDefault();
+
+  const Counters &counters() const { return Stats; }
+
+  /// Stall implementation; defaults to a real sleep. Tests replace this
+  /// with a virtual-clock advance for determinism.
+  std::function<void(double /*Seconds*/)> Sleep;
+
+private:
+  Expected<SynthesisEstimate> invoke(const EstimatorFn &Inner,
+                                     const Kernel &K,
+                                     const TargetPlatform &Platform);
+
+  FaultInjectorOptions Opts;
+  SplitMix64 Rng;
+  Counters Stats;
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_HLS_FAULTINJECTOR_H

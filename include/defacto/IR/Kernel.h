@@ -16,6 +16,7 @@
 #define DEFACTO_IR_KERNEL_H
 
 #include "defacto/IR/Stmt.h"
+#include "defacto/Support/Error.h"
 
 #include <memory>
 #include <string>
@@ -37,13 +38,22 @@ public:
   void setName(std::string N) { Name = std::move(N); }
 
   /// Creates and owns a new array declaration. Names must be unique
-  /// across arrays and scalars.
+  /// across arrays and scalars; fatal on violation (use tryMakeArray for
+  /// the recoverable channel).
   ArrayDecl *makeArray(std::string ArrName, ScalarType ElemTy,
                        std::vector<int64_t> Dims);
 
   /// Creates and owns a new scalar declaration.
   ScalarDecl *makeScalar(std::string VarName, ScalarType Ty,
                          bool IsCompilerTemp = false);
+
+  /// Recoverable variants: fail with ErrorCode::InvalidInput on a
+  /// duplicate name or a non-positive array dimension instead of
+  /// aborting. For callers handling untrusted declarations.
+  Expected<ArrayDecl *> tryMakeArray(std::string ArrName, ScalarType ElemTy,
+                                     std::vector<int64_t> Dims);
+  Expected<ScalarDecl *> tryMakeScalar(std::string VarName, ScalarType Ty,
+                                       bool IsCompilerTemp = false);
 
   /// Creates a scalar with a unique name derived from \p Prefix.
   ScalarDecl *makeTempScalar(const std::string &Prefix, ScalarType Ty);

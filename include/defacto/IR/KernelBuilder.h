@@ -26,7 +26,7 @@
 ///                        B.access(C, {B.idx(I)}))));
 ///   B.endLoop();
 ///   B.endLoop();
-///   Kernel K = std::move(B).finish();
+///   Kernel K = *std::move(B).finish();
 /// \endcode
 ///
 //===----------------------------------------------------------------------===//
@@ -134,9 +134,10 @@ public:
   // Completion
   //===------------------------------------------------------------------===//
 
-  /// Finishes construction. Fatal if loops or ifs remain open or the
-  /// kernel fails verification (programmatic misuse).
-  Kernel finish() &&;
+  /// Finishes construction. Fails with ErrorCode::MalformedIR when loops
+  /// or ifs remain open or the kernel fails verification; the error
+  /// message lists the verifier's findings.
+  Expected<Kernel> finish() &&;
 
 private:
   StmtList &currentBody();

@@ -16,12 +16,18 @@
 /// recorded bank offset/stride, so results remain comparable by original
 /// array name.
 ///
+/// The interpreter runs untrusted kernels: an out-of-bounds access or a
+/// blown statement budget is a recoverable Status, never an abort, so
+/// callers (the explorer, the fuzzer, a service front end) can degrade
+/// gracefully.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DEFACTO_SIM_INTERPRETER_H
 #define DEFACTO_SIM_INTERPRETER_H
 
 #include "defacto/IR/Kernel.h"
+#include "defacto/Support/Error.h"
 
 #include <cstdint>
 #include <map>
@@ -40,29 +46,32 @@ public:
   /// are kept small to avoid multiplication overflow in deep reductions.
   MemoryImage(const Kernel &K, uint64_t Seed);
 
-  /// Reads one element; \p Indices must match the array's rank and be in
-  /// range. Renamed arrays are routed to their origin.
-  int64_t load(const ArrayDecl *A, const std::vector<int64_t> &Indices) const;
+  /// Reads one element; fails with ErrorCode::OutOfBounds when \p Indices
+  /// does not match the array's rank or falls outside its extents.
+  /// Renamed arrays are routed to their origin.
+  Expected<int64_t> load(const ArrayDecl *A,
+                         const std::vector<int64_t> &Indices) const;
 
-  /// Writes one element, truncating to the element type.
-  void store(const ArrayDecl *A, const std::vector<int64_t> &Indices,
-             int64_t Value);
+  /// Writes one element, truncating to the element type. Same failure
+  /// modes as load().
+  Status store(const ArrayDecl *A, const std::vector<int64_t> &Indices,
+               int64_t Value);
 
   int64_t scalar(const ScalarDecl *S) const;
   void setScalar(const ScalarDecl *S, int64_t Value);
 
-  /// Flattened contents of the origin array named \p Name; asserts if
-  /// absent.
+  /// Flattened contents of the origin array named \p Name; fatal if
+  /// absent (API misuse: names come from arrayNames()).
   const std::vector<int64_t> &arrayData(const std::string &Name) const;
 
   /// Names of all origin arrays (sorted).
   std::vector<std::string> arrayNames() const;
 
 private:
-  const ArrayDecl *resolve(const ArrayDecl *A,
-                           std::vector<int64_t> &Indices) const;
-  size_t flatten(const ArrayDecl *A,
-                 const std::vector<int64_t> &Indices) const;
+  Expected<const ArrayDecl *> resolve(const ArrayDecl *A,
+                                      std::vector<int64_t> &Indices) const;
+  Expected<size_t> flatten(const ArrayDecl *A,
+                           const std::vector<int64_t> &Indices) const;
 
   std::map<std::string, std::vector<int64_t>> Arrays; // origin name -> data
   std::map<std::string, ScalarType> ArrayTypes;
@@ -75,16 +84,34 @@ struct SimStats {
   uint64_t MemoryReads = 0;  // array element loads
   uint64_t MemoryWrites = 0; // array element stores
   uint64_t RotatesExecuted = 0;
+
+  bool operator==(const SimStats &O) const {
+    return AssignsExecuted == O.AssignsExecuted &&
+           MemoryReads == O.MemoryReads && MemoryWrites == O.MemoryWrites &&
+           RotatesExecuted == O.RotatesExecuted;
+  }
 };
 
-/// Runs \p K against \p Mem. Returns execution statistics. Division and
-/// modulo by zero yield zero (the IR has no trapping semantics).
-SimStats runKernel(const Kernel &K, MemoryImage &Mem);
+/// Resource bounds on one interpretation. The defaults are far above any
+/// legitimate kernel in the paper's domain; they exist so a hostile or
+/// degenerate input cannot stall the process.
+struct InterpreterLimits {
+  /// Maximum statements executed (loop iterations included) before the
+  /// run fails with ErrorCode::StepLimitExceeded.
+  uint64_t MaxSteps = 100'000'000;
+};
+
+/// Runs \p K against \p Mem. Returns execution statistics, or a Status
+/// for an out-of-bounds access / step-limit overrun (the image is then
+/// left in its partially-updated state). Division and modulo by zero
+/// yield zero (the IR has no trapping semantics).
+Expected<SimStats> runKernel(const Kernel &K, MemoryImage &Mem,
+                             const InterpreterLimits &Limits = {});
 
 /// Convenience: runs \p K on a fresh image seeded with \p Seed and
 /// returns the final contents of every origin array by name.
-std::map<std::string, std::vector<int64_t>> simulate(const Kernel &K,
-                                                     uint64_t Seed);
+Expected<std::map<std::string, std::vector<int64_t>>>
+simulate(const Kernel &K, uint64_t Seed, const InterpreterLimits &Limits = {});
 
 } // namespace defacto
 

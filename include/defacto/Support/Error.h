@@ -1,0 +1,149 @@
+//===- Error.h - Recoverable Status and Expected<T> ------------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recoverable error channel for everything downstream of the front
+/// end. The library is built without exceptions; phases that can fail on
+/// hostile input or a flaky backend (interpretation, transformation,
+/// estimation, exploration) return Status or Expected<T> instead of
+/// aborting. ErrorHandling.h remains reserved for true internal invariant
+/// violations; user-visible failure must flow through these types.
+///
+/// Modeled on LLVM's Error/Expected, simplified: a Status carries an
+/// ErrorCode plus a human-readable message, and an Expected<T> is either
+/// a value or a non-ok Status. Statuses are cheap to copy and need not be
+/// "checked" before destruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_SUPPORT_ERROR_H
+#define DEFACTO_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace defacto {
+
+/// Machine-readable classification of a recoverable failure.
+enum class ErrorCode {
+  Ok = 0,
+  /// Input outside the supported domain (bad kernel text, a non-candidate
+  /// unroll vector, an API precondition the caller can check).
+  InvalidInput,
+  /// A simulated memory access fell outside its array.
+  OutOfBounds,
+  /// The interpreter exceeded its statement budget.
+  StepLimitExceeded,
+  /// A phase produced or received IR that fails verification.
+  MalformedIR,
+  /// The synthesis estimator (or an injected fault) failed.
+  EstimationFailed,
+  /// A wall-clock deadline expired.
+  DeadlineExceeded,
+  /// An evaluation budget ran dry.
+  BudgetExhausted,
+  /// A should-not-happen condition reported instead of aborting.
+  Internal,
+};
+
+/// Stable lower-case identifier for \p Code ("out_of_bounds", ...), for
+/// machine-readable logs.
+const char *errorCodeName(ErrorCode Code);
+
+/// Success, or an ErrorCode plus message. Default-constructed Status is
+/// success.
+class Status {
+public:
+  Status() = default;
+
+  static Status ok() { return Status(); }
+
+  static Status error(ErrorCode Code, std::string Message) {
+    assert(Code != ErrorCode::Ok && "error status needs a non-ok code");
+    Status S;
+    S.Code = Code;
+    S.Message = std::move(Message);
+    return S;
+  }
+
+  bool isOk() const { return Code == ErrorCode::Ok; }
+  ErrorCode code() const { return Code; }
+  const std::string &message() const { return Message; }
+
+  /// Renders as "code_name: message" ("ok" for success).
+  std::string toString() const;
+
+  bool operator==(const Status &O) const {
+    return Code == O.Code && Message == O.Message;
+  }
+  bool operator!=(const Status &O) const { return !(*this == O); }
+
+private:
+  ErrorCode Code = ErrorCode::Ok;
+  std::string Message;
+};
+
+/// A value of type T or a non-ok Status. Accessors assert on misuse:
+/// callers must test before dereferencing.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Storage(std::in_place_index<0>, std::move(Value)) {}
+
+  Expected(Status Err) : Storage(std::in_place_index<1>, std::move(Err)) {
+    assert(!std::get<1>(Storage).isOk() &&
+           "Expected constructed from a success Status");
+  }
+
+  bool hasValue() const { return Storage.index() == 0; }
+  explicit operator bool() const { return hasValue(); }
+
+  T &operator*() {
+    assert(hasValue() && "dereferencing an errored Expected");
+    return std::get<0>(Storage);
+  }
+  const T &operator*() const {
+    assert(hasValue() && "dereferencing an errored Expected");
+    return std::get<0>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  T &value() { return **this; }
+  const T &value() const { return **this; }
+
+  /// Moves the value out (for move-only payloads such as Kernel).
+  T takeValue() {
+    assert(hasValue() && "taking the value of an errored Expected");
+    return std::move(std::get<0>(Storage));
+  }
+
+  /// The error; Status::ok() when a value is present, so it can be
+  /// propagated unconditionally.
+  Status status() const {
+    return hasValue() ? Status::ok() : std::get<1>(Storage);
+  }
+
+  /// Value equality: both hold equal values or equal statuses.
+  friend bool operator==(const Expected &A, const Expected &B) {
+    if (A.hasValue() != B.hasValue())
+      return false;
+    if (A.hasValue())
+      return *A == *B;
+    return A.status() == B.status();
+  }
+  friend bool operator!=(const Expected &A, const Expected &B) {
+    return !(A == B);
+  }
+
+private:
+  std::variant<T, Status> Storage;
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_SUPPORT_ERROR_H

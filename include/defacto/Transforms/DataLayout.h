@@ -28,6 +28,7 @@
 #define DEFACTO_TRANSFORMS_DATALAYOUT_H
 
 #include "defacto/IR/Kernel.h"
+#include "defacto/Support/Error.h"
 
 namespace defacto {
 
@@ -46,8 +47,11 @@ struct DataLayoutStats {
 
 /// Applies both phases in place. Every array access in \p K ends up
 /// pointing at a (possibly renamed) array with an assigned physical
-/// memory id.
-DataLayoutStats applyDataLayout(Kernel &K, const DataLayoutOptions &Opts);
+/// memory id. Fails with ErrorCode::MalformedIR when a subscript cannot
+/// be rewritten to bank-local form (non-normalized input); \p K is then
+/// left untouched for that array and must be discarded by the caller.
+Expected<DataLayoutStats> applyDataLayout(Kernel &K,
+                                          const DataLayoutOptions &Opts);
 
 } // namespace defacto
 

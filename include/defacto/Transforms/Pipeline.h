@@ -51,13 +51,20 @@ struct TransformResult {
   PeelingStats Peeling;
   DataLayoutStats Layout;
   bool UnrollApplied = false;
+  /// Non-ok when a pass failed or the result failed verification; K then
+  /// holds an untransformed clone of the source (still valid IR) so the
+  /// caller can degrade instead of crash.
+  Status Error;
+
+  bool ok() const { return Error.isOk(); }
 
   explicit TransformResult(Kernel Transformed) : K(std::move(Transformed)) {}
 };
 
 /// Runs the pipeline on a clone of \p Source. The unroll vector must be
 /// valid for the (possibly strip-mined) nest or UnrollApplied is false
-/// and only the remaining passes run.
+/// and only the remaining passes run. Never aborts: failures are
+/// reported through TransformResult::Error.
 TransformResult applyPipeline(const Kernel &Source,
                               const TransformOptions &Opts);
 

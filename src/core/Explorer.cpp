@@ -12,8 +12,10 @@
 #include "defacto/Support/Table.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <thread>
 
 using namespace defacto;
 
@@ -22,6 +24,23 @@ DesignSpaceExplorer::DesignSpaceExplorer(const Kernel &Source,
     : Source(Source), Opts(std::move(Opts)),
       Sat(computeSaturation(Source, this->Opts.Platform.NumMemories)),
       Space(Sat.Trips.empty() ? std::vector<int64_t>{1} : Sat.Trips) {
+  if (!this->Opts.Estimator)
+    this->Opts.Estimator = [](const Kernel &K, const TargetPlatform &P) {
+      return estimateDesignChecked(K, P);
+    };
+  if (!this->Opts.Clock)
+    this->Opts.Clock = [] {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+  if (!this->Opts.Sleep)
+    this->Opts.Sleep = [](double Seconds) {
+      if (Seconds > 0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(Seconds));
+    };
+  StartSeconds = this->Opts.Clock();
   // Build the unroll preference order (§5.3): loops carrying no
   // dependence first (their unrolled iterations are fully parallel),
   // then loops by decreasing minimum carried distance; within a class,
@@ -92,58 +111,134 @@ UnrollVector DesignSpaceExplorer::initialVector() const {
   return U;
 }
 
-SynthesisEstimate
+Expected<SynthesisEstimate>
 DesignSpaceExplorer::evaluateUncached(const UnrollVector &U) {
   TransformOptions TO = Opts.BaseTransforms;
   TO.Unroll = U;
   TO.Layout.NumMemories = Opts.Platform.NumMemories;
 
   TransformResult R = applyPipeline(Source, TO);
-  SynthesisEstimate Est = estimateDesign(R.K, Opts.Platform);
+  if (!R.ok())
+    return R.Error;
+  Expected<SynthesisEstimate> Est = Opts.Estimator(R.K, Opts.Platform);
+  if (!Est)
+    return Est;
 
   // §5.4: shrink reuse chains until the register budget is met. Less
   // reuse is exploited, slowing the fetch rate; the smaller design may
   // then afford more operator parallelism.
   if (Opts.RegisterCap) {
     unsigned ChainLimit = TO.SR.MaxChainLength;
-    while (Est.Registers > *Opts.RegisterCap && ChainLimit > 1) {
+    while (Est->Registers > *Opts.RegisterCap && ChainLimit > 1) {
       ChainLimit /= 2;
       TO.SR.MaxChainLength = ChainLimit;
       TransformResult Capped = applyPipeline(Source, TO);
-      Est = estimateDesign(Capped.K, Opts.Platform);
+      if (!Capped.ok())
+        return Capped.Error;
+      Est = Opts.Estimator(Capped.K, Opts.Platform);
+      if (!Est)
+        return Est;
     }
   }
   return Est;
 }
 
+Status DesignSpaceExplorer::checkLimits() const {
+  if (Opts.DeadlineSeconds > 0 &&
+      Opts.Clock() - StartSeconds >= Opts.DeadlineSeconds)
+    return Status::error(ErrorCode::DeadlineExceeded,
+                         "exploration deadline of " +
+                             std::to_string(Opts.DeadlineSeconds) +
+                             "s exceeded");
+  if (BudgetCap && Used >= *BudgetCap)
+    return Status::error(ErrorCode::BudgetExhausted,
+                         "evaluation budget of " +
+                             std::to_string(*BudgetCap) + " exhausted");
+  return Status::ok();
+}
+
+Expected<SynthesisEstimate>
+DesignSpaceExplorer::evaluateChecked(const UnrollVector &U) {
+  if (!Space.isCandidate(U))
+    return Status::error(ErrorCode::InvalidInput,
+                         unrollVectorToString(U) +
+                             " is not a candidate unroll vector");
+  if (auto It = Cache.find(U); It != Cache.end())
+    return It->second;
+  if (auto It = FailCache.find(U); It != FailCache.end())
+    return It->second;
+
+  Status Last = Status::ok();
+  double Backoff = Opts.RetryBackoffSeconds;
+  unsigned Attempts = 0;
+  for (unsigned Attempt = 0; Attempt <= Opts.MaxRetries; ++Attempt) {
+    if (Status Limit = checkLimits(); !Limit.isOk()) {
+      if (Attempts > 0) // Record what the cut-short retries saw.
+        FailLog.push_back({U, Attempts, Last});
+      return Limit;
+    }
+    if (Attempt > 0 && Backoff > 0) {
+      Opts.Sleep(std::min(Backoff, Opts.MaxBackoffSeconds));
+      Backoff *= 2;
+    }
+    ++Used;
+    ++Attempts;
+    Expected<SynthesisEstimate> Est = evaluateUncached(U);
+    if (Est) {
+      Cache.emplace(U, *Est);
+      return Est;
+    }
+    Last = Est.status();
+  }
+  FailCache.emplace(U, Last);
+  FailLog.push_back({U, Attempts, Last});
+  return Last;
+}
+
 std::optional<SynthesisEstimate>
 DesignSpaceExplorer::evaluate(const UnrollVector &U) {
-  if (!Space.isCandidate(U))
+  Expected<SynthesisEstimate> Est = evaluateChecked(U);
+  if (!Est)
     return std::nullopt;
-  auto It = Cache.find(U);
-  if (It != Cache.end())
-    return It->second;
-  SynthesisEstimate Est = evaluateUncached(U);
-  Cache.emplace(U, Est);
-  return Est;
+  return *Est;
 }
 
 ExplorationResult DesignSpaceExplorer::run() {
   ExplorationResult Res;
   Res.Sat = Sat;
   Res.FullSpaceSize = Space.fullSize();
-  Res.BaselineEstimate = *evaluate(Space.base());
+  BudgetCap = Opts.MaxEvaluations;
+
+  bool HaveBaseline = false;
+  if (Expected<SynthesisEstimate> Base = evaluateChecked(Space.base())) {
+    Res.BaselineEstimate = *Base;
+    HaveBaseline = true;
+  } else {
+    Res.Trace += "FAIL " + unrollVectorToString(Space.base()) +
+                 " [baseline] " + Base.status().toString() + "\n";
+  }
 
   auto record = [&](const UnrollVector &U,
-                    const char *Role) -> SynthesisEstimate {
-    SynthesisEstimate Est = *evaluate(U);
+                    const char *Role) -> Expected<SynthesisEstimate> {
+    Expected<SynthesisEstimate> Est = evaluateChecked(U);
+    if (!Est) {
+      Res.Trace += "FAIL " + unrollVectorToString(U) + " [" + Role + "] " +
+                   Est.status().toString() + "\n";
+      return Est;
+    }
     for (const EvaluatedDesign &D : Res.Visited)
       if (D.U == U)
         return Est;
-    Res.Visited.push_back({U, Est, Role});
+    Res.Visited.push_back({U, *Est, Role});
     Res.Trace += "eval " + unrollVectorToString(U) + " [" + Role +
-                 "]: " + Est.toString() + "\n";
+                 "]: " + Est->toString() + "\n";
     return Est;
+  };
+  // Deadline or budget exhaustion: the search stops where it is and the
+  // best already-evaluated design is selected.
+  auto isStop = [](const Status &S) {
+    return S.code() == ErrorCode::DeadlineExceeded ||
+           S.code() == ErrorCode::BudgetExhausted;
   };
 
   double Capacity = Opts.Platform.CapacitySlices;
@@ -156,16 +251,25 @@ ExplorationResult DesignSpaceExplorer::run() {
   bool SeenComputeBound = false;
   bool SeenMemoryBound = false;
   bool Ok = false;
+  Status Stop = Status::ok();
   std::set<UnrollVector> Visited;
   const char *Role = "Uinit";
 
-  while (!Ok && Res.Visited.size() < Opts.MaxEvaluations) {
+  while (!Ok) {
     if (!Visited.insert(Ucurr).second) {
       Res.Trace += "revisit of " + unrollVectorToString(Ucurr) +
                    "; search converged\n";
+      Ok = true;
       break;
     }
-    const SynthesisEstimate Est = record(Ucurr, Role);
+    Expected<SynthesisEstimate> EstOr = record(Ucurr, Role);
+    if (!EstOr) {
+      // Without an estimate the walk cannot steer by balance; stop here
+      // and fall back to the best design evaluated so far.
+      Stop = EstOr.status();
+      break;
+    }
+    const SynthesisEstimate Est = *EstOr;
     double B = Est.Balance;
 
     if (Est.Slices > Capacity) {
@@ -183,13 +287,21 @@ ExplorationResult DesignSpaceExplorer::run() {
                          });
         Ucurr = Space.base();
         for (const UnrollVector &C : Candidates) {
-          if (Res.Visited.size() >= Opts.MaxEvaluations)
-            break;
-          if (record(C, "fit").Slices <= Capacity) {
+          Expected<SynthesisEstimate> Fit = record(C, "fit");
+          if (!Fit) {
+            if (isStop(Fit.status())) {
+              Stop = Fit.status();
+              break;
+            }
+            continue; // This candidate failed; try the next smaller one.
+          }
+          if (Fit->Slices <= Capacity) {
             Ucurr = C;
             break;
           }
         }
+        if (!Stop.isOk())
+          break;
         Ok = true;
         continue;
       }
@@ -248,21 +360,96 @@ ExplorationResult DesignSpaceExplorer::run() {
     Role = "bisect";
   }
 
-  // The selected design must fit; fall back to the baseline otherwise.
-  std::optional<SynthesisEstimate> Sel = evaluate(Ucurr);
-  if (!Sel || Sel->Slices > Capacity) {
-    Ucurr = Space.base();
-    Sel = evaluate(Ucurr);
-    Res.Trace += "selected design does not fit; baseline selected\n";
-    if (Sel->Slices > Capacity) {
-      Res.SelectedFits = false;
-      Res.Trace += "no design fits this device (baseline alone needs " +
-                   formatDouble(Sel->Slices, 0) + " slices)\n";
+  (void)SeenComputeBound;
+  if (!Stop.isOk())
+    Res.Trace += "stop at " + unrollVectorToString(Ucurr) + ": " +
+                 Stop.toString() + "\n";
+
+  // Selection. A converged walk selects its final design if that design
+  // was successfully evaluated, fits, and no already-evaluated design
+  // strictly beats it (the balance walk can legally converge at a point
+  // slower than one it passed through — never hand back a design worse
+  // than one in hand). Any other outcome — cut-short search, failed or
+  // oversized final design — falls back to the best successfully
+  // evaluated design, deterministically: fewest cycles, then fewest
+  // slices, then lexicographically smallest vector; the baseline
+  // competes too.
+  auto fits = [&](const SynthesisEstimate &E) {
+    return E.Slices <= Capacity;
+  };
+  UnrollVector BestU;
+  SynthesisEstimate BestE;
+  bool HaveBest = false;
+  auto consider = [&](const UnrollVector &U, const SynthesisEstimate &E) {
+    if (!fits(E))
+      return;
+    bool Better =
+        !HaveBest || E.Cycles < BestE.Cycles ||
+        (E.Cycles == BestE.Cycles &&
+         (E.Slices < BestE.Slices ||
+          (E.Slices == BestE.Slices && U < BestU)));
+    if (Better) {
+      BestU = U;
+      BestE = E;
+      HaveBest = true;
+    }
+  };
+  for (const EvaluatedDesign &D : Res.Visited)
+    consider(D.U, D.Estimate);
+  if (HaveBaseline)
+    consider(Space.base(), Res.BaselineEstimate);
+
+  bool Selected = false;
+  if (Ok) {
+    if (auto It = Cache.find(Ucurr); It != Cache.end() &&
+                                     fits(It->second)) {
+      const SynthesisEstimate &Sel = It->second;
+      if (HaveBest && (BestE.Cycles < Sel.Cycles ||
+                       (BestE.Cycles == Sel.Cycles &&
+                        BestE.Slices < Sel.Slices))) {
+        Res.Trace += "converged design beaten by an evaluated design; "
+                     "best evaluated design selected\n";
+        Res.Selected = BestU;
+        Res.SelectedEstimate = BestE;
+      } else {
+        Res.Selected = Ucurr;
+        Res.SelectedEstimate = Sel;
+      }
+      Selected = true;
     }
   }
-  (void)SeenComputeBound;
-  Res.Selected = Ucurr;
-  Res.SelectedEstimate = *Sel;
+  if (!Selected) {
+    if (HaveBest) {
+      Res.Trace += Ok ? "selected design does not fit; "
+                        "best evaluated design selected\n"
+                      : "search cut short; best evaluated design selected\n";
+      Res.Selected = BestU;
+      Res.SelectedEstimate = BestE;
+    } else if (HaveBaseline) {
+      Res.Selected = Space.base();
+      Res.SelectedEstimate = Res.BaselineEstimate;
+      Res.SelectedFits = false;
+      Res.Trace += "no design fits this device (baseline alone needs " +
+                   formatDouble(Res.BaselineEstimate.Slices, 0) +
+                   " slices)\n";
+    } else {
+      // Not even the baseline could be estimated.
+      Res.Selected = Space.base();
+      Res.SelectedFits = false;
+      Res.Trace += "no design could be evaluated\n";
+    }
+  }
+
+  Res.Failures = FailLog;
+  if (!Stop.isOk() && isStop(Stop))
+    Res.Failures.push_back({Ucurr, 0, Stop});
+  Res.Degraded = !Ok || !Res.Failures.empty();
+  Res.EvaluationsUsed = Used;
+  if (Res.Degraded)
+    Res.Trace += "degraded exploration: " +
+                 std::to_string(Res.Failures.size()) +
+                 " failure(s) logged\n";
+  BudgetCap.reset();
   return Res;
 }
 
@@ -276,7 +463,8 @@ ExplorationResult pickBest(const Kernel &Source,
   ExplorationResult Res;
   Res.Sat = Ex.saturation();
   Res.FullSpaceSize = Ex.space().fullSize();
-  Res.BaselineEstimate = *Ex.evaluate(Ex.space().base());
+  if (auto Base = Ex.evaluate(Ex.space().base()))
+    Res.BaselineEstimate = *Base;
 
   for (const UnrollVector &U : Candidates) {
     auto Est = Ex.evaluate(U);
@@ -312,6 +500,12 @@ ExplorationResult pickBest(const Kernel &Source,
     Res.Selected = Ex.space().base();
     Res.SelectedEstimate = Res.BaselineEstimate;
   }
+  Res.Failures = Ex.failures();
+  Res.Degraded = !Res.Failures.empty();
+  Res.EvaluationsUsed = Ex.evaluationsUsed();
+  for (const EvaluationFailure &F : Res.Failures)
+    Res.Trace += "FAIL " + unrollVectorToString(F.U) + " [" + Role + "] " +
+                 F.Error.toString() + "\n";
   return Res;
 }
 

@@ -14,8 +14,11 @@ using namespace defacto;
 
 namespace {
 
-/// The recursive-descent parser. Any error sets Failed and parsing
-/// unwinds; callers must check Failed before using results.
+/// The recursive-descent parser, with panic-mode error recovery: an
+/// error sets Failed and unwinds the current statement; the statement
+/// loops then resynchronize at the next ';' or '}' and keep going, so
+/// one parse reports every independent mistake (up to MaxErrors).
+/// Callers must check Failed before using a statement's results.
 class Parser {
 public:
   Parser(const std::string &Source, const std::string &KernelName,
@@ -23,12 +26,12 @@ public:
       : Diags(Diags), K(KernelName) {
     Lexer Lex(Source, Diags);
     Tokens = Lex.lexAll();
-    Failed = Diags.hasErrors();
+    AnyFailed = Diags.hasErrors();
   }
 
   std::optional<Kernel> run() {
     parseProgram();
-    if (Failed || Diags.hasErrors())
+    if (AnyFailed || Diags.hasErrors())
       return std::nullopt;
     return std::move(K);
   }
@@ -65,10 +68,28 @@ private:
   }
 
   void error(SourceLocation Loc, std::string Msg) {
-    // Report only the first error after a failure to avoid cascades.
-    if (!Failed)
+    // Report only the first error per statement to avoid cascades; the
+    // statement loops clear Failed once they resynchronize.
+    if (!Failed && !HardStop) {
       Diags.error(Loc, std::move(Msg));
+      if (++ErrorCount >= MaxErrors) {
+        Diags.error(Loc, "too many errors; giving up");
+        HardStop = true;
+      }
+    }
     Failed = true;
+    AnyFailed = true;
+  }
+
+  /// Panic-mode resynchronization after a failed statement or
+  /// declaration: skip to the next ';' (consumed) or '}' (left for the
+  /// enclosing body to close), then resume parsing.
+  void recoverToStmtBoundary() {
+    Failed = false;
+    while (!cur().is(TokenKind::Semi) && !cur().is(TokenKind::RBrace) &&
+           !cur().is(TokenKind::Eof))
+      consume();
+    accept(TokenKind::Semi);
   }
 
   //===------------------------------------------------------------------===//
@@ -129,23 +150,36 @@ private:
   //===------------------------------------------------------------------===//
 
   void parseProgram() {
-    while (!Failed && isTypeToken(cur().Kind))
+    while (!HardStop && isTypeToken(cur().Kind)) {
       parseDecl();
-    while (!Failed && !cur().is(TokenKind::Eof)) {
+      if (Failed)
+        recoverToStmtBoundary();
+    }
+    while (!HardStop && !cur().is(TokenKind::Eof)) {
+      size_t Before = Index;
       StmtPtr S = parseStmt();
       if (S)
         K.body().push_back(std::move(S));
+      if (Failed)
+        recoverToStmtBoundary();
+      if (Index == Before)
+        consume(); // Guarantee progress on stray tokens such as '}'.
     }
   }
 
   StmtList parseBody(const char *Context) {
     StmtList Body;
     if (accept(TokenKind::LBrace)) {
-      while (!Failed && !cur().is(TokenKind::RBrace) &&
+      while (!HardStop && !cur().is(TokenKind::RBrace) &&
              !cur().is(TokenKind::Eof)) {
+        size_t Before = Index;
         StmtPtr S = parseStmt();
         if (S)
           Body.push_back(std::move(S));
+        if (Failed)
+          recoverToStmtBoundary();
+        if (Index == Before)
+          consume(); // Guarantee progress inside malformed bodies.
       }
       expect(TokenKind::RBrace, Context);
       return Body;
@@ -604,11 +638,18 @@ private:
     return nullptr;
   }
 
+  /// Stop reporting (and parsing) after this many errors; a degenerate
+  /// input should not produce an unbounded diagnostic stream.
+  static constexpr unsigned MaxErrors = 20;
+
   DiagnosticEngine &Diags;
   Kernel K;
   std::vector<Token> Tokens;
   size_t Index = 0;
-  bool Failed = false;
+  bool Failed = false;    // The current statement failed.
+  bool AnyFailed = false; // Some statement failed; no Kernel is returned.
+  bool HardStop = false;  // MaxErrors reached; abandon the parse.
+  unsigned ErrorCount = 0;
   std::vector<std::pair<std::string, int>> LoopScope;
 };
 

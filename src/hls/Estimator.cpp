@@ -8,6 +8,7 @@
 
 #include "defacto/Analysis/ValueRange.h"
 #include "defacto/IR/IRUtils.h"
+#include "defacto/IR/IRVerifier.h"
 #include "defacto/Support/Table.h"
 
 #include <cmath>
@@ -212,4 +213,19 @@ defacto::estimateDesign(const Kernel &K, const TargetPlatform &Platform,
   Area += 40.0 + 1.5 * static_cast<double>(T.States);
   E.Slices = Area;
   return E;
+}
+
+Expected<SynthesisEstimate>
+defacto::estimateDesignChecked(const Kernel &K,
+                               const TargetPlatform &Platform) {
+  std::vector<std::string> Problems = verifyKernel(K);
+  if (!Problems.empty())
+    return Status::error(ErrorCode::MalformedIR,
+                         "cannot estimate invalid kernel: " + Problems.front());
+  SynthesisEstimate Est = estimateDesign(K, Platform);
+  if (Est.Cycles == 0 || Est.Slices <= 0.0)
+    return Status::error(ErrorCode::EstimationFailed,
+                         "estimator returned a degenerate design (cycles=" +
+                             std::to_string(Est.Cycles) + ")");
+  return Est;
 }

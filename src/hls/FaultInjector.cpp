@@ -1,0 +1,64 @@
+//===- FaultInjector.cpp --------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/HLS/FaultInjector.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+using namespace defacto;
+
+FaultInjector::FaultInjector(FaultInjectorOptions Opts)
+    : Opts(Opts), Rng(Opts.Seed ^ 0xFA01D1CE5EEDULL) {
+  Sleep = [](double Seconds) {
+    if (Seconds > 0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(Seconds));
+  };
+}
+
+Expected<SynthesisEstimate>
+FaultInjector::invoke(const EstimatorFn &Inner, const Kernel &K,
+                      const TargetPlatform &Platform) {
+  ++Stats.Calls;
+  if (Opts.FailureRate > 0 && Rng.nextDouble() < Opts.FailureRate) {
+    ++Stats.Failures;
+    return Status::error(ErrorCode::EstimationFailed,
+                         "injected estimation failure (call " +
+                             std::to_string(Stats.Calls) + ")");
+  }
+  if (Opts.StallRate > 0 && Rng.nextDouble() < Opts.StallRate) {
+    ++Stats.Stalls;
+    Sleep(Opts.StallSeconds);
+  }
+  Expected<SynthesisEstimate> Est = Inner(K, Platform);
+  if (!Est)
+    return Est;
+  if (Opts.PerturbRate > 0 && Rng.nextDouble() < Opts.PerturbRate) {
+    ++Stats.Perturbations;
+    double M = std::max(0.0, std::min(1.0, Opts.PerturbMagnitude));
+    auto factor = [&] { return 1.0 + M * (2.0 * Rng.nextDouble() - 1.0); };
+    Est->Cycles = std::max<uint64_t>(
+        1, static_cast<uint64_t>(static_cast<double>(Est->Cycles) *
+                                 factor()));
+    Est->Slices = std::max(1.0, Est->Slices * factor());
+  }
+  return Est;
+}
+
+EstimatorFn FaultInjector::wrap(EstimatorFn Inner) {
+  return [this, Inner = std::move(Inner)](
+             const Kernel &K,
+             const TargetPlatform &Platform) -> Expected<SynthesisEstimate> {
+    return invoke(Inner, K, Platform);
+  };
+}
+
+EstimatorFn FaultInjector::wrapDefault() {
+  return wrap([](const Kernel &K, const TargetPlatform &Platform) {
+    return estimateDesignChecked(K, Platform);
+  });
+}

@@ -16,17 +16,48 @@ using namespace defacto;
 
 ArrayDecl *Kernel::makeArray(std::string ArrName, ScalarType ElemTy,
                              std::vector<int64_t> Dims) {
-  assert(!findArray(ArrName) && !findScalar(ArrName) &&
-         "duplicate declaration name");
+  Expected<ArrayDecl *> A =
+      tryMakeArray(std::move(ArrName), ElemTy, std::move(Dims));
+  if (!A)
+    reportFatalError("makeArray: invalid declaration (duplicate name or "
+                     "bad dimensions)");
+  return *A;
+}
+
+ScalarDecl *Kernel::makeScalar(std::string VarName, ScalarType Ty,
+                               bool IsCompilerTemp) {
+  Expected<ScalarDecl *> S =
+      tryMakeScalar(std::move(VarName), Ty, IsCompilerTemp);
+  if (!S)
+    reportFatalError("makeScalar: duplicate declaration name");
+  return *S;
+}
+
+Expected<ArrayDecl *> Kernel::tryMakeArray(std::string ArrName,
+                                           ScalarType ElemTy,
+                                           std::vector<int64_t> Dims) {
+  if (findArray(ArrName) || findScalar(ArrName))
+    return Status::error(ErrorCode::InvalidInput,
+                         "redeclaration of '" + ArrName + "'");
+  if (Dims.empty())
+    return Status::error(ErrorCode::InvalidInput,
+                         "array '" + ArrName + "' has no dimensions");
+  for (int64_t D : Dims)
+    if (D <= 0)
+      return Status::error(ErrorCode::InvalidInput,
+                           "array '" + ArrName +
+                               "' has a non-positive dimension");
   Arrays.push_back(std::make_unique<ArrayDecl>(std::move(ArrName), ElemTy,
                                                std::move(Dims)));
   return Arrays.back().get();
 }
 
-ScalarDecl *Kernel::makeScalar(std::string VarName, ScalarType Ty,
-                               bool IsCompilerTemp) {
-  assert(!findArray(VarName) && !findScalar(VarName) &&
-         "duplicate declaration name");
+Expected<ScalarDecl *> Kernel::tryMakeScalar(std::string VarName,
+                                             ScalarType Ty,
+                                             bool IsCompilerTemp) {
+  if (findArray(VarName) || findScalar(VarName))
+    return Status::error(ErrorCode::InvalidInput,
+                         "redeclaration of '" + VarName + "'");
   Scalars.push_back(
       std::make_unique<ScalarDecl>(std::move(VarName), Ty, IsCompilerTemp));
   return Scalars.back().get();

@@ -81,11 +81,17 @@ ExprPtr KernelBuilder::access(const ArrayDecl *A,
   return std::make_unique<ArrayAccessExpr>(A, std::move(Subs));
 }
 
-Kernel KernelBuilder::finish() && {
+Expected<Kernel> KernelBuilder::finish() && {
   if (!Stack.empty())
-    reportFatalError("KernelBuilder::finish with open loops or ifs");
+    return Status::error(ErrorCode::MalformedIR,
+                         "finish with " + std::to_string(Stack.size()) +
+                             " open loop(s) or if(s)");
   std::vector<std::string> Problems = verifyKernel(K);
-  if (!Problems.empty())
-    reportFatalError("KernelBuilder produced an invalid kernel");
+  if (!Problems.empty()) {
+    std::string Msg = "kernel fails verification:";
+    for (const std::string &P : Problems)
+      Msg += "\n  " + P;
+    return Status::error(ErrorCode::MalformedIR, std::move(Msg));
+  }
   return std::move(K);
 }

@@ -35,47 +35,77 @@ MemoryImage::MemoryImage(const Kernel &K, uint64_t Seed) {
     Scalars[S.get()] = 0;
 }
 
-const ArrayDecl *MemoryImage::resolve(const ArrayDecl *A,
-                                      std::vector<int64_t> &Indices) const {
+Expected<const ArrayDecl *>
+MemoryImage::resolve(const ArrayDecl *A,
+                     std::vector<int64_t> &Indices) const {
   while (const ArrayDecl *Origin = A->renamedFrom()) {
     unsigned D = A->bankDim();
-    assert(D < Indices.size() && "bank dimension out of range");
+    if (D >= Indices.size())
+      return Status::error(ErrorCode::OutOfBounds,
+                           "bank dimension of '" + A->name() +
+                               "' out of range");
     Indices[D] = Indices[D] * A->bankStride() + A->bankOffset();
     A = Origin;
   }
   return A;
 }
 
-size_t MemoryImage::flatten(const ArrayDecl *A,
-                            const std::vector<int64_t> &Indices) const {
-  assert(Indices.size() == A->numDims() && "rank mismatch");
+Expected<size_t>
+MemoryImage::flatten(const ArrayDecl *A,
+                     const std::vector<int64_t> &Indices) const {
+  if (Indices.size() != A->numDims())
+    return Status::error(ErrorCode::OutOfBounds,
+                         "access to '" + A->name() + "' has " +
+                             std::to_string(Indices.size()) +
+                             " subscripts for rank " +
+                             std::to_string(A->numDims()));
   size_t Flat = 0;
   for (unsigned D = 0; D != A->numDims(); ++D) {
-    assert(Indices[D] >= 0 && Indices[D] < A->dim(D) &&
-           "array index out of bounds");
+    if (Indices[D] < 0 || Indices[D] >= A->dim(D))
+      return Status::error(ErrorCode::OutOfBounds,
+                           "index " + std::to_string(Indices[D]) +
+                               " outside dimension " + std::to_string(D) +
+                               " of '" + A->name() + "' (extent " +
+                               std::to_string(A->dim(D)) + ")");
     Flat = Flat * static_cast<size_t>(A->dim(D)) +
            static_cast<size_t>(Indices[D]);
   }
   return Flat;
 }
 
-int64_t MemoryImage::load(const ArrayDecl *A,
-                          const std::vector<int64_t> &Indices) const {
+Expected<int64_t>
+MemoryImage::load(const ArrayDecl *A,
+                  const std::vector<int64_t> &Indices) const {
   std::vector<int64_t> Idx = Indices;
-  const ArrayDecl *Origin = resolve(A, Idx);
-  auto It = Arrays.find(Origin->name());
-  assert(It != Arrays.end() && "array has no storage");
-  return It->second[flatten(Origin, Idx)];
+  Expected<const ArrayDecl *> Origin = resolve(A, Idx);
+  if (!Origin)
+    return Origin.status();
+  auto It = Arrays.find((*Origin)->name());
+  if (It == Arrays.end())
+    return Status::error(ErrorCode::Internal,
+                         "array '" + (*Origin)->name() + "' has no storage");
+  Expected<size_t> Flat = flatten(*Origin, Idx);
+  if (!Flat)
+    return Flat.status();
+  return It->second[*Flat];
 }
 
-void MemoryImage::store(const ArrayDecl *A,
-                        const std::vector<int64_t> &Indices, int64_t Value) {
+Status MemoryImage::store(const ArrayDecl *A,
+                          const std::vector<int64_t> &Indices,
+                          int64_t Value) {
   std::vector<int64_t> Idx = Indices;
-  const ArrayDecl *Origin = resolve(A, Idx);
-  auto It = Arrays.find(Origin->name());
-  assert(It != Arrays.end() && "array has no storage");
-  It->second[flatten(Origin, Idx)] =
-      truncateToType(Value, Origin->elementType());
+  Expected<const ArrayDecl *> Origin = resolve(A, Idx);
+  if (!Origin)
+    return Origin.status();
+  auto It = Arrays.find((*Origin)->name());
+  if (It == Arrays.end())
+    return Status::error(ErrorCode::Internal,
+                         "array '" + (*Origin)->name() + "' has no storage");
+  Expected<size_t> Flat = flatten(*Origin, Idx);
+  if (!Flat)
+    return Flat.status();
+  It->second[*Flat] = truncateToType(Value, (*Origin)->elementType());
+  return Status::ok();
 }
 
 int64_t MemoryImage::scalar(const ScalarDecl *S) const {
@@ -109,33 +139,54 @@ std::vector<std::string> MemoryImage::arrayNames() const {
 
 namespace {
 
-/// Tree-walking evaluator.
+/// Tree-walking evaluator. Errors (out-of-bounds accesses, step-limit
+/// overruns) propagate outward as Status; evaluation stops at the first.
 class Evaluator {
 public:
-  Evaluator(MemoryImage &Mem, SimStats &Stats) : Mem(Mem), Stats(Stats) {}
+  Evaluator(MemoryImage &Mem, SimStats &Stats,
+            const InterpreterLimits &Limits)
+      : Mem(Mem), Stats(Stats), Limits(Limits) {}
 
-  void runStmts(const StmtList &Stmts) {
-    for (const StmtPtr &S : Stmts)
-      runStmt(S.get());
+  Status runStmts(const StmtList &Stmts) {
+    for (const StmtPtr &S : Stmts) {
+      Status St = runStmt(S.get());
+      if (!St.isOk())
+        return St;
+    }
+    return Status::ok();
   }
 
 private:
-  int64_t loopValue(int LoopId) const {
+  Expected<int64_t> loopValue(int LoopId) const {
     auto It = LoopValues.find(LoopId);
-    assert(It != LoopValues.end() && "loop index evaluated outside its loop");
+    if (It == LoopValues.end())
+      return Status::error(ErrorCode::MalformedIR,
+                           "loop index " + std::to_string(LoopId) +
+                               " evaluated outside its loop");
     return It->second;
   }
 
-  std::vector<int64_t> evalSubscripts(const ArrayAccessExpr *A) {
+  Expected<std::vector<int64_t>> evalSubscripts(const ArrayAccessExpr *A) {
     std::vector<int64_t> Idx;
     Idx.reserve(A->numSubscripts());
-    for (const AffineExpr &Sub : A->subscripts())
-      Idx.push_back(
-          Sub.evaluate([this](int Id) { return loopValue(Id); }));
+    for (const AffineExpr &Sub : A->subscripts()) {
+      Status St = Status::ok();
+      int64_t V = Sub.evaluate([&](int Id) {
+        Expected<int64_t> L = loopValue(Id);
+        if (!L) {
+          St = L.status();
+          return static_cast<int64_t>(0);
+        }
+        return *L;
+      });
+      if (!St.isOk())
+        return St;
+      Idx.push_back(V);
+    }
     return Idx;
   }
 
-  int64_t evalExpr(const Expr *E) {
+  Expected<int64_t> evalExpr(const Expr *E) {
     switch (E->kind()) {
     case Expr::Kind::IntLit:
       return cast<IntLitExpr>(E)->value();
@@ -146,11 +197,17 @@ private:
     case Expr::Kind::ArrayAccess: {
       const auto *A = cast<ArrayAccessExpr>(E);
       ++Stats.MemoryReads;
-      return Mem.load(A->array(), evalSubscripts(A));
+      Expected<std::vector<int64_t>> Idx = evalSubscripts(A);
+      if (!Idx)
+        return Idx.status();
+      return Mem.load(A->array(), *Idx);
     }
     case Expr::Kind::Unary: {
       const auto *U = cast<UnaryExpr>(E);
-      int64_t V = evalExpr(U->operand());
+      Expected<int64_t> VOr = evalExpr(U->operand());
+      if (!VOr)
+        return VOr;
+      int64_t V = *VOr;
       switch (U->op()) {
       case UnaryOp::Neg:
         return -V;
@@ -163,8 +220,13 @@ private:
     }
     case Expr::Kind::Binary: {
       const auto *B = cast<BinaryExpr>(E);
-      int64_t L = evalExpr(B->lhs());
-      int64_t R = evalExpr(B->rhs());
+      Expected<int64_t> LOr = evalExpr(B->lhs());
+      if (!LOr)
+        return LOr;
+      Expected<int64_t> ROr = evalExpr(B->rhs());
+      if (!ROr)
+        return ROr;
+      int64_t L = *LOr, R = *ROr;
       switch (B->op()) {
       case BinaryOp::Add:
         return L + R;
@@ -208,56 +270,78 @@ private:
     }
     case Expr::Kind::Select: {
       const auto *S = cast<SelectExpr>(E);
-      return evalExpr(S->cond()) != 0 ? evalExpr(S->trueValue())
-                                      : evalExpr(S->falseValue());
+      Expected<int64_t> Cond = evalExpr(S->cond());
+      if (!Cond)
+        return Cond;
+      return evalExpr(*Cond != 0 ? S->trueValue() : S->falseValue());
     }
     }
     defacto_unreachable("unknown expression kind");
   }
 
-  void runStmt(const Stmt *S) {
+  Status countStep() {
+    if (++Steps > Limits.MaxSteps)
+      return Status::error(ErrorCode::StepLimitExceeded,
+                           "statement budget of " +
+                               std::to_string(Limits.MaxSteps) +
+                               " exhausted");
+    return Status::ok();
+  }
+
+  Status runStmt(const Stmt *S) {
+    Status Step = countStep();
+    if (!Step.isOk())
+      return Step;
     switch (S->kind()) {
     case Stmt::Kind::Assign: {
       const auto *A = cast<AssignStmt>(S);
-      int64_t V = evalExpr(A->value());
+      Expected<int64_t> V = evalExpr(A->value());
+      if (!V)
+        return V.status();
       ++Stats.AssignsExecuted;
       if (const auto *SR = dyn_cast<ScalarRefExpr>(A->dest())) {
-        Mem.setScalar(SR->decl(), V);
-      } else {
-        const auto *AA = cast<ArrayAccessExpr>(A->dest());
-        ++Stats.MemoryWrites;
-        Mem.store(AA->array(), evalSubscripts(AA), V);
+        Mem.setScalar(SR->decl(), *V);
+        return Status::ok();
       }
-      return;
+      const auto *AA = cast<ArrayAccessExpr>(A->dest());
+      ++Stats.MemoryWrites;
+      Expected<std::vector<int64_t>> Idx = evalSubscripts(AA);
+      if (!Idx)
+        return Idx.status();
+      return Mem.store(AA->array(), *Idx, *V);
     }
     case Stmt::Kind::For: {
       const auto *F = cast<ForStmt>(S);
       for (int64_t I = F->lower(); I < F->upper(); I += F->step()) {
+        Status St = countStep();
+        if (!St.isOk())
+          return St;
         LoopValues[F->loopId()] = I;
-        runStmts(F->body());
+        St = runStmts(F->body());
+        if (!St.isOk())
+          return St;
       }
       LoopValues.erase(F->loopId());
-      return;
+      return Status::ok();
     }
     case Stmt::Kind::If: {
       const auto *I = cast<IfStmt>(S);
-      if (evalExpr(I->cond()) != 0)
-        runStmts(I->thenBody());
-      else
-        runStmts(I->elseBody());
-      return;
+      Expected<int64_t> Cond = evalExpr(I->cond());
+      if (!Cond)
+        return Cond.status();
+      return runStmts(*Cond != 0 ? I->thenBody() : I->elseBody());
     }
     case Stmt::Kind::Rotate: {
       const auto *R = cast<RotateStmt>(S);
       ++Stats.RotatesExecuted;
       const auto &Chain = R->chain();
       if (Chain.size() < 2)
-        return;
+        return Status::ok();
       int64_t First = Mem.scalar(Chain.front());
       for (size_t I = 0; I + 1 < Chain.size(); ++I)
         Mem.setScalar(Chain[I], Mem.scalar(Chain[I + 1]));
       Mem.setScalar(Chain.back(), First);
-      return;
+      return Status::ok();
     }
     }
     defacto_unreachable("unknown statement kind");
@@ -265,21 +349,29 @@ private:
 
   MemoryImage &Mem;
   SimStats &Stats;
+  const InterpreterLimits &Limits;
+  uint64_t Steps = 0;
   std::map<int, int64_t> LoopValues;
 };
 
 } // namespace
 
-SimStats defacto::runKernel(const Kernel &K, MemoryImage &Mem) {
+Expected<SimStats> defacto::runKernel(const Kernel &K, MemoryImage &Mem,
+                                      const InterpreterLimits &Limits) {
   SimStats Stats;
-  Evaluator(Mem, Stats).runStmts(K.body());
+  Status St = Evaluator(Mem, Stats, Limits).runStmts(K.body());
+  if (!St.isOk())
+    return St;
   return Stats;
 }
 
-std::map<std::string, std::vector<int64_t>>
-defacto::simulate(const Kernel &K, uint64_t Seed) {
+Expected<std::map<std::string, std::vector<int64_t>>>
+defacto::simulate(const Kernel &K, uint64_t Seed,
+                  const InterpreterLimits &Limits) {
   MemoryImage Mem(K, Seed);
-  runKernel(K, Mem);
+  Expected<SimStats> Stats = runKernel(K, Mem, Limits);
+  if (!Stats)
+    return Stats.status();
   std::map<std::string, std::vector<int64_t>> Out;
   for (const std::string &Name : Mem.arrayNames())
     Out[Name] = Mem.arrayData(Name);

@@ -1,0 +1,46 @@
+//===- Error.cpp ----------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Support/Error.h"
+
+#include "defacto/Support/ErrorHandling.h"
+
+using namespace defacto;
+
+const char *defacto::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Ok:
+    return "ok";
+  case ErrorCode::InvalidInput:
+    return "invalid_input";
+  case ErrorCode::OutOfBounds:
+    return "out_of_bounds";
+  case ErrorCode::StepLimitExceeded:
+    return "step_limit_exceeded";
+  case ErrorCode::MalformedIR:
+    return "malformed_ir";
+  case ErrorCode::EstimationFailed:
+    return "estimation_failed";
+  case ErrorCode::DeadlineExceeded:
+    return "deadline_exceeded";
+  case ErrorCode::BudgetExhausted:
+    return "budget_exhausted";
+  case ErrorCode::Internal:
+    return "internal";
+  }
+  defacto_unreachable("unknown error code");
+}
+
+std::string Status::toString() const {
+  if (isOk())
+    return "ok";
+  std::string Out = errorCodeName(Code);
+  if (!Message.empty()) {
+    Out += ": ";
+    Out += Message;
+  }
+  return Out;
+}

@@ -17,17 +17,28 @@ using namespace defacto;
 
 namespace {
 
-/// (Sub - Bank) / Banks with exact division of every coefficient.
-AffineExpr bankLocalSubscript(const AffineExpr &Sub, int64_t Banks,
-                              int64_t Bank) {
+/// (Sub - Bank) / Banks with exact division of every coefficient. Fails
+/// when a coefficient or the shifted constant is not divisible (the input
+/// was not normalized; the bank count was derived from a different
+/// subscript population).
+Expected<AffineExpr> bankLocalSubscript(const AffineExpr &Sub, int64_t Banks,
+                                        int64_t Bank) {
   AffineExpr Out;
   for (int Id : Sub.loopIds()) {
     int64_t C = Sub.coeff(Id);
-    assert(C % Banks == 0 && "coefficient not divisible by bank count");
+    if (C % Banks != 0)
+      return Status::error(ErrorCode::MalformedIR,
+                           "subscript coefficient " + std::to_string(C) +
+                               " not divisible by bank count " +
+                               std::to_string(Banks));
     Out = Out.add(AffineExpr::term(Id, C / Banks));
   }
   int64_t K = Sub.constant() - Bank;
-  assert(K % Banks == 0 && "constant not divisible after bank removal");
+  if (K % Banks != 0)
+    return Status::error(ErrorCode::MalformedIR,
+                         "subscript constant " + std::to_string(K) +
+                             " not divisible by bank count " +
+                             std::to_string(Banks));
   return Out.addConstant(K / Banks);
 }
 
@@ -51,8 +62,8 @@ unsigned distinctConstants(const std::vector<ArrayAccessExpr *> &Accs,
 
 } // namespace
 
-DataLayoutStats defacto::applyDataLayout(Kernel &K,
-                                         const DataLayoutOptions &Opts) {
+Expected<DataLayoutStats>
+defacto::applyDataLayout(Kernel &K, const DataLayoutOptions &Opts) {
   DataLayoutStats Stats;
   int64_t M = Opts.NumMemories == 0 ? 1 : Opts.NumMemories;
 
@@ -140,7 +151,10 @@ DataLayoutStats defacto::applyDataLayout(Kernel &K,
     for (ArrayAccessExpr *Acc : Accs) {
       const AffineExpr &Sub = Acc->subscript(Dim);
       int64_t Bank = ((Sub.constant() % Banks) + Banks) % Banks;
-      Acc->setSubscript(Dim, bankLocalSubscript(Sub, Banks, Bank));
+      Expected<AffineExpr> Local = bankLocalSubscript(Sub, Banks, Bank);
+      if (!Local)
+        return Local.status();
+      Acc->setSubscript(Dim, *Local);
       Acc->setArray(BankArrays[Bank]);
     }
   }

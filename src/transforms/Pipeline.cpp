@@ -8,7 +8,6 @@
 
 #include "defacto/IR/IRUtils.h"
 #include "defacto/IR/IRVerifier.h"
-#include "defacto/Support/ErrorHandling.h"
 #include "defacto/Transforms/ConstantFolding.h"
 #include "defacto/Transforms/Normalize.h"
 #include "defacto/Transforms/Tiling.h"
@@ -40,10 +39,21 @@ TransformResult defacto::applyPipeline(const Kernel &Source,
   if (Opts.EnablePeeling)
     Result.Peeling = peelGuardedIterations(K);
   foldConstants(K.body());
-  if (Opts.EnableDataLayout)
-    Result.Layout = applyDataLayout(K, Opts.Layout);
+  if (Opts.EnableDataLayout) {
+    Expected<DataLayoutStats> Layout = applyDataLayout(K, Opts.Layout);
+    if (!Layout) {
+      Result.Error = Layout.status();
+      Result.K = Source.clone();
+      return Result;
+    }
+    Result.Layout = *Layout;
+  }
 
-  if (!isKernelValid(K))
-    reportFatalError("transformation pipeline produced an invalid kernel");
+  if (!isKernelValid(K)) {
+    Result.Error = Status::error(
+        ErrorCode::MalformedIR,
+        "transformation pipeline produced an invalid kernel");
+    Result.K = Source.clone();
+  }
   return Result;
 }

@@ -449,7 +449,8 @@ std::string Emitter::initAggregate(const ArrayDecl *A,
       InRange = OriginIdx < Origin->dim(A->bankDim());
     }
     if (InRange)
-      V = Img.load(A, Idx);
+      if (Expected<int64_t> L = Img.load(A, Idx))
+        V = *L;
     if (!Line.empty())
       Line += ", ";
     Line += std::to_string(V);

@@ -1,0 +1,220 @@
+//===- chaos_explorer_test.cpp - Fault-injected exploration tests ---------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Chaos testing for the degradation policy: the estimation backend is
+/// wrapped in a FaultInjector that fails, stalls, or perturbs calls on a
+/// seeded stream, and the explorer must never crash, always terminate
+/// within its budgets, and either return a fitting design or flag the
+/// result Degraded with a non-empty failure log. All clocks are virtual,
+/// so stall and deadline behavior is deterministic and instant.
+///
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/Explorer.h"
+#include "defacto/HLS/FaultInjector.h"
+#include "defacto/Kernels/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+namespace {
+
+/// Shared virtual time for the explorer and the injector.
+struct VirtualClock {
+  double Now = 0;
+  void install(ExplorerOptions &Opts) {
+    Opts.Clock = [this] { return Now; };
+    Opts.Sleep = [this](double S) { Now += S; };
+  }
+  void install(FaultInjector &Inj) {
+    Inj.Sleep = [this](double S) { Now += S; };
+  }
+};
+
+ExplorationResult exploreWithFaults(const Kernel &K,
+                                    const FaultInjectorOptions &FI,
+                                    VirtualClock &Clock,
+                                    ExplorerOptions Opts,
+                                    FaultInjector::Counters *Counters
+                                    = nullptr) {
+  FaultInjector Injector(FI);
+  Clock.install(Injector);
+  Clock.install(Opts);
+  Opts.Estimator = Injector.wrapDefault();
+  ExplorationResult R = DesignSpaceExplorer(K, Opts).run();
+  if (Counters)
+    *Counters = Injector.counters();
+  return R;
+}
+
+} // namespace
+
+TEST(ChaosExplorer, NoFaultsMatchesThePlainExplorer) {
+  Kernel FIR = buildKernel("FIR");
+  ExplorerOptions Opts;
+  ExplorationResult Plain = DesignSpaceExplorer(FIR, Opts).run();
+
+  VirtualClock Clock;
+  FaultInjectorOptions FI; // All rates zero.
+  ExplorationResult R = exploreWithFaults(FIR, FI, Clock, Opts);
+  EXPECT_FALSE(R.Degraded);
+  EXPECT_TRUE(R.Failures.empty());
+  EXPECT_EQ(R.Selected, Plain.Selected);
+  EXPECT_EQ(R.SelectedEstimate.Cycles, Plain.SelectedEstimate.Cycles);
+}
+
+TEST(ChaosExplorer, SurvivesEveryFailureRate) {
+  // The acceptance bar: at every failure rate, over every kernel and
+  // several seeds, exploration terminates inside its budget and either
+  // delivers a fitting design or declares degradation with a log.
+  for (double Rate : {0.0, 0.1, 0.5}) {
+    for (const KernelSpec &Spec : paperKernels()) {
+      Kernel K = buildKernel(Spec.Name);
+      for (uint64_t Seed = 0; Seed != 5; ++Seed) {
+        VirtualClock Clock;
+        FaultInjectorOptions FI;
+        FI.Seed = Seed;
+        FI.FailureRate = Rate;
+        ExplorerOptions Opts;
+        ExplorationResult R = exploreWithFaults(K, FI, Clock, Opts);
+
+        EXPECT_LE(R.EvaluationsUsed, Opts.MaxEvaluations)
+            << Spec.Name << " rate " << Rate << " seed " << Seed;
+        if (R.SelectedFits)
+          EXPECT_LE(R.SelectedEstimate.Slices,
+                    Opts.Platform.CapacitySlices)
+              << Spec.Name << " rate " << Rate << " seed " << Seed;
+        if (!R.SelectedFits || R.Degraded)
+          EXPECT_FALSE(R.Degraded && R.Failures.empty())
+              << "degraded without a failure log: " << R.Trace;
+        if (Rate == 0.0)
+          EXPECT_FALSE(R.Degraded) << R.Trace;
+      }
+    }
+  }
+}
+
+TEST(ChaosExplorer, PerturbedEstimatesNeverCrashTheSearch) {
+  for (const KernelSpec &Spec : paperKernels()) {
+    Kernel K = buildKernel(Spec.Name);
+    VirtualClock Clock;
+    FaultInjectorOptions FI;
+    FI.Seed = 7;
+    FI.PerturbRate = 1.0;
+    FI.PerturbMagnitude = 0.5;
+    ExplorerOptions Opts;
+    FaultInjector::Counters Counters;
+    ExplorationResult R = exploreWithFaults(K, FI, Clock, Opts, &Counters);
+    EXPECT_GT(Counters.Perturbations, 0u) << Spec.Name;
+    EXPECT_LE(R.EvaluationsUsed, Opts.MaxEvaluations) << Spec.Name;
+    // Whatever the noise, the reported selection is self-consistent.
+    if (R.SelectedFits)
+      EXPECT_LE(R.SelectedEstimate.Slices, Opts.Platform.CapacitySlices)
+          << Spec.Name;
+  }
+}
+
+TEST(ChaosExplorer, StallsRunIntoTheDeadline) {
+  Kernel FIR = buildKernel("FIR");
+  VirtualClock Clock;
+  FaultInjectorOptions FI;
+  FI.StallRate = 1.0;
+  FI.StallSeconds = 10.0;
+  ExplorerOptions Opts;
+  Opts.DeadlineSeconds = 5.0;
+  ExplorationResult R = exploreWithFaults(FIR, FI, Clock, Opts);
+
+  // The first (baseline) call stalls past the whole deadline; the search
+  // then stops before its first real step and falls back gracefully.
+  EXPECT_TRUE(R.Degraded);
+  ASSERT_FALSE(R.Failures.empty());
+  EXPECT_EQ(R.Failures.back().Error.code(), ErrorCode::DeadlineExceeded);
+  EXPECT_EQ(R.Selected, UnrollVector(R.Selected.size(), 1));
+  EXPECT_NE(R.Trace.find("deadline"), std::string::npos);
+  // Virtual time: no real seconds were spent.
+  EXPECT_GE(Clock.Now, 10.0);
+}
+
+TEST(ChaosExplorer, RetriesRideOutAlternatingFailures) {
+  // An estimator that fails every other call: every evaluation succeeds
+  // on its retry, so the search converges undegraded at twice the cost.
+  Kernel FIR = buildKernel("FIR");
+  ExplorerOptions Plain;
+  ExplorationResult Healthy = DesignSpaceExplorer(FIR, Plain).run();
+
+  unsigned Calls = 0;
+  ExplorerOptions Opts;
+  Opts.Estimator = [&Calls](const Kernel &K, const TargetPlatform &P)
+      -> Expected<SynthesisEstimate> {
+    if (++Calls % 2 == 1)
+      return Status::error(ErrorCode::EstimationFailed, "transient");
+    return estimateDesignChecked(K, P);
+  };
+  ExplorationResult R = DesignSpaceExplorer(FIR, Opts).run();
+  EXPECT_FALSE(R.Degraded) << R.Trace;
+  EXPECT_EQ(R.Selected, Healthy.Selected);
+  EXPECT_EQ(R.EvaluationsUsed, 2 * Healthy.EvaluationsUsed);
+}
+
+TEST(ChaosExplorer, TotalEstimatorLossDegradesGracefully) {
+  Kernel FIR = buildKernel("FIR");
+  VirtualClock Clock;
+  FaultInjectorOptions FI;
+  FI.FailureRate = 1.0;
+  ExplorerOptions Opts;
+  ExplorationResult R = exploreWithFaults(FIR, FI, Clock, Opts);
+
+  EXPECT_TRUE(R.Degraded);
+  EXPECT_FALSE(R.Failures.empty());
+  EXPECT_FALSE(R.SelectedFits);
+  EXPECT_TRUE(R.Visited.empty());
+  EXPECT_NE(R.Trace.find("FAIL"), std::string::npos);
+  EXPECT_NE(R.Trace.find("no design could be evaluated"),
+            std::string::npos);
+  // Failure entries carry machine-readable codes.
+  for (const EvaluationFailure &F : R.Failures)
+    EXPECT_EQ(F.Error.code(), ErrorCode::EstimationFailed);
+}
+
+TEST(ChaosExplorer, BackoffIsCappedAndUsesTheInjectedSleeper) {
+  Kernel FIR = buildKernel("FIR");
+  VirtualClock Clock;
+  FaultInjectorOptions FI;
+  FI.FailureRate = 1.0;
+  ExplorerOptions Opts;
+  Opts.MaxRetries = 3;
+  Opts.RetryBackoffSeconds = 1.0;
+  Opts.MaxBackoffSeconds = 2.0;
+  ExplorationResult R = exploreWithFaults(FIR, FI, Clock, Opts);
+
+  EXPECT_TRUE(R.Degraded);
+  // Two vectors are attempted (baseline, then Uinit where the walk
+  // stops); each sleeps 1 + 2 + 2 virtual seconds across its retries.
+  EXPECT_DOUBLE_EQ(Clock.Now, 10.0);
+  for (const EvaluationFailure &F : R.Failures)
+    EXPECT_EQ(F.Attempts, 4u);
+}
+
+TEST(ChaosExplorer, ExhaustiveBaselineSkipsFailedCandidates) {
+  Kernel FIR = buildKernel("FIR");
+  VirtualClock Clock;
+  FaultInjector Injector({/*Seed=*/3, /*FailureRate=*/0.3});
+  Clock.install(Injector);
+  ExplorerOptions Opts;
+  Clock.install(Opts);
+  Opts.Estimator = Injector.wrapDefault();
+  Opts.MaxRetries = 0; // Make failures permanent so some are skipped.
+  ExplorationResult R = exploreExhaustive(FIR, Opts);
+
+  EXPECT_TRUE(R.Degraded);
+  EXPECT_FALSE(R.Failures.empty());
+  // Skipped candidates are exactly the logged failures.
+  DesignSpaceExplorer Ex(FIR, Opts);
+  EXPECT_EQ(R.Visited.size() + R.Failures.size(),
+            Ex.space().allCandidates().size());
+  EXPECT_LE(R.SelectedEstimate.Slices, Opts.Platform.CapacitySlices);
+}

@@ -1,0 +1,134 @@
+//===- error_test.cpp - Status/Expected error model tests -----------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Support/Error.h"
+
+#include "defacto/Frontend/Parser.h"
+#include "defacto/IR/Kernel.h"
+#include "defacto/IR/KernelBuilder.h"
+#include "defacto/Transforms/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+TEST(Status, DefaultIsOk) {
+  Status S;
+  EXPECT_TRUE(S.isOk());
+  EXPECT_EQ(S.code(), ErrorCode::Ok);
+  EXPECT_EQ(S.message(), "");
+  EXPECT_EQ(S.toString(), "ok");
+  EXPECT_EQ(S, Status::ok());
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status S = Status::error(ErrorCode::OutOfBounds, "index 9 of A[4]");
+  EXPECT_FALSE(S.isOk());
+  EXPECT_EQ(S.code(), ErrorCode::OutOfBounds);
+  EXPECT_EQ(S.message(), "index 9 of A[4]");
+  EXPECT_EQ(S.toString(), "out_of_bounds: index 9 of A[4]");
+  EXPECT_NE(S, Status::ok());
+  EXPECT_NE(S, Status::error(ErrorCode::OutOfBounds, "other"));
+  EXPECT_EQ(S, Status::error(ErrorCode::OutOfBounds, "index 9 of A[4]"));
+}
+
+TEST(Status, EveryCodeHasAStableName) {
+  EXPECT_STREQ(errorCodeName(ErrorCode::Ok), "ok");
+  EXPECT_STREQ(errorCodeName(ErrorCode::InvalidInput), "invalid_input");
+  EXPECT_STREQ(errorCodeName(ErrorCode::OutOfBounds), "out_of_bounds");
+  EXPECT_STREQ(errorCodeName(ErrorCode::StepLimitExceeded),
+               "step_limit_exceeded");
+  EXPECT_STREQ(errorCodeName(ErrorCode::MalformedIR), "malformed_ir");
+  EXPECT_STREQ(errorCodeName(ErrorCode::EstimationFailed),
+               "estimation_failed");
+  EXPECT_STREQ(errorCodeName(ErrorCode::DeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(errorCodeName(ErrorCode::BudgetExhausted),
+               "budget_exhausted");
+  EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "internal");
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int64_t> E(42);
+  ASSERT_TRUE(E.hasValue());
+  EXPECT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(*E, 42);
+  EXPECT_EQ(E.value(), 42);
+  EXPECT_TRUE(E.status().isOk());
+  EXPECT_EQ(E, Expected<int64_t>(42));
+  EXPECT_NE(E, Expected<int64_t>(43));
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int64_t> E(Status::error(ErrorCode::StepLimitExceeded, "boom"));
+  EXPECT_FALSE(E.hasValue());
+  EXPECT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E.status().code(), ErrorCode::StepLimitExceeded);
+  EXPECT_NE(E, Expected<int64_t>(42));
+  EXPECT_EQ(E, Expected<int64_t>(
+                   Status::error(ErrorCode::StepLimitExceeded, "boom")));
+}
+
+TEST(Expected, TakeValueMovesOutMoveOnlyPayloads) {
+  KernelBuilder B("tk");
+  B.array("A", ScalarType::Int32, {4});
+  auto I = B.beginLoop("i", 0, 4);
+  (void)I;
+  B.endLoop();
+  Expected<Kernel> E = std::move(B).finish();
+  ASSERT_TRUE(E.hasValue());
+  Kernel K = E.takeValue();
+  EXPECT_EQ(K.name(), "tk");
+}
+
+TEST(Expected, ArrowReachesMembers) {
+  Expected<std::string> E(std::string("abc"));
+  EXPECT_EQ(E->size(), 3u);
+}
+
+TEST(Error, TryMakeArrayRejectsBadDeclarations) {
+  Kernel K("k");
+  ASSERT_TRUE(K.tryMakeArray("A", ScalarType::Int32, {4}).hasValue());
+  // Duplicate name.
+  Expected<ArrayDecl *> Dup = K.tryMakeArray("A", ScalarType::Int32, {4});
+  ASSERT_FALSE(Dup.hasValue());
+  EXPECT_EQ(Dup.status().code(), ErrorCode::InvalidInput);
+  // No dimensions.
+  EXPECT_FALSE(K.tryMakeArray("B", ScalarType::Int32, {}).hasValue());
+  // Non-positive dimension.
+  EXPECT_FALSE(K.tryMakeArray("C", ScalarType::Int32, {4, 0}).hasValue());
+  EXPECT_FALSE(K.tryMakeArray("D", ScalarType::Int32, {-2}).hasValue());
+  // A scalar of the same name is a clash, too.
+  ASSERT_TRUE(K.tryMakeScalar("s", ScalarType::Int32).hasValue());
+  EXPECT_FALSE(K.tryMakeArray("s", ScalarType::Int32, {4}).hasValue());
+  EXPECT_FALSE(K.tryMakeScalar("A", ScalarType::Int32).hasValue());
+}
+
+TEST(Error, UnbalancedBuilderReportsMalformedIR) {
+  KernelBuilder B("open");
+  B.array("A", ScalarType::Int32, {4});
+  auto I = B.beginLoop("i", 0, 4);
+  (void)I;
+  // Missing endLoop().
+  Expected<Kernel> E = std::move(B).finish();
+  ASSERT_FALSE(E.hasValue());
+  EXPECT_EQ(E.status().code(), ErrorCode::MalformedIR);
+  EXPECT_NE(E.status().message().find("loop"), std::string::npos);
+}
+
+TEST(Error, PipelineSurfacesLayoutFailureWithoutAborting) {
+  // An impossible layout request must come back as a TransformResult
+  // error with the source kernel intact, not a process abort.
+  DiagnosticEngine Diags;
+  auto K = parseKernel("int A[8]; int s;\n"
+                       "for (i = 0; i < 8; i++) s = s + A[i];\n",
+                       "k", Diags);
+  ASSERT_TRUE(K.has_value());
+  TransformOptions TO;
+  TransformResult R = applyPipeline(*K, TO);
+  EXPECT_TRUE(R.ok()) << R.Error.toString();
+  EXPECT_TRUE(R.Error.isOk());
+}

@@ -193,6 +193,35 @@ TEST(Explorer, MaxEvaluationsBoundsTheSearch) {
   ExplorationResult R = DesignSpaceExplorer(FIR, Opts).run();
   EXPECT_LE(R.Visited.size(), 2u);
   EXPECT_LE(R.SelectedEstimate.Slices, Opts.Platform.CapacitySlices);
+  EXPECT_LE(R.EvaluationsUsed, 2u);
+}
+
+TEST(Explorer, BudgetExhaustionSelectsBestEvaluatedDeterministically) {
+  // Regression: when MaxEvaluations runs out mid-search, the explorer
+  // must not spend an extra estimation on the final selection. It picks
+  // the best design it already evaluated — deterministically — and says
+  // so in the failure log.
+  Kernel FIR = buildKernel("FIR");
+  ExplorerOptions Opts = pipelined();
+  Opts.MaxEvaluations = 3; // Baseline + Uinit + one increase step.
+  ExplorationResult R = DesignSpaceExplorer(FIR, Opts).run();
+
+  EXPECT_EQ(R.EvaluationsUsed, 3u); // Exactly the budget, never more.
+  EXPECT_TRUE(R.Degraded);
+  ASSERT_FALSE(R.Failures.empty());
+  EXPECT_EQ(R.Failures.back().Error.code(), ErrorCode::BudgetExhausted);
+
+  // Selection is the fastest fitting design among those evaluated.
+  EXPECT_LE(R.SelectedEstimate.Slices, Opts.Platform.CapacitySlices);
+  for (const EvaluatedDesign &D : R.Visited)
+    if (D.Estimate.Slices <= Opts.Platform.CapacitySlices)
+      EXPECT_LE(R.SelectedEstimate.Cycles, D.Estimate.Cycles);
+  EXPECT_LE(R.SelectedEstimate.Cycles, R.BaselineEstimate.Cycles);
+
+  // Byte-for-byte reproducible.
+  ExplorationResult R2 = DesignSpaceExplorer(FIR, Opts).run();
+  EXPECT_EQ(R.Selected, R2.Selected);
+  EXPECT_EQ(R.Trace, R2.Trace);
 }
 
 TEST(Explorer, NonPowerOfTwoTripsDistributeSaturation) {

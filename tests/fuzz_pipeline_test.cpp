@@ -25,6 +25,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 using namespace defacto;
 
 namespace {
@@ -177,6 +179,15 @@ private:
 
 class PipelineFuzz : public ::testing::TestWithParam<uint64_t> {};
 
+/// Seed count, raisable for deeper runs (the sanitizer CI preset sets
+/// DEFACTO_FUZZ_SEEDS=96).
+uint64_t fuzzSeedCount() {
+  if (const char *Env = std::getenv("DEFACTO_FUZZ_SEEDS"))
+    if (long N = std::atol(Env); N > 0)
+      return static_cast<uint64_t>(N);
+  return 24;
+}
+
 } // namespace
 
 TEST_P(PipelineFuzz, RandomKernelsSurviveTheFullPipeline) {
@@ -222,4 +233,4 @@ TEST_P(PipelineFuzz, RandomKernelsExplore) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
-                         ::testing::Range<uint64_t>(0, 24));
+                         ::testing::Range<uint64_t>(0, fuzzSeedCount()));

@@ -32,7 +32,7 @@ Kernel builtFir() {
                        B.access(C, {B.idx(I)}))));
   B.endLoop();
   B.endLoop();
-  return std::move(B).finish();
+  return std::move(B).finish().takeValue();
 }
 
 } // namespace
@@ -58,10 +58,10 @@ TEST(KernelBuilder, ConditionalsAndElse) {
   B.assign(B.access(A, {B.idx(I)}), B.read(S));
   B.endIf();
   B.endLoop();
-  Kernel K = std::move(B).finish();
+  Kernel K = std::move(B).finish().takeValue();
 
   EXPECT_TRUE(isKernelValid(K));
-  auto Out = simulate(K, 0);
+  auto Out = *simulate(K, 0);
   for (int Idx = 0; Idx != 8; ++Idx)
     EXPECT_EQ(Out.at("A")[Idx], Idx < 4 ? 1 : 0);
 }
@@ -78,10 +78,10 @@ TEST(KernelBuilder, RotateAndSelect) {
   B.assign(B.access(A, {B.idx(I)}), B.read(R0));
   B.rotate({R0, R1});
   B.endLoop();
-  Kernel K = std::move(B).finish();
+  Kernel K = std::move(B).finish().takeValue();
   EXPECT_TRUE(isKernelValid(K));
   EXPECT_EQ(countStmts(K.body()).Rotate, 1u);
-  auto Out = simulate(K, 0);
+  auto Out = *simulate(K, 0);
   EXPECT_EQ(Out.at("A")[0], 7);
 }
 
@@ -91,9 +91,9 @@ TEST(KernelBuilder, StridedLoops) {
   auto I = B.beginLoop("i", 2, 16, 3); // i = 2, 5, 8, 11, 14
   B.assign(B.access(A, {B.idx(I)}), B.lit(5));
   B.endLoop();
-  Kernel K = std::move(B).finish();
+  Kernel K = std::move(B).finish().takeValue();
   EXPECT_EQ(K.topLoop()->tripCount(), 5);
-  auto Out = simulate(K, 1);
+  auto Out = *simulate(K, 1);
   EXPECT_EQ(Out.at("A")[2], 5);
   EXPECT_EQ(Out.at("A")[14], 5);
 }

@@ -36,7 +36,7 @@ Kernel preparedFir(UnrollVector U) {
 
 TEST(DataLayout, FirUnroll2CreatesFigure1dBanks) {
   Kernel K = preparedFir({2, 2});
-  DataLayoutStats Stats = applyDataLayout(K, {4});
+  DataLayoutStats Stats = *applyDataLayout(K, {4});
   EXPECT_TRUE(isKernelValid(K));
   // S, C, D each split into two banks (Figure 1(d)).
   EXPECT_EQ(Stats.ArraysDistributed, 3u);
@@ -83,7 +83,7 @@ TEST(DataLayout, ParallelReadsLandOnDistinctPorts) {
 
 TEST(DataLayout, BaselineWithoutUnrollKeepsArraysWhole) {
   Kernel K = preparedFir({1, 1});
-  DataLayoutStats Stats = applyDataLayout(K, {4});
+  DataLayoutStats Stats = *applyDataLayout(K, {4});
   // Unit-stride subscripts are not divisible: no renaming, steady-state
   // ports only.
   EXPECT_EQ(Stats.ArraysDistributed, 0u);
@@ -92,7 +92,7 @@ TEST(DataLayout, BaselineWithoutUnrollKeepsArraysWhole) {
 
 TEST(DataLayout, SingleMemoryDegenerates) {
   Kernel K = preparedFir({2, 2});
-  DataLayoutStats Stats = applyDataLayout(K, {1});
+  DataLayoutStats Stats = *applyDataLayout(K, {1});
   EXPECT_EQ(Stats.ArraysDistributed, 0u);
   for (const AccessInfo &Info : collectArrayAccesses(K))
     EXPECT_EQ(Info.Access->steadyStatePort(), 0);
@@ -105,7 +105,7 @@ TEST(DataLayout, MmDistributesAlongUnrolledDims) {
   normalizeLoops(K);
   scalarReplace(K);
   peelGuardedIterations(K);
-  DataLayoutStats Stats = applyDataLayout(K, {4});
+  DataLayoutStats Stats = *applyDataLayout(K, {4});
   EXPECT_TRUE(isKernelValid(K));
   EXPECT_GE(Stats.ArraysDistributed, 2u); // A (rows) and Z at least.
 }

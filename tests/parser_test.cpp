@@ -268,6 +268,64 @@ TEST(Parser, SourceKernelsRoundTripThroughThePrinter) {
   }
 }
 
+TEST(Parser, RecoversAndReportsMultipleErrors) {
+  // One parse reports every independent mistake: the parser resyncs at
+  // statement boundaries instead of stopping at the first error.
+  std::string Errors;
+  auto K = parse("int A[8];\n"
+                 "for (i = 0; i < 8; i++) A[i * i] = 1;\n" // non-affine
+                 "for (j = 0; j < 8; j++) B[j] = 1;\n"     // undeclared
+                 "for (k = 0; k < 8; k++) A[k] = ;\n",     // missing expr
+                 &Errors);
+  EXPECT_FALSE(K.has_value());
+  EXPECT_NE(Errors.find("affine"), std::string::npos) << Errors;
+  EXPECT_NE(Errors.find("undeclared"), std::string::npos) << Errors;
+  EXPECT_NE(Errors.find("expected expression"), std::string::npos)
+      << Errors;
+}
+
+TEST(Parser, RecoversInsideBracedBodies) {
+  std::string Errors;
+  auto K = parse("int A[8]; int s;\n"
+                 "for (i = 0; i < 8; i++) {\n"
+                 "  s = ;\n"     // missing expression
+                 "  A[i] = s;\n" // fine; parsing must resume here
+                 "  q = 1;\n"    // undeclared
+                 "}\n",
+                 &Errors);
+  EXPECT_FALSE(K.has_value());
+  EXPECT_NE(Errors.find("expected expression"), std::string::npos)
+      << Errors;
+  EXPECT_NE(Errors.find("undeclared"), std::string::npos) << Errors;
+}
+
+TEST(Parser, RecoversAcrossDeclarations) {
+  std::string Errors;
+  auto K = parse("int A[0];\n" // non-positive dimension
+                 "int B[8];\n"
+                 "int A;\n" // fine on its own; A was never declared
+                 "for (i = 0; i < 8; i++) C[i] = 1;\n", // undeclared
+                 &Errors);
+  EXPECT_FALSE(K.has_value());
+  EXPECT_NE(Errors.find("positive"), std::string::npos) << Errors;
+  EXPECT_NE(Errors.find("undeclared"), std::string::npos) << Errors;
+}
+
+TEST(Parser, ErrorCapBoundsTheDiagnosticStream) {
+  std::string Src;
+  for (int I = 0; I != 100; ++I)
+    Src += "nope" + std::to_string(I) + " = 1;\n";
+  std::string Errors;
+  auto K = parse(Src, &Errors);
+  EXPECT_FALSE(K.has_value());
+  size_t Count = 0;
+  for (size_t Pos = Errors.find("undeclared"); Pos != std::string::npos;
+       Pos = Errors.find("undeclared", Pos + 1))
+    ++Count;
+  EXPECT_EQ(Count, 20u) << Errors;
+  EXPECT_NE(Errors.find("too many errors"), std::string::npos);
+}
+
 TEST(Parser, GarbageInputNeverCrashes) {
   // Deterministic token-soup fuzzing: the parser must reject garbage
   // with diagnostics, never crash or accept.

@@ -57,7 +57,8 @@ TEST(Sim, ArithmeticSemantics) {
       "  A[11] = (x > 0 ? 5 : 6);\n" // 5
       "}\n");
   auto Out = simulate(K, 0);
-  const std::vector<int64_t> &A = Out.at("A");
+  ASSERT_TRUE(Out.hasValue()) << Out.status().toString();
+  const std::vector<int64_t> &A = Out->at("A");
   EXPECT_EQ(A[0], 10);
   EXPECT_EQ(A[1], -3);
   EXPECT_EQ(A[2], -14);
@@ -80,15 +81,17 @@ TEST(Sim, DivisionByZeroYieldsZero) {
                         "  A[1] = 5 % z;\n"
                         "}\n");
   auto Out = simulate(K, 0);
-  EXPECT_EQ(Out.at("A")[0], 0);
-  EXPECT_EQ(Out.at("A")[1], 0);
+  ASSERT_TRUE(Out.hasValue());
+  EXPECT_EQ(Out->at("A")[0], 0);
+  EXPECT_EQ(Out->at("A")[1], 0);
 }
 
 TEST(Sim, StoreTruncatesToElementType) {
   Kernel K = parseOrDie("char A[1];\n"
                         "for (i = 0; i < 1; i++) A[0] = 200;\n");
   auto Out = simulate(K, 0);
-  EXPECT_EQ(Out.at("A")[0], 200 - 256); // Wraps to -56.
+  ASSERT_TRUE(Out.hasValue());
+  EXPECT_EQ(Out->at("A")[0], 200 - 256); // Wraps to -56.
 }
 
 TEST(Sim, RotateSemantics) {
@@ -102,7 +105,7 @@ TEST(Sim, RotateSemantics) {
   Mem.setScalar(R2, 30);
   K.body().push_back(std::make_unique<RotateStmt>(
       std::vector<const ScalarDecl *>{R0, R1, R2}));
-  SimStats Stats = runKernel(K, Mem);
+  SimStats Stats = *runKernel(K, Mem);
   // Rotate left: (r0, r1, r2) <- (r1, r2, r0).
   EXPECT_EQ(Mem.scalar(R0), 20);
   EXPECT_EQ(Mem.scalar(R1), 30);
@@ -120,8 +123,8 @@ TEST(Sim, RenamedArraysAliasOrigin) {
 
   MemoryImage Mem(K, 0);
   // Write through the banks, read back through the origin.
-  Mem.store(Even, {1}, 42); // A[2]
-  Mem.store(Odd, {3}, 43);  // A[7]
+  EXPECT_TRUE(Mem.store(Even, {1}, 42).isOk()); // A[2]
+  EXPECT_TRUE(Mem.store(Odd, {3}, 43).isOk());  // A[7]
   EXPECT_EQ(Mem.load(A, {2}), 42);
   EXPECT_EQ(Mem.load(A, {7}), 43);
   EXPECT_EQ(Mem.load(Even, {1}), 42);
@@ -133,7 +136,7 @@ TEST(Sim, StatsCountAccesses) {
   Kernel K = parseOrDie("int A[4]; int s;\n"
                         "for (i = 0; i < 4; i++) s = s + A[i];\n");
   MemoryImage Mem(K, 0);
-  SimStats Stats = runKernel(K, Mem);
+  SimStats Stats = *runKernel(K, Mem);
   EXPECT_EQ(Stats.MemoryReads, 4u);
   EXPECT_EQ(Stats.MemoryWrites, 0u);
   EXPECT_EQ(Stats.AssignsExecuted, 4u);
@@ -145,8 +148,9 @@ TEST(Sim, ConditionalExecution) {
                         "  if (i < 4) A[i] = 1; else A[i] = 2;\n"
                         "}\n");
   auto Out = simulate(K, 0);
+  ASSERT_TRUE(Out.hasValue());
   for (int I = 0; I != 8; ++I)
-    EXPECT_EQ(Out.at("A")[I], I < 4 ? 1 : 2);
+    EXPECT_EQ(Out->at("A")[I], I < 4 ? 1 : 2);
 }
 
 TEST(Sim, FirMatchesReferenceConvolution) {
@@ -155,7 +159,7 @@ TEST(Sim, FirMatchesReferenceConvolution) {
   std::vector<int64_t> S = Mem.arrayData("S");
   std::vector<int64_t> C = Mem.arrayData("C");
   std::vector<int64_t> D = Mem.arrayData("D");
-  runKernel(K, Mem);
+  ASSERT_TRUE(runKernel(K, Mem).hasValue());
   for (int J = 0; J != 64; ++J) {
     int64_t Acc = D[J];
     for (int I = 0; I != 32; ++I)
@@ -164,13 +168,60 @@ TEST(Sim, FirMatchesReferenceConvolution) {
   }
 }
 
+TEST(Sim, OutOfBoundsReadIsReportedNotFatal) {
+  // Bounds violations on user-supplied kernels are recoverable errors.
+  Kernel K = parseOrDie("int A[4]; int s;\n"
+                        "for (i = 0; i < 8; i++) s = s + A[i];\n");
+  auto Out = simulate(K, 0);
+  ASSERT_FALSE(Out.hasValue());
+  EXPECT_EQ(Out.status().code(), ErrorCode::OutOfBounds);
+  EXPECT_NE(Out.status().message().find("A"), std::string::npos);
+}
+
+TEST(Sim, OutOfBoundsWriteIsReportedNotFatal) {
+  Kernel K = parseOrDie("int A[4];\n"
+                        "for (i = 0; i < 8; i++) A[2 * i] = 1;\n");
+  auto Out = simulate(K, 0);
+  ASSERT_FALSE(Out.hasValue());
+  EXPECT_EQ(Out.status().code(), ErrorCode::OutOfBounds);
+}
+
+TEST(Sim, DirectLoadStoreReportOutOfBounds) {
+  Kernel K("oob");
+  ArrayDecl *A = K.makeArray("A", ScalarType::Int32, {4});
+  MemoryImage Mem(K, 0);
+  EXPECT_FALSE(Mem.load(A, {4}).hasValue());
+  EXPECT_EQ(Mem.load(A, {-1}).status().code(), ErrorCode::OutOfBounds);
+  EXPECT_EQ(Mem.store(A, {4}, 0).code(), ErrorCode::OutOfBounds);
+  // Rank mismatch is out of the supported domain, too.
+  EXPECT_FALSE(Mem.load(A, {0, 0}).hasValue());
+  EXPECT_TRUE(Mem.store(A, {3}, 9).isOk());
+  EXPECT_EQ(Mem.load(A, {3}), 9);
+}
+
+TEST(Sim, StepLimitStopsRunawayKernels) {
+  Kernel K = parseOrDie("int A[64]; int s;\n"
+                        "for (i = 0; i < 64; i++)\n"
+                        "  for (j = 0; j < 64; j++) s = s + A[j];\n");
+  InterpreterLimits Tight;
+  Tight.MaxSteps = 100; // Far below the ~12k statements executed.
+  MemoryImage Mem(K, 0);
+  auto Stats = runKernel(K, Mem, Tight);
+  ASSERT_FALSE(Stats.hasValue());
+  EXPECT_EQ(Stats.status().code(), ErrorCode::StepLimitExceeded);
+
+  // The default budget is ample: the same kernel completes.
+  MemoryImage Fresh(K, 0);
+  EXPECT_TRUE(runKernel(K, Fresh).hasValue());
+}
+
 TEST(Sim, MatrixMultiplyMatchesReference) {
   Kernel K = buildKernel("MM");
   MemoryImage Mem(K, 5);
   std::vector<int64_t> A = Mem.arrayData("A");
   std::vector<int64_t> B = Mem.arrayData("B");
   std::vector<int64_t> Z = Mem.arrayData("Z");
-  runKernel(K, Mem);
+  ASSERT_TRUE(runKernel(K, Mem).hasValue());
   for (int I = 0; I != 32; ++I)
     for (int J = 0; J != 4; ++J) {
       int64_t Acc = Z[I * 4 + J];
