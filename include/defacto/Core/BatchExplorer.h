@@ -1,0 +1,95 @@
+//===- BatchExplorer.h - Multi-kernel exploration driver -------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Explores many (kernel, platform) jobs concurrently on one worker pool
+/// with one shared EstimateCache. Each job runs the ordinary sequential
+/// engine inside a pool worker — job-level parallelism composes with the
+/// per-job speculative engine only through the shared cache, never
+/// through nested pool submission (which could deadlock a bounded pool).
+/// Results come back in submission order and each job's outcome is
+/// identical to running it alone; jobs over the same kernel and platform
+/// additionally hit each other's cached estimates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_CORE_BATCHEXPLORER_H
+#define DEFACTO_CORE_BATCHEXPLORER_H
+
+#include "defacto/Core/Explorer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace defacto {
+
+/// One unit of batch work: explore one kernel for one platform.
+struct BatchJob {
+  std::string Name; // label for reports; defaults to the kernel's name
+  Kernel K;
+  ExplorerOptions Opts;
+  enum class Mode { Guided, Exhaustive } SearchMode = Mode::Guided;
+
+  BatchJob(std::string Name, Kernel K, ExplorerOptions Opts,
+           Mode SearchMode = Mode::Guided)
+      : Name(std::move(Name)), K(std::move(K)), Opts(std::move(Opts)),
+        SearchMode(SearchMode) {}
+};
+
+/// One finished job, in submission order.
+struct BatchResult {
+  std::string Name;
+  ExplorationResult Result;
+};
+
+/// Batch-level configuration.
+struct BatchOptions {
+  /// Concurrent jobs. <= 1 runs the batch sequentially (still sharing
+  /// the cache across jobs).
+  unsigned NumThreads = 1;
+  /// Pool to run jobs on; created on demand when unset and NumThreads
+  /// exceeds one.
+  std::shared_ptr<ThreadPool> Pool;
+  /// Estimate cache shared by every job; created when unset. Exposed so
+  /// callers can carry warm state across batches.
+  std::shared_ptr<EstimateCache> Cache;
+};
+
+/// Collects jobs, runs them concurrently, returns ordered results.
+class BatchExplorer {
+public:
+  explicit BatchExplorer(BatchOptions Opts = {});
+
+  /// Queues one job. Convenience overload labels it with the kernel name.
+  void addJob(BatchJob Job);
+  void addJob(const Kernel &K, ExplorerOptions Opts,
+              BatchJob::Mode Mode = BatchJob::Mode::Guided);
+
+  unsigned numJobs() const { return Jobs.size(); }
+
+  /// Runs every queued job and clears the queue. Results are in
+  /// submission order regardless of completion order.
+  std::vector<BatchResult> runAll();
+
+  /// The shared cache (for stats reporting and cross-batch reuse).
+  const std::shared_ptr<EstimateCache> &estimateCache() const {
+    return Cache;
+  }
+
+private:
+  BatchOptions Opts;
+  std::shared_ptr<EstimateCache> Cache; // never null
+  std::vector<BatchJob> Jobs;
+};
+
+/// One-shot convenience: run \p Jobs with \p Opts.
+std::vector<BatchResult> exploreBatch(std::vector<BatchJob> Jobs,
+                                      const BatchOptions &Opts = {});
+
+} // namespace defacto
+
+#endif // DEFACTO_CORE_BATCHEXPLORER_H

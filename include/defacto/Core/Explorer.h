@@ -19,19 +19,34 @@
 /// Exhaustive and random search baselines are provided for the coverage
 /// and quality comparisons of §6.3.
 ///
+/// Concurrency: with NumThreads > 1 (or an explicit Pool) the engine
+/// speculatively evaluates the walk's whole candidate frontier — the
+/// Increase doubling chain and the SelectBetween bisection midpoints,
+/// both enumerable upfront in Psat multiples — on a worker pool, while
+/// the walk itself runs unchanged and consumes memoized results in its
+/// original deterministic order. The exhaustive and random baselines fan
+/// every candidate out across the pool the same way. For a deterministic
+/// estimation backend the selected design is bit-identical to the
+/// sequential walk's; estimator attempts are charged to the evaluation
+/// budget when the walk consumes a result, not when a worker computes it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DEFACTO_CORE_EXPLORER_H
 #define DEFACTO_CORE_EXPLORER_H
 
 #include "defacto/Core/DesignSpace.h"
+#include "defacto/Core/EstimateCache.h"
 #include "defacto/Core/Saturation.h"
 #include "defacto/HLS/Estimator.h"
 #include "defacto/Support/Error.h"
+#include "defacto/Support/ThreadPool.h"
 #include "defacto/Transforms/Pipeline.h"
 
 #include <functional>
+#include <future>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -78,6 +93,27 @@ struct ExplorerOptions {
   /// virtual clock for determinism.
   std::function<double()> Clock;
   std::function<void(double /*Seconds*/)> Sleep;
+
+  //===--------------------------------------------------------------===//
+  // Concurrency. Defaults keep every run fully sequential and
+  // bit-identical to the historical engine.
+  //===--------------------------------------------------------------===//
+
+  /// Worker threads for the speculative frontier evaluation and the
+  /// exhaustive/random fan-out. <= 1 means sequential. Parallel mode
+  /// requires a thread-safe Estimator (the default backend is; a
+  /// FaultInjector-wrapped one is not) and assumes it is deterministic —
+  /// that is what makes the parallel walk's selection bit-identical to
+  /// the sequential one's.
+  unsigned NumThreads = 1;
+  /// Worker pool to draw from; with NumThreads > 1 and no pool the
+  /// explorer creates a private one. Sharing one pool across explorers
+  /// (BatchExplorer does) bounds total worker threads.
+  std::shared_ptr<ThreadPool> Pool;
+  /// Estimate cache shared across explorers, runs, and threads. Unset:
+  /// the explorer creates a private cache, i.e. per-instance memoization
+  /// exactly as before.
+  std::shared_ptr<EstimateCache> Cache;
 };
 
 /// One design whose estimation permanently failed (every retry included),
@@ -116,7 +152,9 @@ struct ExplorationResult {
   /// Machine-readable failure log; every entry is also mirrored into
   /// Trace as a "FAIL"/"stop" line.
   std::vector<EvaluationFailure> Failures;
-  /// Estimator attempts actually spent (retries included).
+  /// Estimator attempts actually spent (retries included; cached results
+  /// consumed from a shared EstimateCache charge the attempts their
+  /// original computation cost).
   unsigned EvaluationsUsed = 0;
   SaturationInfo Sat;
   uint64_t FullSpaceSize = 0;
@@ -140,6 +178,7 @@ struct ExplorationResult {
 class DesignSpaceExplorer {
 public:
   DesignSpaceExplorer(const Kernel &Source, ExplorerOptions Opts);
+  ~DesignSpaceExplorer();
 
   /// The Figure-2 algorithm.
   ExplorationResult run();
@@ -155,8 +194,29 @@ public:
   /// conditions and are never cached against the vector.
   Expected<SynthesisEstimate> evaluateChecked(const UnrollVector &U);
 
+  /// Speculatively evaluates \p Candidates on the configured worker pool
+  /// into the estimate cache; no-op in sequential mode. Later
+  /// evaluate()/run() calls consume the results in their own
+  /// deterministic order. Speculative work never charges the evaluation
+  /// budget; consumption does.
+  void prefetch(const std::vector<UnrollVector> &Candidates);
+
+  /// Blocks until every outstanding speculative evaluation finished.
+  void drainSpeculation();
+
+  /// The frontier run() would speculate: base, Uinit, the Increase
+  /// doubling chain, and the SelectBetween bisection midpoint closure
+  /// (Psat multiples), deduplicated and capped.
+  std::vector<UnrollVector> guidedFrontier() const;
+
   const UnrollSpace &space() const { return Space; }
   const SaturationInfo &saturation() const { return Sat; }
+
+  /// The estimate cache this explorer reads and writes (the shared one
+  /// from the options, or its private one).
+  const std::shared_ptr<EstimateCache> &estimateCache() const {
+    return Estimates;
+  }
 
   /// Estimator attempts spent so far (retries included).
   unsigned evaluationsUsed() const { return Used; }
@@ -168,16 +228,27 @@ public:
   UnrollVector initialVector() const;
 
 private:
-  Expected<SynthesisEstimate> evaluateUncached(const UnrollVector &U);
+  /// One raw estimation attempt: transform pipeline + estimator (+ the
+  /// §5.4 register-cap shrink loop). Thread-safe: touches only the
+  /// shared read-only PipelineContext and the options.
+  Expected<SynthesisEstimate> computeRaw(const UnrollVector &U) const;
+  std::string cacheKey(const UnrollVector &U) const;
+  std::shared_ptr<ThreadPool> workerPool();
+  bool parallel() const { return Opts.Pool != nullptr || Opts.NumThreads > 1; }
   Status checkLimits() const;
 
   const Kernel &Source;
   ExplorerOptions Opts;
   SaturationInfo Sat;
   UnrollSpace Space;
+  PipelineContext Ctx; // normalized base kernel, shared across workers
+  uint64_t SourceFp = 0;
   std::vector<unsigned> Preference; // nest positions, best first
-  std::map<UnrollVector, SynthesisEstimate> Cache;
-  std::map<UnrollVector, Status> FailCache;
+  std::shared_ptr<EstimateCache> Estimates; // never null
+  std::shared_ptr<ThreadPool> Pool;         // created lazily when parallel
+  std::vector<std::future<void>> Speculation;
+  std::map<UnrollVector, SynthesisEstimate> Cache; // this run's successes
+  std::map<UnrollVector, Status> FailCache; // this run's permanent failures
   std::vector<EvaluationFailure> FailLog;
   unsigned Used = 0;
   /// MaxEvaluations is enforced only while run() is active; the
@@ -188,7 +259,9 @@ private:
 
 /// Exhaustive baseline: evaluates every divisor vector and picks the
 /// fastest fitting design, breaking ties by smaller area. Visited lists
-/// every candidate.
+/// every candidate. With Opts.NumThreads > 1 the candidates are estimated
+/// concurrently; the reduction stays in candidate order, so the result is
+/// identical to the sequential one.
 ExplorationResult exploreExhaustive(const Kernel &Source,
                                     const ExplorerOptions &Opts);
 

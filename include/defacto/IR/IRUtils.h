@@ -91,6 +91,14 @@ bool exprEquals(const Expr *A, const Expr *B);
 /// indices. Returns std::nullopt when the tree is not affine.
 std::optional<AffineExpr> exprToAffine(const Expr *E);
 
+/// Stable structural fingerprint of a kernel: an FNV-1a hash over the
+/// kernel's name, declarations, and printed body. Kernels with different
+/// fingerprints are definitely different computations; the estimate cache
+/// keys on this (plus the design parameters) to share results across
+/// explorer instances, and the pipeline uses it to assert (in debug
+/// builds) that workers never mutate a shared base kernel.
+uint64_t kernelFingerprint(const Kernel &K);
+
 /// Counts statements of each kind under \p Stmts; handy for tests.
 struct StmtCounts {
   unsigned Assign = 0;

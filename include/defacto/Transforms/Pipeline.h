@@ -24,6 +24,7 @@
 #include "defacto/Transforms/ScalarReplacement.h"
 #include "defacto/Transforms/UnrollAndJam.h"
 
+#include <cstdint>
 #include <optional>
 
 namespace defacto {
@@ -66,6 +67,37 @@ struct TransformResult {
 /// and only the remaining passes run. Never aborts: failures are
 /// reported through TransformResult::Error.
 TransformResult applyPipeline(const Kernel &Source,
+                              const TransformOptions &Opts);
+
+/// Unroll-invariant per-kernel state, hoisted out of the per-design path:
+/// the source kernel normalized exactly once. A context is immutable
+/// after construction and safe to share read-only across the exploration
+/// engine's worker threads; every candidate design then costs one clone
+/// of the pre-normalized kernel instead of clone + renormalization.
+class PipelineContext {
+public:
+  explicit PipelineContext(const Kernel &Source);
+
+  /// The normalized base kernel. Never mutate this through a cast: the
+  /// clones handed to the per-design pipeline are taken from it
+  /// concurrently.
+  const Kernel &normalized() const { return Normalized; }
+
+  /// Debug-only guard: aborts if the shared base kernel was mutated since
+  /// construction (a worker wrote through the read-only share). Release
+  /// builds: no-op.
+  void assertUnchanged() const;
+
+private:
+  Kernel Normalized;
+#ifndef NDEBUG
+  uint64_t Fingerprint = 0;
+#endif
+};
+
+/// applyPipeline() over a shared context: identical result to the
+/// Kernel overload, minus the redundant initial normalization.
+TransformResult applyPipeline(const PipelineContext &Ctx,
                               const TransformOptions &Opts);
 
 } // namespace defacto

@@ -1,0 +1,78 @@
+//===- BatchExplorer.cpp --------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/BatchExplorer.h"
+
+using namespace defacto;
+
+BatchExplorer::BatchExplorer(BatchOptions Opts) : Opts(std::move(Opts)) {
+  Cache = this->Opts.Cache ? this->Opts.Cache
+                           : std::make_shared<EstimateCache>();
+}
+
+void BatchExplorer::addJob(BatchJob Job) { Jobs.push_back(std::move(Job)); }
+
+void BatchExplorer::addJob(const Kernel &K, ExplorerOptions JobOpts,
+                           BatchJob::Mode Mode) {
+  Jobs.emplace_back(K.name(), K.clone(), std::move(JobOpts), Mode);
+}
+
+namespace {
+
+ExplorationResult runJob(const BatchJob &Job,
+                         const std::shared_ptr<EstimateCache> &Cache) {
+  // Each job runs sequentially inside its worker: its parallelism budget
+  // is the batch's, and nested speculation into the batch pool could
+  // deadlock it (every worker waiting on tasks no worker is free to
+  // run). The shared cache still lets concurrent jobs feed each other.
+  ExplorerOptions Opts = Job.Opts;
+  Opts.NumThreads = 1;
+  Opts.Pool = nullptr;
+  Opts.Cache = Cache;
+  if (Job.SearchMode == BatchJob::Mode::Exhaustive)
+    return exploreExhaustive(Job.K, Opts);
+  DesignSpaceExplorer Ex(Job.K, std::move(Opts));
+  return Ex.run();
+}
+
+} // namespace
+
+std::vector<BatchResult> BatchExplorer::runAll() {
+  std::vector<BatchJob> Pending;
+  Pending.swap(Jobs);
+
+  std::vector<BatchResult> Results(Pending.size());
+  for (size_t I = 0; I != Pending.size(); ++I)
+    Results[I].Name = Pending[I].Name.empty() ? Pending[I].K.name()
+                                              : Pending[I].Name;
+
+  bool Parallel = Opts.Pool != nullptr || Opts.NumThreads > 1;
+  if (!Parallel) {
+    for (size_t I = 0; I != Pending.size(); ++I)
+      Results[I].Result = runJob(Pending[I], Cache);
+    return Results;
+  }
+
+  std::shared_ptr<ThreadPool> Pool =
+      Opts.Pool ? Opts.Pool : std::make_shared<ThreadPool>(Opts.NumThreads);
+  std::vector<std::future<void>> Done;
+  Done.reserve(Pending.size());
+  for (size_t I = 0; I != Pending.size(); ++I)
+    Done.push_back(Pool->submit([&Pending, &Results, &Cache = Cache, I] {
+      Results[I].Result = runJob(Pending[I], Cache);
+    }));
+  for (std::future<void> &F : Done)
+    F.wait();
+  return Results;
+}
+
+std::vector<BatchResult> defacto::exploreBatch(std::vector<BatchJob> Jobs,
+                                               const BatchOptions &Opts) {
+  BatchExplorer Batch(Opts);
+  for (BatchJob &Job : Jobs)
+    Batch.addJob(std::move(Job));
+  return Batch.runAll();
+}

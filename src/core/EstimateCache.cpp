@@ -1,0 +1,167 @@
+//===- EstimateCache.cpp --------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/EstimateCache.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace defacto;
+
+std::string defacto::platformCacheKey(const TargetPlatform &Platform) {
+  std::ostringstream OS;
+  OS << Platform.Name << ';' << Platform.NumMemories << ';'
+     << Platform.MemoryWidthBits << ';' << Platform.Timing.ReadLatencyCycles
+     << ';' << Platform.Timing.WriteLatencyCycles << ';'
+     << Platform.Timing.Pipelined << ';' << Platform.ClockPeriodNs << ';'
+     << Platform.CapacitySlices << ';' << Platform.LoopOverheadCycles << ';'
+     << static_cast<int>(Platform.Widths) << ';'
+     << Platform.OperatorChaining;
+  return OS.str();
+}
+
+std::string defacto::transformCacheKey(const TransformOptions &Opts) {
+  std::ostringstream OS;
+  if (Opts.StripMine)
+    OS << "sm" << Opts.StripMine->first << 'x' << Opts.StripMine->second;
+  OS << ';' << Opts.EnableScalarReplacement << Opts.EnablePeeling
+     << Opts.EnableDataLayout << ';' << Opts.SR.MaxChainLength << ';'
+     << Opts.SR.EnableOuterCarriedChains << Opts.SR.EnableWindows << ';'
+     << Opts.Layout.NumMemories;
+  return OS.str();
+}
+
+std::string defacto::designCacheKey(uint64_t KernelFingerprint,
+                                    const TargetPlatform &Platform,
+                                    const TransformOptions &BaseTransforms,
+                                    const UnrollVector &U,
+                                    std::optional<unsigned> RegisterCap) {
+  std::ostringstream OS;
+  OS << std::hex << KernelFingerprint << std::dec << '|'
+     << platformCacheKey(Platform) << '|'
+     << transformCacheKey(BaseTransforms) << '|';
+  if (RegisterCap)
+    OS << "rc" << *RegisterCap;
+  OS << '|' << unrollVectorToString(U);
+  return OS.str();
+}
+
+EstimateCache::EstimateCache(unsigned NumShards) {
+  NumShards = std::max(1u, NumShards);
+  Shards.reserve(NumShards);
+  for (unsigned I = 0; I != NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+EstimateCache::Shard &EstimateCache::shardFor(const std::string &Key,
+                                              unsigned &Index) const {
+  Index = std::hash<std::string>{}(Key) % Shards.size();
+  return *Shards[Index];
+}
+
+std::variant<EstimateCache::Result, EstimateCache::Ticket>
+EstimateCache::lookupOrBegin(const std::string &Key) {
+  ++Lookups;
+  unsigned Index = 0;
+  Shard &S = shardFor(Key, Index);
+
+  std::shared_future<Result> Pending;
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Map.find(Key);
+    if (It == S.Map.end()) {
+      Ticket T;
+      T.Shard = Index;
+      T.Key = Key;
+      T.Promise = std::make_shared<std::promise<Result>>();
+      S.Map.emplace(Key,
+                    Entry{T.Promise->get_future().share(), false});
+      ++Misses;
+      return T;
+    }
+    if (It->second.Completed) {
+      Result R = It->second.Future.get(); // Ready: does not block.
+      ++Hits;
+      if (!R.ok())
+        ++NegativeHits;
+      return R;
+    }
+    Pending = It->second.Future;
+  }
+  // In flight elsewhere: block outside the shard lock.
+  ++Waits;
+  Result R = Pending.get();
+  if (!R.ok())
+    ++NegativeHits;
+  return R;
+}
+
+void EstimateCache::fulfill(Ticket T, Result R) {
+  Shard &S = *Shards[T.Shard];
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Map.find(T.Key);
+    if (It != S.Map.end())
+      It->second.Completed = true;
+    ++Inserts;
+  }
+  T.Promise->set_value(std::move(R));
+}
+
+void EstimateCache::abandon(Ticket T, Status Transient) {
+  Shard &S = *Shards[T.Shard];
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Map.erase(T.Key);
+  }
+  // Waiters see the transient condition; nothing is cached against the
+  // design, so the next lookupOrBegin() recomputes it.
+  T.Promise->set_value(
+      Result{Expected<SynthesisEstimate>(std::move(Transient)), 0});
+}
+
+EstimateCache::Result
+EstimateCache::getOrCompute(const std::string &Key,
+                            const std::function<Result()> &Compute) {
+  auto Found = lookupOrBegin(Key);
+  if (std::holds_alternative<Result>(Found))
+    return std::get<Result>(Found);
+  Result R = Compute();
+  fulfill(std::get<Ticket>(std::move(Found)), R);
+  return R;
+}
+
+std::optional<EstimateCache::Result>
+EstimateCache::peek(const std::string &Key) const {
+  unsigned Index = 0;
+  const Shard &S = shardFor(Key, Index);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Map.find(Key);
+  if (It == S.Map.end() || !It->second.Completed)
+    return std::nullopt;
+  return It->second.Future.get();
+}
+
+size_t EstimateCache::size() const {
+  size_t N = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    for (const auto &KV : S->Map)
+      N += KV.second.Completed ? 1 : 0;
+  }
+  return N;
+}
+
+EstimateCache::Stats EstimateCache::stats() const {
+  Stats St;
+  St.Lookups = Lookups.load();
+  St.Hits = Hits.load();
+  St.NegativeHits = NegativeHits.load();
+  St.Misses = Misses.load();
+  St.Waits = Waits.load();
+  St.Inserts = Inserts.load();
+  return St;
+}

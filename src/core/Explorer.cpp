@@ -7,6 +7,7 @@
 #include "defacto/Core/Explorer.h"
 
 #include "defacto/Analysis/DependenceAnalysis.h"
+#include "defacto/IR/IRUtils.h"
 #include "defacto/Support/MathExtras.h"
 #include "defacto/Support/Random.h"
 #include "defacto/Support/Table.h"
@@ -23,7 +24,8 @@ DesignSpaceExplorer::DesignSpaceExplorer(const Kernel &Source,
                                          ExplorerOptions Opts)
     : Source(Source), Opts(std::move(Opts)),
       Sat(computeSaturation(Source, this->Opts.Platform.NumMemories)),
-      Space(Sat.Trips.empty() ? std::vector<int64_t>{1} : Sat.Trips) {
+      Space(Sat.Trips.empty() ? std::vector<int64_t>{1} : Sat.Trips),
+      Ctx(Source), SourceFp(kernelFingerprint(Source)) {
   if (!this->Opts.Estimator)
     this->Opts.Estimator = [](const Kernel &K, const TargetPlatform &P) {
       return estimateDesignChecked(K, P);
@@ -40,12 +42,16 @@ DesignSpaceExplorer::DesignSpaceExplorer(const Kernel &Source,
         std::this_thread::sleep_for(
             std::chrono::duration<double>(Seconds));
     };
+  Estimates = this->Opts.Cache ? this->Opts.Cache
+                               : std::make_shared<EstimateCache>();
   StartSeconds = this->Opts.Clock();
   // Build the unroll preference order (§5.3): loops carrying no
   // dependence first (their unrolled iterations are fully parallel),
   // then loops by decreasing minimum carried distance; within a class,
-  // loops that add memory parallelism come first.
-  Kernel Analyzed = Source.clone();
+  // loops that add memory parallelism come first. The dependence
+  // analysis runs once, on the shared normalized base kernel — it is
+  // unroll-invariant, so no per-design path recomputes it.
+  Kernel Analyzed = Ctx.normalized().clone();
   DependenceInfo DI = DependenceInfo::compute(Analyzed);
   unsigned N = Sat.Trips.size();
   struct Rank {
@@ -74,6 +80,8 @@ DesignSpaceExplorer::DesignSpaceExplorer(const Kernel &Source,
   for (const Rank &R : Ranks)
     Preference.push_back(R.Pos);
 }
+
+DesignSpaceExplorer::~DesignSpaceExplorer() { drainSpeculation(); }
 
 UnrollVector DesignSpaceExplorer::initialVector() const {
   unsigned N = Space.numLoops();
@@ -111,13 +119,18 @@ UnrollVector DesignSpaceExplorer::initialVector() const {
   return U;
 }
 
+std::string DesignSpaceExplorer::cacheKey(const UnrollVector &U) const {
+  return designCacheKey(SourceFp, Opts.Platform, Opts.BaseTransforms, U,
+                        Opts.RegisterCap);
+}
+
 Expected<SynthesisEstimate>
-DesignSpaceExplorer::evaluateUncached(const UnrollVector &U) {
+DesignSpaceExplorer::computeRaw(const UnrollVector &U) const {
   TransformOptions TO = Opts.BaseTransforms;
   TO.Unroll = U;
   TO.Layout.NumMemories = Opts.Platform.NumMemories;
 
-  TransformResult R = applyPipeline(Source, TO);
+  TransformResult R = applyPipeline(Ctx, TO);
   if (!R.ok())
     return R.Error;
   Expected<SynthesisEstimate> Est = Opts.Estimator(R.K, Opts.Platform);
@@ -132,7 +145,7 @@ DesignSpaceExplorer::evaluateUncached(const UnrollVector &U) {
     while (Est->Registers > *Opts.RegisterCap && ChainLimit > 1) {
       ChainLimit /= 2;
       TO.SR.MaxChainLength = ChainLimit;
-      TransformResult Capped = applyPipeline(Source, TO);
+      TransformResult Capped = applyPipeline(Ctx, TO);
       if (!Capped.ok())
         return Capped.Error;
       Est = Opts.Estimator(Capped.K, Opts.Platform);
@@ -168,31 +181,61 @@ DesignSpaceExplorer::evaluateChecked(const UnrollVector &U) {
   if (auto It = FailCache.find(U); It != FailCache.end())
     return It->second;
 
-  Status Last = Status::ok();
-  double Backoff = Opts.RetryBackoffSeconds;
-  unsigned Attempts = 0;
-  for (unsigned Attempt = 0; Attempt <= Opts.MaxRetries; ++Attempt) {
-    if (Status Limit = checkLimits(); !Limit.isOk()) {
-      if (Attempts > 0) // Record what the cut-short retries saw.
-        FailLog.push_back({U, Attempts, Last});
-      return Limit;
+  for (;;) {
+    auto Found = Estimates->lookupOrBegin(cacheKey(U));
+    if (auto *Done = std::get_if<EstimateCache::Result>(&Found)) {
+      if (Done->Attempts == 0)
+        continue; // A computer abandoned the entry (transient); retry.
+      // Replay a memoized result: charge the attempts it originally cost
+      // against this run's budget, exactly as if estimated here.
+      if (Status Limit = checkLimits(); !Limit.isOk())
+        return Limit;
+      Used += Done->Attempts;
+      if (Done->ok()) {
+        Cache.emplace(U, *Done->Estimate);
+        return *Done->Estimate;
+      }
+      Status Err = Done->Estimate.status();
+      FailCache.emplace(U, Err);
+      FailLog.push_back({U, Done->Attempts, Err});
+      return Err;
     }
-    if (Attempt > 0 && Backoff > 0) {
-      Opts.Sleep(std::min(Backoff, Opts.MaxBackoffSeconds));
-      Backoff *= 2;
+
+    // Miss: this run owns the computation (and its retries).
+    EstimateCache::Ticket Ticket =
+        std::get<EstimateCache::Ticket>(std::move(Found));
+    Status Last = Status::ok();
+    double Backoff = Opts.RetryBackoffSeconds;
+    unsigned Attempts = 0;
+    for (unsigned Attempt = 0; Attempt <= Opts.MaxRetries; ++Attempt) {
+      if (Status Limit = checkLimits(); !Limit.isOk()) {
+        if (Attempts > 0) // Record what the cut-short retries saw.
+          FailLog.push_back({U, Attempts, Last});
+        Estimates->abandon(std::move(Ticket), Limit);
+        return Limit;
+      }
+      if (Attempt > 0 && Backoff > 0) {
+        Opts.Sleep(std::min(Backoff, Opts.MaxBackoffSeconds));
+        Backoff *= 2;
+      }
+      ++Used;
+      ++Attempts;
+      Expected<SynthesisEstimate> Est = computeRaw(U);
+      if (Est) {
+        Estimates->fulfill(std::move(Ticket),
+                           EstimateCache::Result{Est, Attempts});
+        Cache.emplace(U, *Est);
+        return Est;
+      }
+      Last = Est.status();
     }
-    ++Used;
-    ++Attempts;
-    Expected<SynthesisEstimate> Est = evaluateUncached(U);
-    if (Est) {
-      Cache.emplace(U, *Est);
-      return Est;
-    }
-    Last = Est.status();
+    Estimates->fulfill(
+        std::move(Ticket),
+        EstimateCache::Result{Expected<SynthesisEstimate>(Last), Attempts});
+    FailCache.emplace(U, Last);
+    FailLog.push_back({U, Attempts, Last});
+    return Last;
   }
-  FailCache.emplace(U, Last);
-  FailLog.push_back({U, Attempts, Last});
-  return Last;
 }
 
 std::optional<SynthesisEstimate>
@@ -203,11 +246,112 @@ DesignSpaceExplorer::evaluate(const UnrollVector &U) {
   return *Est;
 }
 
+std::shared_ptr<ThreadPool> DesignSpaceExplorer::workerPool() {
+  if (Opts.Pool)
+    return Opts.Pool;
+  if (Opts.NumThreads <= 1)
+    return nullptr;
+  if (!Pool)
+    Pool = std::make_shared<ThreadPool>(Opts.NumThreads);
+  return Pool;
+}
+
+void DesignSpaceExplorer::prefetch(const std::vector<UnrollVector> &Candidates) {
+  std::shared_ptr<ThreadPool> P = workerPool();
+  if (!P)
+    return;
+  for (const UnrollVector &U : Candidates) {
+    if (!Space.isCandidate(U))
+      continue;
+    Speculation.push_back(P->submit([this, U] {
+      auto Found = Estimates->lookupOrBegin(cacheKey(U));
+      if (auto *Ticket = std::get_if<EstimateCache::Ticket>(&Found)) {
+        // Mirror the sequential retry policy (minus the backoff sleeps)
+        // so the attempts recorded — and later charged on consumption —
+        // match what the sequential walk would have spent.
+        unsigned Attempts = 1;
+        Expected<SynthesisEstimate> Est = computeRaw(U);
+        while (!Est && Attempts <= Opts.MaxRetries) {
+          ++Attempts;
+          Est = computeRaw(U);
+        }
+        Estimates->fulfill(std::move(*Ticket),
+                           EstimateCache::Result{std::move(Est), Attempts});
+      }
+      // A completed or in-flight entry needs no speculative work.
+    }));
+  }
+}
+
+void DesignSpaceExplorer::drainSpeculation() {
+  for (std::future<void> &F : Speculation)
+    if (F.valid())
+      F.wait();
+  Speculation.clear();
+}
+
+std::vector<UnrollVector> DesignSpaceExplorer::guidedFrontier() const {
+  std::vector<UnrollVector> Frontier;
+  std::set<UnrollVector> Seen;
+  auto add = [&](const UnrollVector &U) {
+    if (Space.isCandidate(U) && Seen.insert(U).second)
+      Frontier.push_back(U);
+  };
+
+  add(Space.base());
+  UnrollVector Uinit = initialVector();
+  add(Uinit);
+
+  // The Increase doubling chain from Uinit: deterministic, independent
+  // of any estimate.
+  std::vector<UnrollVector> Chain{Uinit};
+  UnrollVector U = Uinit;
+  for (unsigned Step = 0; Step != 64; ++Step) {
+    UnrollVector Next = Space.increase(U, Preference);
+    if (Next == U)
+      break;
+    add(Next);
+    Chain.push_back(Next);
+    U = Next;
+  }
+
+  // The SelectBetween midpoint closure: every design a bisection between
+  // two frontier points can land on, in Psat multiples. Bounded depth —
+  // the bisection halves the product gap each level.
+  int64_t Quantum = std::max<int64_t>(1, Sat.Psat);
+  std::function<void(const UnrollVector &, const UnrollVector &, unsigned)>
+      Closure = [&](const UnrollVector &Lo, const UnrollVector &Hi,
+                    unsigned Depth) {
+        if (Depth == 0)
+          return;
+        UnrollVector Mid = Space.selectBetween(Lo, Hi, Quantum);
+        if (Mid == Lo || Mid == Hi)
+          return;
+        add(Mid);
+        Closure(Lo, Mid, Depth - 1);
+        Closure(Mid, Hi, Depth - 1);
+      };
+  Closure(Space.base(), Uinit, 5);
+  for (size_t I = 0; I + 1 < Chain.size(); ++I)
+    Closure(Chain[I], Chain[I + 1], 5);
+
+  // Cap speculative work: the walk evaluates what the frontier missed.
+  if (Frontier.size() > 96)
+    Frontier.resize(96);
+  return Frontier;
+}
+
 ExplorationResult DesignSpaceExplorer::run() {
   ExplorationResult Res;
   Res.Sat = Sat;
   Res.FullSpaceSize = Space.fullSize();
   BudgetCap = Opts.MaxEvaluations;
+
+  // Parallel mode: overlap the walk with speculative estimation of its
+  // enumerable frontier. The walk below is unchanged — it consumes the
+  // memoized results in its own order, so selection is deterministic.
+  if (parallel())
+    prefetch(guidedFrontier());
 
   bool HaveBaseline = false;
   if (Expected<SynthesisEstimate> Base = evaluateChecked(Space.base())) {
@@ -285,6 +429,7 @@ ExplorationResult DesignSpaceExplorer::run() {
                          [](const UnrollVector &A, const UnrollVector &B2) {
                            return unrollProduct(A) > unrollProduct(B2);
                          });
+        prefetch(Candidates);
         Ucurr = Space.base();
         for (const UnrollVector &C : Candidates) {
           Expected<SynthesisEstimate> Fit = record(C, "fit");
@@ -450,6 +595,9 @@ ExplorationResult DesignSpaceExplorer::run() {
                  std::to_string(Res.Failures.size()) +
                  " failure(s) logged\n";
   BudgetCap.reset();
+  // Leftover speculative tasks reference this explorer; settle them
+  // before handing the result back.
+  drainSpeculation();
   return Res;
 }
 
@@ -463,6 +611,15 @@ ExplorationResult pickBest(const Kernel &Source,
   ExplorationResult Res;
   Res.Sat = Ex.saturation();
   Res.FullSpaceSize = Ex.space().fullSize();
+
+  // Fan the whole candidate set out across the worker pool (no-op in
+  // sequential mode), then reduce in candidate order: the estimates come
+  // from the cache, so the visit order, accounting, and selection are
+  // identical to the sequential run's.
+  std::vector<UnrollVector> Prefetch{Ex.space().base()};
+  Prefetch.insert(Prefetch.end(), Candidates.begin(), Candidates.end());
+  Ex.prefetch(Prefetch);
+
   if (auto Base = Ex.evaluate(Ex.space().base()))
     Res.BaselineEstimate = *Base;
 

@@ -6,6 +6,7 @@
 
 #include "defacto/IR/IRUtils.h"
 
+#include "defacto/IR/IRPrinter.h"
 #include "defacto/Support/ErrorHandling.h"
 
 using namespace defacto;
@@ -351,4 +352,16 @@ StmtCounts defacto::countStmts(const StmtList &Stmts) {
     }
   });
   return Counts;
+}
+
+uint64_t defacto::kernelFingerprint(const Kernel &K) {
+  std::string Text = K.name();
+  Text += '\n';
+  Text += printKernel(K);
+  uint64_t Hash = 0xCBF29CE484222325ULL; // FNV-1a offset basis.
+  for (unsigned char C : Text) {
+    Hash ^= C;
+    Hash *= 0x100000001B3ULL;
+  }
+  return Hash;
 }

@@ -14,12 +14,16 @@
 
 using namespace defacto;
 
-TransformResult defacto::applyPipeline(const Kernel &Source,
-                                       const TransformOptions &Opts) {
-  TransformResult Result(Source.clone());
-  Kernel &K = Result.K;
+namespace {
 
-  normalizeLoops(K);
+/// The pipeline stages downstream of normalization. \p Normalized is an
+/// already-normalized clone this call owns; \p ErrorFallback is cloned
+/// only on failure, so the happy path costs exactly one deep copy.
+TransformResult runOnNormalized(Kernel Normalized,
+                                const TransformOptions &Opts,
+                                const Kernel &ErrorFallback) {
+  TransformResult Result(std::move(Normalized));
+  Kernel &K = Result.K;
 
   if (Opts.StripMine) {
     ForStmt *Top = K.topLoop();
@@ -43,7 +47,7 @@ TransformResult defacto::applyPipeline(const Kernel &Source,
     Expected<DataLayoutStats> Layout = applyDataLayout(K, Opts.Layout);
     if (!Layout) {
       Result.Error = Layout.status();
-      Result.K = Source.clone();
+      Result.K = ErrorFallback.clone();
       return Result;
     }
     Result.Layout = *Layout;
@@ -53,7 +57,39 @@ TransformResult defacto::applyPipeline(const Kernel &Source,
     Result.Error = Status::error(
         ErrorCode::MalformedIR,
         "transformation pipeline produced an invalid kernel");
-    Result.K = Source.clone();
+    Result.K = ErrorFallback.clone();
   }
+  return Result;
+}
+
+} // namespace
+
+TransformResult defacto::applyPipeline(const Kernel &Source,
+                                       const TransformOptions &Opts) {
+  Kernel Cloned = Source.clone();
+  normalizeLoops(Cloned);
+  return runOnNormalized(std::move(Cloned), Opts, Source);
+}
+
+PipelineContext::PipelineContext(const Kernel &Source)
+    : Normalized(Source.clone()) {
+  normalizeLoops(Normalized);
+#ifndef NDEBUG
+  Fingerprint = kernelFingerprint(Normalized);
+#endif
+}
+
+void PipelineContext::assertUnchanged() const {
+#ifndef NDEBUG
+  assert(kernelFingerprint(Normalized) == Fingerprint &&
+         "shared base kernel mutated by a pipeline worker");
+#endif
+}
+
+TransformResult defacto::applyPipeline(const PipelineContext &Ctx,
+                                       const TransformOptions &Opts) {
+  TransformResult Result =
+      runOnNormalized(Ctx.normalized().clone(), Opts, Ctx.normalized());
+  Ctx.assertUnchanged();
   return Result;
 }
