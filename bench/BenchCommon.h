@@ -41,6 +41,28 @@ int runFigureSweep(const std::string &FigureName,
 /// output.
 bool parseCsvFlag(int Argc, char **Argv);
 
+/// The common observability command line shared by the bench binaries:
+///   --trace-out=PATH   write a Chrome trace_event file (chrome://tracing
+///                      / Perfetto) of the run's decision/phase events
+///   --stats            print the counter registry and phase timings at
+///                      exit
+struct ObservabilityFlags {
+  std::string TraceOutPath; // empty: tracing stays off
+  bool Stats = false;
+
+  bool any() const { return Stats || !TraceOutPath.empty(); }
+};
+
+/// Peels --trace-out=/--stats out of (\p Argc, \p Argv), compacting the
+/// remaining arguments in place, and enables the global TraceRecorder /
+/// StatRegistry accordingly. Call before handing argv to another parser.
+ObservabilityFlags parseObservabilityFlags(int &Argc, char **Argv);
+
+/// Finishes an observed run: writes the Chrome trace when a path was
+/// given and prints counters plus phase timings when --stats was. Returns
+/// false when the trace file could not be written.
+bool finishObservability(const ObservabilityFlags &Flags);
+
 } // namespace bench
 } // namespace defacto
 

@@ -22,13 +22,22 @@
 /// the estimate cache's hit rate. Besides the normal benchmark output
 /// the binary writes a machine-readable summary (wall time, estimations
 /// and cache hits per kernel and thread count) to BENCH_dse.json;
-/// --json=PATH redirects it.
+/// --json=PATH redirects it. After the timed benchmarks one instrumented
+/// exploration pass over the paper kernels fills the report's "cache",
+/// "phase_timings_ms" and "trace_event_count" blocks; --trace-out=PATH
+/// additionally writes that pass's Chrome trace and --stats prints the
+/// counter registry (BenchCommon.h).
 ///
 //===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
 
 #include "defacto/Core/BatchExplorer.h"
 #include "defacto/Core/Explorer.h"
 #include "defacto/Kernels/Kernels.h"
+#include "defacto/Support/Stats.h"
+#include "defacto/Support/Timer.h"
+#include "defacto/Support/Trace.h"
 
 #include <benchmark/benchmark.h>
 
@@ -231,7 +240,36 @@ std::string jsonEscape(const std::string &S) {
   return Out;
 }
 
-void writeJsonReport(const std::string &Path) {
+/// Observability data for the JSON report, gathered by one instrumented
+/// exploration pass after the timed benchmarks finish (the benchmarks
+/// themselves run with recording off, so the timings never measure the
+/// instrumentation).
+struct ObservedPass {
+  EstimateCache::Stats Cache;
+  std::string PhaseTimingsJson = "{}";
+  size_t TraceEvents = 0;
+};
+
+ObservedPass runObservedPass() {
+  StatRegistry::instance().setEnabled(true);
+  TraceRecorder::global().setEnabled(true);
+  TimerGroup::global().reset();
+  auto Cache = std::make_shared<EstimateCache>();
+  for (const KernelSpec &Spec : paperKernels()) {
+    ExplorerOptions Opts;
+    Opts.Cache = Cache;
+    DesignSpaceExplorer Ex(buildKernel(Spec.Name), Opts);
+    ExplorationResult R = Ex.run();
+    benchmark::DoNotOptimize(R.EvaluationsUsed);
+  }
+  ObservedPass P;
+  P.Cache = Cache->stats();
+  P.PhaseTimingsJson = TimerGroup::global().toJson();
+  P.TraceEvents = TraceRecorder::global().eventCount();
+  return P;
+}
+
+void writeJsonReport(const std::string &Path, const ObservedPass &Obs) {
   // The framework's warmup and iteration-count probe runs each file a
   // record too; keep only the real measurement (the most iterations)
   // per benchmark.
@@ -261,7 +299,17 @@ void writeJsonReport(const std::string &Path) {
        << ", \"cache_hits_total\": " << R.CacheHitsTotal << "}"
        << (I + 1 == Final.size() ? "\n" : ",\n");
   }
-  OS << "  ]\n}\n";
+  OS << "  ],\n";
+  OS << "  \"cache\": {\"lookups\": " << Obs.Cache.Lookups
+     << ", \"hits\": " << Obs.Cache.Hits
+     << ", \"negative_hits\": " << Obs.Cache.NegativeHits
+     << ", \"misses\": " << Obs.Cache.Misses
+     << ", \"waits\": " << Obs.Cache.Waits
+     << ", \"inserts\": " << Obs.Cache.Inserts
+     << ", \"hit_rate\": " << Obs.Cache.hitRate() << "},\n";
+  OS << "  \"phase_timings_ms\": " << Obs.PhaseTimingsJson << ",\n";
+  OS << "  \"trace_event_count\": " << Obs.TraceEvents << "\n";
+  OS << "}\n";
   std::ofstream Out(Path);
   Out << OS.str();
 }
@@ -291,8 +339,16 @@ BENCHMARK_CAPTURE(BM_TransformPipeline, fir, "FIR");
 BENCHMARK_CAPTURE(BM_TransformPipeline, sobel, "SOBEL");
 
 int main(int argc, char **argv) {
+  // Peel --trace-out=/--stats first, then our --json flag, before
+  // google-benchmark sees the argv.
+  bench::ObservabilityFlags Obs = bench::parseObservabilityFlags(argc, argv);
+  // The timed benchmarks always run with recording off: counters, timers
+  // and a trace of every iteration would measure the instrumentation.
+  // The flags apply to the instrumented pass that follows the benchmarks.
+  StatRegistry::instance().setEnabled(false);
+  TraceRecorder::global().setEnabled(false);
+
   std::string JsonPath = "BENCH_dse.json";
-  // Peel our --json flag off before google-benchmark sees the argv.
   std::vector<char *> Args;
   for (int I = 0; I < argc; ++I) {
     if (std::strncmp(argv[I], "--json=", 7) == 0) {
@@ -307,7 +363,11 @@ int main(int argc, char **argv) {
     return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  ObservedPass Observed = runObservedPass();
   if (!JsonPath.empty())
-    writeJsonReport(JsonPath);
+    writeJsonReport(JsonPath, Observed);
+  if (!bench::finishObservability(Obs))
+    return 1;
   return 0;
 }

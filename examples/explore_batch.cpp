@@ -10,21 +10,30 @@
 ///
 ///   explore_batch [--threads N] [--exhaustive] [--both-platforms]
 ///                 [--extended] [--kernels fir,mm,...] [--repeat N]
+///                 [--trace-out=PATH] [--stats] [--explain]
 ///
 /// Prints one row per job (selected design, speedup, evaluations) plus
 /// the shared cache's hit statistics. --repeat queues each job twice to
 /// demonstrate cross-job cache reuse: the second copy costs zero
-/// estimator calls.
+/// estimator calls. --trace-out writes a Chrome trace_event file of
+/// every search decision (one track per job; load in chrome://tracing or
+/// Perfetto), --stats prints the counter registry and phase timings, and
+/// --explain renders the full exploration report per job.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "defacto/Core/BatchExplorer.h"
+#include "defacto/Core/ExplorationReport.h"
 #include "defacto/IR/IRUtils.h"
 #include "defacto/Kernels/Kernels.h"
+#include "defacto/Support/Stats.h"
 #include "defacto/Support/Table.h"
+#include "defacto/Support/Timer.h"
+#include "defacto/Support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
 using namespace defacto;
@@ -35,6 +44,9 @@ int main(int Argc, char **Argv) {
   bool Exhaustive = false;
   bool BothPlatforms = false;
   bool Extended = false;
+  bool Stats = false;
+  bool Explain = false;
+  std::string TraceOut;
   unsigned Repeat = 1;
   std::vector<std::string> Names;
 
@@ -47,6 +59,12 @@ int main(int Argc, char **Argv) {
       BothPlatforms = true;
     } else if (std::strcmp(Argv[I], "--extended") == 0) {
       Extended = true;
+    } else if (std::strcmp(Argv[I], "--stats") == 0) {
+      Stats = true;
+    } else if (std::strcmp(Argv[I], "--explain") == 0) {
+      Explain = true;
+    } else if (std::strncmp(Argv[I], "--trace-out=", 12) == 0) {
+      TraceOut = Argv[I] + 12;
     } else if (std::strcmp(Argv[I], "--repeat") == 0 && I + 1 < Argc) {
       Repeat = static_cast<unsigned>(std::atoi(Argv[++I]));
     } else if (std::strcmp(Argv[I], "--kernels") == 0 && I + 1 < Argc) {
@@ -59,9 +77,17 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "usage: explore_batch [--threads N] [--exhaustive] "
                    "[--both-platforms] [--extended] [--kernels a,b,...] "
-                   "[--repeat N]\n");
+                   "[--repeat N] [--trace-out=PATH] [--stats] "
+                   "[--explain]\n");
       return 2;
     }
+  }
+
+  if (Stats)
+    StatRegistry::instance().setEnabled(true);
+  if (!TraceOut.empty()) {
+    Batch.Trace = std::make_shared<TraceRecorder>();
+    Batch.Trace->setEnabled(true);
   }
 
   if (Names.empty()) {
@@ -121,14 +147,36 @@ int main(int Argc, char **Argv) {
   }
   std::printf("%s\n", Out.toString().c_str());
 
-  EstimateCache::Stats Stats = Engine.estimateCache()->stats();
+  EstimateCache::Stats CacheStats = Engine.estimateCache()->stats();
   std::printf("shared cache: %llu lookups, %llu hits (%.1f%% hit rate), "
               "%llu negative, %llu waits, %zu designs cached\n",
-              static_cast<unsigned long long>(Stats.Lookups),
-              static_cast<unsigned long long>(Stats.Hits),
-              100.0 * Stats.hitRate(),
-              static_cast<unsigned long long>(Stats.NegativeHits),
-              static_cast<unsigned long long>(Stats.Waits),
+              static_cast<unsigned long long>(CacheStats.Lookups),
+              static_cast<unsigned long long>(CacheStats.Hits),
+              100.0 * CacheStats.hitRate(),
+              static_cast<unsigned long long>(CacheStats.NegativeHits),
+              static_cast<unsigned long long>(CacheStats.Waits),
               Engine.estimateCache()->size());
+
+  if (Explain)
+    for (const BatchResult &R : Results)
+      std::printf("\n%s", renderExplorationReport(R.Result, R.Name).c_str());
+
+  if (Stats) {
+    std::printf("\n%s", StatRegistry::instance().toText().c_str());
+    std::printf("%s", TimerGroup::global().toText().c_str());
+  }
+
+  if (!TraceOut.empty()) {
+    std::ofstream Out(TraceOut);
+    if (!Out) {
+      std::fprintf(stderr, "failed to open trace output '%s'\n",
+                   TraceOut.c_str());
+      return 1;
+    }
+    Out << Batch.Trace->toChromeTrace();
+    std::printf("wrote %zu trace events to %s (load in chrome://tracing "
+                "or ui.perfetto.dev)\n",
+                Batch.Trace->eventCount(), TraceOut.c_str());
+  }
   return 0;
 }

@@ -57,6 +57,10 @@ struct BatchOptions {
   /// Estimate cache shared by every job; created when unset. Exposed so
   /// callers can carry warm state across batches.
   std::shared_ptr<EstimateCache> Cache;
+  /// Trace recorder shared by every job (each job's events land on a
+  /// track named after the job). Jobs that set their own recorder keep
+  /// it. Unset: jobs fall back to TraceRecorder::global().
+  std::shared_ptr<TraceRecorder> Trace;
 };
 
 /// Collects jobs, runs them concurrently, returns ordered results.

@@ -77,6 +77,21 @@ public:
     std::shared_ptr<std::promise<Result>> Promise;
   };
 
+  /// How one lookupOrBegin() call was served; reported through the
+  /// optional out-parameter and counted in Stats.
+  enum class Outcome {
+    Hit,         ///< Completed entry found.
+    NegativeHit, ///< Completed entry found, holding a permanent failure.
+    Miss,        ///< No entry: the caller received a Ticket.
+    Wait,        ///< Entry in flight elsewhere: the caller blocked for it.
+  };
+
+  /// One consistent snapshot of the cache's counters. stats() gathers it
+  /// under every shard lock at once, so the invariant Lookups == Hits +
+  /// Misses + Waits holds exactly in any snapshot — counters cannot tear
+  /// against concurrent updates. The same totals are mirrored into the
+  /// StatRegistry (group "cache"; relaxed counters, recording-gated) for
+  /// process-wide dumps.
   struct Stats {
     uint64_t Lookups = 0;
     /// Completed entry found (NegativeHits counts the error subset).
@@ -103,7 +118,10 @@ public:
 
   /// A completed Result (blocking on an in-flight computation if one is
   /// running), or a Ticket making this caller the computer for \p Key.
-  std::variant<Result, Ticket> lookupOrBegin(const std::string &Key);
+  /// \p Served, when non-null, receives how the call was resolved (the
+  /// exploration trace records it per decision).
+  std::variant<Result, Ticket> lookupOrBegin(const std::string &Key,
+                                             Outcome *Served = nullptr);
 
   /// Completes \p T: caches \p R and wakes every waiter.
   void fulfill(Ticket T, Result R);
@@ -130,16 +148,19 @@ private:
     std::shared_future<Result> Future;
     bool Completed = false; // set by fulfill(); guarded by the shard lock
   };
+  /// Counters live per shard, guarded by the shard lock, and a lookup's
+  /// Lookups increment lands in the same critical section as its outcome
+  /// counter — that is what makes the all-shards snapshot in stats()
+  /// exactly consistent instead of a torn sum of racing atomics.
   struct Shard {
     mutable std::mutex M;
     std::unordered_map<std::string, Entry> Map;
+    Stats Counters;
   };
 
   Shard &shardFor(const std::string &Key, unsigned &Index) const;
 
   std::vector<std::unique_ptr<Shard>> Shards;
-  mutable std::atomic<uint64_t> Lookups{0}, Hits{0}, NegativeHits{0},
-      Misses{0}, Waits{0}, Inserts{0};
 };
 
 } // namespace defacto

@@ -41,6 +41,7 @@
 #include "defacto/HLS/Estimator.h"
 #include "defacto/Support/Error.h"
 #include "defacto/Support/ThreadPool.h"
+#include "defacto/Support/Trace.h"
 #include "defacto/Transforms/Pipeline.h"
 
 #include <functional>
@@ -114,6 +115,19 @@ struct ExplorerOptions {
   /// the explorer creates a private cache, i.e. per-instance memoization
   /// exactly as before.
   std::shared_ptr<EstimateCache> Cache;
+
+  //===--------------------------------------------------------------===//
+  // Observability. Off by default and zero-cost while off: a disabled
+  // event site is one relaxed load and a branch.
+  //===--------------------------------------------------------------===//
+
+  /// Trace recorder the engine emits decision/speculation/phase events
+  /// to; TraceRecorder::global() (disabled by default) when unset.
+  /// Events are recorded only while the recorder is enabled.
+  std::shared_ptr<TraceRecorder> Trace;
+  /// Track label for this exploration's events (batch job name); the
+  /// kernel's name when empty.
+  std::string TraceLabel;
 };
 
 /// One design whose estimation permanently failed (every retry included),
@@ -172,6 +186,12 @@ struct ExplorationResult {
                : static_cast<double>(Visited.size()) /
                      static_cast<double>(FullSpaceSize);
   }
+
+  /// One-line human-readable summary: selected design, estimate,
+  /// speedup, evaluations, and the degradation flags (which callers
+  /// otherwise tend to drop silently). ExplorationReport.h renders the
+  /// full multi-line explanation.
+  std::string toString() const;
 };
 
 /// Runs one design-space exploration over \p Source.
@@ -227,7 +247,20 @@ public:
   /// The search's starting point (§5.3's Uinit selection).
   UnrollVector initialVector() const;
 
+  /// Emits one "dse.decision" trace event for an evaluated design: the
+  /// unroll vector, its balance/cycles/slices, why the walk visited it
+  /// (\p Role) and what it decided next (\p Decision). No-op while the
+  /// recorder is disabled. The exhaustive/random drivers call it per
+  /// candidate; run() calls it at every branch of the guided walk.
+  void traceDecision(const UnrollVector &U, const SynthesisEstimate &E,
+                     const char *Role, const char *Decision);
+
 private:
+  /// "dse.failure" counterpart for designs whose evaluation failed (or
+  /// the stop condition that cut the walk short).
+  void traceFailure(const UnrollVector &U, const char *Role,
+                    const Status &Err);
+  TraceRecorder &recorder() const;
   /// One raw estimation attempt: transform pipeline + estimator (+ the
   /// §5.4 register-cap shrink loop). Thread-safe: touches only the
   /// shared read-only PipelineContext and the options.
@@ -250,6 +283,13 @@ private:
   std::map<UnrollVector, SynthesisEstimate> Cache; // this run's successes
   std::map<UnrollVector, Status> FailCache; // this run's permanent failures
   std::vector<EvaluationFailure> FailLog;
+  std::string Track; // trace track label (TraceLabel or kernel name)
+  /// Decision-event sequence number within this exploration; assigned by
+  /// the deterministic walk, so it is identical across thread counts.
+  uint64_t DecisionOrdinal = 0;
+  /// How the shared cache served the walk's most recent evaluation
+  /// ("computed", "hit", "wait", ...): run-variant trace detail.
+  const char *LastCacheOutcome = "none";
   unsigned Used = 0;
   /// MaxEvaluations is enforced only while run() is active; the
   /// exhaustive and random baselines enumerate freely.

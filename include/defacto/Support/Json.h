@@ -1,0 +1,29 @@
+//===- Json.h - Minimal JSON syntax validation -----------------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free JSON syntax checker, just enough for the tests and
+/// tooling to assert that the trace/stats exporters and BENCH_dse.json
+/// emit well-formed documents. It validates structure only (RFC 8259
+/// grammar); it does not build a document tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_SUPPORT_JSON_H
+#define DEFACTO_SUPPORT_JSON_H
+
+#include <string>
+
+namespace defacto {
+
+/// True when \p Text is exactly one well-formed JSON value (trailing
+/// whitespace permitted). On failure \p Error, when non-null, receives a
+/// byte offset and reason.
+bool isValidJson(const std::string &Text, std::string *Error = nullptr);
+
+} // namespace defacto
+
+#endif // DEFACTO_SUPPORT_JSON_H

@@ -1,0 +1,133 @@
+//===- Timer.h - Phase timing (wall + CPU) ---------------------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accumulating phase timers for the exploration stack: every transform
+/// pass, estimator call, scheduler run, and cache-shard wait charges its
+/// wall and thread-CPU time to a named PhaseTimer in the process-wide
+/// TimerGroup. Like Stats.h (whose registry enable bit gates both
+/// surfaces), timing is off by default and costs a relaxed load and a
+/// branch per scope while disabled — no clock reads.
+///
+/// Idiom:
+///
+///   void schedule(...) {
+///     DEFACTO_SCOPED_TIMER("scheduler.schedule");
+///     ...
+///   }
+///
+/// The macro resolves the timer name once (function-local static), so an
+/// enabled scope costs two clock reads and three relaxed atomic adds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_SUPPORT_TIMER_H
+#define DEFACTO_SUPPORT_TIMER_H
+
+#include "defacto/Support/Stats.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace defacto {
+
+/// One named phase accumulator. References returned by TimerGroup are
+/// stable for the group's lifetime.
+class PhaseTimer {
+public:
+  explicit PhaseTimer(std::string Name) : Name(std::move(Name)) {}
+
+  void record(uint64_t WallNs, uint64_t CpuNs) {
+    WallNanos.fetch_add(WallNs, std::memory_order_relaxed);
+    CpuNanos.fetch_add(CpuNs, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const std::string &name() const { return Name; }
+  double wallMs() const {
+    return static_cast<double>(WallNanos.load(std::memory_order_relaxed)) /
+           1e6;
+  }
+  double cpuMs() const {
+    return static_cast<double>(CpuNanos.load(std::memory_order_relaxed)) / 1e6;
+  }
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+
+private:
+  friend class TimerGroup;
+  std::string Name;
+  std::atomic<uint64_t> WallNanos{0}, CpuNanos{0}, Count{0};
+};
+
+/// Process-wide registry of phase timers.
+class TimerGroup {
+public:
+  static TimerGroup &global();
+
+  /// The timer named \p Name, created on first use. The reference stays
+  /// valid for the group's lifetime.
+  PhaseTimer &timer(const std::string &Name);
+
+  struct Snapshot {
+    std::string Name;
+    double WallMs = 0;
+    double CpuMs = 0;
+    uint64_t Count = 0;
+  };
+
+  /// Every timer, sorted by name. Zero-count timers are skipped.
+  std::vector<Snapshot> snapshot() const;
+
+  /// Zeroes every timer (tests and repeated bench runs).
+  void reset();
+
+  /// "name: wall ms (cpu ms, N scopes)" lines.
+  std::string toText() const;
+
+  /// {"name": {"wall_ms": W, "cpu_ms": C, "count": N}, ...}.
+  std::string toJson() const;
+
+private:
+  TimerGroup() = default;
+  mutable std::mutex M;
+  std::map<std::string, std::unique_ptr<PhaseTimer>> Timers;
+};
+
+/// RAII scope charging its duration to a PhaseTimer. Disabled recording
+/// (statsEnabled() false at construction) skips the clock reads entirely.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(PhaseTimer &T);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  PhaseTimer *T = nullptr; // null while recording is disabled
+  uint64_t WallStartNs = 0;
+  uint64_t CpuStartNs = 0;
+};
+
+} // namespace defacto
+
+#define DEFACTO_TIMER_CONCAT2(A, B) A##B
+#define DEFACTO_TIMER_CONCAT(A, B) DEFACTO_TIMER_CONCAT2(A, B)
+
+/// Charges the enclosing scope to the global phase timer \p NameStr.
+#define DEFACTO_SCOPED_TIMER(NameStr)                                        \
+  static ::defacto::PhaseTimer &DEFACTO_TIMER_CONCAT(DefactoPhaseTimer_,     \
+                                                     __LINE__) =             \
+      ::defacto::TimerGroup::global().timer(NameStr);                        \
+  ::defacto::ScopedTimer DEFACTO_TIMER_CONCAT(DefactoScopedTimer_, __LINE__)(\
+      DEFACTO_TIMER_CONCAT(DefactoPhaseTimer_, __LINE__))
+
+#endif // DEFACTO_SUPPORT_TIMER_H

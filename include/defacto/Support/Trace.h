@@ -1,0 +1,156 @@
+//===- Trace.h - Structured exploration event stream -----------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structured trace of one (or many concurrent) design-space
+/// explorations. The exploration engine records one event per decision —
+/// every evaluated unroll vector with its balance, estimate, cache
+/// outcome, and what the search did next — plus spans for speculative
+/// worker evaluations and engine phases. The recorder exports:
+///
+///  - Chrome trace_event JSON (toChromeTrace): loads directly in
+///    chrome://tracing and Perfetto, one row per worker thread;
+///  - JSON lines (toJsonLines): one event object per line for ad-hoc
+///    jq/grep analysis;
+///  - a deterministic digest (decisionDigest): the "dse.decision" events'
+///    deterministic payloads, ordinal-sorted. For a deterministic
+///    estimation backend the digest is bit-identical across worker-thread
+///    counts — the parallel engine's evaluation set equals the
+///    sequential one's — which the tests and CI assert.
+///
+/// Determinism: each decision event carries an evaluation ordinal
+/// assigned by the (sequential, deterministic) guided walk, and export
+/// sorts on (track, category, ordinal). Wall-clock timestamps and thread
+/// ids naturally differ between runs; they live outside the
+/// deterministic payload, as does the cache outcome (a design the
+/// sequential walk computes is a speculation hit in a parallel run).
+///
+/// Recording is off by default and guarded by the recorder's enable bit:
+/// a disabled event site costs one relaxed load and a branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_SUPPORT_TRACE_H
+#define DEFACTO_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace defacto {
+
+/// One recorded event.
+struct TraceEvent {
+  enum class Kind { Instant, Complete };
+
+  /// Logical track: the exploration's label (batch job name, kernel
+  /// name). Groups events of one run when many runs share a recorder.
+  std::string Track;
+  /// Event family: "dse.decision", "dse.failure", "speculate", "phase".
+  std::string Category;
+  /// Event name; decision events use the unroll vector's string form.
+  std::string Name;
+  Kind EventKind = Kind::Instant;
+  /// Per-track sequence number assigned by the emitter (the walk's
+  /// evaluation ordinal for decision events); ties the deterministic
+  /// export order down.
+  uint64_t Ordinal = 0;
+  /// Stamped by the recorder at record() time, relative to the
+  /// recorder's construction. A Complete event's start is Timestamp -
+  /// Duration.
+  double TimestampUs = 0;
+  double DurationUs = 0;
+  /// Small dense id the recorder assigns per recording thread.
+  uint32_t ThreadId = 0;
+  /// Deterministic payload: identical across thread counts for a
+  /// deterministic backend. Part of decisionDigest().
+  std::vector<std::pair<std::string, std::string>> Args;
+  /// Run-variant payload (cache outcome, retry counts under faults);
+  /// exported but excluded from the deterministic digest.
+  std::vector<std::pair<std::string, std::string>> Runtime;
+};
+
+/// Thread-safe accumulating event recorder.
+class TraceRecorder {
+public:
+  TraceRecorder();
+
+  TraceRecorder(const TraceRecorder &) = delete;
+  TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+  /// The process-wide recorder instrumented code falls back to when no
+  /// recorder is injected. Disabled by default.
+  static TraceRecorder &global();
+
+  void setEnabled(bool On) {
+    Enabled.store(On, std::memory_order_relaxed);
+  }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Microseconds since recorder construction.
+  double nowUs() const;
+
+  /// Records \p E (stamping timestamp if unset, and the thread id).
+  /// No-op while disabled.
+  void record(TraceEvent E);
+
+  size_t eventCount() const;
+  void clear();
+
+  /// Every event, sorted deterministically by (track, category, ordinal,
+  /// name); ties broken by timestamp.
+  std::vector<TraceEvent> sortedEvents() const;
+
+  /// Chrome trace_event format: {"traceEvents": [...]}. Loads in
+  /// chrome://tracing and https://ui.perfetto.dev.
+  std::string toChromeTrace() const;
+
+  /// One JSON object per line, in sortedEvents() order.
+  std::string toJsonLines() const;
+
+  /// The deterministic payloads of every "dse.decision" event:
+  /// "track|ordinal|name|key=value,..." lines in sorted order. Equal
+  /// digests mean equal evaluation sets.
+  std::vector<std::string> decisionDigest() const;
+
+private:
+  std::atomic<bool> Enabled{false};
+  mutable std::mutex M;
+  std::vector<TraceEvent> Events;
+  std::map<std::thread::id, uint32_t> ThreadIds;
+  std::chrono::steady_clock::time_point Epoch;
+};
+
+/// RAII span recording one Complete event (e.g. a speculative estimation
+/// or an engine phase) with its wall duration. Does nothing while the
+/// recorder is disabled at construction.
+class TraceSpan {
+public:
+  TraceSpan(TraceRecorder &R, std::string Track, std::string Category,
+            std::string Name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// Adds a run-variant key/value to the span's event.
+  void note(std::string Key, std::string Value);
+
+private:
+  TraceRecorder *R = nullptr; // null while disabled
+  TraceEvent E;
+  double StartUs = 0;
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_SUPPORT_TRACE_H

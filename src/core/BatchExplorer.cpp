@@ -23,7 +23,8 @@ void BatchExplorer::addJob(const Kernel &K, ExplorerOptions JobOpts,
 namespace {
 
 ExplorationResult runJob(const BatchJob &Job,
-                         const std::shared_ptr<EstimateCache> &Cache) {
+                         const std::shared_ptr<EstimateCache> &Cache,
+                         const std::shared_ptr<TraceRecorder> &Trace) {
   // Each job runs sequentially inside its worker: its parallelism budget
   // is the batch's, and nested speculation into the batch pool could
   // deadlock it (every worker waiting on tasks no worker is free to
@@ -32,6 +33,10 @@ ExplorationResult runJob(const BatchJob &Job,
   Opts.NumThreads = 1;
   Opts.Pool = nullptr;
   Opts.Cache = Cache;
+  if (!Opts.Trace)
+    Opts.Trace = Trace;
+  if (Opts.TraceLabel.empty())
+    Opts.TraceLabel = Job.Name.empty() ? Job.K.name() : Job.Name;
   if (Job.SearchMode == BatchJob::Mode::Exhaustive)
     return exploreExhaustive(Job.K, Opts);
   DesignSpaceExplorer Ex(Job.K, std::move(Opts));
@@ -52,7 +57,7 @@ std::vector<BatchResult> BatchExplorer::runAll() {
   bool Parallel = Opts.Pool != nullptr || Opts.NumThreads > 1;
   if (!Parallel) {
     for (size_t I = 0; I != Pending.size(); ++I)
-      Results[I].Result = runJob(Pending[I], Cache);
+      Results[I].Result = runJob(Pending[I], Cache, Opts.Trace);
     return Results;
   }
 
@@ -61,9 +66,10 @@ std::vector<BatchResult> BatchExplorer::runAll() {
   std::vector<std::future<void>> Done;
   Done.reserve(Pending.size());
   for (size_t I = 0; I != Pending.size(); ++I)
-    Done.push_back(Pool->submit([&Pending, &Results, &Cache = Cache, I] {
-      Results[I].Result = runJob(Pending[I], Cache);
-    }));
+    Done.push_back(Pool->submit(
+        [&Pending, &Results, &Cache = Cache, &Trace = Opts.Trace, I] {
+          Results[I].Result = runJob(Pending[I], Cache, Trace);
+        }));
   for (std::future<void> &F : Done)
     F.wait();
   return Results;

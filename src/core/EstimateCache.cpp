@@ -6,10 +6,29 @@
 
 #include "defacto/Core/EstimateCache.h"
 
+#include "defacto/Support/Stats.h"
+#include "defacto/Support/Timer.h"
+
 #include <algorithm>
 #include <sstream>
 
 using namespace defacto;
+
+// Registry mirror of the cache counters (all EstimateCache instances
+// combined); gated by the registry enable bit, one relaxed increment per
+// event. The per-instance consistent snapshot is EstimateCache::stats().
+DEFACTO_STATISTIC(NumLookups, "cache", "lookups",
+                  "estimate-cache lookups (lookupOrBegin calls)");
+DEFACTO_STATISTIC(NumHits, "cache", "hits",
+                  "lookups served from a completed entry");
+DEFACTO_STATISTIC(NumNegativeHits, "cache", "negative_hits",
+                  "lookups served a cached permanent failure");
+DEFACTO_STATISTIC(NumMisses, "cache", "misses",
+                  "lookups that took the computation ticket");
+DEFACTO_STATISTIC(NumWaits, "cache", "waits",
+                  "lookups that blocked on another thread's computation");
+DEFACTO_STATISTIC(NumInserts, "cache", "inserts",
+                  "entries completed by fulfill()");
 
 std::string defacto::platformCacheKey(const TargetPlatform &Platform) {
   std::ostringstream OS;
@@ -63,14 +82,15 @@ EstimateCache::Shard &EstimateCache::shardFor(const std::string &Key,
 }
 
 std::variant<EstimateCache::Result, EstimateCache::Ticket>
-EstimateCache::lookupOrBegin(const std::string &Key) {
-  ++Lookups;
+EstimateCache::lookupOrBegin(const std::string &Key, Outcome *Served) {
+  ++NumLookups;
   unsigned Index = 0;
   Shard &S = shardFor(Key, Index);
 
   std::shared_future<Result> Pending;
   {
     std::lock_guard<std::mutex> Lock(S.M);
+    ++S.Counters.Lookups;
     auto It = S.Map.find(Key);
     if (It == S.Map.end()) {
       Ticket T;
@@ -79,23 +99,40 @@ EstimateCache::lookupOrBegin(const std::string &Key) {
       T.Promise = std::make_shared<std::promise<Result>>();
       S.Map.emplace(Key,
                     Entry{T.Promise->get_future().share(), false});
-      ++Misses;
+      ++S.Counters.Misses;
+      ++NumMisses;
+      if (Served)
+        *Served = Outcome::Miss;
       return T;
     }
     if (It->second.Completed) {
       Result R = It->second.Future.get(); // Ready: does not block.
-      ++Hits;
-      if (!R.ok())
-        ++NegativeHits;
+      ++S.Counters.Hits;
+      ++NumHits;
+      if (!R.ok()) {
+        ++S.Counters.NegativeHits;
+        ++NumNegativeHits;
+      }
+      if (Served)
+        *Served = R.ok() ? Outcome::Hit : Outcome::NegativeHit;
       return R;
     }
+    ++S.Counters.Waits;
+    ++NumWaits;
     Pending = It->second.Future;
   }
   // In flight elsewhere: block outside the shard lock.
-  ++Waits;
-  Result R = Pending.get();
-  if (!R.ok())
-    ++NegativeHits;
+  if (Served)
+    *Served = Outcome::Wait;
+  Result R = [&] {
+    DEFACTO_SCOPED_TIMER("cache.shard_wait");
+    return Pending.get();
+  }();
+  if (!R.ok()) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    ++S.Counters.NegativeHits;
+    ++NumNegativeHits;
+  }
   return R;
 }
 
@@ -106,7 +143,8 @@ void EstimateCache::fulfill(Ticket T, Result R) {
     auto It = S.Map.find(T.Key);
     if (It != S.Map.end())
       It->second.Completed = true;
-    ++Inserts;
+    ++S.Counters.Inserts;
+    ++NumInserts;
   }
   T.Promise->set_value(std::move(R));
 }
@@ -156,12 +194,20 @@ size_t EstimateCache::size() const {
 }
 
 EstimateCache::Stats EstimateCache::stats() const {
+  // Hold every shard lock at once: the summed counters form one globally
+  // consistent snapshot (no lookup can be half-counted across it).
+  std::vector<std::unique_lock<std::mutex>> Locks;
+  Locks.reserve(Shards.size());
+  for (const auto &S : Shards)
+    Locks.emplace_back(S->M);
   Stats St;
-  St.Lookups = Lookups.load();
-  St.Hits = Hits.load();
-  St.NegativeHits = NegativeHits.load();
-  St.Misses = Misses.load();
-  St.Waits = Waits.load();
-  St.Inserts = Inserts.load();
+  for (const auto &S : Shards) {
+    St.Lookups += S->Counters.Lookups;
+    St.Hits += S->Counters.Hits;
+    St.NegativeHits += S->Counters.NegativeHits;
+    St.Misses += S->Counters.Misses;
+    St.Waits += S->Counters.Waits;
+    St.Inserts += S->Counters.Inserts;
+  }
   return St;
 }

@@ -1,0 +1,155 @@
+//===- ExplorationReport.cpp ----------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/ExplorationReport.h"
+
+#include "defacto/Support/Table.h"
+
+#include <sstream>
+
+using namespace defacto;
+
+std::string ExplorationResult::toString() const {
+  std::ostringstream OS;
+  OS << "selected=" << unrollVectorToString(Selected)
+     << " cycles=" << SelectedEstimate.Cycles
+     << " slices=" << formatDouble(SelectedEstimate.Slices, 0)
+     << " balance=" << formatDouble(SelectedEstimate.Balance, 3)
+     << " speedup=" << formatDouble(speedup(), 2) << 'x'
+     << " evals=" << EvaluationsUsed;
+  if (!SelectedFits)
+    OS << " DOES-NOT-FIT";
+  if (Degraded)
+    OS << " DEGRADED(" << Failures.size() << " failure"
+       << (Failures.size() == 1 ? "" : "s") << ')';
+  return OS.str();
+}
+
+namespace {
+
+bool traceHas(const ExplorationResult &R, const char *Marker) {
+  return R.Trace.find(Marker) != std::string::npos;
+}
+
+const char *boundness(const SynthesisEstimate &E) {
+  if (E.isComputeBound())
+    return "compute-bound";
+  if (E.isMemoryBound())
+    return "memory-bound";
+  return "balanced";
+}
+
+/// Why the walk ended, reconstructed from the engine's walk trace and the
+/// failure log. Mirrors the markers Explorer.cpp emits.
+std::string stopReason(const ExplorationResult &R) {
+  if (traceHas(R, "memory bound at Uinit"))
+    return "the saturation-point design Uinit was already memory bound; "
+           "by the balance monotonicity observation no larger unroll "
+           "vector can help, so the walk stopped after bisecting below "
+           "Uinit";
+  if (traceHas(R, "no design fits this device"))
+    return "no candidate fits the device; the baseline is reported "
+           "although it exceeds capacity";
+  if (traceHas(R, "Uinit exceeds capacity"))
+    return "the saturation-point design exceeded device capacity; the "
+           "walk fell back to the largest fitting design (FindLargestFit)";
+  if (traceHas(R, "balanced; done"))
+    return "the walk reached a design whose balance B = F/C is within "
+           "tolerance of 1 (SelectBetween converged)";
+  if (traceHas(R, "no larger candidate"))
+    return "the Increase chain exhausted the unroll space while still "
+           "compute bound";
+  for (const EvaluationFailure &F : R.Failures)
+    if (F.Attempts == 0)
+      return "the search was cut short (" + F.Error.message() +
+             ") before natural convergence";
+  if (R.Degraded)
+    return "estimation failures degraded the search; the best "
+           "successfully evaluated design was selected";
+  return "the walk converged";
+}
+
+void appendVisited(std::ostringstream &OS, const ExplorationResult &R,
+                   const ReportOptions &Opts) {
+  Table T({"#", "role", "unroll", "balance", "cycles", "slices", "bound"});
+  auto Row = [&](size_t I) {
+    const EvaluatedDesign &D = R.Visited[I];
+    T.addRow({std::to_string(I), D.Role, unrollVectorToString(D.U),
+              formatDouble(D.Estimate.Balance, 3),
+              formatWithCommas(static_cast<int64_t>(D.Estimate.Cycles)),
+              formatDouble(D.Estimate.Slices, 0),
+              boundness(D.Estimate)});
+  };
+  size_t N = R.Visited.size();
+  size_t Cap = Opts.MaxVisitedRows == 0 ? N : Opts.MaxVisitedRows;
+  if (N <= Cap) {
+    for (size_t I = 0; I != N; ++I)
+      Row(I);
+  } else {
+    // Keep the head and tail; the middle of a long walk is repetitive.
+    size_t Head = Cap / 2, Tail = Cap - Head;
+    for (size_t I = 0; I != Head; ++I)
+      Row(I);
+    T.addRow({"...", "...", "...", "...", "...", "...", "..."});
+    for (size_t I = N - Tail; I != N; ++I)
+      Row(I);
+  }
+  OS << "Visited designs (" << N << ", search order):\n"
+     << T.toString(2);
+}
+
+} // namespace
+
+std::string defacto::renderExplorationReport(const ExplorationResult &R,
+                                             const std::string &Label,
+                                             const ReportOptions &Opts) {
+  std::ostringstream OS;
+  if (!Label.empty())
+    OS << "=== Exploration report: " << Label << " ===\n";
+
+  OS << "Selected " << unrollVectorToString(R.Selected) << " ("
+     << boundness(R.SelectedEstimate) << ", B="
+     << formatDouble(R.SelectedEstimate.Balance, 3) << "): "
+     << formatWithCommas(static_cast<int64_t>(R.SelectedEstimate.Cycles))
+     << " cycles, " << formatDouble(R.SelectedEstimate.Slices, 0)
+     << " slices, " << R.SelectedEstimate.Registers << " registers";
+  if (!R.SelectedFits)
+    OS << " [exceeds device capacity]";
+  OS << "\n";
+  OS << "Speedup over baseline "
+     << unrollVectorToString(UnrollVector(R.Selected.size(), 1)) << " ("
+     << formatWithCommas(static_cast<int64_t>(R.BaselineEstimate.Cycles))
+     << " cycles): " << formatDouble(R.speedup(), 2) << "x\n";
+  OS << "Why it stopped: " << stopReason(R) << ".\n";
+
+  OS << "Search economy: Psat=" << R.Sat.Psat << " (R=" << R.Sat.R
+     << ", W=" << R.Sat.W << "); " << R.EvaluationsUsed
+     << " estimator attempts over " << R.Visited.size()
+     << " designs; full space " << formatWithCommas(
+            static_cast<int64_t>(R.FullSpaceSize))
+     << " designs (" << formatDouble(R.fractionSearched() * 100.0, 2)
+     << "% searched)\n";
+
+  if (Opts.ShowVisited && !R.Visited.empty())
+    appendVisited(OS, R, Opts);
+
+  if (R.Degraded || !R.Failures.empty()) {
+    OS << "DEGRADED: the run did not reach healthy convergence.\n";
+    if (!R.Failures.empty()) {
+      Table T({"unroll", "attempts", "error"});
+      for (const EvaluationFailure &F : R.Failures)
+        T.addRow({unrollVectorToString(F.U),
+                  F.Attempts == 0 ? "stop" : std::to_string(F.Attempts),
+                  F.Error.message()});
+      OS << "Failure log (" << R.Failures.size() << "):\n" << T.toString(2);
+    }
+  }
+
+  if (Opts.ShowWalkTrace && !R.Trace.empty())
+    OS << "Walk trace:\n" << R.Trace;
+
+  return OS.str();
+}

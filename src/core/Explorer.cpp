@@ -10,7 +10,9 @@
 #include "defacto/IR/IRUtils.h"
 #include "defacto/Support/MathExtras.h"
 #include "defacto/Support/Random.h"
+#include "defacto/Support/Stats.h"
 #include "defacto/Support/Table.h"
+#include "defacto/Support/Timer.h"
 
 #include <algorithm>
 #include <chrono>
@@ -19,6 +21,15 @@
 #include <thread>
 
 using namespace defacto;
+
+DEFACTO_STATISTIC(NumExplorations, "explore", "runs",
+                  "guided explorations started");
+DEFACTO_STATISTIC(NumEvaluationsSpent, "explore", "evaluations",
+                  "estimator attempts charged to exploration budgets");
+DEFACTO_STATISTIC(NumSpeculated, "explore", "speculated",
+                  "candidate designs submitted to the worker pool");
+DEFACTO_STATISTIC(NumDegraded, "explore", "degraded",
+                  "explorations that finished degraded");
 
 DesignSpaceExplorer::DesignSpaceExplorer(const Kernel &Source,
                                          ExplorerOptions Opts)
@@ -44,6 +55,8 @@ DesignSpaceExplorer::DesignSpaceExplorer(const Kernel &Source,
     };
   Estimates = this->Opts.Cache ? this->Opts.Cache
                                : std::make_shared<EstimateCache>();
+  Track = this->Opts.TraceLabel.empty() ? Source.name()
+                                        : this->Opts.TraceLabel;
   StartSeconds = this->Opts.Clock();
   // Build the unroll preference order (§5.3): loops carrying no
   // dependence first (their unrolled iterations are fully parallel),
@@ -124,16 +137,74 @@ std::string DesignSpaceExplorer::cacheKey(const UnrollVector &U) const {
                         Opts.RegisterCap);
 }
 
+TraceRecorder &DesignSpaceExplorer::recorder() const {
+  return Opts.Trace ? *Opts.Trace : TraceRecorder::global();
+}
+
+void DesignSpaceExplorer::traceDecision(const UnrollVector &U,
+                                        const SynthesisEstimate &E,
+                                        const char *Role,
+                                        const char *Decision) {
+  TraceRecorder &R = recorder();
+  if (!R.enabled())
+    return;
+  TraceEvent Ev;
+  Ev.Track = Track;
+  Ev.Category = "dse.decision";
+  Ev.Name = unrollVectorToString(U);
+  Ev.Ordinal = DecisionOrdinal++;
+  // Deterministic payload: for a deterministic backend these values are
+  // bit-identical across worker-thread counts.
+  Ev.Args = {{"role", Role},
+             {"decision", Decision},
+             {"balance", formatDouble(E.Balance, 4)},
+             {"psat", std::to_string(Sat.Psat)},
+             {"cycles", std::to_string(E.Cycles)},
+             {"slices", formatDouble(E.Slices, 1)}};
+  // Run-variant detail: a design this walk computed sequentially is a
+  // speculation hit (or wait) in a parallel run.
+  Ev.Runtime = {{"cache", LastCacheOutcome}};
+  R.record(std::move(Ev));
+}
+
+void DesignSpaceExplorer::traceFailure(const UnrollVector &U,
+                                       const char *Role,
+                                       const Status &Err) {
+  TraceRecorder &R = recorder();
+  if (!R.enabled())
+    return;
+  TraceEvent Ev;
+  Ev.Track = Track;
+  Ev.Category = "dse.failure";
+  Ev.Name = unrollVectorToString(U);
+  Ev.Ordinal = DecisionOrdinal++;
+  const char *Decision =
+      Err.code() == ErrorCode::BudgetExhausted   ? "budget-exhausted"
+      : Err.code() == ErrorCode::DeadlineExceeded ? "deadline-exceeded"
+                                                  : "fault-degraded";
+  Ev.Args = {{"role", Role}, {"decision", Decision}};
+  Ev.Runtime = {{"error", Err.toString()}, {"cache", LastCacheOutcome}};
+  R.record(std::move(Ev));
+}
+
 Expected<SynthesisEstimate>
 DesignSpaceExplorer::computeRaw(const UnrollVector &U) const {
   TransformOptions TO = Opts.BaseTransforms;
   TO.Unroll = U;
   TO.Layout.NumMemories = Opts.Platform.NumMemories;
 
+  // Estimation backends are arbitrary callables (a real synthesis tool
+  // behind a wrapper); time every invocation at this seam.
+  auto invokeEstimator =
+      [this](const Kernel &K) -> Expected<SynthesisEstimate> {
+    DEFACTO_SCOPED_TIMER("estimator.invoke");
+    return Opts.Estimator(K, Opts.Platform);
+  };
+
   TransformResult R = applyPipeline(Ctx, TO);
   if (!R.ok())
     return R.Error;
-  Expected<SynthesisEstimate> Est = Opts.Estimator(R.K, Opts.Platform);
+  Expected<SynthesisEstimate> Est = invokeEstimator(R.K);
   if (!Est)
     return Est;
 
@@ -148,7 +219,7 @@ DesignSpaceExplorer::computeRaw(const UnrollVector &U) const {
       TransformResult Capped = applyPipeline(Ctx, TO);
       if (!Capped.ok())
         return Capped.Error;
-      Est = Opts.Estimator(Capped.K, Opts.Platform);
+      Est = invokeEstimator(Capped.K);
       if (!Est)
         return Est;
     }
@@ -176,13 +247,32 @@ DesignSpaceExplorer::evaluateChecked(const UnrollVector &U) {
     return Status::error(ErrorCode::InvalidInput,
                          unrollVectorToString(U) +
                              " is not a candidate unroll vector");
-  if (auto It = Cache.find(U); It != Cache.end())
+  if (auto It = Cache.find(U); It != Cache.end()) {
+    LastCacheOutcome = "local-hit";
     return It->second;
-  if (auto It = FailCache.find(U); It != FailCache.end())
+  }
+  if (auto It = FailCache.find(U); It != FailCache.end()) {
+    LastCacheOutcome = "local-negative";
     return It->second;
+  }
 
   for (;;) {
-    auto Found = Estimates->lookupOrBegin(cacheKey(U));
+    EstimateCache::Outcome Served = EstimateCache::Outcome::Miss;
+    auto Found = Estimates->lookupOrBegin(cacheKey(U), &Served);
+    switch (Served) {
+    case EstimateCache::Outcome::Hit:
+      LastCacheOutcome = "hit";
+      break;
+    case EstimateCache::Outcome::NegativeHit:
+      LastCacheOutcome = "negative-hit";
+      break;
+    case EstimateCache::Outcome::Wait:
+      LastCacheOutcome = "wait";
+      break;
+    case EstimateCache::Outcome::Miss:
+      LastCacheOutcome = "computed";
+      break;
+    }
     if (auto *Done = std::get_if<EstimateCache::Result>(&Found)) {
       if (Done->Attempts == 0)
         continue; // A computer abandoned the entry (transient); retry.
@@ -263,9 +353,15 @@ void DesignSpaceExplorer::prefetch(const std::vector<UnrollVector> &Candidates) 
   for (const UnrollVector &U : Candidates) {
     if (!Space.isCandidate(U))
       continue;
+    ++NumSpeculated;
     Speculation.push_back(P->submit([this, U] {
       auto Found = Estimates->lookupOrBegin(cacheKey(U));
       if (auto *Ticket = std::get_if<EstimateCache::Ticket>(&Found)) {
+        // Spans from worker threads show the estimation overlap in the
+        // Perfetto timeline; they are run-variant by nature and excluded
+        // from the deterministic decision digest.
+        TraceSpan Span(recorder(), Track, "speculate",
+                       unrollVectorToString(U));
         // Mirror the sequential retry policy (minus the backoff sleeps)
         // so the attempts recorded — and later charged on consumption —
         // match what the sequential walk would have spent.
@@ -275,6 +371,8 @@ void DesignSpaceExplorer::prefetch(const std::vector<UnrollVector> &Candidates) 
           ++Attempts;
           Est = computeRaw(U);
         }
+        Span.note("attempts", std::to_string(Attempts));
+        Span.note("ok", Est ? "1" : "0");
         Estimates->fulfill(std::move(*Ticket),
                            EstimateCache::Result{std::move(Est), Attempts});
       }
@@ -342,6 +440,9 @@ std::vector<UnrollVector> DesignSpaceExplorer::guidedFrontier() const {
 }
 
 ExplorationResult DesignSpaceExplorer::run() {
+  DEFACTO_SCOPED_TIMER("explore.run");
+  TraceSpan RunSpan(recorder(), Track, "phase", "explore.run");
+  ++NumExplorations;
   ExplorationResult Res;
   Res.Sat = Sat;
   Res.FullSpaceSize = Space.fullSize();
@@ -357,9 +458,11 @@ ExplorationResult DesignSpaceExplorer::run() {
   if (Expected<SynthesisEstimate> Base = evaluateChecked(Space.base())) {
     Res.BaselineEstimate = *Base;
     HaveBaseline = true;
+    traceDecision(Space.base(), *Base, "baseline", "baseline");
   } else {
     Res.Trace += "FAIL " + unrollVectorToString(Space.base()) +
                  " [baseline] " + Base.status().toString() + "\n";
+    traceFailure(Space.base(), "baseline", Base.status());
   }
 
   auto record = [&](const UnrollVector &U,
@@ -368,6 +471,7 @@ ExplorationResult DesignSpaceExplorer::run() {
     if (!Est) {
       Res.Trace += "FAIL " + unrollVectorToString(U) + " [" + Role + "] " +
                    Est.status().toString() + "\n";
+      traceFailure(U, Role, Est.status());
       return Est;
     }
     for (const EvaluatedDesign &D : Res.Visited)
@@ -406,7 +510,8 @@ ExplorationResult DesignSpaceExplorer::run() {
       Ok = true;
       break;
     }
-    Expected<SynthesisEstimate> EstOr = record(Ucurr, Role);
+    const char *VisitRole = Role;
+    Expected<SynthesisEstimate> EstOr = record(Ucurr, VisitRole);
     if (!EstOr) {
       // Without an estimate the walk cannot steer by balance; stop here
       // and fall back to the best design evaluated so far.
@@ -421,6 +526,7 @@ ExplorationResult DesignSpaceExplorer::run() {
         // FindLargestFit(Ubase, Uinit): the largest design not exceeding
         // the device, regardless of balance.
         Res.Trace += "Uinit exceeds capacity; FindLargestFit\n";
+        traceDecision(Ucurr, Est, VisitRole, "find-largest-fit");
         std::vector<UnrollVector> Candidates;
         for (const UnrollVector &C : Space.allCandidates())
           if (UnrollSpace::between(C, Space.base(), Uinit) && C != Uinit)
@@ -441,9 +547,11 @@ ExplorationResult DesignSpaceExplorer::run() {
             continue; // This candidate failed; try the next smaller one.
           }
           if (Fit->Slices <= Capacity) {
+            traceDecision(C, *Fit, "fit", "fit-accept");
             Ucurr = C;
             break;
           }
+          traceDecision(C, *Fit, "fit", "fit-reject");
         }
         if (!Stop.isOk())
           break;
@@ -452,6 +560,7 @@ ExplorationResult DesignSpaceExplorer::run() {
       }
       Res.Trace += "exceeds capacity; bisect toward " +
                    unrollVectorToString(Ucb) + "\n";
+      traceDecision(Ucurr, Est, VisitRole, "capacity-select-between");
       UnrollVector Next = Space.selectBetween(Ucb, Ucurr, Quantum);
       if (Next == Ucb)
         Ok = true;
@@ -462,6 +571,7 @@ ExplorationResult DesignSpaceExplorer::run() {
 
     if (std::abs(B - 1.0) <= Opts.BalanceTolerance) {
       Res.Trace += "balanced; done\n";
+      traceDecision(Ucurr, Est, VisitRole, "balanced-stop");
       Ok = true;
       continue;
     }
@@ -471,11 +581,14 @@ ExplorationResult DesignSpaceExplorer::run() {
       Umb = Ucurr;
       if (Ucurr == Uinit) {
         // Memory bound at the saturation point: more unrolling cannot
-        // raise the fetch rate (Observation 1); stop.
+        // raise the fetch rate (Observation 1); stop. Every design above
+        // Uinit is pruned by that monotonicity argument.
         Res.Trace += "memory bound at Uinit; done\n";
+        traceDecision(Ucurr, Est, VisitRole, "memory-bound-stop");
         Ok = true;
         continue;
       }
+      traceDecision(Ucurr, Est, VisitRole, "select-between");
       UnrollVector Next = Space.selectBetween(Ucb, Umb, Quantum);
       if (Next == Ucb)
         Ok = true;
@@ -491,13 +604,16 @@ ExplorationResult DesignSpaceExplorer::run() {
       UnrollVector Next = Space.increase(Ucurr, Preference);
       if (Next == Ucurr) {
         Res.Trace += "no larger candidate; done\n";
+        traceDecision(Ucurr, Est, VisitRole, "space-exhausted-stop");
         Ok = true;
         continue;
       }
+      traceDecision(Ucurr, Est, VisitRole, "increase");
       Ucurr = Next;
       Role = "increase";
       continue;
     }
+    traceDecision(Ucurr, Est, VisitRole, "select-between");
     UnrollVector Next = Space.selectBetween(Ucb, Umb, Quantum);
     if (Next == Ucb)
       Ok = true;
@@ -590,10 +706,26 @@ ExplorationResult DesignSpaceExplorer::run() {
     Res.Failures.push_back({Ucurr, 0, Stop});
   Res.Degraded = !Ok || !Res.Failures.empty();
   Res.EvaluationsUsed = Used;
-  if (Res.Degraded)
+  if (Res.Degraded) {
     Res.Trace += "degraded exploration: " +
                  std::to_string(Res.Failures.size()) +
                  " failure(s) logged\n";
+    ++NumDegraded;
+  }
+  NumEvaluationsSpent.add(Used);
+  if (TraceRecorder &R = recorder(); R.enabled()) {
+    TraceEvent Sel;
+    Sel.Track = Track;
+    Sel.Category = "dse.selection";
+    Sel.Name = unrollVectorToString(Res.Selected);
+    Sel.Ordinal = DecisionOrdinal;
+    Sel.Args = {{"cycles", std::to_string(Res.SelectedEstimate.Cycles)},
+                {"slices", formatDouble(Res.SelectedEstimate.Slices, 1)},
+                {"fits", Res.SelectedFits ? "1" : "0"},
+                {"degraded", Res.Degraded ? "1" : "0"},
+                {"evaluations", std::to_string(Used)}};
+    R.record(std::move(Sel));
+  }
   BudgetCap.reset();
   // Leftover speculative tasks reference this explorer; settle them
   // before handing the result back.
@@ -620,14 +752,17 @@ ExplorationResult pickBest(const Kernel &Source,
   Prefetch.insert(Prefetch.end(), Candidates.begin(), Candidates.end());
   Ex.prefetch(Prefetch);
 
-  if (auto Base = Ex.evaluate(Ex.space().base()))
+  if (auto Base = Ex.evaluate(Ex.space().base())) {
     Res.BaselineEstimate = *Base;
+    Ex.traceDecision(Ex.space().base(), *Base, "baseline", "baseline");
+  }
 
   for (const UnrollVector &U : Candidates) {
     auto Est = Ex.evaluate(U);
     if (!Est)
       continue;
     Res.Visited.push_back({U, *Est, Role});
+    Ex.traceDecision(U, *Est, Role, "candidate");
   }
 
   // Fastest fitting design; among designs within 5% of it, the smallest.

@@ -10,6 +10,7 @@
 #include "defacto/IR/IRUtils.h"
 #include "defacto/IR/IRVerifier.h"
 #include "defacto/Support/Table.h"
+#include "defacto/Support/Timer.h"
 
 #include <cmath>
 #include <memory>
@@ -153,6 +154,7 @@ private:
 SynthesisEstimate
 defacto::estimateDesign(const Kernel &K, const TargetPlatform &Platform,
                         std::vector<RegionReport> *Breakdown) {
+  DEFACTO_SCOPED_TIMER("estimator.estimate");
   if (Breakdown)
     Breakdown->clear();
   Totals T = EstimatorWalk(K, Platform, Breakdown).run();

@@ -6,6 +6,8 @@
 
 #include "defacto/HLS/Scheduler.h"
 
+#include "defacto/Support/Timer.h"
+
 #include <algorithm>
 #include <cmath>
 #include <vector>
@@ -97,6 +99,7 @@ SegmentSchedule defacto::scheduleSegment(const DFG &Graph,
 DetailedSchedule
 defacto::scheduleSegmentDetailed(const DFG &Graph,
                                  const TargetPlatform &Platform) {
+  DEFACTO_SCOPED_TIMER("scheduler.schedule");
   DetailedSchedule Detailed;
   SegmentSchedule &Out = Detailed.Summary;
   if (Graph.Nodes.empty())

@@ -1,0 +1,217 @@
+//===- Json.cpp -----------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Support/Json.h"
+
+#include <cctype>
+
+using namespace defacto;
+
+namespace {
+
+/// Recursive-descent JSON syntax checker over a raw byte buffer.
+class Validator {
+public:
+  Validator(const std::string &Text) : S(Text) {}
+
+  bool run(std::string *Error) {
+    bool Ok = value() && (skipWs(), Pos == S.size());
+    if (!Ok && Error)
+      *Error = "invalid JSON at byte " + std::to_string(Pos) + ": " + Reason;
+    return Ok;
+  }
+
+private:
+  bool fail(const char *Why) {
+    if (Reason.empty())
+      Reason = Why;
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Lit) {
+    size_t Start = Pos;
+    for (const char *P = Lit; *P; ++P, ++Pos)
+      if (Pos >= S.size() || S[Pos] != *P) {
+        Pos = Start;
+        return fail("bad literal");
+      }
+    return true;
+  }
+
+  bool string() {
+    if (Pos >= S.size() || S[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    while (Pos < S.size()) {
+      unsigned char C = S[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= S.size())
+          return fail("truncated escape");
+        char E = S[Pos];
+        if (E == 'u') {
+          for (int I = 0; I != 4; ++I) {
+            ++Pos;
+            if (Pos >= S.size() || !std::isxdigit(
+                                       static_cast<unsigned char>(S[Pos])))
+              return fail("bad \\u escape");
+          }
+        } else if (E != '"' && E != '\\' && E != '/' && E != 'b' &&
+                   E != 'f' && E != 'n' && E != 'r' && E != 't') {
+          return fail("bad escape");
+        }
+        ++Pos;
+        continue;
+      }
+      if (C < 0x20)
+        return fail("raw control character in string");
+      ++Pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    if (Pos >= S.size() || !std::isdigit(static_cast<unsigned char>(S[Pos])))
+      return fail("expected digit");
+    if (S[Pos] == '0')
+      ++Pos;
+    else
+      while (Pos < S.size() &&
+             std::isdigit(static_cast<unsigned char>(S[Pos])))
+        ++Pos;
+    if (Pos < S.size() && S[Pos] == '.') {
+      ++Pos;
+      if (Pos >= S.size() ||
+          !std::isdigit(static_cast<unsigned char>(S[Pos])))
+        return fail("expected fraction digit");
+      while (Pos < S.size() &&
+             std::isdigit(static_cast<unsigned char>(S[Pos])))
+        ++Pos;
+    }
+    if (Pos < S.size() && (S[Pos] == 'e' || S[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < S.size() && (S[Pos] == '+' || S[Pos] == '-'))
+        ++Pos;
+      if (Pos >= S.size() ||
+          !std::isdigit(static_cast<unsigned char>(S[Pos])))
+        return fail("expected exponent digit");
+      while (Pos < S.size() &&
+             std::isdigit(static_cast<unsigned char>(S[Pos])))
+        ++Pos;
+    }
+    return Pos > Start;
+  }
+
+  bool value() {
+    if (++Depth > 256)
+      return fail("nesting too deep");
+    skipWs();
+    if (Pos >= S.size())
+      return fail("expected value");
+    bool Ok = false;
+    switch (S[Pos]) {
+    case '{':
+      Ok = object();
+      break;
+    case '[':
+      Ok = array();
+      break;
+    case '"':
+      Ok = string();
+      break;
+    case 't':
+      Ok = literal("true");
+      break;
+    case 'f':
+      Ok = literal("false");
+      break;
+    case 'n':
+      Ok = literal("null");
+      break;
+    default:
+      Ok = number();
+    }
+    --Depth;
+    return Ok;
+  }
+
+  bool object() {
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':')
+        return fail("expected ':'");
+      ++Pos;
+      if (!value())
+        return false;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < S.size() && S[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    ++Pos; // '['
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      if (!value())
+        return false;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < S.size() && S[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+  int Depth = 0;
+  std::string Reason;
+};
+
+} // namespace
+
+bool defacto::isValidJson(const std::string &Text, std::string *Error) {
+  return Validator(Text).run(Error);
+}

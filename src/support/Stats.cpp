@@ -1,0 +1,73 @@
+//===- Stats.cpp ----------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Support/Stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace defacto;
+
+std::atomic<bool> defacto::detail::StatsEnabledFlag{false};
+
+Statistic::Statistic(const char *Group, const char *Name,
+                     const char *Description)
+    : Group(Group), Name(Name), Description(Description) {
+  StatRegistry::instance().registerStat(this);
+}
+
+StatRegistry &StatRegistry::instance() {
+  static StatRegistry R;
+  return R;
+}
+
+void StatRegistry::registerStat(Statistic *S) {
+  std::lock_guard<std::mutex> Lock(M);
+  Stats.push_back(S);
+}
+
+std::vector<StatSnapshot> StatRegistry::snapshot() const {
+  std::vector<StatSnapshot> Out;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Out.reserve(Stats.size());
+    for (const Statistic *S : Stats)
+      Out.push_back({S->group(), S->name(), S->description(), S->value()});
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const StatSnapshot &A, const StatSnapshot &B) {
+              return A.Group != B.Group ? A.Group < B.Group : A.Name < B.Name;
+            });
+  return Out;
+}
+
+void StatRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  for (Statistic *S : Stats)
+    S->Value.store(0, std::memory_order_relaxed);
+}
+
+std::string StatRegistry::toText() const {
+  std::ostringstream OS;
+  for (const StatSnapshot &S : snapshot())
+    OS << S.Group << '.' << S.Name << " = " << S.Value << "  (" << S.Description
+       << ")\n";
+  return OS.str();
+}
+
+std::string StatRegistry::toJson() const {
+  std::ostringstream OS;
+  OS << '{';
+  bool First = true;
+  for (const StatSnapshot &S : snapshot()) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << '"' << S.Group << '.' << S.Name << "\": " << S.Value;
+  }
+  OS << '}';
+  return OS.str();
+}

@@ -1,0 +1,111 @@
+//===- Timer.cpp ----------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Support/Timer.h"
+
+#include <chrono>
+#include <ctime>
+#include <sstream>
+
+using namespace defacto;
+
+namespace {
+
+uint64_t wallNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t cpuNowNs() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec TS;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &TS) == 0)
+    return static_cast<uint64_t>(TS.tv_sec) * 1000000000ull +
+           static_cast<uint64_t>(TS.tv_nsec);
+#endif
+  return static_cast<uint64_t>(std::clock()) *
+         (1000000000ull / CLOCKS_PER_SEC);
+}
+
+} // namespace
+
+TimerGroup &TimerGroup::global() {
+  static TimerGroup G;
+  return G;
+}
+
+PhaseTimer &TimerGroup::timer(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<PhaseTimer> &Slot = Timers[Name];
+  if (!Slot)
+    Slot = std::make_unique<PhaseTimer>(Name);
+  return *Slot;
+}
+
+std::vector<TimerGroup::Snapshot> TimerGroup::snapshot() const {
+  std::vector<Snapshot> Out;
+  std::lock_guard<std::mutex> Lock(M);
+  for (const auto &[Name, T] : Timers) {
+    if (T->count() == 0)
+      continue;
+    Out.push_back({Name, T->wallMs(), T->cpuMs(), T->count()});
+  }
+  return Out; // std::map iterates sorted by name
+}
+
+void TimerGroup::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &[Name, T] : Timers) {
+    T->WallNanos.store(0, std::memory_order_relaxed);
+    T->CpuNanos.store(0, std::memory_order_relaxed);
+    T->Count.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string TimerGroup::toText() const {
+  std::ostringstream OS;
+  for (const Snapshot &S : snapshot()) {
+    OS.precision(3);
+    OS << std::fixed << S.Name << ": " << S.WallMs << " ms wall (" << S.CpuMs
+       << " ms cpu, " << S.Count << " scope(s))\n";
+  }
+  return OS.str();
+}
+
+std::string TimerGroup::toJson() const {
+  std::ostringstream OS;
+  OS.precision(6);
+  OS << std::fixed << '{';
+  bool First = true;
+  for (const Snapshot &S : snapshot()) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << '"' << S.Name << "\": {\"wall_ms\": " << S.WallMs
+       << ", \"cpu_ms\": " << S.CpuMs << ", \"count\": " << S.Count << '}';
+  }
+  OS << '}';
+  return OS.str();
+}
+
+ScopedTimer::ScopedTimer(PhaseTimer &Timer) {
+  if (!statsEnabled())
+    return;
+  T = &Timer;
+  WallStartNs = wallNowNs();
+  CpuStartNs = cpuNowNs();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!T)
+    return;
+  uint64_t WallNs = wallNowNs() - WallStartNs;
+  uint64_t CpuEnd = cpuNowNs();
+  uint64_t CpuNs = CpuEnd > CpuStartNs ? CpuEnd - CpuStartNs : 0;
+  T->record(WallNs, CpuNs);
+}

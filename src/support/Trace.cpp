@@ -1,0 +1,213 @@
+//===- Trace.cpp ----------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Support/Trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+using namespace defacto;
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void appendArgs(
+    std::ostringstream &OS,
+    const std::vector<std::pair<std::string, std::string>> &Args,
+    bool &First) {
+  for (const auto &[K, V] : Args) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << '"' << jsonEscape(K) << "\": \"" << jsonEscape(V) << '"';
+  }
+}
+
+/// One event as a Chrome trace_event / JSONL object.
+std::string eventToJson(const TraceEvent &E) {
+  std::ostringstream OS;
+  OS.precision(3);
+  OS << std::fixed;
+  bool Complete = E.EventKind == TraceEvent::Kind::Complete;
+  double Start = Complete ? E.TimestampUs - E.DurationUs : E.TimestampUs;
+  if (Start < 0)
+    Start = 0;
+  OS << "{\"name\": \"" << jsonEscape(E.Name) << "\", \"cat\": \""
+     << jsonEscape(E.Category) << "\", \"ph\": \""
+     << (Complete ? "X" : "i") << "\", \"ts\": " << Start;
+  if (Complete)
+    OS << ", \"dur\": " << E.DurationUs;
+  else
+    OS << ", \"s\": \"t\"";
+  OS << ", \"pid\": 1, \"tid\": " << E.ThreadId << ", \"args\": {";
+  bool First = true;
+  {
+    std::ostringstream Meta;
+    Meta << E.Ordinal;
+    OS << "\"track\": \"" << jsonEscape(E.Track)
+       << "\", \"ordinal\": \"" << Meta.str() << '"';
+    First = false;
+  }
+  appendArgs(OS, E.Args, First);
+  appendArgs(OS, E.Runtime, First);
+  OS << "}}";
+  return OS.str();
+}
+
+} // namespace
+
+TraceRecorder::TraceRecorder() : Epoch(std::chrono::steady_clock::now()) {}
+
+TraceRecorder &TraceRecorder::global() {
+  static TraceRecorder R;
+  return R;
+}
+
+double TraceRecorder::nowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - Epoch)
+      .count();
+}
+
+void TraceRecorder::record(TraceEvent E) {
+  if (!enabled())
+    return;
+  if (E.TimestampUs == 0)
+    E.TimestampUs = nowUs();
+  std::lock_guard<std::mutex> Lock(M);
+  auto [It, Inserted] = ThreadIds.emplace(
+      std::this_thread::get_id(), static_cast<uint32_t>(ThreadIds.size() + 1));
+  E.ThreadId = It->second;
+  (void)Inserted;
+  Events.push_back(std::move(E));
+}
+
+size_t TraceRecorder::eventCount() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Events.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> Lock(M);
+  Events.clear();
+  ThreadIds.clear();
+}
+
+std::vector<TraceEvent> TraceRecorder::sortedEvents() const {
+  std::vector<TraceEvent> Out;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Out = Events;
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     if (A.Track != B.Track)
+                       return A.Track < B.Track;
+                     if (A.Category != B.Category)
+                       return A.Category < B.Category;
+                     if (A.Ordinal != B.Ordinal)
+                       return A.Ordinal < B.Ordinal;
+                     if (A.Name != B.Name)
+                       return A.Name < B.Name;
+                     return A.TimestampUs < B.TimestampUs;
+                   });
+  return Out;
+}
+
+std::string TraceRecorder::toChromeTrace() const {
+  std::ostringstream OS;
+  OS << "{\"traceEvents\": [\n";
+  bool First = true;
+  for (const TraceEvent &E : sortedEvents()) {
+    if (!First)
+      OS << ",\n";
+    First = false;
+    OS << "  " << eventToJson(E);
+  }
+  OS << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return OS.str();
+}
+
+std::string TraceRecorder::toJsonLines() const {
+  std::ostringstream OS;
+  for (const TraceEvent &E : sortedEvents())
+    OS << eventToJson(E) << '\n';
+  return OS.str();
+}
+
+std::vector<std::string> TraceRecorder::decisionDigest() const {
+  std::vector<std::string> Out;
+  for (const TraceEvent &E : sortedEvents()) {
+    if (E.Category != "dse.decision")
+      continue;
+    std::ostringstream OS;
+    OS << E.Track << '|' << E.Ordinal << '|' << E.Name;
+    for (const auto &[K, V] : E.Args)
+      OS << '|' << K << '=' << V;
+    Out.push_back(OS.str());
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+TraceSpan::TraceSpan(TraceRecorder &Recorder, std::string Track,
+                     std::string Category, std::string Name) {
+  if (!Recorder.enabled())
+    return;
+  R = &Recorder;
+  E.Track = std::move(Track);
+  E.Category = std::move(Category);
+  E.Name = std::move(Name);
+  E.EventKind = TraceEvent::Kind::Complete;
+  StartUs = Recorder.nowUs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!R)
+    return;
+  E.TimestampUs = R->nowUs();
+  E.DurationUs = E.TimestampUs - StartUs;
+  R->record(std::move(E));
+}
+
+void TraceSpan::note(std::string Key, std::string Value) {
+  if (!R)
+    return;
+  E.Runtime.emplace_back(std::move(Key), std::move(Value));
+}

@@ -8,6 +8,7 @@
 
 #include "defacto/IR/IRUtils.h"
 #include "defacto/IR/IRVerifier.h"
+#include "defacto/Support/Timer.h"
 #include "defacto/Transforms/ConstantFolding.h"
 #include "defacto/Transforms/Normalize.h"
 #include "defacto/Transforms/Tiling.h"
@@ -22,10 +23,12 @@ namespace {
 TransformResult runOnNormalized(Kernel Normalized,
                                 const TransformOptions &Opts,
                                 const Kernel &ErrorFallback) {
+  DEFACTO_SCOPED_TIMER("pipeline.run");
   TransformResult Result(std::move(Normalized));
   Kernel &K = Result.K;
 
   if (Opts.StripMine) {
+    DEFACTO_SCOPED_TIMER("pipeline.stripmine");
     ForStmt *Top = K.topLoop();
     if (Top) {
       std::vector<ForStmt *> Nest = perfectNest(Top);
@@ -35,15 +38,29 @@ TransformResult runOnNormalized(Kernel Normalized,
     }
   }
 
-  Result.UnrollApplied = unrollAndJam(K, Opts.Unroll);
-  normalizeLoops(K);
+  {
+    DEFACTO_SCOPED_TIMER("pipeline.unroll");
+    Result.UnrollApplied = unrollAndJam(K, Opts.Unroll);
+  }
+  {
+    DEFACTO_SCOPED_TIMER("pipeline.normalize");
+    normalizeLoops(K);
+  }
 
-  if (Opts.EnableScalarReplacement)
+  if (Opts.EnableScalarReplacement) {
+    DEFACTO_SCOPED_TIMER("pipeline.scalarrepl");
     Result.SR = scalarReplace(K, Opts.SR);
-  if (Opts.EnablePeeling)
+  }
+  if (Opts.EnablePeeling) {
+    DEFACTO_SCOPED_TIMER("pipeline.peel");
     Result.Peeling = peelGuardedIterations(K);
-  foldConstants(K.body());
+  }
+  {
+    DEFACTO_SCOPED_TIMER("pipeline.fold");
+    foldConstants(K.body());
+  }
   if (Opts.EnableDataLayout) {
+    DEFACTO_SCOPED_TIMER("pipeline.layout");
     Expected<DataLayoutStats> Layout = applyDataLayout(K, Opts.Layout);
     if (!Layout) {
       Result.Error = Layout.status();
@@ -53,6 +70,7 @@ TransformResult runOnNormalized(Kernel Normalized,
     Result.Layout = *Layout;
   }
 
+  DEFACTO_SCOPED_TIMER("pipeline.verify");
   if (!isKernelValid(K)) {
     Result.Error = Status::error(
         ErrorCode::MalformedIR,

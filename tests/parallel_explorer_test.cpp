@@ -19,11 +19,14 @@
 #include "defacto/Frontend/Parser.h"
 #include "defacto/Kernels/Kernels.h"
 #include "defacto/Support/Random.h"
+#include "defacto/Support/Stats.h"
 
+#include <atomic>
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <sstream>
+#include <thread>
 
 using namespace defacto;
 
@@ -229,6 +232,51 @@ TEST(BatchExplorer, DuplicateJobsShareTheCache) {
   EstimateCache::Stats S = Engine.estimateCache()->stats();
   EXPECT_GT(S.Hits + S.Waits, 0u);
   EXPECT_EQ(S.Misses, static_cast<uint64_t>(Engine.estimateCache()->size()));
+}
+
+TEST(BatchExplorer, CacheStatsStayConsistentUnderConcurrentSnapshots) {
+  // stats() holds every shard lock at once, so any snapshot taken while
+  // workers are mid-exploration must already satisfy the accounting
+  // identity — a lookup is never half-counted. Run under tsan this also
+  // exercises the counters' lock discipline.
+  auto Cache = std::make_shared<EstimateCache>();
+  BatchOptions Batch;
+  Batch.NumThreads = 4;
+  Batch.Cache = Cache;
+  BatchExplorer Engine(Batch);
+  for (int Round = 0; Round != 4; ++Round)
+    for (const KernelSpec &Spec : paperKernels())
+      Engine.addJob(buildKernel(Spec.Name), ExplorerOptions{});
+
+  std::atomic<bool> Done{false};
+  std::thread Snapshotter([&Cache, &Done] {
+    while (!Done.load(std::memory_order_relaxed)) {
+      EstimateCache::Stats S = Cache->stats();
+      EXPECT_EQ(S.Lookups, S.Hits + S.Misses + S.Waits);
+      EXPECT_LE(S.Inserts, S.Misses);
+      std::this_thread::yield();
+    }
+  });
+  Engine.runAll();
+  Done.store(true, std::memory_order_relaxed);
+  Snapshotter.join();
+
+  EstimateCache::Stats Final = Cache->stats();
+  EXPECT_EQ(Final.Lookups, Final.Hits + Final.Misses + Final.Waits);
+  EXPECT_GT(Final.Hits + Final.Waits, 0u);
+  // Registry mirror: when enabled it moves with the same events (the
+  // mirror is process-global, so only monotonicity is asserted here).
+  StatRegistry::instance().setEnabled(true);
+  uint64_t MirrorBefore = 0, MirrorAfter = 0;
+  for (const StatSnapshot &S : StatRegistry::instance().snapshot())
+    if (S.Group == "cache" && S.Name == "lookups")
+      MirrorBefore = S.Value;
+  DesignSpaceExplorer(buildKernel("FIR"), {}).run();
+  for (const StatSnapshot &S : StatRegistry::instance().snapshot())
+    if (S.Group == "cache" && S.Name == "lookups")
+      MirrorAfter = S.Value;
+  StatRegistry::instance().setEnabled(false);
+  EXPECT_GT(MirrorAfter, MirrorBefore);
 }
 
 TEST(BatchExplorer, ExhaustiveModeAndSequentialBatchAgree) {
