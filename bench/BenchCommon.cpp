@@ -6,69 +6,32 @@
 
 #include "BenchCommon.h"
 
+#include "defacto/Support/CommandLine.h"
 #include "defacto/Support/MathExtras.h"
-#include "defacto/Support/Stats.h"
 #include "defacto/Support/Table.h"
-#include "defacto/Support/Timer.h"
-#include "defacto/Support/Trace.h"
 
 #include <cstdio>
-#include <cstring>
-#include <fstream>
 
 using namespace defacto;
 
+// The flag parsing itself lives in Support/CommandLine.h (one parser for
+// every driver binary); these wrappers keep the historical bench API.
+
 bool defacto::bench::parseCsvFlag(int Argc, char **Argv) {
-  for (int I = 1; I < Argc; ++I)
-    if (std::strcmp(Argv[I], "--csv") == 0)
-      return true;
-  return false;
+  cl::ArgList Args(Argc, Argv);
+  return Args.consumeFlag("--csv");
 }
 
 bench::ObservabilityFlags defacto::bench::parseObservabilityFlags(int &Argc,
                                                                   char **Argv) {
-  ObservabilityFlags Flags;
-  int Out = 1;
-  for (int I = 1; I < Argc; ++I) {
-    if (std::strncmp(Argv[I], "--trace-out=", 12) == 0) {
-      Flags.TraceOutPath = Argv[I] + 12;
-      continue;
-    }
-    if (std::strcmp(Argv[I], "--stats") == 0) {
-      Flags.Stats = true;
-      continue;
-    }
-    Argv[Out++] = Argv[I];
-  }
-  Argc = Out;
-  if (!Flags.TraceOutPath.empty())
-    TraceRecorder::global().setEnabled(true);
-  if (Flags.any())
-    StatRegistry::instance().setEnabled(true);
-  return Flags;
+  cl::ArgList Args(Argc, Argv);
+  cl::ObservabilityConfig Config = cl::consumeObservabilityFlags(Args);
+  Args.compactInto(Argc, Argv);
+  return {Config.TraceOutPath, Config.Stats};
 }
 
 bool defacto::bench::finishObservability(const ObservabilityFlags &Flags) {
-  bool Ok = true;
-  if (!Flags.TraceOutPath.empty()) {
-    std::ofstream Out(Flags.TraceOutPath);
-    if (Out) {
-      Out << TraceRecorder::global().toChromeTrace();
-      std::printf("wrote %zu trace events to %s (load in chrome://tracing "
-                  "or ui.perfetto.dev)\n",
-                  TraceRecorder::global().eventCount(),
-                  Flags.TraceOutPath.c_str());
-    } else {
-      std::fprintf(stderr, "failed to open trace output '%s'\n",
-                   Flags.TraceOutPath.c_str());
-      Ok = false;
-    }
-  }
-  if (Flags.Stats) {
-    std::printf("%s", StatRegistry::instance().toText().c_str());
-    std::printf("%s", TimerGroup::global().toText().c_str());
-  }
-  return Ok;
+  return cl::finishObservability({Flags.TraceOutPath, Flags.Stats});
 }
 
 int defacto::bench::runFigureSweep(const std::string &FigureName,

@@ -8,17 +8,23 @@
 /// estimate cache — the deployment shape of §2.4's application class,
 /// where a whole image-processing pipeline of kernels targets one board:
 ///
-///   explore_batch [--threads N] [--exhaustive] [--both-platforms]
-///                 [--extended] [--kernels fir,mm,...] [--repeat N]
-///                 [--trace-out=PATH] [--stats] [--explain]
+///   explore_batch [--threads N] [--strategy NAME] [--exhaustive]
+///                 [--both-platforms] [--extended] [--kernels fir,mm,...]
+///                 [--repeat N] [--trace-out=PATH] [--stats] [--explain]
 ///
-/// Prints one row per job (selected design, speedup, evaluations) plus
-/// the shared cache's hit statistics. --repeat queues each job twice to
-/// demonstrate cross-job cache reuse: the second copy costs zero
-/// estimator calls. --trace-out writes a Chrome trace_event file of
-/// every search decision (one track per job; load in chrome://tracing or
-/// Perfetto), --stats prints the counter registry and phase timings, and
-/// --explain renders the full exploration report per job.
+/// --strategy selects any StrategyRegistry search ("guided",
+/// "exhaustive", "random", "hillclimb", "portfolio", or one a caller
+/// registered); an unknown name lists the registry and exits.
+/// --exhaustive is the historical shorthand for --strategy exhaustive.
+///
+/// Prints one row per job (strategy, selected design, speedup,
+/// evaluations) plus the shared cache's hit statistics. --repeat queues
+/// each job twice to demonstrate cross-job cache reuse: the second copy
+/// costs zero estimator calls. --trace-out writes a Chrome trace_event
+/// file of every search decision (one track per job; load in
+/// chrome://tracing or Perfetto), --stats prints the counter registry and
+/// phase timings, and --explain renders the full exploration report per
+/// job (per-strategy sections for portfolio runs).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,61 +32,47 @@
 #include "defacto/Core/ExplorationReport.h"
 #include "defacto/IR/IRUtils.h"
 #include "defacto/Kernels/Kernels.h"
+#include "defacto/Support/CommandLine.h"
 #include "defacto/Support/Stats.h"
 #include "defacto/Support/Table.h"
 #include "defacto/Support/Timer.h"
 #include "defacto/Support/Trace.h"
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
-#include <sstream>
 
 using namespace defacto;
 
 int main(int Argc, char **Argv) {
+  cl::ArgList Args(Argc, Argv);
   BatchOptions Batch;
-  Batch.NumThreads = 2;
-  bool Exhaustive = false;
-  bool BothPlatforms = false;
-  bool Extended = false;
-  bool Stats = false;
-  bool Explain = false;
-  std::string TraceOut;
-  unsigned Repeat = 1;
-  std::vector<std::string> Names;
+  Batch.NumThreads = Args.consumeUnsigned("--threads").value_or(2);
+  std::string Strategy = Args.consumeValue("--strategy").value_or("guided");
+  if (Args.consumeFlag("--exhaustive"))
+    Strategy = "exhaustive";
+  bool BothPlatforms = Args.consumeFlag("--both-platforms");
+  bool Extended = Args.consumeFlag("--extended");
+  bool Stats = Args.consumeFlag("--stats");
+  bool Explain = Args.consumeFlag("--explain");
+  std::string TraceOut = Args.consumeValue("--trace-out").value_or("");
+  unsigned Repeat = Args.consumeUnsigned("--repeat").value_or(1);
+  std::vector<std::string> Names = Args.consumeList("--kernels");
 
-  for (int I = 1; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc) {
-      Batch.NumThreads = static_cast<unsigned>(std::atoi(Argv[++I]));
-    } else if (std::strcmp(Argv[I], "--exhaustive") == 0) {
-      Exhaustive = true;
-    } else if (std::strcmp(Argv[I], "--both-platforms") == 0) {
-      BothPlatforms = true;
-    } else if (std::strcmp(Argv[I], "--extended") == 0) {
-      Extended = true;
-    } else if (std::strcmp(Argv[I], "--stats") == 0) {
-      Stats = true;
-    } else if (std::strcmp(Argv[I], "--explain") == 0) {
-      Explain = true;
-    } else if (std::strncmp(Argv[I], "--trace-out=", 12) == 0) {
-      TraceOut = Argv[I] + 12;
-    } else if (std::strcmp(Argv[I], "--repeat") == 0 && I + 1 < Argc) {
-      Repeat = static_cast<unsigned>(std::atoi(Argv[++I]));
-    } else if (std::strcmp(Argv[I], "--kernels") == 0 && I + 1 < Argc) {
-      std::stringstream SS(Argv[++I]);
-      std::string Name;
-      while (std::getline(SS, Name, ','))
-        if (!Name.empty())
-          Names.push_back(Name);
-    } else {
-      std::fprintf(stderr,
-                   "usage: explore_batch [--threads N] [--exhaustive] "
-                   "[--both-platforms] [--extended] [--kernels a,b,...] "
-                   "[--repeat N] [--trace-out=PATH] [--stats] "
-                   "[--explain]\n");
-      return 2;
-    }
+  if (!Args.empty()) {
+    std::fprintf(stderr,
+                 "unknown argument '%s'\n"
+                 "usage: explore_batch [--threads N] [--strategy NAME] "
+                 "[--exhaustive] [--both-platforms] [--extended] "
+                 "[--kernels a,b,...] [--repeat N] [--trace-out=PATH] "
+                 "[--stats] [--explain]\n",
+                 Args.rest().front().c_str());
+    return 2;
+  }
+  if (!StrategyRegistry::instance().contains(Strategy)) {
+    std::fprintf(stderr, "unknown strategy '%s'; registered strategies:\n%s",
+                 Strategy.c_str(),
+                 StrategyRegistry::instance().describe().c_str());
+    return 2;
   }
 
   if (Stats)
@@ -115,20 +107,19 @@ int main(int Argc, char **Argv) {
         std::string Label = Name + " @ " + Platform.Name;
         if (Round > 0)
           Label += " (repeat)";
-        Engine.addJob(BatchJob(Label, buildKernel(Name), std::move(Opts),
-                               Exhaustive ? BatchJob::Mode::Exhaustive
-                                          : BatchJob::Mode::Guided));
+        Engine.addJob(
+            BatchJob(Label, buildKernel(Name), std::move(Opts), Strategy));
       }
     }
 
   unsigned NumJobs = Engine.numJobs();
   std::printf("exploring %u job(s) on %u thread(s), %s search\n\n", NumJobs,
-              Batch.NumThreads, Exhaustive ? "exhaustive" : "guided");
+              Batch.NumThreads, Strategy.c_str());
 
   std::vector<BatchResult> Results = Engine.runAll();
 
-  Table Out({"job", "selected", "cycles", "slices", "speedup", "evals",
-             "searched", "flags"});
+  Table Out({"job", "strategy", "selected", "cycles", "slices", "speedup",
+             "evals", "searched", "flags"});
   for (const BatchResult &R : Results) {
     const ExplorationResult &E = R.Result;
     std::string Flags;
@@ -136,7 +127,7 @@ int main(int Argc, char **Argv) {
       Flags += "no-fit ";
     if (E.Degraded)
       Flags += "degraded";
-    Out.addRow({R.Name, unrollVectorToString(E.Selected),
+    Out.addRow({R.Name, E.Strategy, unrollVectorToString(E.Selected),
                 formatWithCommas(static_cast<int64_t>(
                     E.SelectedEstimate.Cycles)),
                 formatDouble(E.SelectedEstimate.Slices, 0),
@@ -167,13 +158,13 @@ int main(int Argc, char **Argv) {
   }
 
   if (!TraceOut.empty()) {
-    std::ofstream Out(TraceOut);
-    if (!Out) {
+    std::ofstream TraceFile(TraceOut);
+    if (!TraceFile) {
       std::fprintf(stderr, "failed to open trace output '%s'\n",
                    TraceOut.c_str());
       return 1;
     }
-    Out << Batch.Trace->toChromeTrace();
+    TraceFile << Batch.Trace->toChromeTrace();
     std::printf("wrote %zu trace events to %s (load in chrome://tracing "
                 "or ui.perfetto.dev)\n",
                 Batch.Trace->eventCount(), TraceOut.c_str());

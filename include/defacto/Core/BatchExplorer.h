@@ -32,12 +32,21 @@ struct BatchJob {
   std::string Name; // label for reports; defaults to the kernel's name
   Kernel K;
   ExplorerOptions Opts;
+  /// Legacy two-mode selector, honored when Strategy is empty.
   enum class Mode { Guided, Exhaustive } SearchMode = Mode::Guided;
+  /// StrategyRegistry name ("guided", "portfolio", ...); wins over
+  /// SearchMode when non-empty. Unknown names degrade to guided with a
+  /// note in the result's trace — a batch never aborts over one job.
+  std::string Strategy;
 
   BatchJob(std::string Name, Kernel K, ExplorerOptions Opts,
            Mode SearchMode = Mode::Guided)
       : Name(std::move(Name)), K(std::move(K)), Opts(std::move(Opts)),
         SearchMode(SearchMode) {}
+  BatchJob(std::string Name, Kernel K, ExplorerOptions Opts,
+           std::string Strategy)
+      : Name(std::move(Name)), K(std::move(K)), Opts(std::move(Opts)),
+        Strategy(std::move(Strategy)) {}
 };
 
 /// One finished job, in submission order.
@@ -68,10 +77,12 @@ class BatchExplorer {
 public:
   explicit BatchExplorer(BatchOptions Opts = {});
 
-  /// Queues one job. Convenience overload labels it with the kernel name.
+  /// Queues one job. Convenience overloads label it with the kernel name
+  /// and select the search by legacy mode or by registry strategy name.
   void addJob(BatchJob Job);
   void addJob(const Kernel &K, ExplorerOptions Opts,
               BatchJob::Mode Mode = BatchJob::Mode::Guided);
+  void addJob(const Kernel &K, ExplorerOptions Opts, std::string Strategy);
 
   unsigned numJobs() const { return Jobs.size(); }
 

@@ -1,0 +1,300 @@
+//===- EvaluationService.h - The design-evaluation layer -------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mechanics half of the exploration engine: everything a search
+/// policy needs to turn an unroll vector into a synthesis estimate,
+/// with none of the policy itself. The service owns
+///
+///  - the estimator backend seam (ExplorerOptions::Estimator; a
+///    FaultInjector wraps one backend in a fault-injecting one),
+///  - the shared EstimateCache (positive and negative entries, in-flight
+///    dedup via the ticket protocol),
+///  - the degradation policy: retries with capped backoff, the wall-clock
+///    deadline, and the evaluation budget with the engine's
+///    charge-on-consumption semantics (a cached result charges the
+///    attempts its original computation cost when it is consumed, not
+///    when a worker computes it),
+///  - speculation: prefetch() fans candidate evaluations out across the
+///    worker pool; the strategy consumes memoized results in its own
+///    deterministic order,
+///  - per-evaluation observability: the "dse.decision" / "dse.failure" /
+///    "dse.selection" trace events and the explore/cache stat counters.
+///
+/// SearchStrategy implementations (SearchStrategy.h) drive this API;
+/// DesignSpaceExplorer (Explorer.h) is a thin façade over the two
+/// layers. The service also computes the search context every policy
+/// shares — saturation analysis, the unroll space, and the §5.3 loop
+/// preference order — because all three derive from the normalized
+/// kernel the service already owns for the transform pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_CORE_EVALUATIONSERVICE_H
+#define DEFACTO_CORE_EVALUATIONSERVICE_H
+
+#include "defacto/Core/DesignSpace.h"
+#include "defacto/Core/EstimateCache.h"
+#include "defacto/Core/Saturation.h"
+#include "defacto/HLS/Estimator.h"
+#include "defacto/Support/Error.h"
+#include "defacto/Support/ThreadPool.h"
+#include "defacto/Support/Trace.h"
+#include "defacto/Transforms/Pipeline.h"
+
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace defacto {
+
+struct ExplorationResult;
+
+/// Exploration configuration, shared by every search strategy and the
+/// evaluation service underneath them.
+struct ExplorerOptions {
+  TargetPlatform Platform = TargetPlatform::wildstarPipelined();
+  /// |Balance - 1| <= tolerance counts as balanced (the paper's B == 1).
+  double BalanceTolerance = 0.15;
+  /// Budget of estimator attempts per run() (retries included). When it
+  /// runs out the search stops and the best design evaluated so far is
+  /// selected deterministically.
+  unsigned MaxEvaluations = 100;
+  /// §5.4: when set, designs needing more registers have their reuse
+  /// chains shortened until the register count fits.
+  std::optional<unsigned> RegisterCap;
+  /// Pass toggles, for ablation studies (unroll factors are supplied by
+  /// the search; the Unroll field here is ignored).
+  TransformOptions BaseTransforms;
+
+  //===--------------------------------------------------------------===//
+  // Degradation policy. A synthesis-estimation backend is an unreliable
+  // oracle (a real tool crashes, hangs, or times out); these knobs bound
+  // what one exploration may spend on it and how it recovers.
+  //===--------------------------------------------------------------===//
+
+  /// Estimation backend; estimateDesignChecked when unset. FaultInjector
+  /// (HLS/FaultInjector.h) wraps one backend in a fault-injecting one.
+  EstimatorFn Estimator;
+  /// Extra attempts after a failed estimation of the same design. A
+  /// design failing all 1 + MaxRetries attempts is negatively cached and
+  /// recorded in ExplorationResult::Failures.
+  unsigned MaxRetries = 2;
+  /// Pause before the first retry; doubled each further retry and capped
+  /// at MaxBackoffSeconds. 0 retries immediately.
+  double RetryBackoffSeconds = 0.0;
+  double MaxBackoffSeconds = 1.0;
+  /// Wall-clock budget for one exploration, measured by Clock from
+  /// explorer construction. 0 disables the deadline.
+  double DeadlineSeconds = 0.0;
+  /// Time source (seconds) and sleeper behind the deadline and backoff.
+  /// Defaults read the steady clock and really sleep; tests substitute a
+  /// virtual clock for determinism.
+  std::function<double()> Clock;
+  std::function<void(double /*Seconds*/)> Sleep;
+
+  //===--------------------------------------------------------------===//
+  // Concurrency. Defaults keep every run fully sequential and
+  // bit-identical to the historical engine.
+  //===--------------------------------------------------------------===//
+
+  /// Worker threads for the speculative frontier evaluation and the
+  /// exhaustive/random fan-out. <= 1 means sequential. Parallel mode
+  /// requires a thread-safe Estimator (the default backend is; a
+  /// FaultInjector-wrapped one is not) and assumes it is deterministic —
+  /// that is what makes the parallel walk's selection bit-identical to
+  /// the sequential one's.
+  unsigned NumThreads = 1;
+  /// Worker pool to draw from; with NumThreads > 1 and no pool the
+  /// explorer creates a private one. Sharing one pool across explorers
+  /// (BatchExplorer does) bounds total worker threads.
+  std::shared_ptr<ThreadPool> Pool;
+  /// Estimate cache shared across explorers, runs, and threads. Unset:
+  /// the explorer creates a private cache, i.e. per-instance memoization
+  /// exactly as before.
+  std::shared_ptr<EstimateCache> Cache;
+
+  //===--------------------------------------------------------------===//
+  // Observability. Off by default and zero-cost while off: a disabled
+  // event site is one relaxed load and a branch.
+  //===--------------------------------------------------------------===//
+
+  /// Trace recorder the engine emits decision/speculation/phase events
+  /// to; TraceRecorder::global() (disabled by default) when unset.
+  /// Events are recorded only while the recorder is enabled.
+  std::shared_ptr<TraceRecorder> Trace;
+  /// Track label for this exploration's events (batch job name); the
+  /// kernel's name when empty.
+  std::string TraceLabel;
+};
+
+/// One design whose estimation permanently failed (every retry included),
+/// or the condition that cut the search short (deadline or budget; then
+/// Attempts is 0 and U is the design the search wanted next).
+struct EvaluationFailure {
+  UnrollVector U;
+  unsigned Attempts = 0;
+  Status Error;
+};
+
+/// The evaluation layer of one exploration: memoized, budgeted, traced
+/// estimation of candidate designs over one source kernel.
+///
+/// Thread-compatibility: one service instance serves one search strategy
+/// at a time (strategies call it from their driving thread); prefetch()
+/// is the only entry point that fans work onto other threads, and the
+/// underlying EstimateCache serializes those against the consuming walk.
+class EvaluationService {
+public:
+  /// Normalizes \p Opts (default estimator/clock/sleep, private cache
+  /// when none is shared) and computes the shared search context:
+  /// saturation analysis, the unroll space, the normalized pipeline
+  /// context, and the §5.3 unroll preference order.
+  EvaluationService(const Kernel &Source, ExplorerOptions Opts);
+  ~EvaluationService();
+
+  EvaluationService(const EvaluationService &) = delete;
+  EvaluationService &operator=(const EvaluationService &) = delete;
+
+  /// Evaluates one unroll vector (cached). Returns std::nullopt for
+  /// non-candidate vectors and for designs whose estimation permanently
+  /// failed; evaluateChecked distinguishes the two.
+  std::optional<SynthesisEstimate> evaluate(const UnrollVector &U);
+
+  /// Evaluates one unroll vector under the degradation policy: retries
+  /// with capped backoff, honors the deadline, caches successes and
+  /// permanent failures alike. Deadline/budget errors are global
+  /// conditions and are never cached against the vector.
+  Expected<SynthesisEstimate> evaluateChecked(const UnrollVector &U);
+
+  /// Speculatively evaluates \p Candidates on the configured worker pool
+  /// into the estimate cache; no-op in sequential mode. Later
+  /// evaluate() calls consume the results in their own deterministic
+  /// order. Speculative work never charges the evaluation budget;
+  /// consumption does.
+  void prefetch(const std::vector<UnrollVector> &Candidates);
+
+  /// Blocks until every outstanding speculative evaluation finished.
+  void drainSpeculation();
+
+  /// Arms the evaluation budget: evaluateChecked fails with
+  /// BudgetExhausted once \p MaxEvaluations attempts have been charged.
+  /// Strategies that enumerate freely (the exhaustive baseline) never
+  /// arm it.
+  void beginBudget(unsigned MaxEvaluations);
+  /// Disarms the budget (run teardown).
+  void endBudget();
+
+  /// Deadline/budget check, in that order; Status::ok() when neither
+  /// limit is hit.
+  Status checkLimits() const;
+
+  //===--------------------------------------------------------------===//
+  // Search context: deterministic per-kernel data every policy shares.
+  //===--------------------------------------------------------------===//
+
+  const Kernel &source() const { return Source; }
+  /// The normalized options (never-null Estimator/Clock/Sleep).
+  const ExplorerOptions &options() const { return Opts; }
+  const UnrollSpace &space() const { return Space; }
+  const SaturationInfo &saturation() const { return Sat; }
+  /// Nest positions in §5.3 unroll-preference order, best first.
+  const std::vector<unsigned> &preference() const { return Preference; }
+
+  //===--------------------------------------------------------------===//
+  // Accounting.
+  //===--------------------------------------------------------------===//
+
+  /// The estimate cache this service reads and writes (the shared one
+  /// from the options, or its private one).
+  const std::shared_ptr<EstimateCache> &estimateCache() const {
+    return Estimates;
+  }
+
+  /// Estimator attempts spent so far (retries included).
+  unsigned evaluationsUsed() const { return Used; }
+
+  /// Designs whose estimation permanently failed, in discovery order.
+  const std::vector<EvaluationFailure> &failures() const { return FailLog; }
+
+  /// This run's successful evaluation of \p U, if it happened; never
+  /// computes. Strategies use it for final selection without spending
+  /// budget.
+  std::optional<SynthesisEstimate> evaluated(const UnrollVector &U) const;
+
+  //===--------------------------------------------------------------===//
+  // Observability. The service is the single emission site for
+  // per-evaluation trace events; strategies call these at every branch
+  // so the decision digest stays deterministic across thread counts.
+  //===--------------------------------------------------------------===//
+
+  /// Emits one "dse.decision" trace event for an evaluated design: the
+  /// unroll vector, its balance/cycles/slices, why the search visited it
+  /// (\p Role) and what it decided next (\p Decision). No-op while the
+  /// recorder is disabled.
+  void traceDecision(const UnrollVector &U, const SynthesisEstimate &E,
+                     const char *Role, const char *Decision);
+
+  /// "dse.failure" counterpart for designs whose evaluation failed (or
+  /// the stop condition that cut the walk short).
+  void traceFailure(const UnrollVector &U, const char *Role,
+                    const Status &Err);
+
+  /// Final "dse.selection" event summarizing \p Res.
+  void traceSelection(const ExplorationResult &Res);
+
+  /// The recorder events land on (injected or the global one).
+  TraceRecorder &recorder() const;
+
+  /// Track label for this exploration's events (TraceLabel or the
+  /// kernel's name).
+  const std::string &trackLabel() const { return Track; }
+
+  /// True when a worker pool is configured (speculation is live).
+  bool parallel() const { return Opts.Pool != nullptr || Opts.NumThreads > 1; }
+
+private:
+  /// One raw estimation attempt: transform pipeline + estimator (+ the
+  /// §5.4 register-cap shrink loop). Thread-safe: touches only the
+  /// shared read-only PipelineContext and the options.
+  Expected<SynthesisEstimate> computeRaw(const UnrollVector &U) const;
+  std::string cacheKey(const UnrollVector &U) const;
+  std::shared_ptr<ThreadPool> workerPool();
+
+  const Kernel &Source;
+  ExplorerOptions Opts;
+  SaturationInfo Sat;
+  UnrollSpace Space;
+  PipelineContext Ctx; // normalized base kernel, shared across workers
+  uint64_t SourceFp = 0;
+  std::vector<unsigned> Preference; // nest positions, best first
+  std::shared_ptr<EstimateCache> Estimates; // never null
+  std::shared_ptr<ThreadPool> Pool;         // created lazily when parallel
+  std::vector<std::future<void>> Speculation;
+  std::map<UnrollVector, SynthesisEstimate> Cache; // this run's successes
+  std::map<UnrollVector, Status> FailCache; // this run's permanent failures
+  std::vector<EvaluationFailure> FailLog;
+  std::string Track; // trace track label (TraceLabel or kernel name)
+  /// Decision-event sequence number within this exploration; assigned by
+  /// the deterministic walk, so it is identical across thread counts.
+  uint64_t DecisionOrdinal = 0;
+  /// How the shared cache served the walk's most recent evaluation
+  /// ("computed", "hit", "wait", ...): run-variant trace detail.
+  const char *LastCacheOutcome = "none";
+  unsigned Used = 0;
+  /// MaxEvaluations is enforced only between beginBudget()/endBudget();
+  /// the exhaustive and random baselines enumerate freely.
+  std::optional<unsigned> BudgetCap;
+  double StartSeconds = 0;
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_CORE_EVALUATIONSERVICE_H

@@ -1,4 +1,4 @@
-//===- Explorer.h - The design space exploration algorithm -----*- C++ -*-===//
+//===- Explorer.h - The design space exploration façade --------*- C++ -*-===//
 //
 // Part of the DEFACTO-DSE project, under the MIT License.
 //
@@ -6,15 +6,28 @@
 ///
 /// \file
 /// The paper's primary contribution: the balance-guided design space
-/// exploration algorithm of Figure 2. Starting from a saturation-point
-/// design Uinit, the search walks unroll-factor vectors using the
-/// monotonicity of balance (Observation 3): while compute bound it
-/// doubles the unroll product (Increase); on crossing to memory bound or
-/// exceeding capacity it bisects between the last compute-bound design
-/// and the current one (SelectBetween), in multiples of Psat. Memory
-/// bound at the saturation point stops immediately (no unrolling can
-/// help). Capacity overflow at Uinit falls back to the largest fitting
-/// design (FindLargestFit).
+/// exploration of Figure 2, packaged behind the historical one-object
+/// API. Since the SearchStrategy / EvaluationService split the explorer
+/// is a thin façade over the two layers:
+///
+///   DesignSpaceExplorer (this header, compatibility façade)
+///        │ run() = guided strategy; runWithStrategy(name) = any
+///        ▼
+///   SearchStrategy (SearchStrategy.h — guided/exhaustive/random/
+///        │          hillclimb/portfolio, plus the StrategyRegistry)
+///        ▼
+///   EvaluationService (EvaluationService.h — estimator seam, cache,
+///                      retries/budget/deadline, speculation, trace)
+///
+/// run() executes the guided balance walk: starting from a
+/// saturation-point design Uinit, the search walks unroll-factor vectors
+/// using the monotonicity of balance (Observation 3): while compute
+/// bound it doubles the unroll product (Increase); on crossing to memory
+/// bound or exceeding capacity it bisects between the last compute-bound
+/// design and the current one (SelectBetween), in multiples of Psat.
+/// Memory bound at the saturation point stops immediately (no unrolling
+/// can help). Capacity overflow at Uinit falls back to the largest
+/// fitting design (FindLargestFit).
 ///
 /// Exhaustive and random search baselines are provided for the coverage
 /// and quality comparisons of §6.3.
@@ -35,266 +48,96 @@
 #ifndef DEFACTO_CORE_EXPLORER_H
 #define DEFACTO_CORE_EXPLORER_H
 
-#include "defacto/Core/DesignSpace.h"
-#include "defacto/Core/EstimateCache.h"
-#include "defacto/Core/Saturation.h"
-#include "defacto/HLS/Estimator.h"
-#include "defacto/Support/Error.h"
-#include "defacto/Support/ThreadPool.h"
-#include "defacto/Support/Trace.h"
-#include "defacto/Transforms/Pipeline.h"
-
-#include <functional>
-#include <future>
-#include <map>
-#include <memory>
-#include <optional>
-#include <string>
+#include "defacto/Core/EvaluationService.h"
+#include "defacto/Core/SearchStrategy.h"
 
 namespace defacto {
 
-/// Exploration configuration.
-struct ExplorerOptions {
-  TargetPlatform Platform = TargetPlatform::wildstarPipelined();
-  /// |Balance - 1| <= tolerance counts as balanced (the paper's B == 1).
-  double BalanceTolerance = 0.15;
-  /// Budget of estimator attempts per run() (retries included). When it
-  /// runs out the search stops and the best design evaluated so far is
-  /// selected deterministically.
-  unsigned MaxEvaluations = 100;
-  /// §5.4: when set, designs needing more registers have their reuse
-  /// chains shortened until the register count fits.
-  std::optional<unsigned> RegisterCap;
-  /// Pass toggles, for ablation studies (unroll factors are supplied by
-  /// the search; the Unroll field here is ignored).
-  TransformOptions BaseTransforms;
-
-  //===--------------------------------------------------------------===//
-  // Degradation policy. A synthesis-estimation backend is an unreliable
-  // oracle (a real tool crashes, hangs, or times out); these knobs bound
-  // what one exploration may spend on it and how it recovers.
-  //===--------------------------------------------------------------===//
-
-  /// Estimation backend; estimateDesignChecked when unset. FaultInjector
-  /// (HLS/FaultInjector.h) wraps one backend in a fault-injecting one.
-  EstimatorFn Estimator;
-  /// Extra attempts after a failed estimation of the same design. A
-  /// design failing all 1 + MaxRetries attempts is negatively cached and
-  /// recorded in ExplorationResult::Failures.
-  unsigned MaxRetries = 2;
-  /// Pause before the first retry; doubled each further retry and capped
-  /// at MaxBackoffSeconds. 0 retries immediately.
-  double RetryBackoffSeconds = 0.0;
-  double MaxBackoffSeconds = 1.0;
-  /// Wall-clock budget for one exploration, measured by Clock from
-  /// explorer construction. 0 disables the deadline.
-  double DeadlineSeconds = 0.0;
-  /// Time source (seconds) and sleeper behind the deadline and backoff.
-  /// Defaults read the steady clock and really sleep; tests substitute a
-  /// virtual clock for determinism.
-  std::function<double()> Clock;
-  std::function<void(double /*Seconds*/)> Sleep;
-
-  //===--------------------------------------------------------------===//
-  // Concurrency. Defaults keep every run fully sequential and
-  // bit-identical to the historical engine.
-  //===--------------------------------------------------------------===//
-
-  /// Worker threads for the speculative frontier evaluation and the
-  /// exhaustive/random fan-out. <= 1 means sequential. Parallel mode
-  /// requires a thread-safe Estimator (the default backend is; a
-  /// FaultInjector-wrapped one is not) and assumes it is deterministic —
-  /// that is what makes the parallel walk's selection bit-identical to
-  /// the sequential one's.
-  unsigned NumThreads = 1;
-  /// Worker pool to draw from; with NumThreads > 1 and no pool the
-  /// explorer creates a private one. Sharing one pool across explorers
-  /// (BatchExplorer does) bounds total worker threads.
-  std::shared_ptr<ThreadPool> Pool;
-  /// Estimate cache shared across explorers, runs, and threads. Unset:
-  /// the explorer creates a private cache, i.e. per-instance memoization
-  /// exactly as before.
-  std::shared_ptr<EstimateCache> Cache;
-
-  //===--------------------------------------------------------------===//
-  // Observability. Off by default and zero-cost while off: a disabled
-  // event site is one relaxed load and a branch.
-  //===--------------------------------------------------------------===//
-
-  /// Trace recorder the engine emits decision/speculation/phase events
-  /// to; TraceRecorder::global() (disabled by default) when unset.
-  /// Events are recorded only while the recorder is enabled.
-  std::shared_ptr<TraceRecorder> Trace;
-  /// Track label for this exploration's events (batch job name); the
-  /// kernel's name when empty.
-  std::string TraceLabel;
-};
-
-/// One design whose estimation permanently failed (every retry included),
-/// or the condition that cut the search short (deadline or budget; then
-/// Attempts is 0 and U is the design the search wanted next).
-struct EvaluationFailure {
-  UnrollVector U;
-  unsigned Attempts = 0;
-  Status Error;
-};
-
-/// One synthesized-and-estimated candidate.
-struct EvaluatedDesign {
-  UnrollVector U;
-  SynthesisEstimate Estimate;
-  /// Why the search visited it ("Uinit", "increase", "bisect", "fit").
-  std::string Role;
-};
-
-/// Outcome of one exploration.
-struct ExplorationResult {
-  UnrollVector Selected;
-  SynthesisEstimate SelectedEstimate;
-  /// The paper's baseline: no unrolling, all other transformations.
-  SynthesisEstimate BaselineEstimate;
-  std::vector<EvaluatedDesign> Visited; // in search order, no duplicates
-  /// False when no candidate — not even the baseline — fits the device
-  /// (the kernel's mandatory registers alone exceed it); Selected then
-  /// holds the baseline regardless.
-  bool SelectedFits = true;
-  /// True when the search did not run to healthy convergence: an
-  /// estimation permanently failed, or the deadline or evaluation budget
-  /// cut the walk short. Selected then holds the best design that was
-  /// successfully evaluated (baseline included).
-  bool Degraded = false;
-  /// Machine-readable failure log; every entry is also mirrored into
-  /// Trace as a "FAIL"/"stop" line.
-  std::vector<EvaluationFailure> Failures;
-  /// Estimator attempts actually spent (retries included; cached results
-  /// consumed from a shared EstimateCache charge the attempts their
-  /// original computation cost).
-  unsigned EvaluationsUsed = 0;
-  SaturationInfo Sat;
-  uint64_t FullSpaceSize = 0;
-  std::string Trace;
-
-  double speedup() const {
-    return SelectedEstimate.Cycles == 0
-               ? 0.0
-               : static_cast<double>(BaselineEstimate.Cycles) /
-                     static_cast<double>(SelectedEstimate.Cycles);
-  }
-  double fractionSearched() const {
-    return FullSpaceSize == 0
-               ? 0.0
-               : static_cast<double>(Visited.size()) /
-                     static_cast<double>(FullSpaceSize);
-  }
-
-  /// One-line human-readable summary: selected design, estimate,
-  /// speedup, evaluations, and the degradation flags (which callers
-  /// otherwise tend to drop silently). ExplorationReport.h renders the
-  /// full multi-line explanation.
-  std::string toString() const;
-};
-
-/// Runs one design-space exploration over \p Source.
+/// Runs design-space explorations over \p Source: the guided walk via
+/// run(), any registered strategy via runWithStrategy(). One explorer
+/// keeps one EvaluationService, so repeated runs share its memoization
+/// and accounting exactly as the pre-split engine did.
 class DesignSpaceExplorer {
 public:
   DesignSpaceExplorer(const Kernel &Source, ExplorerOptions Opts);
   ~DesignSpaceExplorer();
 
-  /// The Figure-2 algorithm.
+  /// The Figure-2 algorithm (the "guided" strategy).
   ExplorationResult run();
+
+  /// Runs the named registered strategy over this explorer's evaluation
+  /// service. Fails with InvalidInput (message lists the registered
+  /// strategies) for an unknown name.
+  Expected<ExplorationResult> runWithStrategy(const std::string &Name);
 
   /// Evaluates one unroll vector (cached). Returns std::nullopt for
   /// non-candidate vectors and for designs whose estimation permanently
   /// failed; evaluateChecked distinguishes the two.
-  std::optional<SynthesisEstimate> evaluate(const UnrollVector &U);
+  std::optional<SynthesisEstimate> evaluate(const UnrollVector &U) {
+    return Svc.evaluate(U);
+  }
 
   /// Evaluates one unroll vector under the degradation policy: retries
   /// with capped backoff, honors the deadline, caches successes and
   /// permanent failures alike. Deadline/budget errors are global
   /// conditions and are never cached against the vector.
-  Expected<SynthesisEstimate> evaluateChecked(const UnrollVector &U);
+  Expected<SynthesisEstimate> evaluateChecked(const UnrollVector &U) {
+    return Svc.evaluateChecked(U);
+  }
 
   /// Speculatively evaluates \p Candidates on the configured worker pool
   /// into the estimate cache; no-op in sequential mode. Later
   /// evaluate()/run() calls consume the results in their own
   /// deterministic order. Speculative work never charges the evaluation
   /// budget; consumption does.
-  void prefetch(const std::vector<UnrollVector> &Candidates);
+  void prefetch(const std::vector<UnrollVector> &Candidates) {
+    Svc.prefetch(Candidates);
+  }
 
   /// Blocks until every outstanding speculative evaluation finished.
-  void drainSpeculation();
+  void drainSpeculation() { Svc.drainSpeculation(); }
 
   /// The frontier run() would speculate: base, Uinit, the Increase
   /// doubling chain, and the SelectBetween bisection midpoint closure
   /// (Psat multiples), deduplicated and capped.
-  std::vector<UnrollVector> guidedFrontier() const;
+  std::vector<UnrollVector> guidedFrontier() const {
+    return defacto::guidedFrontier(Svc);
+  }
 
-  const UnrollSpace &space() const { return Space; }
-  const SaturationInfo &saturation() const { return Sat; }
+  const UnrollSpace &space() const { return Svc.space(); }
+  const SaturationInfo &saturation() const { return Svc.saturation(); }
 
   /// The estimate cache this explorer reads and writes (the shared one
   /// from the options, or its private one).
   const std::shared_ptr<EstimateCache> &estimateCache() const {
-    return Estimates;
+    return Svc.estimateCache();
   }
 
   /// Estimator attempts spent so far (retries included).
-  unsigned evaluationsUsed() const { return Used; }
+  unsigned evaluationsUsed() const { return Svc.evaluationsUsed(); }
 
   /// Designs whose estimation permanently failed, in discovery order.
-  const std::vector<EvaluationFailure> &failures() const { return FailLog; }
+  const std::vector<EvaluationFailure> &failures() const {
+    return Svc.failures();
+  }
 
   /// The search's starting point (§5.3's Uinit selection).
-  UnrollVector initialVector() const;
+  UnrollVector initialVector() const { return guidedInitialVector(Svc); }
 
-  /// Emits one "dse.decision" trace event for an evaluated design: the
-  /// unroll vector, its balance/cycles/slices, why the walk visited it
-  /// (\p Role) and what it decided next (\p Decision). No-op while the
-  /// recorder is disabled. The exhaustive/random drivers call it per
-  /// candidate; run() calls it at every branch of the guided walk.
+  /// Emits one "dse.decision" trace event for an evaluated design; see
+  /// EvaluationService::traceDecision. The exhaustive/random drivers
+  /// call it per candidate; the guided walk at every branch.
   void traceDecision(const UnrollVector &U, const SynthesisEstimate &E,
-                     const char *Role, const char *Decision);
+                     const char *Role, const char *Decision) {
+    Svc.traceDecision(U, E, Role, Decision);
+  }
+
+  /// The evaluation layer, for callers (custom strategies, tests) that
+  /// need the full service API.
+  EvaluationService &evaluationService() { return Svc; }
 
 private:
-  /// "dse.failure" counterpart for designs whose evaluation failed (or
-  /// the stop condition that cut the walk short).
-  void traceFailure(const UnrollVector &U, const char *Role,
-                    const Status &Err);
-  TraceRecorder &recorder() const;
-  /// One raw estimation attempt: transform pipeline + estimator (+ the
-  /// §5.4 register-cap shrink loop). Thread-safe: touches only the
-  /// shared read-only PipelineContext and the options.
-  Expected<SynthesisEstimate> computeRaw(const UnrollVector &U) const;
-  std::string cacheKey(const UnrollVector &U) const;
-  std::shared_ptr<ThreadPool> workerPool();
-  bool parallel() const { return Opts.Pool != nullptr || Opts.NumThreads > 1; }
-  Status checkLimits() const;
-
-  const Kernel &Source;
-  ExplorerOptions Opts;
-  SaturationInfo Sat;
-  UnrollSpace Space;
-  PipelineContext Ctx; // normalized base kernel, shared across workers
-  uint64_t SourceFp = 0;
-  std::vector<unsigned> Preference; // nest positions, best first
-  std::shared_ptr<EstimateCache> Estimates; // never null
-  std::shared_ptr<ThreadPool> Pool;         // created lazily when parallel
-  std::vector<std::future<void>> Speculation;
-  std::map<UnrollVector, SynthesisEstimate> Cache; // this run's successes
-  std::map<UnrollVector, Status> FailCache; // this run's permanent failures
-  std::vector<EvaluationFailure> FailLog;
-  std::string Track; // trace track label (TraceLabel or kernel name)
-  /// Decision-event sequence number within this exploration; assigned by
-  /// the deterministic walk, so it is identical across thread counts.
-  uint64_t DecisionOrdinal = 0;
-  /// How the shared cache served the walk's most recent evaluation
-  /// ("computed", "hit", "wait", ...): run-variant trace detail.
-  const char *LastCacheOutcome = "none";
-  unsigned Used = 0;
-  /// MaxEvaluations is enforced only while run() is active; the
-  /// exhaustive and random baselines enumerate freely.
-  std::optional<unsigned> BudgetCap;
-  double StartSeconds = 0;
+  EvaluationService Svc;
 };
 
 /// Exhaustive baseline: evaluates every divisor vector and picks the

@@ -20,6 +20,12 @@ void BatchExplorer::addJob(const Kernel &K, ExplorerOptions JobOpts,
   Jobs.emplace_back(K.name(), K.clone(), std::move(JobOpts), Mode);
 }
 
+void BatchExplorer::addJob(const Kernel &K, ExplorerOptions JobOpts,
+                           std::string Strategy) {
+  Jobs.emplace_back(K.name(), K.clone(), std::move(JobOpts),
+                    std::move(Strategy));
+}
+
 namespace {
 
 ExplorationResult runJob(const BatchJob &Job,
@@ -37,6 +43,16 @@ ExplorationResult runJob(const BatchJob &Job,
     Opts.Trace = Trace;
   if (Opts.TraceLabel.empty())
     Opts.TraceLabel = Job.Name.empty() ? Job.K.name() : Job.Name;
+  if (!Job.Strategy.empty()) {
+    if (Expected<ExplorationResult> Res =
+            exploreWithStrategy(Job.K, Opts, Job.Strategy))
+      return *Res;
+    // Unknown strategy: degrade to guided rather than abort the batch.
+    ExplorationResult Fallback = DesignSpaceExplorer(Job.K, Opts).run();
+    Fallback.Trace = "unknown strategy '" + Job.Strategy +
+                     "'; fell back to guided\n" + Fallback.Trace;
+    return Fallback;
+  }
   if (Job.SearchMode == BatchJob::Mode::Exhaustive)
     return exploreExhaustive(Job.K, Opts);
   DesignSpaceExplorer Ex(Job.K, std::move(Opts));

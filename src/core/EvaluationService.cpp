@@ -1,0 +1,375 @@
+//===- EvaluationService.cpp ----------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/EvaluationService.h"
+
+#include "defacto/Analysis/DependenceAnalysis.h"
+#include "defacto/Core/SearchStrategy.h"
+#include "defacto/IR/IRUtils.h"
+#include "defacto/Support/MathExtras.h"
+#include "defacto/Support/Stats.h"
+#include "defacto/Support/Table.h"
+#include "defacto/Support/Timer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+using namespace defacto;
+
+DEFACTO_STATISTIC(NumSpeculated, "explore", "speculated",
+                  "candidate designs submitted to the worker pool");
+
+EvaluationService::EvaluationService(const Kernel &Source,
+                                     ExplorerOptions Opts)
+    : Source(Source), Opts(std::move(Opts)),
+      Sat(computeSaturation(Source, this->Opts.Platform.NumMemories)),
+      Space(Sat.Trips.empty() ? std::vector<int64_t>{1} : Sat.Trips),
+      Ctx(Source), SourceFp(kernelFingerprint(Source)) {
+  if (!this->Opts.Estimator)
+    this->Opts.Estimator = [](const Kernel &K, const TargetPlatform &P) {
+      return estimateDesignChecked(K, P);
+    };
+  if (!this->Opts.Clock)
+    this->Opts.Clock = [] {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+  if (!this->Opts.Sleep)
+    this->Opts.Sleep = [](double Seconds) {
+      if (Seconds > 0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(Seconds));
+    };
+  Estimates = this->Opts.Cache ? this->Opts.Cache
+                               : std::make_shared<EstimateCache>();
+  Track = this->Opts.TraceLabel.empty() ? Source.name()
+                                        : this->Opts.TraceLabel;
+  StartSeconds = this->Opts.Clock();
+  // Build the unroll preference order (§5.3): loops carrying no
+  // dependence first (their unrolled iterations are fully parallel),
+  // then loops by decreasing minimum carried distance; within a class,
+  // loops that add memory parallelism come first. The dependence
+  // analysis runs once, on the shared normalized base kernel — it is
+  // unroll-invariant, so no per-design path recomputes it.
+  Kernel Analyzed = Ctx.normalized().clone();
+  DependenceInfo DI = DependenceInfo::compute(Analyzed);
+  unsigned N = Sat.Trips.size();
+  struct Rank {
+    unsigned Pos;
+    bool DepFree;
+    bool MemVarying;
+    int64_t MinDist;
+  };
+  std::vector<Rank> Ranks;
+  for (unsigned P = 0; P != N; ++P) {
+    Rank R;
+    R.Pos = P;
+    R.DepFree = DI.carriesNoDependence(P);
+    R.MemVarying = P < Sat.MemoryVarying.size() && Sat.MemoryVarying[P];
+    R.MinDist = DI.minCarriedDistance(P).value_or(0);
+    Ranks.push_back(R);
+  }
+  std::stable_sort(Ranks.begin(), Ranks.end(), [](const Rank &A,
+                                                  const Rank &B) {
+    if (A.DepFree != B.DepFree)
+      return A.DepFree;
+    if (A.MemVarying != B.MemVarying)
+      return A.MemVarying;
+    return A.MinDist > B.MinDist;
+  });
+  for (const Rank &R : Ranks)
+    Preference.push_back(R.Pos);
+}
+
+EvaluationService::~EvaluationService() { drainSpeculation(); }
+
+std::string EvaluationService::cacheKey(const UnrollVector &U) const {
+  return designCacheKey(SourceFp, Opts.Platform, Opts.BaseTransforms, U,
+                        Opts.RegisterCap);
+}
+
+TraceRecorder &EvaluationService::recorder() const {
+  return Opts.Trace ? *Opts.Trace : TraceRecorder::global();
+}
+
+void EvaluationService::traceDecision(const UnrollVector &U,
+                                      const SynthesisEstimate &E,
+                                      const char *Role,
+                                      const char *Decision) {
+  TraceRecorder &R = recorder();
+  if (!R.enabled())
+    return;
+  TraceEvent Ev;
+  Ev.Track = Track;
+  Ev.Category = "dse.decision";
+  Ev.Name = unrollVectorToString(U);
+  Ev.Ordinal = DecisionOrdinal++;
+  // Deterministic payload: for a deterministic backend these values are
+  // bit-identical across worker-thread counts.
+  Ev.Args = {{"role", Role},
+             {"decision", Decision},
+             {"balance", formatDouble(E.Balance, 4)},
+             {"psat", std::to_string(Sat.Psat)},
+             {"cycles", std::to_string(E.Cycles)},
+             {"slices", formatDouble(E.Slices, 1)}};
+  // Run-variant detail: a design this walk computed sequentially is a
+  // speculation hit (or wait) in a parallel run.
+  Ev.Runtime = {{"cache", LastCacheOutcome}};
+  R.record(std::move(Ev));
+}
+
+void EvaluationService::traceFailure(const UnrollVector &U,
+                                     const char *Role,
+                                     const Status &Err) {
+  TraceRecorder &R = recorder();
+  if (!R.enabled())
+    return;
+  TraceEvent Ev;
+  Ev.Track = Track;
+  Ev.Category = "dse.failure";
+  Ev.Name = unrollVectorToString(U);
+  Ev.Ordinal = DecisionOrdinal++;
+  const char *Decision =
+      Err.code() == ErrorCode::BudgetExhausted   ? "budget-exhausted"
+      : Err.code() == ErrorCode::DeadlineExceeded ? "deadline-exceeded"
+                                                  : "fault-degraded";
+  Ev.Args = {{"role", Role}, {"decision", Decision}};
+  Ev.Runtime = {{"error", Err.toString()}, {"cache", LastCacheOutcome}};
+  R.record(std::move(Ev));
+}
+
+void EvaluationService::traceSelection(const ExplorationResult &Res) {
+  TraceRecorder &R = recorder();
+  if (!R.enabled())
+    return;
+  TraceEvent Sel;
+  Sel.Track = Track;
+  Sel.Category = "dse.selection";
+  Sel.Name = unrollVectorToString(Res.Selected);
+  Sel.Ordinal = DecisionOrdinal;
+  Sel.Args = {{"cycles", std::to_string(Res.SelectedEstimate.Cycles)},
+              {"slices", formatDouble(Res.SelectedEstimate.Slices, 1)},
+              {"fits", Res.SelectedFits ? "1" : "0"},
+              {"degraded", Res.Degraded ? "1" : "0"},
+              {"evaluations", std::to_string(Used)}};
+  R.record(std::move(Sel));
+}
+
+Expected<SynthesisEstimate>
+EvaluationService::computeRaw(const UnrollVector &U) const {
+  TransformOptions TO = Opts.BaseTransforms;
+  TO.Unroll = U;
+  TO.Layout.NumMemories = Opts.Platform.NumMemories;
+
+  // Estimation backends are arbitrary callables (a real synthesis tool
+  // behind a wrapper); time every invocation at this seam.
+  auto invokeEstimator =
+      [this](const Kernel &K) -> Expected<SynthesisEstimate> {
+    DEFACTO_SCOPED_TIMER("estimator.invoke");
+    return Opts.Estimator(K, Opts.Platform);
+  };
+
+  TransformResult R = applyPipeline(Ctx, TO);
+  if (!R.ok())
+    return R.Error;
+  Expected<SynthesisEstimate> Est = invokeEstimator(R.K);
+  if (!Est)
+    return Est;
+
+  // §5.4: shrink reuse chains until the register budget is met. Less
+  // reuse is exploited, slowing the fetch rate; the smaller design may
+  // then afford more operator parallelism.
+  if (Opts.RegisterCap) {
+    unsigned ChainLimit = TO.SR.MaxChainLength;
+    while (Est->Registers > *Opts.RegisterCap && ChainLimit > 1) {
+      ChainLimit /= 2;
+      TO.SR.MaxChainLength = ChainLimit;
+      TransformResult Capped = applyPipeline(Ctx, TO);
+      if (!Capped.ok())
+        return Capped.Error;
+      Est = invokeEstimator(Capped.K);
+      if (!Est)
+        return Est;
+    }
+  }
+  return Est;
+}
+
+void EvaluationService::beginBudget(unsigned MaxEvaluations) {
+  BudgetCap = MaxEvaluations;
+}
+
+void EvaluationService::endBudget() { BudgetCap.reset(); }
+
+Status EvaluationService::checkLimits() const {
+  if (Opts.DeadlineSeconds > 0 &&
+      Opts.Clock() - StartSeconds >= Opts.DeadlineSeconds)
+    return Status::error(ErrorCode::DeadlineExceeded,
+                         "exploration deadline of " +
+                             std::to_string(Opts.DeadlineSeconds) +
+                             "s exceeded");
+  if (BudgetCap && Used >= *BudgetCap)
+    return Status::error(ErrorCode::BudgetExhausted,
+                         "evaluation budget of " +
+                             std::to_string(*BudgetCap) + " exhausted");
+  return Status::ok();
+}
+
+Expected<SynthesisEstimate>
+EvaluationService::evaluateChecked(const UnrollVector &U) {
+  if (!Space.isCandidate(U))
+    return Status::error(ErrorCode::InvalidInput,
+                         unrollVectorToString(U) +
+                             " is not a candidate unroll vector");
+  if (auto It = Cache.find(U); It != Cache.end()) {
+    LastCacheOutcome = "local-hit";
+    return It->second;
+  }
+  if (auto It = FailCache.find(U); It != FailCache.end()) {
+    LastCacheOutcome = "local-negative";
+    return It->second;
+  }
+
+  for (;;) {
+    EstimateCache::Outcome Served = EstimateCache::Outcome::Miss;
+    auto Found = Estimates->lookupOrBegin(cacheKey(U), &Served);
+    switch (Served) {
+    case EstimateCache::Outcome::Hit:
+      LastCacheOutcome = "hit";
+      break;
+    case EstimateCache::Outcome::NegativeHit:
+      LastCacheOutcome = "negative-hit";
+      break;
+    case EstimateCache::Outcome::Wait:
+      LastCacheOutcome = "wait";
+      break;
+    case EstimateCache::Outcome::Miss:
+      LastCacheOutcome = "computed";
+      break;
+    }
+    if (auto *Done = std::get_if<EstimateCache::Result>(&Found)) {
+      if (Done->Attempts == 0)
+        continue; // A computer abandoned the entry (transient); retry.
+      // Replay a memoized result: charge the attempts it originally cost
+      // against this run's budget, exactly as if estimated here.
+      if (Status Limit = checkLimits(); !Limit.isOk())
+        return Limit;
+      Used += Done->Attempts;
+      if (Done->ok()) {
+        Cache.emplace(U, *Done->Estimate);
+        return *Done->Estimate;
+      }
+      Status Err = Done->Estimate.status();
+      FailCache.emplace(U, Err);
+      FailLog.push_back({U, Done->Attempts, Err});
+      return Err;
+    }
+
+    // Miss: this run owns the computation (and its retries).
+    EstimateCache::Ticket Ticket =
+        std::get<EstimateCache::Ticket>(std::move(Found));
+    Status Last = Status::ok();
+    double Backoff = Opts.RetryBackoffSeconds;
+    unsigned Attempts = 0;
+    for (unsigned Attempt = 0; Attempt <= Opts.MaxRetries; ++Attempt) {
+      if (Status Limit = checkLimits(); !Limit.isOk()) {
+        if (Attempts > 0) // Record what the cut-short retries saw.
+          FailLog.push_back({U, Attempts, Last});
+        Estimates->abandon(std::move(Ticket), Limit);
+        return Limit;
+      }
+      if (Attempt > 0 && Backoff > 0) {
+        Opts.Sleep(std::min(Backoff, Opts.MaxBackoffSeconds));
+        Backoff *= 2;
+      }
+      ++Used;
+      ++Attempts;
+      Expected<SynthesisEstimate> Est = computeRaw(U);
+      if (Est) {
+        Estimates->fulfill(std::move(Ticket),
+                           EstimateCache::Result{Est, Attempts});
+        Cache.emplace(U, *Est);
+        return Est;
+      }
+      Last = Est.status();
+    }
+    Estimates->fulfill(
+        std::move(Ticket),
+        EstimateCache::Result{Expected<SynthesisEstimate>(Last), Attempts});
+    FailCache.emplace(U, Last);
+    FailLog.push_back({U, Attempts, Last});
+    return Last;
+  }
+}
+
+std::optional<SynthesisEstimate>
+EvaluationService::evaluate(const UnrollVector &U) {
+  Expected<SynthesisEstimate> Est = evaluateChecked(U);
+  if (!Est)
+    return std::nullopt;
+  return *Est;
+}
+
+std::optional<SynthesisEstimate>
+EvaluationService::evaluated(const UnrollVector &U) const {
+  if (auto It = Cache.find(U); It != Cache.end())
+    return It->second;
+  return std::nullopt;
+}
+
+std::shared_ptr<ThreadPool> EvaluationService::workerPool() {
+  if (Opts.Pool)
+    return Opts.Pool;
+  if (Opts.NumThreads <= 1)
+    return nullptr;
+  if (!Pool)
+    Pool = std::make_shared<ThreadPool>(Opts.NumThreads);
+  return Pool;
+}
+
+void EvaluationService::prefetch(const std::vector<UnrollVector> &Candidates) {
+  std::shared_ptr<ThreadPool> P = workerPool();
+  if (!P)
+    return;
+  for (const UnrollVector &U : Candidates) {
+    if (!Space.isCandidate(U))
+      continue;
+    ++NumSpeculated;
+    Speculation.push_back(P->submit([this, U] {
+      auto Found = Estimates->lookupOrBegin(cacheKey(U));
+      if (auto *Ticket = std::get_if<EstimateCache::Ticket>(&Found)) {
+        // Spans from worker threads show the estimation overlap in the
+        // Perfetto timeline; they are run-variant by nature and excluded
+        // from the deterministic decision digest.
+        TraceSpan Span(recorder(), Track, "speculate",
+                       unrollVectorToString(U));
+        // Mirror the sequential retry policy (minus the backoff sleeps)
+        // so the attempts recorded — and later charged on consumption —
+        // match what the sequential walk would have spent.
+        unsigned Attempts = 1;
+        Expected<SynthesisEstimate> Est = computeRaw(U);
+        while (!Est && Attempts <= Opts.MaxRetries) {
+          ++Attempts;
+          Est = computeRaw(U);
+        }
+        Span.note("attempts", std::to_string(Attempts));
+        Span.note("ok", Est ? "1" : "0");
+        Estimates->fulfill(std::move(*Ticket),
+                           EstimateCache::Result{std::move(Est), Attempts});
+      }
+      // A completed or in-flight entry needs no speculative work.
+    }));
+  }
+}
+
+void EvaluationService::drainSpeculation() {
+  for (std::future<void> &F : Speculation)
+    if (F.valid())
+      F.wait();
+  Speculation.clear();
+}

@@ -14,6 +14,8 @@ using namespace defacto;
 
 std::string ExplorationResult::toString() const {
   std::ostringstream OS;
+  if (!Strategy.empty())
+    OS << "strategy=" << Strategy << ' ';
   OS << "selected=" << unrollVectorToString(Selected)
      << " cycles=" << SelectedEstimate.Cycles
      << " slices=" << formatDouble(SelectedEstimate.Slices, 0)
@@ -123,6 +125,8 @@ std::string defacto::renderExplorationReport(const ExplorationResult &R,
      << unrollVectorToString(UnrollVector(R.Selected.size(), 1)) << " ("
      << formatWithCommas(static_cast<int64_t>(R.BaselineEstimate.Cycles))
      << " cycles): " << formatDouble(R.speedup(), 2) << "x\n";
+  if (!R.Strategy.empty())
+    OS << "Strategy: " << R.Strategy << "\n";
   OS << "Why it stopped: " << stopReason(R) << ".\n";
 
   OS << "Search economy: Psat=" << R.Sat.Psat << " (R=" << R.Sat.R
@@ -133,8 +137,21 @@ std::string defacto::renderExplorationReport(const ExplorationResult &R,
      << " designs (" << formatDouble(R.fractionSearched() * 100.0, 2)
      << "% searched)\n";
 
-  if (Opts.ShowVisited && !R.Visited.empty())
+  // A portfolio result reports per-strategy sections — one sub-report per
+  // strategy it ran, each with its own visit table and failure log —
+  // instead of one merged walk table.
+  if (!R.SubResults.empty()) {
+    for (const ExplorationResult &Sub : R.SubResults) {
+      OS << "--- strategy " << Sub.Strategy;
+      if (Sub.Selected == R.Selected &&
+          Sub.SelectedEstimate.Cycles == R.SelectedEstimate.Cycles)
+        OS << " [winner]";
+      OS << " ---\n";
+      OS << renderExplorationReport(Sub, "", Opts);
+    }
+  } else if (Opts.ShowVisited && !R.Visited.empty()) {
     appendVisited(OS, R, Opts);
+  }
 
   if (R.Degraded || !R.Failures.empty()) {
     OS << "DEGRADED: the run did not reach healthy convergence.\n";

@@ -1,4 +1,4 @@
-//===- Explorer.cpp -------------------------------------------------------===//
+//===- Explorer.cpp - Compatibility façade over the two layers ------------===//
 //
 // Part of the DEFACTO-DSE project, under the MIT License.
 //
@@ -6,821 +6,42 @@
 
 #include "defacto/Core/Explorer.h"
 
-#include "defacto/Analysis/DependenceAnalysis.h"
-#include "defacto/IR/IRUtils.h"
-#include "defacto/Support/MathExtras.h"
-#include "defacto/Support/Random.h"
-#include "defacto/Support/Stats.h"
-#include "defacto/Support/Table.h"
-#include "defacto/Support/Timer.h"
-
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <set>
-#include <thread>
-
 using namespace defacto;
-
-DEFACTO_STATISTIC(NumExplorations, "explore", "runs",
-                  "guided explorations started");
-DEFACTO_STATISTIC(NumEvaluationsSpent, "explore", "evaluations",
-                  "estimator attempts charged to exploration budgets");
-DEFACTO_STATISTIC(NumSpeculated, "explore", "speculated",
-                  "candidate designs submitted to the worker pool");
-DEFACTO_STATISTIC(NumDegraded, "explore", "degraded",
-                  "explorations that finished degraded");
 
 DesignSpaceExplorer::DesignSpaceExplorer(const Kernel &Source,
                                          ExplorerOptions Opts)
-    : Source(Source), Opts(std::move(Opts)),
-      Sat(computeSaturation(Source, this->Opts.Platform.NumMemories)),
-      Space(Sat.Trips.empty() ? std::vector<int64_t>{1} : Sat.Trips),
-      Ctx(Source), SourceFp(kernelFingerprint(Source)) {
-  if (!this->Opts.Estimator)
-    this->Opts.Estimator = [](const Kernel &K, const TargetPlatform &P) {
-      return estimateDesignChecked(K, P);
-    };
-  if (!this->Opts.Clock)
-    this->Opts.Clock = [] {
-      return std::chrono::duration<double>(
-                 std::chrono::steady_clock::now().time_since_epoch())
-          .count();
-    };
-  if (!this->Opts.Sleep)
-    this->Opts.Sleep = [](double Seconds) {
-      if (Seconds > 0)
-        std::this_thread::sleep_for(
-            std::chrono::duration<double>(Seconds));
-    };
-  Estimates = this->Opts.Cache ? this->Opts.Cache
-                               : std::make_shared<EstimateCache>();
-  Track = this->Opts.TraceLabel.empty() ? Source.name()
-                                        : this->Opts.TraceLabel;
-  StartSeconds = this->Opts.Clock();
-  // Build the unroll preference order (§5.3): loops carrying no
-  // dependence first (their unrolled iterations are fully parallel),
-  // then loops by decreasing minimum carried distance; within a class,
-  // loops that add memory parallelism come first. The dependence
-  // analysis runs once, on the shared normalized base kernel — it is
-  // unroll-invariant, so no per-design path recomputes it.
-  Kernel Analyzed = Ctx.normalized().clone();
-  DependenceInfo DI = DependenceInfo::compute(Analyzed);
-  unsigned N = Sat.Trips.size();
-  struct Rank {
-    unsigned Pos;
-    bool DepFree;
-    bool MemVarying;
-    int64_t MinDist;
-  };
-  std::vector<Rank> Ranks;
-  for (unsigned P = 0; P != N; ++P) {
-    Rank R;
-    R.Pos = P;
-    R.DepFree = DI.carriesNoDependence(P);
-    R.MemVarying = P < Sat.MemoryVarying.size() && Sat.MemoryVarying[P];
-    R.MinDist = DI.minCarriedDistance(P).value_or(0);
-    Ranks.push_back(R);
-  }
-  std::stable_sort(Ranks.begin(), Ranks.end(), [](const Rank &A,
-                                                  const Rank &B) {
-    if (A.DepFree != B.DepFree)
-      return A.DepFree;
-    if (A.MemVarying != B.MemVarying)
-      return A.MemVarying;
-    return A.MinDist > B.MinDist;
-  });
-  for (const Rank &R : Ranks)
-    Preference.push_back(R.Pos);
-}
+    : Svc(Source, std::move(Opts)) {}
 
-DesignSpaceExplorer::~DesignSpaceExplorer() { drainSpeculation(); }
-
-UnrollVector DesignSpaceExplorer::initialVector() const {
-  unsigned N = Space.numLoops();
-  UnrollVector U(N, 1);
-  if (N == 0)
-    return U;
-  int64_t Psat = Sat.Psat;
-
-  // Single dependence-free, memory-varying loop that admits the whole
-  // saturation product: Sat_i.
-  for (unsigned P : Preference) {
-    bool DepFreeFirst = P == Preference.front();
-    (void)DepFreeFirst;
-    if (P >= Sat.MemoryVarying.size() || !Sat.MemoryVarying[P])
-      continue;
-    if (Space.trip(P) % Psat == 0) {
-      U[P] = Psat;
-      return U;
-    }
-  }
-
-  // Otherwise distribute the product across loops in preference order,
-  // larger shares to earlier (larger-distance) loops.
-  int64_t Remaining = Psat;
-  for (unsigned P : Preference) {
-    if (Remaining == 1)
-      break;
-    int64_t BestDiv = 1;
-    for (int64_t D : divisorsOf(Space.trip(P)))
-      if (Remaining % D == 0)
-        BestDiv = std::max(BestDiv, D);
-    U[P] = BestDiv;
-    Remaining /= BestDiv;
-  }
-  return U;
-}
-
-std::string DesignSpaceExplorer::cacheKey(const UnrollVector &U) const {
-  return designCacheKey(SourceFp, Opts.Platform, Opts.BaseTransforms, U,
-                        Opts.RegisterCap);
-}
-
-TraceRecorder &DesignSpaceExplorer::recorder() const {
-  return Opts.Trace ? *Opts.Trace : TraceRecorder::global();
-}
-
-void DesignSpaceExplorer::traceDecision(const UnrollVector &U,
-                                        const SynthesisEstimate &E,
-                                        const char *Role,
-                                        const char *Decision) {
-  TraceRecorder &R = recorder();
-  if (!R.enabled())
-    return;
-  TraceEvent Ev;
-  Ev.Track = Track;
-  Ev.Category = "dse.decision";
-  Ev.Name = unrollVectorToString(U);
-  Ev.Ordinal = DecisionOrdinal++;
-  // Deterministic payload: for a deterministic backend these values are
-  // bit-identical across worker-thread counts.
-  Ev.Args = {{"role", Role},
-             {"decision", Decision},
-             {"balance", formatDouble(E.Balance, 4)},
-             {"psat", std::to_string(Sat.Psat)},
-             {"cycles", std::to_string(E.Cycles)},
-             {"slices", formatDouble(E.Slices, 1)}};
-  // Run-variant detail: a design this walk computed sequentially is a
-  // speculation hit (or wait) in a parallel run.
-  Ev.Runtime = {{"cache", LastCacheOutcome}};
-  R.record(std::move(Ev));
-}
-
-void DesignSpaceExplorer::traceFailure(const UnrollVector &U,
-                                       const char *Role,
-                                       const Status &Err) {
-  TraceRecorder &R = recorder();
-  if (!R.enabled())
-    return;
-  TraceEvent Ev;
-  Ev.Track = Track;
-  Ev.Category = "dse.failure";
-  Ev.Name = unrollVectorToString(U);
-  Ev.Ordinal = DecisionOrdinal++;
-  const char *Decision =
-      Err.code() == ErrorCode::BudgetExhausted   ? "budget-exhausted"
-      : Err.code() == ErrorCode::DeadlineExceeded ? "deadline-exceeded"
-                                                  : "fault-degraded";
-  Ev.Args = {{"role", Role}, {"decision", Decision}};
-  Ev.Runtime = {{"error", Err.toString()}, {"cache", LastCacheOutcome}};
-  R.record(std::move(Ev));
-}
-
-Expected<SynthesisEstimate>
-DesignSpaceExplorer::computeRaw(const UnrollVector &U) const {
-  TransformOptions TO = Opts.BaseTransforms;
-  TO.Unroll = U;
-  TO.Layout.NumMemories = Opts.Platform.NumMemories;
-
-  // Estimation backends are arbitrary callables (a real synthesis tool
-  // behind a wrapper); time every invocation at this seam.
-  auto invokeEstimator =
-      [this](const Kernel &K) -> Expected<SynthesisEstimate> {
-    DEFACTO_SCOPED_TIMER("estimator.invoke");
-    return Opts.Estimator(K, Opts.Platform);
-  };
-
-  TransformResult R = applyPipeline(Ctx, TO);
-  if (!R.ok())
-    return R.Error;
-  Expected<SynthesisEstimate> Est = invokeEstimator(R.K);
-  if (!Est)
-    return Est;
-
-  // §5.4: shrink reuse chains until the register budget is met. Less
-  // reuse is exploited, slowing the fetch rate; the smaller design may
-  // then afford more operator parallelism.
-  if (Opts.RegisterCap) {
-    unsigned ChainLimit = TO.SR.MaxChainLength;
-    while (Est->Registers > *Opts.RegisterCap && ChainLimit > 1) {
-      ChainLimit /= 2;
-      TO.SR.MaxChainLength = ChainLimit;
-      TransformResult Capped = applyPipeline(Ctx, TO);
-      if (!Capped.ok())
-        return Capped.Error;
-      Est = invokeEstimator(Capped.K);
-      if (!Est)
-        return Est;
-    }
-  }
-  return Est;
-}
-
-Status DesignSpaceExplorer::checkLimits() const {
-  if (Opts.DeadlineSeconds > 0 &&
-      Opts.Clock() - StartSeconds >= Opts.DeadlineSeconds)
-    return Status::error(ErrorCode::DeadlineExceeded,
-                         "exploration deadline of " +
-                             std::to_string(Opts.DeadlineSeconds) +
-                             "s exceeded");
-  if (BudgetCap && Used >= *BudgetCap)
-    return Status::error(ErrorCode::BudgetExhausted,
-                         "evaluation budget of " +
-                             std::to_string(*BudgetCap) + " exhausted");
-  return Status::ok();
-}
-
-Expected<SynthesisEstimate>
-DesignSpaceExplorer::evaluateChecked(const UnrollVector &U) {
-  if (!Space.isCandidate(U))
-    return Status::error(ErrorCode::InvalidInput,
-                         unrollVectorToString(U) +
-                             " is not a candidate unroll vector");
-  if (auto It = Cache.find(U); It != Cache.end()) {
-    LastCacheOutcome = "local-hit";
-    return It->second;
-  }
-  if (auto It = FailCache.find(U); It != FailCache.end()) {
-    LastCacheOutcome = "local-negative";
-    return It->second;
-  }
-
-  for (;;) {
-    EstimateCache::Outcome Served = EstimateCache::Outcome::Miss;
-    auto Found = Estimates->lookupOrBegin(cacheKey(U), &Served);
-    switch (Served) {
-    case EstimateCache::Outcome::Hit:
-      LastCacheOutcome = "hit";
-      break;
-    case EstimateCache::Outcome::NegativeHit:
-      LastCacheOutcome = "negative-hit";
-      break;
-    case EstimateCache::Outcome::Wait:
-      LastCacheOutcome = "wait";
-      break;
-    case EstimateCache::Outcome::Miss:
-      LastCacheOutcome = "computed";
-      break;
-    }
-    if (auto *Done = std::get_if<EstimateCache::Result>(&Found)) {
-      if (Done->Attempts == 0)
-        continue; // A computer abandoned the entry (transient); retry.
-      // Replay a memoized result: charge the attempts it originally cost
-      // against this run's budget, exactly as if estimated here.
-      if (Status Limit = checkLimits(); !Limit.isOk())
-        return Limit;
-      Used += Done->Attempts;
-      if (Done->ok()) {
-        Cache.emplace(U, *Done->Estimate);
-        return *Done->Estimate;
-      }
-      Status Err = Done->Estimate.status();
-      FailCache.emplace(U, Err);
-      FailLog.push_back({U, Done->Attempts, Err});
-      return Err;
-    }
-
-    // Miss: this run owns the computation (and its retries).
-    EstimateCache::Ticket Ticket =
-        std::get<EstimateCache::Ticket>(std::move(Found));
-    Status Last = Status::ok();
-    double Backoff = Opts.RetryBackoffSeconds;
-    unsigned Attempts = 0;
-    for (unsigned Attempt = 0; Attempt <= Opts.MaxRetries; ++Attempt) {
-      if (Status Limit = checkLimits(); !Limit.isOk()) {
-        if (Attempts > 0) // Record what the cut-short retries saw.
-          FailLog.push_back({U, Attempts, Last});
-        Estimates->abandon(std::move(Ticket), Limit);
-        return Limit;
-      }
-      if (Attempt > 0 && Backoff > 0) {
-        Opts.Sleep(std::min(Backoff, Opts.MaxBackoffSeconds));
-        Backoff *= 2;
-      }
-      ++Used;
-      ++Attempts;
-      Expected<SynthesisEstimate> Est = computeRaw(U);
-      if (Est) {
-        Estimates->fulfill(std::move(Ticket),
-                           EstimateCache::Result{Est, Attempts});
-        Cache.emplace(U, *Est);
-        return Est;
-      }
-      Last = Est.status();
-    }
-    Estimates->fulfill(
-        std::move(Ticket),
-        EstimateCache::Result{Expected<SynthesisEstimate>(Last), Attempts});
-    FailCache.emplace(U, Last);
-    FailLog.push_back({U, Attempts, Last});
-    return Last;
-  }
-}
-
-std::optional<SynthesisEstimate>
-DesignSpaceExplorer::evaluate(const UnrollVector &U) {
-  Expected<SynthesisEstimate> Est = evaluateChecked(U);
-  if (!Est)
-    return std::nullopt;
-  return *Est;
-}
-
-std::shared_ptr<ThreadPool> DesignSpaceExplorer::workerPool() {
-  if (Opts.Pool)
-    return Opts.Pool;
-  if (Opts.NumThreads <= 1)
-    return nullptr;
-  if (!Pool)
-    Pool = std::make_shared<ThreadPool>(Opts.NumThreads);
-  return Pool;
-}
-
-void DesignSpaceExplorer::prefetch(const std::vector<UnrollVector> &Candidates) {
-  std::shared_ptr<ThreadPool> P = workerPool();
-  if (!P)
-    return;
-  for (const UnrollVector &U : Candidates) {
-    if (!Space.isCandidate(U))
-      continue;
-    ++NumSpeculated;
-    Speculation.push_back(P->submit([this, U] {
-      auto Found = Estimates->lookupOrBegin(cacheKey(U));
-      if (auto *Ticket = std::get_if<EstimateCache::Ticket>(&Found)) {
-        // Spans from worker threads show the estimation overlap in the
-        // Perfetto timeline; they are run-variant by nature and excluded
-        // from the deterministic decision digest.
-        TraceSpan Span(recorder(), Track, "speculate",
-                       unrollVectorToString(U));
-        // Mirror the sequential retry policy (minus the backoff sleeps)
-        // so the attempts recorded — and later charged on consumption —
-        // match what the sequential walk would have spent.
-        unsigned Attempts = 1;
-        Expected<SynthesisEstimate> Est = computeRaw(U);
-        while (!Est && Attempts <= Opts.MaxRetries) {
-          ++Attempts;
-          Est = computeRaw(U);
-        }
-        Span.note("attempts", std::to_string(Attempts));
-        Span.note("ok", Est ? "1" : "0");
-        Estimates->fulfill(std::move(*Ticket),
-                           EstimateCache::Result{std::move(Est), Attempts});
-      }
-      // A completed or in-flight entry needs no speculative work.
-    }));
-  }
-}
-
-void DesignSpaceExplorer::drainSpeculation() {
-  for (std::future<void> &F : Speculation)
-    if (F.valid())
-      F.wait();
-  Speculation.clear();
-}
-
-std::vector<UnrollVector> DesignSpaceExplorer::guidedFrontier() const {
-  std::vector<UnrollVector> Frontier;
-  std::set<UnrollVector> Seen;
-  auto add = [&](const UnrollVector &U) {
-    if (Space.isCandidate(U) && Seen.insert(U).second)
-      Frontier.push_back(U);
-  };
-
-  add(Space.base());
-  UnrollVector Uinit = initialVector();
-  add(Uinit);
-
-  // The Increase doubling chain from Uinit: deterministic, independent
-  // of any estimate.
-  std::vector<UnrollVector> Chain{Uinit};
-  UnrollVector U = Uinit;
-  for (unsigned Step = 0; Step != 64; ++Step) {
-    UnrollVector Next = Space.increase(U, Preference);
-    if (Next == U)
-      break;
-    add(Next);
-    Chain.push_back(Next);
-    U = Next;
-  }
-
-  // The SelectBetween midpoint closure: every design a bisection between
-  // two frontier points can land on, in Psat multiples. Bounded depth —
-  // the bisection halves the product gap each level.
-  int64_t Quantum = std::max<int64_t>(1, Sat.Psat);
-  std::function<void(const UnrollVector &, const UnrollVector &, unsigned)>
-      Closure = [&](const UnrollVector &Lo, const UnrollVector &Hi,
-                    unsigned Depth) {
-        if (Depth == 0)
-          return;
-        UnrollVector Mid = Space.selectBetween(Lo, Hi, Quantum);
-        if (Mid == Lo || Mid == Hi)
-          return;
-        add(Mid);
-        Closure(Lo, Mid, Depth - 1);
-        Closure(Mid, Hi, Depth - 1);
-      };
-  Closure(Space.base(), Uinit, 5);
-  for (size_t I = 0; I + 1 < Chain.size(); ++I)
-    Closure(Chain[I], Chain[I + 1], 5);
-
-  // Cap speculative work: the walk evaluates what the frontier missed.
-  if (Frontier.size() > 96)
-    Frontier.resize(96);
-  return Frontier;
-}
+DesignSpaceExplorer::~DesignSpaceExplorer() = default;
 
 ExplorationResult DesignSpaceExplorer::run() {
-  DEFACTO_SCOPED_TIMER("explore.run");
-  TraceSpan RunSpan(recorder(), Track, "phase", "explore.run");
-  ++NumExplorations;
-  ExplorationResult Res;
-  Res.Sat = Sat;
-  Res.FullSpaceSize = Space.fullSize();
-  BudgetCap = Opts.MaxEvaluations;
-
-  // Parallel mode: overlap the walk with speculative estimation of its
-  // enumerable frontier. The walk below is unchanged — it consumes the
-  // memoized results in its own order, so selection is deterministic.
-  if (parallel())
-    prefetch(guidedFrontier());
-
-  bool HaveBaseline = false;
-  if (Expected<SynthesisEstimate> Base = evaluateChecked(Space.base())) {
-    Res.BaselineEstimate = *Base;
-    HaveBaseline = true;
-    traceDecision(Space.base(), *Base, "baseline", "baseline");
-  } else {
-    Res.Trace += "FAIL " + unrollVectorToString(Space.base()) +
-                 " [baseline] " + Base.status().toString() + "\n";
-    traceFailure(Space.base(), "baseline", Base.status());
-  }
-
-  auto record = [&](const UnrollVector &U,
-                    const char *Role) -> Expected<SynthesisEstimate> {
-    Expected<SynthesisEstimate> Est = evaluateChecked(U);
-    if (!Est) {
-      Res.Trace += "FAIL " + unrollVectorToString(U) + " [" + Role + "] " +
-                   Est.status().toString() + "\n";
-      traceFailure(U, Role, Est.status());
-      return Est;
-    }
-    for (const EvaluatedDesign &D : Res.Visited)
-      if (D.U == U)
-        return Est;
-    Res.Visited.push_back({U, *Est, Role});
-    Res.Trace += "eval " + unrollVectorToString(U) + " [" + Role +
-                 "]: " + Est->toString() + "\n";
-    return Est;
-  };
-  // Deadline or budget exhaustion: the search stops where it is and the
-  // best already-evaluated design is selected.
-  auto isStop = [](const Status &S) {
-    return S.code() == ErrorCode::DeadlineExceeded ||
-           S.code() == ErrorCode::BudgetExhausted;
-  };
-
-  double Capacity = Opts.Platform.CapacitySlices;
-  int64_t Quantum = std::max<int64_t>(1, Sat.Psat);
-
-  UnrollVector Uinit = initialVector();
-  UnrollVector Ucurr = Uinit;
-  UnrollVector Ucb = Space.base();
-  UnrollVector Umb = Space.max();
-  bool SeenComputeBound = false;
-  bool SeenMemoryBound = false;
-  bool Ok = false;
-  Status Stop = Status::ok();
-  std::set<UnrollVector> Visited;
-  const char *Role = "Uinit";
-
-  while (!Ok) {
-    if (!Visited.insert(Ucurr).second) {
-      Res.Trace += "revisit of " + unrollVectorToString(Ucurr) +
-                   "; search converged\n";
-      Ok = true;
-      break;
-    }
-    const char *VisitRole = Role;
-    Expected<SynthesisEstimate> EstOr = record(Ucurr, VisitRole);
-    if (!EstOr) {
-      // Without an estimate the walk cannot steer by balance; stop here
-      // and fall back to the best design evaluated so far.
-      Stop = EstOr.status();
-      break;
-    }
-    const SynthesisEstimate Est = *EstOr;
-    double B = Est.Balance;
-
-    if (Est.Slices > Capacity) {
-      if (Ucurr == Uinit) {
-        // FindLargestFit(Ubase, Uinit): the largest design not exceeding
-        // the device, regardless of balance.
-        Res.Trace += "Uinit exceeds capacity; FindLargestFit\n";
-        traceDecision(Ucurr, Est, VisitRole, "find-largest-fit");
-        std::vector<UnrollVector> Candidates;
-        for (const UnrollVector &C : Space.allCandidates())
-          if (UnrollSpace::between(C, Space.base(), Uinit) && C != Uinit)
-            Candidates.push_back(C);
-        std::stable_sort(Candidates.begin(), Candidates.end(),
-                         [](const UnrollVector &A, const UnrollVector &B2) {
-                           return unrollProduct(A) > unrollProduct(B2);
-                         });
-        prefetch(Candidates);
-        Ucurr = Space.base();
-        for (const UnrollVector &C : Candidates) {
-          Expected<SynthesisEstimate> Fit = record(C, "fit");
-          if (!Fit) {
-            if (isStop(Fit.status())) {
-              Stop = Fit.status();
-              break;
-            }
-            continue; // This candidate failed; try the next smaller one.
-          }
-          if (Fit->Slices <= Capacity) {
-            traceDecision(C, *Fit, "fit", "fit-accept");
-            Ucurr = C;
-            break;
-          }
-          traceDecision(C, *Fit, "fit", "fit-reject");
-        }
-        if (!Stop.isOk())
-          break;
-        Ok = true;
-        continue;
-      }
-      Res.Trace += "exceeds capacity; bisect toward " +
-                   unrollVectorToString(Ucb) + "\n";
-      traceDecision(Ucurr, Est, VisitRole, "capacity-select-between");
-      UnrollVector Next = Space.selectBetween(Ucb, Ucurr, Quantum);
-      if (Next == Ucb)
-        Ok = true;
-      Ucurr = Next;
-      Role = "bisect";
-      continue;
-    }
-
-    if (std::abs(B - 1.0) <= Opts.BalanceTolerance) {
-      Res.Trace += "balanced; done\n";
-      traceDecision(Ucurr, Est, VisitRole, "balanced-stop");
-      Ok = true;
-      continue;
-    }
-
-    if (B < 1.0) {
-      SeenMemoryBound = true;
-      Umb = Ucurr;
-      if (Ucurr == Uinit) {
-        // Memory bound at the saturation point: more unrolling cannot
-        // raise the fetch rate (Observation 1); stop. Every design above
-        // Uinit is pruned by that monotonicity argument.
-        Res.Trace += "memory bound at Uinit; done\n";
-        traceDecision(Ucurr, Est, VisitRole, "memory-bound-stop");
-        Ok = true;
-        continue;
-      }
-      traceDecision(Ucurr, Est, VisitRole, "select-between");
-      UnrollVector Next = Space.selectBetween(Ucb, Umb, Quantum);
-      if (Next == Ucb)
-        Ok = true;
-      Ucurr = Next;
-      Role = "bisect";
-      continue;
-    }
-
-    // Compute bound.
-    SeenComputeBound = true;
-    Ucb = Ucurr;
-    if (!SeenMemoryBound) {
-      UnrollVector Next = Space.increase(Ucurr, Preference);
-      if (Next == Ucurr) {
-        Res.Trace += "no larger candidate; done\n";
-        traceDecision(Ucurr, Est, VisitRole, "space-exhausted-stop");
-        Ok = true;
-        continue;
-      }
-      traceDecision(Ucurr, Est, VisitRole, "increase");
-      Ucurr = Next;
-      Role = "increase";
-      continue;
-    }
-    traceDecision(Ucurr, Est, VisitRole, "select-between");
-    UnrollVector Next = Space.selectBetween(Ucb, Umb, Quantum);
-    if (Next == Ucb)
-      Ok = true;
-    Ucurr = Next;
-    Role = "bisect";
-  }
-
-  (void)SeenComputeBound;
-  if (!Stop.isOk())
-    Res.Trace += "stop at " + unrollVectorToString(Ucurr) + ": " +
-                 Stop.toString() + "\n";
-
-  // Selection. A converged walk selects its final design if that design
-  // was successfully evaluated, fits, and no already-evaluated design
-  // strictly beats it (the balance walk can legally converge at a point
-  // slower than one it passed through — never hand back a design worse
-  // than one in hand). Any other outcome — cut-short search, failed or
-  // oversized final design — falls back to the best successfully
-  // evaluated design, deterministically: fewest cycles, then fewest
-  // slices, then lexicographically smallest vector; the baseline
-  // competes too.
-  auto fits = [&](const SynthesisEstimate &E) {
-    return E.Slices <= Capacity;
-  };
-  UnrollVector BestU;
-  SynthesisEstimate BestE;
-  bool HaveBest = false;
-  auto consider = [&](const UnrollVector &U, const SynthesisEstimate &E) {
-    if (!fits(E))
-      return;
-    bool Better =
-        !HaveBest || E.Cycles < BestE.Cycles ||
-        (E.Cycles == BestE.Cycles &&
-         (E.Slices < BestE.Slices ||
-          (E.Slices == BestE.Slices && U < BestU)));
-    if (Better) {
-      BestU = U;
-      BestE = E;
-      HaveBest = true;
-    }
-  };
-  for (const EvaluatedDesign &D : Res.Visited)
-    consider(D.U, D.Estimate);
-  if (HaveBaseline)
-    consider(Space.base(), Res.BaselineEstimate);
-
-  bool Selected = false;
-  if (Ok) {
-    if (auto It = Cache.find(Ucurr); It != Cache.end() &&
-                                     fits(It->second)) {
-      const SynthesisEstimate &Sel = It->second;
-      if (HaveBest && (BestE.Cycles < Sel.Cycles ||
-                       (BestE.Cycles == Sel.Cycles &&
-                        BestE.Slices < Sel.Slices))) {
-        Res.Trace += "converged design beaten by an evaluated design; "
-                     "best evaluated design selected\n";
-        Res.Selected = BestU;
-        Res.SelectedEstimate = BestE;
-      } else {
-        Res.Selected = Ucurr;
-        Res.SelectedEstimate = Sel;
-      }
-      Selected = true;
-    }
-  }
-  if (!Selected) {
-    if (HaveBest) {
-      Res.Trace += Ok ? "selected design does not fit; "
-                        "best evaluated design selected\n"
-                      : "search cut short; best evaluated design selected\n";
-      Res.Selected = BestU;
-      Res.SelectedEstimate = BestE;
-    } else if (HaveBaseline) {
-      Res.Selected = Space.base();
-      Res.SelectedEstimate = Res.BaselineEstimate;
-      Res.SelectedFits = false;
-      Res.Trace += "no design fits this device (baseline alone needs " +
-                   formatDouble(Res.BaselineEstimate.Slices, 0) +
-                   " slices)\n";
-    } else {
-      // Not even the baseline could be estimated.
-      Res.Selected = Space.base();
-      Res.SelectedFits = false;
-      Res.Trace += "no design could be evaluated\n";
-    }
-  }
-
-  Res.Failures = FailLog;
-  if (!Stop.isOk() && isStop(Stop))
-    Res.Failures.push_back({Ucurr, 0, Stop});
-  Res.Degraded = !Ok || !Res.Failures.empty();
-  Res.EvaluationsUsed = Used;
-  if (Res.Degraded) {
-    Res.Trace += "degraded exploration: " +
-                 std::to_string(Res.Failures.size()) +
-                 " failure(s) logged\n";
-    ++NumDegraded;
-  }
-  NumEvaluationsSpent.add(Used);
-  if (TraceRecorder &R = recorder(); R.enabled()) {
-    TraceEvent Sel;
-    Sel.Track = Track;
-    Sel.Category = "dse.selection";
-    Sel.Name = unrollVectorToString(Res.Selected);
-    Sel.Ordinal = DecisionOrdinal;
-    Sel.Args = {{"cycles", std::to_string(Res.SelectedEstimate.Cycles)},
-                {"slices", formatDouble(Res.SelectedEstimate.Slices, 1)},
-                {"fits", Res.SelectedFits ? "1" : "0"},
-                {"degraded", Res.Degraded ? "1" : "0"},
-                {"evaluations", std::to_string(Used)}};
-    R.record(std::move(Sel));
-  }
-  BudgetCap.reset();
-  // Leftover speculative tasks reference this explorer; settle them
-  // before handing the result back.
-  drainSpeculation();
-  return Res;
+  SearchContext SC{Svc.source(), Svc.options(), Svc};
+  return createGuidedStrategy()->search(SC);
 }
 
-namespace {
-
-ExplorationResult pickBest(const Kernel &Source,
-                           const ExplorerOptions &Opts,
-                           const std::vector<UnrollVector> &Candidates,
-                           const char *Role) {
-  DesignSpaceExplorer Ex(Source, Opts);
-  ExplorationResult Res;
-  Res.Sat = Ex.saturation();
-  Res.FullSpaceSize = Ex.space().fullSize();
-
-  // Fan the whole candidate set out across the worker pool (no-op in
-  // sequential mode), then reduce in candidate order: the estimates come
-  // from the cache, so the visit order, accounting, and selection are
-  // identical to the sequential run's.
-  std::vector<UnrollVector> Prefetch{Ex.space().base()};
-  Prefetch.insert(Prefetch.end(), Candidates.begin(), Candidates.end());
-  Ex.prefetch(Prefetch);
-
-  if (auto Base = Ex.evaluate(Ex.space().base())) {
-    Res.BaselineEstimate = *Base;
-    Ex.traceDecision(Ex.space().base(), *Base, "baseline", "baseline");
-  }
-
-  for (const UnrollVector &U : Candidates) {
-    auto Est = Ex.evaluate(U);
-    if (!Est)
-      continue;
-    Res.Visited.push_back({U, *Est, Role});
-    Ex.traceDecision(U, *Est, Role, "candidate");
-  }
-
-  // Fastest fitting design; among designs within 5% of it, the smallest.
-  double Capacity = Opts.Platform.CapacitySlices;
-  const EvaluatedDesign *Fastest = nullptr;
-  for (const EvaluatedDesign &D : Res.Visited) {
-    if (D.Estimate.Slices > Capacity)
-      continue;
-    if (!Fastest || D.Estimate.Cycles < Fastest->Estimate.Cycles)
-      Fastest = &D;
-  }
-  const EvaluatedDesign *Best = Fastest;
-  if (Fastest) {
-    for (const EvaluatedDesign &D : Res.Visited) {
-      if (D.Estimate.Slices > Capacity)
-        continue;
-      if (D.Estimate.Cycles <=
-              static_cast<uint64_t>(Fastest->Estimate.Cycles * 1.05) &&
-          D.Estimate.Slices < Best->Estimate.Slices)
-        Best = &D;
-    }
-  }
-  if (Best) {
-    Res.Selected = Best->U;
-    Res.SelectedEstimate = Best->Estimate;
-  } else {
-    Res.Selected = Ex.space().base();
-    Res.SelectedEstimate = Res.BaselineEstimate;
-  }
-  Res.Failures = Ex.failures();
-  Res.Degraded = !Res.Failures.empty();
-  Res.EvaluationsUsed = Ex.evaluationsUsed();
-  for (const EvaluationFailure &F : Res.Failures)
-    Res.Trace += "FAIL " + unrollVectorToString(F.U) + " [" + Role + "] " +
-                 F.Error.toString() + "\n";
-  return Res;
+Expected<ExplorationResult>
+DesignSpaceExplorer::runWithStrategy(const std::string &Name) {
+  std::unique_ptr<SearchStrategy> S = StrategyRegistry::instance().create(Name);
+  if (!S)
+    return Status::error(ErrorCode::InvalidInput,
+                         "unknown search strategy '" + Name +
+                             "'; registered strategies:\n" +
+                             StrategyRegistry::instance().describe());
+  SearchContext SC{Svc.source(), Svc.options(), Svc};
+  return S->search(SC);
 }
-
-} // namespace
 
 ExplorationResult defacto::exploreExhaustive(const Kernel &Source,
                                              const ExplorerOptions &Opts) {
-  DesignSpaceExplorer Ex(Source, Opts);
-  return pickBest(Source, Opts, Ex.space().allCandidates(), "exhaustive");
+  EvaluationService Eval(Source, Opts);
+  SearchContext SC{Source, Eval.options(), Eval};
+  return createExhaustiveStrategy()->search(SC);
 }
 
 ExplorationResult defacto::exploreRandom(const Kernel &Source,
                                          const ExplorerOptions &Opts,
                                          unsigned Samples, uint64_t Seed) {
-  DesignSpaceExplorer Ex(Source, Opts);
-  std::vector<UnrollVector> All = Ex.space().allCandidates();
-  SplitMix64 Rng(Seed);
-  std::vector<UnrollVector> Picked;
-  std::set<uint64_t> Chosen;
-  while (Picked.size() < Samples && Chosen.size() < All.size()) {
-    uint64_t I = Rng.nextBelow(All.size());
-    if (Chosen.insert(I).second)
-      Picked.push_back(All[I]);
-  }
-  return pickBest(Source, Opts, Picked, "random");
+  EvaluationService Eval(Source, Opts);
+  SearchContext SC{Source, Eval.options(), Eval};
+  return createRandomStrategy(Samples, Seed)->search(SC);
 }

@@ -1,0 +1,132 @@
+//===- CommandLine.cpp ----------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Support/CommandLine.h"
+
+#include "defacto/Support/Stats.h"
+#include "defacto/Support/Timer.h"
+#include "defacto/Support/Trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace defacto;
+using namespace defacto::cl;
+
+ArgList::ArgList(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    Args.emplace_back(Argv[I]);
+    Raw.push_back(Argv[I]);
+  }
+}
+
+bool ArgList::consumeFlag(const std::string &Name) {
+  bool Found = false;
+  for (size_t I = 0; I != Args.size();) {
+    if (Args[I] == Name) {
+      Found = true;
+      Args.erase(Args.begin() + I);
+      Raw.erase(Raw.begin() + I);
+      continue;
+    }
+    ++I;
+  }
+  return Found;
+}
+
+std::optional<std::string> ArgList::consumeValue(const std::string &Name) {
+  std::optional<std::string> Value;
+  const std::string Prefix = Name + "=";
+  for (size_t I = 0; I != Args.size();) {
+    if (Args[I].rfind(Prefix, 0) == 0) {
+      Value = Args[I].substr(Prefix.size());
+      Args.erase(Args.begin() + I);
+      Raw.erase(Raw.begin() + I);
+      continue;
+    }
+    if (Args[I] == Name && I + 1 < Args.size()) {
+      Value = Args[I + 1];
+      Args.erase(Args.begin() + I, Args.begin() + I + 2);
+      Raw.erase(Raw.begin() + I, Raw.begin() + I + 2);
+      continue;
+    }
+    ++I;
+  }
+  return Value;
+}
+
+std::optional<unsigned> ArgList::consumeUnsigned(const std::string &Name) {
+  std::optional<std::string> Value = consumeValue(Name);
+  if (!Value)
+    return std::nullopt;
+  try {
+    size_t End = 0;
+    unsigned long Parsed = std::stoul(*Value, &End);
+    if (End != Value->size())
+      return std::nullopt;
+    return static_cast<unsigned>(Parsed);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::string> ArgList::consumeList(const std::string &Name) {
+  std::vector<std::string> Items;
+  std::optional<std::string> Value = consumeValue(Name);
+  if (!Value)
+    return Items;
+  size_t Start = 0;
+  while (Start <= Value->size()) {
+    size_t Comma = Value->find(',', Start);
+    if (Comma == std::string::npos)
+      Comma = Value->size();
+    if (Comma > Start)
+      Items.push_back(Value->substr(Start, Comma - Start));
+    Start = Comma + 1;
+  }
+  return Items;
+}
+
+void ArgList::compactInto(int &Argc, char **Argv) const {
+  int Out = 1;
+  for (char *Arg : Raw)
+    Argv[Out++] = Arg;
+  Argc = Out;
+}
+
+ObservabilityConfig defacto::cl::consumeObservabilityFlags(ArgList &Args) {
+  ObservabilityConfig Config;
+  Config.TraceOutPath = Args.consumeValue("--trace-out").value_or("");
+  Config.Stats = Args.consumeFlag("--stats");
+  if (!Config.TraceOutPath.empty())
+    TraceRecorder::global().setEnabled(true);
+  if (Config.any())
+    StatRegistry::instance().setEnabled(true);
+  return Config;
+}
+
+bool defacto::cl::finishObservability(const ObservabilityConfig &Config) {
+  bool Ok = true;
+  if (!Config.TraceOutPath.empty()) {
+    std::ofstream Out(Config.TraceOutPath);
+    if (Out) {
+      Out << TraceRecorder::global().toChromeTrace();
+      std::printf("wrote %zu trace events to %s (load in chrome://tracing "
+                  "or ui.perfetto.dev)\n",
+                  TraceRecorder::global().eventCount(),
+                  Config.TraceOutPath.c_str());
+    } else {
+      std::fprintf(stderr, "failed to open trace output '%s'\n",
+                   Config.TraceOutPath.c_str());
+      Ok = false;
+    }
+  }
+  if (Config.Stats) {
+    std::printf("%s", StatRegistry::instance().toText().c_str());
+    std::printf("%s", TimerGroup::global().toText().c_str());
+  }
+  return Ok;
+}
