@@ -11,6 +11,8 @@
 ///   explore_batch [--threads N] [--strategy NAME] [--exhaustive]
 ///                 [--both-platforms] [--extended] [--kernels fir,mm,...]
 ///                 [--repeat N] [--trace-out=PATH] [--stats] [--explain]
+///                 [--journal=PATH] [--resume] [--watchdog=SECONDS]
+///                 [--breaker-threshold=N] [--breaker-cooldown=SECONDS]
 ///
 /// --strategy selects any StrategyRegistry search ("guided",
 /// "exhaustive", "random", "hillclimb", "portfolio", or one a caller
@@ -26,9 +28,22 @@
 /// phase timings, and --explain renders the full exploration report per
 /// job (per-strategy sections for portfolio runs).
 ///
+/// Crash safety: --journal makes every completed evaluation durable
+/// (JSONL, write-then-rename) and --resume replays an interrupted run's
+/// journal into the shared cache, reproducing finished jobs without
+/// re-invoking the backend. --watchdog arms the per-evaluation hang
+/// watchdog; --breaker-threshold enables the per-backend circuit breaker
+/// (--breaker-cooldown tunes its open interval).
+///
+/// Exit codes: 0 all jobs healthy; 3 batch completed but at least one
+/// job degraded (fault/deadline/budget/breaker); 1 runtime failure
+/// (journal or trace I/O); 2 usage error.
+///
 //===----------------------------------------------------------------------===//
 
 #include "defacto/Core/BatchExplorer.h"
+#include "defacto/Core/CircuitBreaker.h"
+#include "defacto/Core/EvaluationJournal.h"
 #include "defacto/Core/ExplorationReport.h"
 #include "defacto/IR/IRUtils.h"
 #include "defacto/Kernels/Kernels.h"
@@ -39,6 +54,7 @@
 #include "defacto/Support/Trace.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 using namespace defacto;
@@ -57,6 +73,16 @@ int main(int Argc, char **Argv) {
   std::string TraceOut = Args.consumeValue("--trace-out").value_or("");
   unsigned Repeat = Args.consumeUnsigned("--repeat").value_or(1);
   std::vector<std::string> Names = Args.consumeList("--kernels");
+  std::string JournalPath = Args.consumeValue("--journal").value_or("");
+  bool Resume = Args.consumeFlag("--resume");
+  double WatchdogSeconds = 0;
+  if (std::optional<std::string> W = Args.consumeValue("--watchdog"))
+    WatchdogSeconds = std::strtod(W->c_str(), nullptr);
+  unsigned BreakerThreshold =
+      Args.consumeUnsigned("--breaker-threshold").value_or(0);
+  double BreakerCooldown = 30.0;
+  if (std::optional<std::string> C = Args.consumeValue("--breaker-cooldown"))
+    BreakerCooldown = std::strtod(C->c_str(), nullptr);
 
   if (!Args.empty()) {
     std::fprintf(stderr,
@@ -64,8 +90,18 @@ int main(int Argc, char **Argv) {
                  "usage: explore_batch [--threads N] [--strategy NAME] "
                  "[--exhaustive] [--both-platforms] [--extended] "
                  "[--kernels a,b,...] [--repeat N] [--trace-out=PATH] "
-                 "[--stats] [--explain]\n",
+                 "[--stats] [--explain] [--journal=PATH] [--resume] "
+                 "[--watchdog=SECONDS] [--breaker-threshold=N] "
+                 "[--breaker-cooldown=SECONDS]\n",
                  Args.rest().front().c_str());
+    return 2;
+  }
+  if (Resume && JournalPath.empty()) {
+    std::fprintf(stderr, "--resume requires --journal=PATH\n");
+    return 2;
+  }
+  if (WatchdogSeconds < 0) {
+    std::fprintf(stderr, "--watchdog must be non-negative\n");
     return 2;
   }
   if (!StrategyRegistry::instance().contains(Strategy)) {
@@ -80,6 +116,36 @@ int main(int Argc, char **Argv) {
   if (!TraceOut.empty()) {
     Batch.Trace = std::make_shared<TraceRecorder>();
     Batch.Trace->setEnabled(true);
+  }
+  if (BreakerThreshold > 0) {
+    CircuitBreakerOptions BreakerOpts;
+    BreakerOpts.FailureThreshold = BreakerThreshold;
+    BreakerOpts.CooldownSeconds = BreakerCooldown;
+    Batch.Breakers = std::make_shared<CircuitBreakerRegistry>(BreakerOpts);
+  }
+  unsigned ResumedEvals = 0;
+  size_t ResumedJobs = 0;
+  if (!JournalPath.empty()) {
+    Batch.Journal = std::make_shared<EvaluationJournal>(JournalPath);
+    if (Resume) {
+      Expected<EvaluationJournal::Contents> Loaded =
+          EvaluationJournal::load(JournalPath);
+      if (!Loaded) {
+        std::fprintf(stderr, "cannot resume: %s\n",
+                     Loaded.status().toString().c_str());
+        return 1;
+      }
+      if (Loaded->SkippedLines > 0)
+        std::fprintf(stderr,
+                     "journal %s: skipped %u corrupt line(s) "
+                     "(torn write from the interrupted run)\n",
+                     JournalPath.c_str(), Loaded->SkippedLines);
+      Batch.Journal->adopt(*Loaded);
+      if (!Batch.Cache)
+        Batch.Cache = std::make_shared<EstimateCache>();
+      ResumedEvals = Batch.Journal->replayInto(*Batch.Cache);
+      ResumedJobs = Batch.Journal->numJobs();
+    }
   }
 
   if (Names.empty()) {
@@ -104,6 +170,7 @@ int main(int Argc, char **Argv) {
       for (const TargetPlatform &Platform : Platforms) {
         ExplorerOptions Opts;
         Opts.Platform = Platform;
+        Opts.WatchdogSeconds = WatchdogSeconds;
         std::string Label = Name + " @ " + Platform.Name;
         if (Round > 0)
           Label += " (repeat)";
@@ -115,6 +182,10 @@ int main(int Argc, char **Argv) {
   unsigned NumJobs = Engine.numJobs();
   std::printf("exploring %u job(s) on %u thread(s), %s search\n\n", NumJobs,
               Batch.NumThreads, Strategy.c_str());
+  if (Resume)
+    std::printf("resumed from journal %s: %u evaluation(s) replayed, "
+                "%zu finished job(s) on record\n\n",
+                JournalPath.c_str(), ResumedEvals, ResumedJobs);
 
   std::vector<BatchResult> Results = Engine.runAll();
 
@@ -127,6 +198,9 @@ int main(int Argc, char **Argv) {
       Flags += "no-fit ";
     if (E.Degraded)
       Flags += "degraded";
+    if (E.DroppedFailures > 0)
+      Flags += " (+" + std::to_string(E.DroppedFailures) +
+               " failures dropped)";
     Out.addRow({R.Name, E.Strategy, unrollVectorToString(E.Selected),
                 formatWithCommas(static_cast<int64_t>(
                     E.SelectedEstimate.Cycles)),
@@ -169,5 +243,26 @@ int main(int Argc, char **Argv) {
                 "or ui.perfetto.dev)\n",
                 Batch.Trace->eventCount(), TraceOut.c_str());
   }
-  return 0;
+
+  if (Batch.Journal) {
+    // One final flush so a run with zero new evaluations (a full resume)
+    // still leaves a complete journal behind.
+    if (Status Flushed = Batch.Journal->flush(); !Flushed.isOk()) {
+      std::fprintf(stderr, "journal flush failed: %s\n",
+                   Flushed.toString().c_str());
+      return 1;
+    }
+    std::printf("journal: %s (%zu evaluation(s), %zu job record(s))\n",
+                Batch.Journal->path().c_str(),
+                Batch.Journal->numEvaluations(), Batch.Journal->numJobs());
+  }
+
+  bool AnyDegraded = false;
+  for (const BatchResult &R : Results)
+    AnyDegraded |= R.Result.Degraded || !R.Result.SelectedFits;
+  // 0: every job converged healthy. 3: the batch completed but degraded
+  // (faults, deadline/budget stops, open breakers, or a no-fit device) —
+  // results are usable but a supervisor should look. 1/2 above: runtime
+  // and usage failures.
+  return AnyDegraded ? 3 : 0;
 }

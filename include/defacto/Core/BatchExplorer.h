@@ -27,6 +27,9 @@
 
 namespace defacto {
 
+class CircuitBreakerRegistry;
+class EvaluationJournal;
+
 /// One unit of batch work: explore one kernel for one platform.
 struct BatchJob {
   std::string Name; // label for reports; defaults to the kernel's name
@@ -70,6 +73,19 @@ struct BatchOptions {
   /// track named after the job). Jobs that set their own recorder keep
   /// it. Unset: jobs fall back to TraceRecorder::global().
   std::shared_ptr<TraceRecorder> Trace;
+  /// Crash-safety journal. When set, the batch registers it as the
+  /// shared cache's completion observer — every finished estimation is
+  /// durable (write-then-rename) the moment it lands — and records a
+  /// winner summary after each job. To resume an interrupted run, load
+  /// the journal, adopt() it into a fresh journal, and replayInto() the
+  /// shared cache before runAll(); finished jobs then re-derive their
+  /// winners from the warmed cache with zero backend calls, and the
+  /// batch verifies each against its journaled record (a note lands in
+  /// the result's trace either way).
+  std::shared_ptr<EvaluationJournal> Journal;
+  /// Per-backend circuit breakers shared by every job that does not
+  /// bring its own (see ExplorerOptions::Breakers). Unset: no breakers.
+  std::shared_ptr<CircuitBreakerRegistry> Breakers;
 };
 
 /// Collects jobs, runs them concurrently, returns ordered results.

@@ -1,0 +1,116 @@
+//===- CircuitBreaker.h - Per-backend fail-fast state machine --*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of circuit breakers, one per estimation backend key (the
+/// target platform's name — one synthesis-tool installation per board in
+/// the deployment this models). The breaker protects a long batch run
+/// from a *dead* backend: retries and negative caching handle designs
+/// that individually fail, but when every call fails, each new design
+/// still costs 1 + MaxRetries doomed backend invocations plus backoff
+/// sleeps. The breaker converts that retry storm into an immediate
+/// ErrorCode::BackendUnavailable, which flows into the explorer's
+/// existing degradation path (best-evaluated fallback, Degraded flag).
+///
+/// Classic three-state machine, per key:
+///
+///   Closed ──(FailureThreshold consecutive permanent failures)──▶ Open
+///   Open ──(CooldownSeconds elapse; next admit() becomes the one
+///           half-open probe)──▶ HalfOpen
+///   HalfOpen ──probe succeeds──▶ Closed    (service restored)
+///   HalfOpen ──probe fails────▶ Open       (cooldown restarts)
+///
+/// "Permanent failure" means a design failed every retry — individual
+/// attempt failures that a retry recovers never trip the breaker, and a
+/// success in Closed resets the consecutive count. Time comes from the
+/// caller (the exploration's injected clock), so tests drive the
+/// cooldown virtually. The registry is thread-safe and shared across a
+/// batch's jobs; EvaluationService emits a "dse.breaker" trace event and
+/// counters on every state transition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_CORE_CIRCUITBREAKER_H
+#define DEFACTO_CORE_CIRCUITBREAKER_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace defacto {
+
+/// Policy knobs for every breaker a registry manages.
+struct CircuitBreakerOptions {
+  /// Consecutive permanent failures that open the circuit.
+  unsigned FailureThreshold = 5;
+  /// Seconds an open circuit waits before admitting one half-open probe.
+  double CooldownSeconds = 30.0;
+};
+
+/// Thread-safe map of backend key -> breaker state.
+class CircuitBreakerRegistry {
+public:
+  enum class State { Closed, Open, HalfOpen };
+
+  /// What admit() tells the caller to do with one evaluation.
+  enum class Decision {
+    Allow,    ///< Circuit closed: call the backend normally.
+    Probe,    ///< This call is the half-open probe; report its outcome.
+    FailFast, ///< Circuit open: fail without touching the backend.
+  };
+
+  /// Point-in-time view of one breaker, for reports and tests.
+  struct Snapshot {
+    State Current = State::Closed;
+    unsigned ConsecutiveFailures = 0;
+    uint64_t TimesOpened = 0;
+    uint64_t FastFailures = 0;
+    uint64_t Probes = 0;
+  };
+
+  explicit CircuitBreakerRegistry(CircuitBreakerOptions Opts = {});
+
+  CircuitBreakerRegistry(const CircuitBreakerRegistry &) = delete;
+  CircuitBreakerRegistry &operator=(const CircuitBreakerRegistry &) = delete;
+
+  /// Admission decision for one evaluation against \p Key at time \p Now
+  /// (the exploration clock). Transitions Open -> HalfOpen when the
+  /// cooldown elapsed; only one probe is outstanding at a time.
+  Decision admit(const std::string &Key, double Now);
+
+  /// Reports a successful evaluation. Returns the transition this caused
+  /// ("closed" when a probe restored service) or nullptr.
+  const char *recordSuccess(const std::string &Key, double Now);
+
+  /// Reports a permanently-failed evaluation (every retry exhausted).
+  /// Returns "opened" (threshold reached) or "reopened" (probe failed)
+  /// when the circuit trips, nullptr otherwise.
+  const char *recordFailure(const std::string &Key, double Now);
+
+  Snapshot snapshot(const std::string &Key) const;
+
+  const CircuitBreakerOptions &options() const { return Opts; }
+
+private:
+  struct Breaker {
+    State Current = State::Closed;
+    unsigned ConsecutiveFailures = 0;
+    double OpenedAt = 0;
+    bool ProbeInFlight = false;
+    uint64_t TimesOpened = 0;
+    uint64_t FastFailures = 0;
+    uint64_t Probes = 0;
+  };
+
+  CircuitBreakerOptions Opts;
+  mutable std::mutex M;
+  std::map<std::string, Breaker> Breakers;
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_CORE_CIRCUITBREAKER_H

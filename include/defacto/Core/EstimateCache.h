@@ -131,6 +131,22 @@ public:
   /// the key is forgotten so a later lookup recomputes it.
   void abandon(Ticket T, Status Transient);
 
+  /// Pre-warms the cache with a completed \p R for \p Key — the
+  /// evaluation-journal replay path. First write wins; an existing
+  /// completed or in-flight entry is left alone. Returns true when the
+  /// entry was inserted. Does not fire the observer (replayed results
+  /// are already durable).
+  bool seed(const std::string &Key, Result R);
+
+  /// Completion hook: called once per fulfill(), outside any shard lock,
+  /// with the key and the completed result. BatchExplorer points it at
+  /// the evaluation journal so every finished estimation is durable the
+  /// moment it lands in the cache. One observer at a time; pass an empty
+  /// function to detach. The callback must be thread-safe.
+  using Observer = std::function<void(const std::string &Key,
+                                      const Result &R)>;
+  void setObserver(Observer O);
+
   /// Convenience wrapper: memoized \p Compute.
   Result getOrCompute(const std::string &Key,
                       const std::function<Result()> &Compute);
@@ -161,6 +177,10 @@ private:
   Shard &shardFor(const std::string &Key, unsigned &Index) const;
 
   std::vector<std::unique_ptr<Shard>> Shards;
+  /// Swapped atomically under ObserverM; fulfill() loads a shared_ptr
+  /// copy so a concurrent setObserver cannot free it mid-call.
+  mutable std::mutex ObserverM;
+  std::shared_ptr<const Observer> CompletionObserver;
 };
 
 } // namespace defacto

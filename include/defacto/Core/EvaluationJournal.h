@@ -1,0 +1,142 @@
+//===- EvaluationJournal.h - Durable evaluation log with resume -*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Crash-safe persistence for batch exploration. A long BatchExplorer
+/// run spends almost all of its time in estimator invocations; if the
+/// process dies (tool crash, OOM kill, preempted node), every completed
+/// estimation used to die with it. The journal makes them durable:
+///
+///  - one JSONL record per *completed* evaluation — the full
+///    SynthesisEstimate (success) or the permanent-failure Status, plus
+///    the estimator attempts it cost, keyed by the same
+///    (kernel fingerprint, platform, transforms, unroll, register-cap)
+///    string as the EstimateCache entry it mirrors;
+///  - one record per finished batch job (winner summary), so a resumed
+///    run can verify it reproduces the same selection;
+///  - a header record carrying the format version.
+///
+/// Durability is write-then-rename: every flush rewrites the full
+/// journal to "<path>.tmp" and renames it over "<path>", so the file on
+/// disk is always a complete, valid prefix of the run — a crash can
+/// lose at most the records since the last flush, never corrupt the
+/// file. Loading is additionally tolerant of truncated or garbage lines
+/// (counted, skipped), so even a journal from a torn filesystem resumes.
+///
+/// Resume = replayInto(EstimateCache): every journaled evaluation is
+/// seeded as a completed cache entry carrying its original attempt
+/// count. Because the engine charges budget on consumption and every
+/// search strategy is deterministic given the cache contents, a resumed
+/// run consumes the seeded results exactly as the interrupted run
+/// computed them — same winners, same decision digests, zero backend
+/// calls for journaled designs. Doubles round-trip through hexfloat
+/// strings, so "bit-identical" means exactly that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_CORE_EVALUATIONJOURNAL_H
+#define DEFACTO_CORE_EVALUATIONJOURNAL_H
+
+#include "defacto/Core/EstimateCache.h"
+#include "defacto/Support/Error.h"
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace defacto {
+
+/// Winner summary of one finished batch job.
+struct JournalJobRecord {
+  std::string Name;
+  std::string Strategy;
+  /// Selected unroll vector, in unrollVectorToString form.
+  std::string Selected;
+  uint64_t Cycles = 0;
+  double Slices = 0;
+  unsigned Evaluations = 0;
+  bool Degraded = false;
+  bool Fits = true;
+};
+
+/// Append-mostly JSONL journal of completed evaluations and finished
+/// jobs. Thread-safe: the estimate cache's completion observer appends
+/// from worker threads.
+class EvaluationJournal {
+public:
+  /// Everything a journal file held, in record order (evaluations
+  /// deduplicated by key, jobs by name — last record wins).
+  struct Contents {
+    std::vector<std::pair<std::string, EstimateCache::Result>> Evaluations;
+    std::vector<JournalJobRecord> Jobs;
+    /// Lines that failed JSON parsing or carried an unknown shape —
+    /// e.g. the torn final line of a crashed run. Skipped, not fatal.
+    unsigned SkippedLines = 0;
+  };
+
+  /// Creates a journal that persists to \p Path. Nothing is written
+  /// until the first record (or an explicit flush()).
+  explicit EvaluationJournal(std::string Path);
+
+  EvaluationJournal(const EvaluationJournal &) = delete;
+  EvaluationJournal &operator=(const EvaluationJournal &) = delete;
+
+  /// Parses the journal at \p Path. A missing file yields empty
+  /// Contents (resuming a run that never started is a no-op, not an
+  /// error); an unreadable file is an error.
+  static Expected<Contents> load(const std::string &Path);
+
+  /// Adopts previously-loaded contents as this journal's starting
+  /// state, so the next flush preserves them (resume compaction:
+  /// rewriting drops any corrupt lines the crashed run left behind).
+  void adopt(const Contents &C);
+
+  /// Records one completed evaluation; duplicate keys are ignored (the
+  /// cache computes each design once, and a resumed run re-observes
+  /// nothing because replayed entries never re-fulfill).
+  void recordEvaluation(const std::string &Key,
+                        const EstimateCache::Result &R);
+
+  /// Records one finished job; a record with the same name replaces the
+  /// old one (a resumed run re-finishes its jobs).
+  void recordJob(const JournalJobRecord &J);
+
+  /// The job record for \p Name, when one was journaled.
+  std::optional<JournalJobRecord> jobRecord(const std::string &Name) const;
+
+  /// Seeds every journaled evaluation into \p Cache as a completed
+  /// entry; returns how many entries were inserted.
+  unsigned replayInto(EstimateCache &Cache) const;
+
+  /// Journaled evaluation / job counts (for resume banners).
+  size_t numEvaluations() const;
+  size_t numJobs() const;
+
+  /// Writes the whole journal to "<path>.tmp" and renames it over
+  /// "<path>". Called automatically after every record; returns the
+  /// first I/O error encountered.
+  Status flush();
+
+  const std::string &path() const { return Path; }
+
+private:
+  Status flushLocked();
+
+  std::string Path;
+  mutable std::mutex M;
+  /// Insertion-ordered evaluation records (Keys) with a lookup map into
+  /// them, plus job records by name.
+  std::vector<std::string> EvalOrder;
+  std::map<std::string, EstimateCache::Result> Evaluations;
+  std::vector<std::string> JobOrder;
+  std::map<std::string, JournalJobRecord> Jobs;
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_CORE_EVALUATIONJOURNAL_H

@@ -55,6 +55,7 @@
 
 namespace defacto {
 
+class CircuitBreakerRegistry;
 struct ExplorationResult;
 
 /// Exploration configuration, shared by every search strategy and the
@@ -99,6 +100,26 @@ struct ExplorerOptions {
   /// virtual clock for determinism.
   std::function<double()> Clock;
   std::function<void(double /*Seconds*/)> Sleep;
+  /// Hang watchdog: every estimator invocation runs under a
+  /// CancellationScope whose token self-cancels this many seconds after
+  /// the invocation starts (measured by Clock). A cooperative backend —
+  /// the real estimator polls in its scheduling loops, a FaultInjector
+  /// hang polls between simulated sleeps — returns ErrorCode::Cancelled,
+  /// which counts as a failed attempt under the normal retry policy.
+  /// 0 disables the watchdog.
+  double WatchdogSeconds = 0.0;
+  /// Per-backend circuit breaker registry (keyed by the platform name),
+  /// shared across a batch's explorations. When set, an open circuit
+  /// fails evaluations fast with ErrorCode::BackendUnavailable before
+  /// they reach the backend; fast failures are never cached against the
+  /// design and charge no budget. Unset: no breaker (historical
+  /// behavior).
+  std::shared_ptr<CircuitBreakerRegistry> Breakers;
+  /// Bound on the in-memory permanent-failure log. A fault storm in a
+  /// long batch run must not grow memory without bound, so the log is a
+  /// ring keeping the most recent entries; older ones are dropped and
+  /// counted (failuresDropped()). Values below 1 clamp to 1.
+  unsigned MaxFailureLogEntries = 1024;
 
   //===--------------------------------------------------------------===//
   // Concurrency. Defaults keep every run fully sequential and
@@ -221,8 +242,14 @@ public:
   /// Estimator attempts spent so far (retries included).
   unsigned evaluationsUsed() const { return Used; }
 
-  /// Designs whose estimation permanently failed, in discovery order.
-  const std::vector<EvaluationFailure> &failures() const { return FailLog; }
+  /// Designs whose estimation permanently failed, oldest retained entry
+  /// first. The log is a bounded ring (MaxFailureLogEntries); this
+  /// materializes it in chronological order.
+  std::vector<EvaluationFailure> failures() const;
+
+  /// Failure-log entries evicted by the ring bound (a fault storm
+  /// overflowing MaxFailureLogEntries).
+  uint64_t failuresDropped() const { return DroppedFailures; }
 
   /// This run's successful evaluation of \p U, if it happened; never
   /// computes. Strategies use it for final selection without spending
@@ -267,6 +294,13 @@ private:
   Expected<SynthesisEstimate> computeRaw(const UnrollVector &U) const;
   std::string cacheKey(const UnrollVector &U) const;
   std::shared_ptr<ThreadPool> workerPool();
+  /// Appends to the bounded failure ring, evicting (and counting) the
+  /// oldest entry when full.
+  void logFailure(EvaluationFailure F);
+  /// Emits one "dse.breaker" trace event for a circuit transition or
+  /// admission decision ("opened", "reopened", "closed", "probe",
+  /// "fail-fast").
+  void traceBreaker(const char *What);
 
   const Kernel &Source;
   ExplorerOptions Opts;
@@ -280,7 +314,11 @@ private:
   std::vector<std::future<void>> Speculation;
   std::map<UnrollVector, SynthesisEstimate> Cache; // this run's successes
   std::map<UnrollVector, Status> FailCache; // this run's permanent failures
+  /// Bounded failure ring: oldest entry at FailLogStart once the ring
+  /// wrapped; failures() linearizes it.
   std::vector<EvaluationFailure> FailLog;
+  size_t FailLogStart = 0;
+  uint64_t DroppedFailures = 0;
   std::string Track; // trace track label (TraceLabel or kernel name)
   /// Decision-event sequence number within this exploration; assigned by
   /// the deterministic walk, so it is identical across thread counts.

@@ -116,10 +116,13 @@ public:
   /// Estimator attempts spent so far (retries included).
   unsigned evaluationsUsed() const { return Svc.evaluationsUsed(); }
 
-  /// Designs whose estimation permanently failed, in discovery order.
-  const std::vector<EvaluationFailure> &failures() const {
-    return Svc.failures();
-  }
+  /// Designs whose estimation permanently failed, oldest retained first
+  /// (the log is a bounded ring; see
+  /// ExplorerOptions::MaxFailureLogEntries).
+  std::vector<EvaluationFailure> failures() const { return Svc.failures(); }
+
+  /// Failure-log entries the ring bound evicted.
+  uint64_t failuresDropped() const { return Svc.failuresDropped(); }
 
   /// The search's starting point (§5.3's Uinit selection).
   UnrollVector initialVector() const { return guidedInitialVector(Svc); }

@@ -70,8 +70,12 @@ struct ExplorationResult {
   /// successfully evaluated (baseline included).
   bool Degraded = false;
   /// Machine-readable failure log; every entry is also mirrored into
-  /// Trace as a "FAIL"/"stop" line.
+  /// Trace as a "FAIL"/"stop" line. Bounded: the evaluation layer keeps
+  /// a ring of the most recent MaxFailureLogEntries failures and counts
+  /// the rest in DroppedFailures.
   std::vector<EvaluationFailure> Failures;
+  /// Failure-log entries evicted by the ring bound (a fault storm).
+  uint64_t DroppedFailures = 0;
   /// Estimator attempts actually spent (retries included; cached results
   /// consumed from a shared EstimateCache charge the attempts their
   /// original computation cost).

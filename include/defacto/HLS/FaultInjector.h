@@ -15,9 +15,15 @@
 ///
 /// Per call, independently and in this order:
 ///  - with probability FailureRate, fail with ErrorCode::EstimationFailed;
+///  - with probability HangRate, hang: sleep LatencySeconds at a time
+///    until the thread's current CancellationToken (the evaluation
+///    watchdog's) cancels the call, which then fails with
+///    ErrorCode::Cancelled. With no token armed the hang gives up after
+///    a large bounded number of sleeps and fails with EstimationFailed —
+///    a chaos run without a watchdog must not deadlock the test suite;
 ///  - with probability StallRate, invoke the Sleep hook for StallSeconds
-///    before answering (simulating a slow or hung tool; tests point Sleep
-///    at a virtual clock);
+///    before answering (simulating a slow — but finite — tool; tests
+///    point Sleep at a virtual clock);
 ///  - with probability PerturbRate, scale the returned cycle count and
 ///    area by independent factors in [1-PerturbMagnitude,
 ///    1+PerturbMagnitude] (simulating estimation noise).
@@ -40,6 +46,12 @@ struct FaultInjectorOptions {
   uint64_t Seed = 0;
   /// Probability a call fails outright.
   double FailureRate = 0.0;
+  /// Probability a call hangs — sleeping LatencySeconds per poll until
+  /// the current CancellationToken cancels it (the "tool never returns"
+  /// failure mode the hang watchdog exists for).
+  double HangRate = 0.0;
+  /// Virtual (or real) seconds slept per hang poll.
+  double LatencySeconds = 0.05;
   /// Probability a call stalls for StallSeconds before completing.
   double StallRate = 0.0;
   double StallSeconds = 0.0;
@@ -58,6 +70,10 @@ public:
     uint64_t Failures = 0;
     uint64_t Stalls = 0;
     uint64_t Perturbations = 0;
+    /// Injected hangs, and how many of them a watchdog cancelled (the
+    /// remainder hit the no-watchdog give-up bound).
+    uint64_t Hangs = 0;
+    uint64_t HangCancellations = 0;
   };
 
   explicit FaultInjector(FaultInjectorOptions Opts);

@@ -1,0 +1,103 @@
+//===- Cancellation.h - Cooperative cancellation tokens --------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative cancellation for long-running work driven by unreliable
+/// backends. A CancellationToken is a cheap handle to shared state that
+/// can be cancelled explicitly (requestCancel) or implicitly by a
+/// deadline on an injected clock — the hang watchdog arms one per
+/// estimator invocation, so a backend that stalls is cancelled at its
+/// next poll point instead of stranding a ThreadPool worker forever.
+///
+/// Deep inner loops (the scheduler's node walk, the estimator's segment
+/// walk, a FaultInjector hang) must not thread a token through every
+/// signature, so a CancellationScope installs the token thread-locally
+/// for its dynamic extent; currentCancelled() is the poll the loops use.
+/// With no scope installed the poll is a null check, and an installed
+/// but untouched token costs one relaxed load — cancellation is free
+/// until someone asks for it.
+///
+/// All state is per-token and the flag is atomic, so one token may be
+/// observed from many threads; a scope, like any RAII guard, stays on
+/// the thread that opened it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_SUPPORT_CANCELLATION_H
+#define DEFACTO_SUPPORT_CANCELLATION_H
+
+#include "defacto/Support/Error.h"
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace defacto {
+
+/// Shared-state cancellation handle. Copies observe (and cancel) the
+/// same underlying request. A default-constructed token is inert: it
+/// can never become cancelled.
+class CancellationToken {
+public:
+  CancellationToken() = default;
+
+  /// A token that can be cancelled explicitly via requestCancel().
+  static CancellationToken create();
+
+  /// A token that additionally self-cancels once \p Clock() reaches
+  /// \p DeadlineSeconds. The watchdog in EvaluationService uses the
+  /// exploration's injected clock, so tests drive it virtually.
+  static CancellationToken withDeadline(double DeadlineSeconds,
+                                        std::function<double()> Clock,
+                                        std::string Reason = "");
+
+  /// Requests cancellation; every copy of the token observes it.
+  void requestCancel(std::string Reason = "cancelled");
+
+  /// True once cancelled (explicitly or past the deadline). The deadline
+  /// latches: after the first expired poll the token stays cancelled
+  /// even if the clock were to move backwards.
+  bool cancelled() const;
+
+  /// Status::ok() while live; ErrorCode::Cancelled with the reason once
+  /// cancelled. Poll sites that can propagate a Status use this.
+  Status check() const;
+
+  /// True for a token that could ever cancel (not default-constructed).
+  bool valid() const { return S != nullptr; }
+
+private:
+  struct State;
+  std::shared_ptr<State> S;
+};
+
+/// Installs \p Token as the calling thread's current cancellation token
+/// for this scope's lifetime; nests (the previous token is restored).
+class CancellationScope {
+public:
+  explicit CancellationScope(CancellationToken Token);
+  ~CancellationScope();
+
+  CancellationScope(const CancellationScope &) = delete;
+  CancellationScope &operator=(const CancellationScope &) = delete;
+
+private:
+  CancellationToken Previous;
+};
+
+/// The calling thread's current token (inert when no scope is active).
+const CancellationToken &currentCancellation();
+
+/// Poll of the thread's current token: the one call inner loops make.
+bool currentCancelled();
+
+/// currentCancellation().check() — for poll sites returning Status.
+Status currentCancelStatus();
+
+} // namespace defacto
+
+#endif // DEFACTO_SUPPORT_CANCELLATION_H

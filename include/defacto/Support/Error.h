@@ -47,6 +47,12 @@ enum class ErrorCode {
   DeadlineExceeded,
   /// An evaluation budget ran dry.
   BudgetExhausted,
+  /// A cooperative cancellation request (the hang watchdog) interrupted
+  /// the work before it finished.
+  Cancelled,
+  /// A backend circuit breaker is open: the call failed fast without
+  /// reaching the backend at all.
+  BackendUnavailable,
   /// A should-not-happen condition reported instead of aborting.
   Internal,
 };
@@ -54,6 +60,11 @@ enum class ErrorCode {
 /// Stable lower-case identifier for \p Code ("out_of_bounds", ...), for
 /// machine-readable logs.
 const char *errorCodeName(ErrorCode Code);
+
+/// Inverse of errorCodeName, for machine-readable logs read back in (the
+/// evaluation journal). Unknown names map to ErrorCode::Internal so a
+/// record written by a newer build still loads.
+ErrorCode errorCodeFromName(const std::string &Name);
 
 /// Success, or an ErrorCode plus message. Default-constructed Status is
 /// success.

@@ -6,6 +6,8 @@
 
 #include "defacto/Core/BatchExplorer.h"
 
+#include "defacto/Core/EvaluationJournal.h"
+
 using namespace defacto;
 
 BatchExplorer::BatchExplorer(BatchOptions Opts) : Opts(std::move(Opts)) {
@@ -30,7 +32,9 @@ namespace {
 
 ExplorationResult runJob(const BatchJob &Job,
                          const std::shared_ptr<EstimateCache> &Cache,
-                         const std::shared_ptr<TraceRecorder> &Trace) {
+                         const std::shared_ptr<TraceRecorder> &Trace,
+                         const std::shared_ptr<CircuitBreakerRegistry>
+                             &Breakers) {
   // Each job runs sequentially inside its worker: its parallelism budget
   // is the batch's, and nested speculation into the batch pool could
   // deadlock it (every worker waiting on tasks no worker is free to
@@ -41,6 +45,8 @@ ExplorationResult runJob(const BatchJob &Job,
   Opts.Cache = Cache;
   if (!Opts.Trace)
     Opts.Trace = Trace;
+  if (!Opts.Breakers)
+    Opts.Breakers = Breakers;
   if (Opts.TraceLabel.empty())
     Opts.TraceLabel = Job.Name.empty() ? Job.K.name() : Job.Name;
   if (!Job.Strategy.empty()) {
@@ -59,6 +65,34 @@ ExplorationResult runJob(const BatchJob &Job,
   return Ex.run();
 }
 
+/// Journals \p Result's winner summary; when the journal already held a
+/// record for \p Name (an interrupted run finished this job), first
+/// verifies the re-derived winner against it and notes the outcome in
+/// the result's trace.
+void journalJob(EvaluationJournal &Journal, const std::string &Name,
+                ExplorationResult &Result) {
+  JournalJobRecord Rec;
+  Rec.Name = Name;
+  Rec.Strategy = Result.Strategy;
+  Rec.Selected = unrollVectorToString(Result.Selected);
+  Rec.Cycles = Result.SelectedEstimate.Cycles;
+  Rec.Slices = Result.SelectedEstimate.Slices;
+  Rec.Evaluations = Result.EvaluationsUsed;
+  Rec.Degraded = Result.Degraded;
+  Rec.Fits = Result.SelectedFits;
+  if (std::optional<JournalJobRecord> Prev = Journal.jobRecord(Name)) {
+    bool Match = Prev->Selected == Rec.Selected &&
+                 Prev->Cycles == Rec.Cycles && Prev->Slices == Rec.Slices &&
+                 Prev->Fits == Rec.Fits;
+    Result.Trace += Match ? "resume: reproduced journaled winner " +
+                                Rec.Selected + "\n"
+                          : "resume: journaled winner " + Prev->Selected +
+                                " NOT reproduced (got " + Rec.Selected +
+                                ")\n";
+  }
+  Journal.recordJob(Rec);
+}
+
 } // namespace
 
 std::vector<BatchResult> BatchExplorer::runAll() {
@@ -70,10 +104,27 @@ std::vector<BatchResult> BatchExplorer::runAll() {
     Results[I].Name = Pending[I].Name.empty() ? Pending[I].K.name()
                                               : Pending[I].Name;
 
+  // Journal hookup: every estimation fulfilled into the shared cache is
+  // recorded (and flushed) the moment it completes, from whichever
+  // thread computed it. Replayed (seeded) entries never re-fulfill, so a
+  // resumed run re-records nothing.
+  if (Opts.Journal)
+    Cache->setObserver(
+        [Journal = Opts.Journal](const std::string &Key,
+                                 const EstimateCache::Result &R) {
+          Journal->recordEvaluation(Key, R);
+        });
+
   bool Parallel = Opts.Pool != nullptr || Opts.NumThreads > 1;
   if (!Parallel) {
-    for (size_t I = 0; I != Pending.size(); ++I)
-      Results[I].Result = runJob(Pending[I], Cache, Opts.Trace);
+    for (size_t I = 0; I != Pending.size(); ++I) {
+      Results[I].Result =
+          runJob(Pending[I], Cache, Opts.Trace, Opts.Breakers);
+      if (Opts.Journal)
+        journalJob(*Opts.Journal, Results[I].Name, Results[I].Result);
+    }
+    if (Opts.Journal)
+      Cache->setObserver({});
     return Results;
   }
 
@@ -82,12 +133,17 @@ std::vector<BatchResult> BatchExplorer::runAll() {
   std::vector<std::future<void>> Done;
   Done.reserve(Pending.size());
   for (size_t I = 0; I != Pending.size(); ++I)
-    Done.push_back(Pool->submit(
-        [&Pending, &Results, &Cache = Cache, &Trace = Opts.Trace, I] {
-          Results[I].Result = runJob(Pending[I], Cache, Trace);
-        }));
+    Done.push_back(Pool->submit([&Pending, &Results, &Cache = Cache,
+                                 &Opts = Opts, I] {
+      Results[I].Result =
+          runJob(Pending[I], Cache, Opts.Trace, Opts.Breakers);
+      if (Opts.Journal)
+        journalJob(*Opts.Journal, Results[I].Name, Results[I].Result);
+    }));
   for (std::future<void> &F : Done)
     F.wait();
+  if (Opts.Journal)
+    Cache->setObserver({});
   return Results;
 }
 

@@ -1,0 +1,114 @@
+//===- CircuitBreaker.cpp -------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/CircuitBreaker.h"
+
+#include "defacto/Support/Stats.h"
+
+using namespace defacto;
+
+DEFACTO_STATISTIC(NumBreakerOpens, "breaker", "opens",
+                  "circuit-breaker transitions into the open state");
+DEFACTO_STATISTIC(NumBreakerCloses, "breaker", "closes",
+                  "half-open probes that restored a backend to closed");
+DEFACTO_STATISTIC(NumBreakerFastFailures, "breaker", "fast-failures",
+                  "evaluations failed fast by an open circuit");
+DEFACTO_STATISTIC(NumBreakerProbes, "breaker", "probes",
+                  "half-open probe evaluations admitted");
+
+CircuitBreakerRegistry::CircuitBreakerRegistry(CircuitBreakerOptions Opts)
+    : Opts(Opts) {}
+
+CircuitBreakerRegistry::Decision
+CircuitBreakerRegistry::admit(const std::string &Key, double Now) {
+  std::lock_guard<std::mutex> Lock(M);
+  Breaker &B = Breakers[Key];
+  switch (B.Current) {
+  case State::Closed:
+    return Decision::Allow;
+  case State::Open:
+    if (Now - B.OpenedAt >= Opts.CooldownSeconds) {
+      B.Current = State::HalfOpen;
+      B.ProbeInFlight = true;
+      ++B.Probes;
+      ++NumBreakerProbes;
+      return Decision::Probe;
+    }
+    ++B.FastFailures;
+    ++NumBreakerFastFailures;
+    return Decision::FailFast;
+  case State::HalfOpen:
+    if (!B.ProbeInFlight) {
+      B.ProbeInFlight = true;
+      ++B.Probes;
+      ++NumBreakerProbes;
+      return Decision::Probe;
+    }
+    ++B.FastFailures;
+    ++NumBreakerFastFailures;
+    return Decision::FailFast;
+  }
+  return Decision::Allow;
+}
+
+const char *CircuitBreakerRegistry::recordSuccess(const std::string &Key,
+                                                  double /*Now*/) {
+  std::lock_guard<std::mutex> Lock(M);
+  Breaker &B = Breakers[Key];
+  B.ConsecutiveFailures = 0;
+  if (B.Current == State::HalfOpen) {
+    B.Current = State::Closed;
+    B.ProbeInFlight = false;
+    ++NumBreakerCloses;
+    return "closed";
+  }
+  return nullptr;
+}
+
+const char *CircuitBreakerRegistry::recordFailure(const std::string &Key,
+                                                  double Now) {
+  std::lock_guard<std::mutex> Lock(M);
+  Breaker &B = Breakers[Key];
+  switch (B.Current) {
+  case State::Closed:
+    if (++B.ConsecutiveFailures >= Opts.FailureThreshold) {
+      B.Current = State::Open;
+      B.OpenedAt = Now;
+      ++B.TimesOpened;
+      ++NumBreakerOpens;
+      return "opened";
+    }
+    return nullptr;
+  case State::HalfOpen:
+    // The probe failed: the backend is still down. Restart the cooldown.
+    B.Current = State::Open;
+    B.OpenedAt = Now;
+    B.ProbeInFlight = false;
+    ++B.TimesOpened;
+    ++NumBreakerOpens;
+    return "reopened";
+  case State::Open:
+    // A call admitted before the trip finishing late; nothing changes.
+    return nullptr;
+  }
+  return nullptr;
+}
+
+CircuitBreakerRegistry::Snapshot
+CircuitBreakerRegistry::snapshot(const std::string &Key) const {
+  std::lock_guard<std::mutex> Lock(M);
+  Snapshot S;
+  auto It = Breakers.find(Key);
+  if (It == Breakers.end())
+    return S;
+  const Breaker &B = It->second;
+  S.Current = B.Current;
+  S.ConsecutiveFailures = B.ConsecutiveFailures;
+  S.TimesOpened = B.TimesOpened;
+  S.FastFailures = B.FastFailures;
+  S.Probes = B.Probes;
+  return S;
+}

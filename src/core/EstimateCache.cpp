@@ -146,7 +146,35 @@ void EstimateCache::fulfill(Ticket T, Result R) {
     ++S.Counters.Inserts;
     ++NumInserts;
   }
+  std::shared_ptr<const Observer> Notify;
+  {
+    std::lock_guard<std::mutex> Lock(ObserverM);
+    Notify = CompletionObserver;
+  }
+  if (Notify && *Notify)
+    (*Notify)(T.Key, R);
   T.Promise->set_value(std::move(R));
+}
+
+bool EstimateCache::seed(const std::string &Key, Result R) {
+  unsigned Index = 0;
+  Shard &S = shardFor(Key, Index);
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (S.Map.count(Key))
+    return false;
+  std::promise<Result> P;
+  std::shared_future<Result> F = P.get_future().share();
+  P.set_value(std::move(R));
+  S.Map.emplace(Key, Entry{std::move(F), true});
+  ++S.Counters.Inserts;
+  ++NumInserts;
+  return true;
+}
+
+void EstimateCache::setObserver(Observer O) {
+  std::lock_guard<std::mutex> Lock(ObserverM);
+  CompletionObserver =
+      O ? std::make_shared<const Observer>(std::move(O)) : nullptr;
 }
 
 void EstimateCache::abandon(Ticket T, Status Transient) {

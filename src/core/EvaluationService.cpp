@@ -7,8 +7,10 @@
 #include "defacto/Core/EvaluationService.h"
 
 #include "defacto/Analysis/DependenceAnalysis.h"
+#include "defacto/Core/CircuitBreaker.h"
 #include "defacto/Core/SearchStrategy.h"
 #include "defacto/IR/IRUtils.h"
+#include "defacto/Support/Cancellation.h"
 #include "defacto/Support/MathExtras.h"
 #include "defacto/Support/Stats.h"
 #include "defacto/Support/Table.h"
@@ -22,6 +24,10 @@ using namespace defacto;
 
 DEFACTO_STATISTIC(NumSpeculated, "explore", "speculated",
                   "candidate designs submitted to the worker pool");
+DEFACTO_STATISTIC(NumWatchdogCancels, "explore", "watchdog-cancels",
+                  "estimator invocations cancelled by the hang watchdog");
+DEFACTO_STATISTIC(NumDroppedFailures, "explore", "dropped-failures",
+                  "failure-log entries evicted by the ring bound");
 
 EvaluationService::EvaluationService(const Kernel &Source,
                                      ExplorerOptions Opts)
@@ -167,11 +173,38 @@ EvaluationService::computeRaw(const UnrollVector &U) const {
   TO.Layout.NumMemories = Opts.Platform.NumMemories;
 
   // Estimation backends are arbitrary callables (a real synthesis tool
-  // behind a wrapper); time every invocation at this seam.
+  // behind a wrapper); time every invocation at this seam. The hang
+  // watchdog arms a fresh deadline token per invocation: a cooperative
+  // backend (the built-in estimator polls in its walk and scheduling
+  // loops; a FaultInjector hang polls between simulated sleeps) observes
+  // it thread-locally and returns ErrorCode::Cancelled.
   auto invokeEstimator =
-      [this](const Kernel &K) -> Expected<SynthesisEstimate> {
+      [this, &U](const Kernel &K) -> Expected<SynthesisEstimate> {
     DEFACTO_SCOPED_TIMER("estimator.invoke");
-    return Opts.Estimator(K, Opts.Platform);
+    if (Opts.WatchdogSeconds <= 0)
+      return Opts.Estimator(K, Opts.Platform);
+    CancellationToken Watchdog = CancellationToken::withDeadline(
+        Opts.Clock() + Opts.WatchdogSeconds, Opts.Clock,
+        "estimator watchdog (" + std::to_string(Opts.WatchdogSeconds) +
+            "s)");
+    CancellationScope Scope(Watchdog);
+    Expected<SynthesisEstimate> Est = Opts.Estimator(K, Opts.Platform);
+    if (!Est && Est.status().code() == ErrorCode::Cancelled) {
+      ++NumWatchdogCancels;
+      TraceRecorder &R = recorder();
+      if (R.enabled()) {
+        // Run-variant by nature (real clocks fire at real times), so
+        // everything lands in Runtime, never in the decision digest.
+        TraceEvent Ev;
+        Ev.Track = Track;
+        Ev.Category = "dse.cancel";
+        Ev.Name = unrollVectorToString(U);
+        Ev.Runtime = {{"reason", Est.status().message()},
+                      {"watchdog_s", formatDouble(Opts.WatchdogSeconds, 3)}};
+        R.record(std::move(Ev));
+      }
+    }
+    return Est;
   };
 
   TransformResult R = applyPipeline(Ctx, TO);
@@ -266,20 +299,42 @@ EvaluationService::evaluateChecked(const UnrollVector &U) {
       }
       Status Err = Done->Estimate.status();
       FailCache.emplace(U, Err);
-      FailLog.push_back({U, Done->Attempts, Err});
+      logFailure({U, Done->Attempts, Err});
       return Err;
     }
 
     // Miss: this run owns the computation (and its retries).
     EstimateCache::Ticket Ticket =
         std::get<EstimateCache::Ticket>(std::move(Found));
+
+    // Circuit-breaker gate. Placed after the ticket so completed cache
+    // entries keep being served while a backend is down; only work that
+    // would actually reach the backend is failed fast. Fast failures are
+    // global conditions, never the design's fault: the ticket is
+    // abandoned (no negative caching) and no budget is charged.
+    if (Opts.Breakers) {
+      CircuitBreakerRegistry::Decision Admit =
+          Opts.Breakers->admit(Opts.Platform.Name, Opts.Clock());
+      if (Admit == CircuitBreakerRegistry::Decision::FailFast) {
+        traceBreaker("fail-fast");
+        Status Fast = Status::error(
+            ErrorCode::BackendUnavailable,
+            "circuit open for backend '" + Opts.Platform.Name + "'");
+        Estimates->abandon(std::move(Ticket), Fast);
+        logFailure({U, 0, Fast});
+        return Fast;
+      }
+      if (Admit == CircuitBreakerRegistry::Decision::Probe)
+        traceBreaker("probe");
+    }
+
     Status Last = Status::ok();
     double Backoff = Opts.RetryBackoffSeconds;
     unsigned Attempts = 0;
     for (unsigned Attempt = 0; Attempt <= Opts.MaxRetries; ++Attempt) {
       if (Status Limit = checkLimits(); !Limit.isOk()) {
         if (Attempts > 0) // Record what the cut-short retries saw.
-          FailLog.push_back({U, Attempts, Last});
+          logFailure({U, Attempts, Last});
         Estimates->abandon(std::move(Ticket), Limit);
         return Limit;
       }
@@ -291,6 +346,10 @@ EvaluationService::evaluateChecked(const UnrollVector &U) {
       ++Attempts;
       Expected<SynthesisEstimate> Est = computeRaw(U);
       if (Est) {
+        if (Opts.Breakers)
+          if (const char *Transition = Opts.Breakers->recordSuccess(
+                  Opts.Platform.Name, Opts.Clock()))
+            traceBreaker(Transition);
         Estimates->fulfill(std::move(Ticket),
                            EstimateCache::Result{Est, Attempts});
         Cache.emplace(U, *Est);
@@ -298,13 +357,66 @@ EvaluationService::evaluateChecked(const UnrollVector &U) {
       }
       Last = Est.status();
     }
+    // Permanent failure: every retry exhausted. This is the granularity
+    // the breaker counts — attempt failures a retry recovered never
+    // reach it.
+    if (Opts.Breakers)
+      if (const char *Transition = Opts.Breakers->recordFailure(
+              Opts.Platform.Name, Opts.Clock()))
+        traceBreaker(Transition);
     Estimates->fulfill(
         std::move(Ticket),
         EstimateCache::Result{Expected<SynthesisEstimate>(Last), Attempts});
     FailCache.emplace(U, Last);
-    FailLog.push_back({U, Attempts, Last});
+    logFailure({U, Attempts, Last});
     return Last;
   }
+}
+
+void EvaluationService::logFailure(EvaluationFailure F) {
+  size_t Cap = std::max(1u, Opts.MaxFailureLogEntries);
+  if (FailLog.size() < Cap) {
+    FailLog.push_back(std::move(F));
+    return;
+  }
+  FailLog[FailLogStart] = std::move(F);
+  FailLogStart = (FailLogStart + 1) % Cap;
+  ++DroppedFailures;
+  ++NumDroppedFailures;
+}
+
+std::vector<EvaluationFailure> EvaluationService::failures() const {
+  std::vector<EvaluationFailure> Out;
+  Out.reserve(FailLog.size());
+  for (size_t I = 0; I != FailLog.size(); ++I)
+    Out.push_back(FailLog[(FailLogStart + I) % FailLog.size()]);
+  return Out;
+}
+
+void EvaluationService::traceBreaker(const char *What) {
+  TraceRecorder &R = recorder();
+  if (!R.enabled())
+    return;
+  CircuitBreakerRegistry::Snapshot Snap =
+      Opts.Breakers->snapshot(Opts.Platform.Name);
+  TraceEvent Ev;
+  Ev.Track = Track;
+  Ev.Category = "dse.breaker";
+  Ev.Name = Opts.Platform.Name;
+  // Breaker activity is timing-dependent (cooldowns on a real clock),
+  // so the whole payload is run-variant Runtime detail.
+  Ev.Runtime = {{"event", What},
+                {"state", Snap.Current == CircuitBreakerRegistry::State::Open
+                              ? "open"
+                          : Snap.Current ==
+                                  CircuitBreakerRegistry::State::HalfOpen
+                              ? "half-open"
+                              : "closed"},
+                {"consecutive_failures",
+                 std::to_string(Snap.ConsecutiveFailures)},
+                {"times_opened", std::to_string(Snap.TimesOpened)},
+                {"fast_failures", std::to_string(Snap.FastFailures)}};
+  R.record(std::move(Ev));
 }
 
 std::optional<SynthesisEstimate>

@@ -404,6 +404,7 @@ ExplorationResult GuidedStrategy::search(const SearchContext &SC) {
   }
 
   Res.Failures = Eval.failures();
+  Res.DroppedFailures = Eval.failuresDropped();
   if (!Stop.isOk() && isStop(Stop))
     Res.Failures.push_back({Ucurr, 0, Stop});
   Res.Degraded = !Ok || !Res.Failures.empty();

@@ -227,6 +227,7 @@ ExplorationResult HillClimbStrategy::search(const SearchContext &SC) {
   }
 
   Res.Failures = Eval.failures();
+  Res.DroppedFailures = Eval.failuresDropped();
   if (!Stop.isOk() && isStop(Stop))
     Res.Failures.push_back({Curr, 0, Stop});
   Res.Degraded = !Stop.isOk() || !Res.Failures.empty();

@@ -116,6 +116,7 @@ ExplorationResult PortfolioStrategy::search(const SearchContext &SC) {
     Res.SelectedFits = reallyFits(*Winner);
     Res.Visited = Winner->Visited;
     Res.Failures = Winner->Failures;
+    Res.DroppedFailures = Winner->DroppedFailures;
     Res.Degraded = Winner->Degraded;
     Res.Trace += "portfolio winner: " + Winner->Strategy + "\n";
   } else {

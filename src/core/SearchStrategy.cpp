@@ -159,6 +159,7 @@ ExplorationResult pickBest(const SearchContext &SC,
     Res.SelectedEstimate = Res.BaselineEstimate;
   }
   Res.Failures = Ex.failures();
+  Res.DroppedFailures = Ex.failuresDropped();
   Res.Degraded = !Res.Failures.empty();
   Res.EvaluationsUsed = Ex.evaluationsUsed();
   for (const EvaluationFailure &F : Res.Failures)

@@ -9,6 +9,7 @@
 #include "defacto/Analysis/ValueRange.h"
 #include "defacto/IR/IRUtils.h"
 #include "defacto/IR/IRVerifier.h"
+#include "defacto/Support/Cancellation.h"
 #include "defacto/Support/Table.h"
 #include "defacto/Support/Timer.h"
 
@@ -120,6 +121,10 @@ private:
     };
 
     for (const StmtPtr &SP : Stmts) {
+      // Cooperative hang-watchdog poll: once cancelled, stop descending
+      // — the partial totals are discarded by estimateDesignChecked.
+      if (currentCancelled())
+        break;
       if (const auto *F = dyn_cast<ForStmt>(SP.get())) {
         flush();
         std::string ChildPath =
@@ -225,6 +230,10 @@ defacto::estimateDesignChecked(const Kernel &K,
     return Status::error(ErrorCode::MalformedIR,
                          "cannot estimate invalid kernel: " + Problems.front());
   SynthesisEstimate Est = estimateDesign(K, Platform);
+  // A watchdog cancellation mid-walk leaves partial totals; report the
+  // cancellation rather than a garbage estimate.
+  if (Status Cancel = currentCancelStatus(); !Cancel.isOk())
+    return Cancel;
   if (Est.Cycles == 0 || Est.Slices <= 0.0)
     return Status::error(ErrorCode::EstimationFailed,
                          "estimator returned a degenerate design (cycles=" +

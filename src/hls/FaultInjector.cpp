@@ -6,11 +6,19 @@
 
 #include "defacto/HLS/FaultInjector.h"
 
+#include "defacto/Support/Cancellation.h"
+#include "defacto/Support/Stats.h"
+
 #include <algorithm>
 #include <chrono>
 #include <thread>
 
 using namespace defacto;
+
+DEFACTO_STATISTIC(NumInjectedHangs, "faults", "hangs",
+                  "estimator calls the fault injector hung");
+DEFACTO_STATISTIC(NumHangCancellations, "faults", "hang-cancellations",
+                  "injected hangs a watchdog token cancelled");
 
 FaultInjector::FaultInjector(FaultInjectorOptions Opts)
     : Opts(Opts), Rng(Opts.Seed ^ 0xFA01D1CE5EEDULL) {
@@ -28,6 +36,27 @@ FaultInjector::invoke(const EstimatorFn &Inner, const Kernel &K,
     ++Stats.Failures;
     return Status::error(ErrorCode::EstimationFailed,
                          "injected estimation failure (call " +
+                             std::to_string(Stats.Calls) + ")");
+  }
+  if (Opts.HangRate > 0 && Rng.nextDouble() < Opts.HangRate) {
+    ++Stats.Hangs;
+    ++NumInjectedHangs;
+    // A hung tool never returns on its own: sleep-and-poll until the
+    // thread's watchdog token cancels the call. Without a token, give up
+    // after a large bounded number of polls so a misconfigured chaos run
+    // degrades into an ordinary failure instead of wedging its worker.
+    const uint64_t MaxPolls = 2000;
+    for (uint64_t Poll = 0; Poll != MaxPolls; ++Poll) {
+      if (currentCancelled()) {
+        ++Stats.HangCancellations;
+        ++NumHangCancellations;
+        return currentCancelStatus();
+      }
+      Sleep(Opts.LatencySeconds);
+    }
+    return Status::error(ErrorCode::EstimationFailed,
+                         "injected hang ran its bounded course with no "
+                         "watchdog (call " +
                              std::to_string(Stats.Calls) + ")");
   }
   if (Opts.StallRate > 0 && Rng.nextDouble() < Opts.StallRate) {

@@ -6,6 +6,7 @@
 
 #include "defacto/HLS/Scheduler.h"
 
+#include "defacto/Support/Cancellation.h"
 #include "defacto/Support/Timer.h"
 
 #include <algorithm>
@@ -42,6 +43,11 @@ std::vector<NodeTime> listSchedule(const DFG &Graph,
   std::vector<double> PortFree(P.NumMemories == 0 ? 1 : P.NumMemories, 0.0);
 
   for (unsigned I = 0; I != Graph.Nodes.size(); ++I) {
+    // Cooperative hang-watchdog poll: a cancelled evaluation abandons
+    // the schedule mid-walk; estimateDesignChecked discards the partial
+    // result and reports ErrorCode::Cancelled.
+    if (currentCancelled())
+      break;
     const DFGNode &Node = Graph.Nodes[I];
     double Ready = 0;
     for (unsigned Pred : Graph.Nodes[I].Preds)

@@ -1,0 +1,94 @@
+//===- Cancellation.cpp ---------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Support/Cancellation.h"
+
+#include <mutex>
+
+using namespace defacto;
+
+struct CancellationToken::State {
+  std::atomic<bool> Flag{false};
+  /// Deadline on the injected clock; unused when Clock is empty. Both
+  /// fields, like SeedReason, are written only before the token is
+  /// shared.
+  double DeadlineSeconds = 0;
+  std::function<double()> Clock;
+  /// Label folded into the deadline cancel reason; set at construction.
+  std::string SeedReason;
+  /// Why the token was cancelled; written once, before Flag is set with
+  /// release order, and read only after an acquire load observes Flag.
+  std::string Reason;
+  std::once_flag ReasonOnce;
+
+  void cancel(std::string Why) {
+    std::call_once(ReasonOnce, [&] {
+      Reason = std::move(Why);
+      Flag.store(true, std::memory_order_release);
+    });
+  }
+
+  bool cancelled() {
+    if (Flag.load(std::memory_order_acquire))
+      return true;
+    if (Clock && Clock() >= DeadlineSeconds) {
+      cancel("watchdog deadline" +
+             (SeedReason.empty() ? std::string() : ": " + SeedReason));
+      return true;
+    }
+    return false;
+  }
+};
+
+CancellationToken CancellationToken::create() {
+  CancellationToken T;
+  T.S = std::make_shared<State>();
+  return T;
+}
+
+CancellationToken
+CancellationToken::withDeadline(double DeadlineSeconds,
+                                std::function<double()> Clock,
+                                std::string Reason) {
+  CancellationToken T = create();
+  T.S->DeadlineSeconds = DeadlineSeconds;
+  T.S->SeedReason = std::move(Reason);
+  T.S->Clock = std::move(Clock);
+  return T;
+}
+
+void CancellationToken::requestCancel(std::string Reason) {
+  if (S)
+    S->cancel(std::move(Reason));
+}
+
+bool CancellationToken::cancelled() const { return S && S->cancelled(); }
+
+Status CancellationToken::check() const {
+  if (!cancelled())
+    return Status::ok();
+  return Status::error(ErrorCode::Cancelled,
+                       S->Reason.empty() ? "cancelled" : S->Reason);
+}
+
+namespace {
+thread_local CancellationToken CurrentToken;
+} // namespace
+
+CancellationScope::CancellationScope(CancellationToken Token)
+    : Previous(CurrentToken) {
+  CurrentToken = std::move(Token);
+}
+
+CancellationScope::~CancellationScope() { CurrentToken = Previous; }
+
+const CancellationToken &defacto::currentCancellation() {
+  return CurrentToken;
+}
+
+bool defacto::currentCancelled() { return CurrentToken.cancelled(); }
+
+Status defacto::currentCancelStatus() { return CurrentToken.check(); }

@@ -28,10 +28,26 @@ const char *defacto::errorCodeName(ErrorCode Code) {
     return "deadline_exceeded";
   case ErrorCode::BudgetExhausted:
     return "budget_exhausted";
+  case ErrorCode::Cancelled:
+    return "cancelled";
+  case ErrorCode::BackendUnavailable:
+    return "backend_unavailable";
   case ErrorCode::Internal:
     return "internal";
   }
   defacto_unreachable("unknown error code");
+}
+
+ErrorCode defacto::errorCodeFromName(const std::string &Name) {
+  for (ErrorCode Code :
+       {ErrorCode::Ok, ErrorCode::InvalidInput, ErrorCode::OutOfBounds,
+        ErrorCode::StepLimitExceeded, ErrorCode::MalformedIR,
+        ErrorCode::EstimationFailed, ErrorCode::DeadlineExceeded,
+        ErrorCode::BudgetExhausted, ErrorCode::Cancelled,
+        ErrorCode::BackendUnavailable, ErrorCode::Internal})
+    if (Name == errorCodeName(Code))
+      return Code;
+  return ErrorCode::Internal;
 }
 
 std::string Status::toString() const {

@@ -1,0 +1,395 @@
+//===- journal_resume_test.cpp - Crash-safe journal + resume tests --------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The evaluation journal's crash-safety contract, pinned end to end:
+/// bit-exact round-tripping of estimates (hexfloat doubles, infinity
+/// included), tolerance of torn and corrupt lines, write-then-rename
+/// atomicity, and the headline guarantee — a batch interrupted at ANY
+/// point and resumed from its journal reproduces the uninterrupted
+/// run's winners and decision digests bit-identically, spending zero
+/// backend calls on journaled work. Abort points are chosen on a seeded
+/// stream over the real journal a run wrote; both sequential and
+/// 8-thread batches are held to the same digest.
+///
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/BatchExplorer.h"
+#include "defacto/Core/EvaluationJournal.h"
+#include "defacto/Kernels/Kernels.h"
+#include "defacto/Support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+using namespace defacto;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return testing::TempDir() + "defacto_" + Name;
+}
+
+bool sameBits(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+std::vector<std::string> readLines(const std::string &Path) {
+  std::ifstream In(Path);
+  std::vector<std::string> Lines;
+  std::string Line;
+  while (std::getline(In, Line))
+    Lines.push_back(Line);
+  return Lines;
+}
+
+void writeLines(const std::string &Path,
+                const std::vector<std::string> &Lines) {
+  std::ofstream Out(Path, std::ios::trunc);
+  for (const std::string &Line : Lines)
+    Out << Line << '\n';
+}
+
+/// A small batch over two paper kernels whose every estimator call is
+/// counted (thread-safely) — resumed runs prove they never touched the
+/// backend by this count staying zero.
+struct CountingBatch {
+  std::shared_ptr<std::atomic<unsigned>> BackendCalls =
+      std::make_shared<std::atomic<unsigned>>(0);
+
+  BatchOptions Batch;
+  std::shared_ptr<TraceRecorder> Trace = std::make_shared<TraceRecorder>();
+
+  explicit CountingBatch(unsigned Threads,
+                         std::shared_ptr<EvaluationJournal> Journal) {
+    Batch.NumThreads = Threads;
+    Batch.Journal = std::move(Journal);
+    Batch.Trace = Trace;
+    Trace->setEnabled(true);
+  }
+
+  std::vector<BatchResult> run() {
+    BatchExplorer Engine(Batch);
+    for (const char *Name : {"FIR", "MM"}) {
+      ExplorerOptions Opts;
+      Opts.Estimator = [Calls = BackendCalls](const Kernel &K,
+                                              const TargetPlatform &P) {
+        Calls->fetch_add(1, std::memory_order_relaxed);
+        return estimateDesignChecked(K, P);
+      };
+      Engine.addJob(buildKernel(Name), std::move(Opts), "guided");
+    }
+    return Engine.runAll();
+  }
+};
+
+struct Winner {
+  std::string Name;
+  UnrollVector Selected;
+  uint64_t Cycles;
+  double Slices;
+};
+
+std::vector<Winner> winnersOf(const std::vector<BatchResult> &Results) {
+  std::vector<Winner> W;
+  for (const BatchResult &R : Results)
+    W.push_back({R.Name, R.Result.Selected, R.Result.SelectedEstimate.Cycles,
+                 R.Result.SelectedEstimate.Slices});
+  return W;
+}
+
+void expectSameWinners(const std::vector<Winner> &A,
+                       const std::vector<Winner> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].Name, B[I].Name);
+    EXPECT_EQ(A[I].Selected, B[I].Selected) << A[I].Name;
+    EXPECT_EQ(A[I].Cycles, B[I].Cycles) << A[I].Name;
+    EXPECT_TRUE(sameBits(A[I].Slices, B[I].Slices)) << A[I].Name;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Round-trip fidelity
+//===----------------------------------------------------------------------===//
+
+TEST(EvaluationJournal, RoundTripsEstimatesBitExactly) {
+  std::string Path = tempPath("roundtrip.jsonl");
+  std::remove(Path.c_str());
+  {
+    EvaluationJournal J(Path);
+    SynthesisEstimate E;
+    E.Cycles = 123456789012345ull;
+    E.Slices = 0.1 + 0.2; // Not representable: %g would round it away.
+    E.Registers = 42;
+    E.Units[{OpClass::Mul, 32}] = 3;
+    E.Units[{OpClass::AddSub, 16}] = 7;
+    E.FetchRate = 1.0 / 3.0;
+    E.ConsumeRate = 2.0 / 7.0;
+    E.Balance = HUGE_VAL; // Memory-free design: infinity must survive.
+    E.MemOnlyCycles = 1e-300;
+    E.CompOnlyCycles = 3.14159265358979323846;
+    E.BitsTransferred = 1e300;
+    E.FsmStates = 999;
+    J.recordEvaluation("design-a",
+                       {Expected<SynthesisEstimate>(E), 3});
+    J.recordEvaluation(
+        "design-b",
+        {Expected<SynthesisEstimate>(Status::error(
+             ErrorCode::EstimationFailed, "tool crash\nwith \"quotes\"")),
+         2});
+    JournalJobRecord Job;
+    Job.Name = "fir @ board";
+    Job.Strategy = "guided";
+    Job.Selected = "(4, 2)";
+    Job.Cycles = 1808;
+    Job.Slices = 460.25;
+    Job.Evaluations = 9;
+    Job.Degraded = true;
+    Job.Fits = false;
+    J.recordJob(Job);
+  }
+
+  Expected<EvaluationJournal::Contents> Loaded =
+      EvaluationJournal::load(Path);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().toString();
+  EXPECT_EQ(Loaded->SkippedLines, 0u);
+  ASSERT_EQ(Loaded->Evaluations.size(), 2u);
+
+  const auto &[KeyA, A] = Loaded->Evaluations[0];
+  EXPECT_EQ(KeyA, "design-a");
+  EXPECT_EQ(A.Attempts, 3u);
+  ASSERT_TRUE(A.ok());
+  const SynthesisEstimate &G = A.Estimate.value();
+  EXPECT_EQ(G.Cycles, 123456789012345ull);
+  EXPECT_TRUE(sameBits(G.Slices, 0.1 + 0.2));
+  EXPECT_EQ(G.Registers, 42u);
+  EXPECT_EQ(G.Units.size(), 2u);
+  EXPECT_EQ(G.Units.at({OpClass::Mul, 32}), 3u);
+  EXPECT_EQ(G.Units.at({OpClass::AddSub, 16}), 7u);
+  EXPECT_TRUE(sameBits(G.FetchRate, 1.0 / 3.0));
+  EXPECT_TRUE(sameBits(G.ConsumeRate, 2.0 / 7.0));
+  EXPECT_TRUE(std::isinf(G.Balance));
+  EXPECT_TRUE(sameBits(G.MemOnlyCycles, 1e-300));
+  EXPECT_TRUE(sameBits(G.CompOnlyCycles, 3.14159265358979323846));
+  EXPECT_TRUE(sameBits(G.BitsTransferred, 1e300));
+  EXPECT_EQ(G.FsmStates, 999u);
+
+  const auto &[KeyB, B] = Loaded->Evaluations[1];
+  EXPECT_EQ(KeyB, "design-b");
+  EXPECT_FALSE(B.ok());
+  EXPECT_EQ(B.Attempts, 2u);
+  EXPECT_EQ(B.Estimate.status().code(), ErrorCode::EstimationFailed);
+  EXPECT_EQ(B.Estimate.status().message(), "tool crash\nwith \"quotes\"");
+
+  ASSERT_EQ(Loaded->Jobs.size(), 1u);
+  const JournalJobRecord &Job = Loaded->Jobs[0];
+  EXPECT_EQ(Job.Name, "fir @ board");
+  EXPECT_EQ(Job.Strategy, "guided");
+  EXPECT_EQ(Job.Selected, "(4, 2)");
+  EXPECT_EQ(Job.Cycles, 1808u);
+  EXPECT_TRUE(sameBits(Job.Slices, 460.25));
+  EXPECT_EQ(Job.Evaluations, 9u);
+  EXPECT_TRUE(Job.Degraded);
+  EXPECT_FALSE(Job.Fits);
+  std::remove(Path.c_str());
+}
+
+TEST(EvaluationJournal, ToleratesTornAndCorruptLines) {
+  std::string Path = tempPath("torn.jsonl");
+  std::remove(Path.c_str());
+  {
+    EvaluationJournal J(Path);
+    SynthesisEstimate E;
+    E.Cycles = 100;
+    J.recordEvaluation("good", {Expected<SynthesisEstimate>(E), 1});
+  }
+  // A crash mid-write leaves a torn last line; bit rot leaves garbage.
+  {
+    std::ofstream Out(Path, std::ios::app);
+    Out << "{\"type\":\"eval\",\"key\":\"torn-in-ha\n";
+    Out << "complete garbage, not even JSON\n";
+    Out << "{\"type\":\"mystery\",\"key\":\"future-record\"}\n";
+  }
+  Expected<EvaluationJournal::Contents> Loaded =
+      EvaluationJournal::load(Path);
+  ASSERT_TRUE(Loaded.hasValue());
+  EXPECT_EQ(Loaded->SkippedLines, 3u);
+  ASSERT_EQ(Loaded->Evaluations.size(), 1u);
+  EXPECT_EQ(Loaded->Evaluations[0].first, "good");
+
+  // Resume compaction: adopting and flushing rewrites a clean file.
+  EvaluationJournal Resumed(Path);
+  Resumed.adopt(*Loaded);
+  ASSERT_TRUE(Resumed.flush().isOk());
+  Expected<EvaluationJournal::Contents> Clean =
+      EvaluationJournal::load(Path);
+  ASSERT_TRUE(Clean.hasValue());
+  EXPECT_EQ(Clean->SkippedLines, 0u);
+  EXPECT_EQ(Clean->Evaluations.size(), 1u);
+  std::remove(Path.c_str());
+}
+
+TEST(EvaluationJournal, MissingFileIsAnEmptyResumeNotAnError) {
+  Expected<EvaluationJournal::Contents> Loaded =
+      EvaluationJournal::load(tempPath("never-written.jsonl"));
+  ASSERT_TRUE(Loaded.hasValue());
+  EXPECT_TRUE(Loaded->Evaluations.empty());
+  EXPECT_TRUE(Loaded->Jobs.empty());
+}
+
+TEST(EvaluationJournal, FlushesByRenameLeavingNoTempBehind) {
+  std::string Path = tempPath("atomic.jsonl");
+  std::remove(Path.c_str());
+  EvaluationJournal J(Path);
+  SynthesisEstimate E;
+  J.recordEvaluation("k", {Expected<SynthesisEstimate>(E), 1});
+  EXPECT_TRUE(std::ifstream(Path).is_open());
+  EXPECT_FALSE(std::ifstream(Path + ".tmp").is_open());
+  // The on-disk file is complete after every record — no partial state.
+  EXPECT_EQ(readLines(Path).size(), 2u); // header + 1 eval
+  std::remove(Path.c_str());
+}
+
+TEST(EvaluationJournal, ReplaySeedsTheCacheWithoutReFulfilling) {
+  std::string Path = tempPath("replay.jsonl");
+  std::remove(Path.c_str());
+  EvaluationJournal J(Path);
+  SynthesisEstimate E;
+  E.Cycles = 77;
+  J.recordEvaluation("k1", {Expected<SynthesisEstimate>(E), 2});
+  J.recordEvaluation(
+      "k2", {Expected<SynthesisEstimate>(
+                 Status::error(ErrorCode::EstimationFailed, "dead")),
+             3});
+
+  EstimateCache Cache;
+  unsigned ObserverFires = 0;
+  Cache.setObserver([&ObserverFires](const std::string &,
+                                     const EstimateCache::Result &) {
+    ++ObserverFires;
+  });
+  EXPECT_EQ(J.replayInto(Cache), 2u);
+  EXPECT_EQ(ObserverFires, 0u); // Seeded entries are already durable.
+  EXPECT_EQ(Cache.size(), 2u);
+  auto K1 = Cache.peek("k1");
+  ASSERT_TRUE(K1.has_value());
+  EXPECT_TRUE(K1->ok());
+  EXPECT_EQ(K1->Attempts, 2u);
+  EXPECT_EQ(K1->Estimate.value().Cycles, 77u);
+  auto K2 = Cache.peek("k2");
+  ASSERT_TRUE(K2.has_value());
+  EXPECT_FALSE(K2->ok());
+  // Replaying again over a warm cache inserts nothing.
+  EXPECT_EQ(J.replayInto(Cache), 0u);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// The headline guarantee: kill anywhere, resume, get the same answer
+//===----------------------------------------------------------------------===//
+
+TEST(JournalResume, ResumeAtRandomAbortPointsIsBitIdentical) {
+  for (unsigned Threads : {1u, 8u}) {
+    std::string Path = tempPath("chaos_" + std::to_string(Threads) +
+                                ".jsonl");
+    std::remove(Path.c_str());
+
+    // The uninterrupted run: the ground truth winners and digest, and
+    // the journal whose prefixes model every possible crash point.
+    CountingBatch Full(Threads, std::make_shared<EvaluationJournal>(Path));
+    std::vector<Winner> TrueWinners = winnersOf(Full.run());
+    std::vector<std::string> TrueDigest = Full.Trace->decisionDigest();
+    unsigned FullCalls = Full.BackendCalls->load();
+    ASSERT_GT(FullCalls, 0u);
+    std::vector<std::string> Lines = readLines(Path);
+    ASSERT_GT(Lines.size(), 2u);
+
+    // A crash after the final flush: resume replays everything and the
+    // backend is never called again.
+    {
+      CountingBatch Resumed(Threads,
+                            std::make_shared<EvaluationJournal>(Path));
+      Expected<EvaluationJournal::Contents> Loaded =
+          EvaluationJournal::load(Path);
+      ASSERT_TRUE(Loaded.hasValue());
+      Resumed.Batch.Journal->adopt(*Loaded);
+      Resumed.Batch.Cache = std::make_shared<EstimateCache>();
+      Resumed.Batch.Journal->replayInto(*Resumed.Batch.Cache);
+      std::vector<Winner> W = winnersOf(Resumed.run());
+      expectSameWinners(TrueWinners, W);
+      EXPECT_EQ(Resumed.Trace->decisionDigest(), TrueDigest);
+      EXPECT_EQ(Resumed.BackendCalls->load(), 0u);
+    }
+
+    // Crashes at seeded random abort points, torn final line included:
+    // truncate the journal to a prefix, resume, demand bit-identical
+    // winners and decision digests and a strictly smaller backend bill.
+    SplitMix64 Rng(0xC0FFEE + Threads);
+    for (unsigned Trial = 0; Trial != 6; ++Trial) {
+      size_t Keep = 1 + Rng.next() % (Lines.size() - 1);
+      std::vector<std::string> Prefix(Lines.begin(),
+                                      Lines.begin() + Keep);
+      if (Keep < Lines.size()) // The write the crash interrupted.
+        Prefix.push_back(Lines[Keep].substr(0, Lines[Keep].size() / 2));
+      writeLines(Path, Prefix);
+
+      CountingBatch Resumed(Threads,
+                            std::make_shared<EvaluationJournal>(Path));
+      Expected<EvaluationJournal::Contents> Loaded =
+          EvaluationJournal::load(Path);
+      ASSERT_TRUE(Loaded.hasValue());
+      Resumed.Batch.Journal->adopt(*Loaded);
+      Resumed.Batch.Cache = std::make_shared<EstimateCache>();
+      unsigned Replayed =
+          Resumed.Batch.Journal->replayInto(*Resumed.Batch.Cache);
+      std::vector<Winner> W = winnersOf(Resumed.run());
+
+      expectSameWinners(TrueWinners, W);
+      EXPECT_EQ(Resumed.Trace->decisionDigest(), TrueDigest)
+          << "threads " << Threads << " trial " << Trial << " keep "
+          << Keep;
+      // Only the work the journal did not cover hits the backend.
+      EXPECT_LE(Resumed.BackendCalls->load(), FullCalls);
+      if (Replayed > 0) {
+        EXPECT_LT(Resumed.BackendCalls->load(), FullCalls);
+      }
+
+      // The resumed run completed and re-flushed: the journal is whole
+      // again and a further resume costs zero backend calls.
+      Lines = readLines(Path);
+    }
+    std::remove(Path.c_str());
+  }
+}
+
+TEST(JournalResume, ResumedJobsVerifyAgainstTheirJournalRecord) {
+  std::string Path = tempPath("verify.jsonl");
+  std::remove(Path.c_str());
+  CountingBatch Full(1, std::make_shared<EvaluationJournal>(Path));
+  (void)Full.run();
+
+  CountingBatch Resumed(1, std::make_shared<EvaluationJournal>(Path));
+  Expected<EvaluationJournal::Contents> Loaded =
+      EvaluationJournal::load(Path);
+  ASSERT_TRUE(Loaded.hasValue());
+  Resumed.Batch.Journal->adopt(*Loaded);
+  Resumed.Batch.Cache = std::make_shared<EstimateCache>();
+  Resumed.Batch.Journal->replayInto(*Resumed.Batch.Cache);
+  std::vector<BatchResult> Results = Resumed.run();
+  for (const BatchResult &R : Results)
+    EXPECT_NE(R.Result.Trace.find("resume: reproduced journaled winner"),
+              std::string::npos)
+        << R.Name << ":\n"
+        << R.Result.Trace;
+  std::remove(Path.c_str());
+}

@@ -1,0 +1,476 @@
+//===- resilience_test.cpp - Breaker, watchdog, bounded-log tests ---------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The crash-safety layer minus the journal (journal_resume_test.cpp):
+/// cooperative cancellation tokens, the per-evaluation hang watchdog
+/// against injected hangs, the per-backend circuit breaker's state
+/// machine alone and wired into the evaluation service, and the bounded
+/// failure ring. All clocks are virtual — hangs, cooldowns, and
+/// watchdog deadlines resolve deterministically in zero real time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/CircuitBreaker.h"
+#include "defacto/Core/Explorer.h"
+#include "defacto/HLS/FaultInjector.h"
+#include "defacto/Kernels/Kernels.h"
+#include "defacto/Support/Cancellation.h"
+
+#include <gtest/gtest.h>
+
+using namespace defacto;
+
+namespace {
+
+struct VirtualClock {
+  double Now = 0;
+  void install(ExplorerOptions &Opts) {
+    Opts.Clock = [this] { return Now; };
+    Opts.Sleep = [this](double S) { Now += S; };
+  }
+  void install(FaultInjector &Inj) {
+    Inj.Sleep = [this](double S) { Now += S; };
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CancellationToken
+//===----------------------------------------------------------------------===//
+
+TEST(Cancellation, DefaultTokenIsInertAndFree) {
+  CancellationToken T;
+  EXPECT_FALSE(T.valid());
+  EXPECT_FALSE(T.cancelled());
+  EXPECT_TRUE(T.check().isOk());
+  T.requestCancel("ignored"); // No shared state: a no-op, not a crash.
+  EXPECT_FALSE(T.cancelled());
+}
+
+TEST(Cancellation, ExplicitCancelIsSharedAcrossCopies) {
+  CancellationToken T = CancellationToken::create();
+  CancellationToken Copy = T;
+  EXPECT_FALSE(Copy.cancelled());
+  T.requestCancel("operator abort");
+  EXPECT_TRUE(Copy.cancelled());
+  EXPECT_EQ(Copy.check().code(), ErrorCode::Cancelled);
+  EXPECT_NE(Copy.check().message().find("operator abort"),
+            std::string::npos);
+  // First reason wins; later cancels do not rewrite it.
+  T.requestCancel("second");
+  EXPECT_NE(Copy.check().message().find("operator abort"),
+            std::string::npos);
+}
+
+TEST(Cancellation, DeadlineLatchesOnTheInjectedClock) {
+  double Now = 0;
+  CancellationToken T = CancellationToken::withDeadline(
+      5.0, [&Now] { return Now; }, "estimator watchdog");
+  EXPECT_FALSE(T.cancelled());
+  Now = 4.999;
+  EXPECT_FALSE(T.cancelled());
+  Now = 5.0;
+  EXPECT_TRUE(T.cancelled());
+  EXPECT_EQ(T.check().code(), ErrorCode::Cancelled);
+  EXPECT_NE(T.check().message().find("watchdog"), std::string::npos);
+  Now = 0; // Latched: a rewound clock cannot un-cancel.
+  EXPECT_TRUE(T.cancelled());
+}
+
+TEST(Cancellation, ScopesInstallThreadLocallyAndNest) {
+  EXPECT_FALSE(currentCancellation().valid());
+  EXPECT_FALSE(currentCancelled());
+  CancellationToken Outer = CancellationToken::create();
+  {
+    CancellationScope OuterScope(Outer);
+    EXPECT_TRUE(currentCancellation().valid());
+    EXPECT_FALSE(currentCancelled());
+    {
+      CancellationToken Inner = CancellationToken::create();
+      CancellationScope InnerScope(Inner);
+      Inner.requestCancel();
+      EXPECT_TRUE(currentCancelled());
+    }
+    // Inner scope gone: the outer (uncancelled) token is current again.
+    EXPECT_FALSE(currentCancelled());
+    Outer.requestCancel();
+    EXPECT_TRUE(currentCancelled());
+    EXPECT_EQ(currentCancelStatus().code(), ErrorCode::Cancelled);
+  }
+  EXPECT_FALSE(currentCancellation().valid());
+}
+
+//===----------------------------------------------------------------------===//
+// Hang watchdog
+//===----------------------------------------------------------------------===//
+
+TEST(HangWatchdog, CancelsEveryInjectedHang) {
+  Kernel FIR = buildKernel("FIR");
+  VirtualClock Clock;
+  FaultInjectorOptions FI;
+  FI.HangRate = 1.0;
+  FI.LatencySeconds = 0.05;
+  FaultInjector Injector(FI);
+  Clock.install(Injector);
+
+  ExplorerOptions Opts;
+  Clock.install(Opts);
+  Opts.Estimator = Injector.wrapDefault();
+  Opts.WatchdogSeconds = 1.0;
+  Opts.MaxRetries = 0;
+  ExplorationResult R = DesignSpaceExplorer(FIR, Opts).run();
+
+  EXPECT_TRUE(R.Degraded);
+  ASSERT_FALSE(R.Failures.empty());
+  for (const EvaluationFailure &F : R.Failures)
+    EXPECT_EQ(F.Error.code(), ErrorCode::Cancelled) << F.Error.toString();
+  const FaultInjector::Counters &C = Injector.counters();
+  EXPECT_GT(C.Hangs, 0u);
+  EXPECT_EQ(C.Hangs, C.HangCancellations);
+  // Each hang burned about one watchdog interval of virtual time, not
+  // the unbounded forever a real hung tool would.
+  EXPECT_LE(Clock.Now, C.Hangs * (1.0 + 2 * FI.LatencySeconds));
+}
+
+TEST(HangWatchdog, SurvivingHangsStillConvergeWhenRetriesRecover) {
+  // Hang probability 0.3 with retries: some attempts hang and are
+  // cancelled, their retries succeed, and the search must converge to
+  // the same winner as a healthy run.
+  Kernel FIR = buildKernel("FIR");
+  ExplorationResult Healthy =
+      DesignSpaceExplorer(FIR, ExplorerOptions()).run();
+
+  VirtualClock Clock;
+  FaultInjectorOptions FI;
+  FI.Seed = 11;
+  FI.HangRate = 0.3;
+  FaultInjector Injector(FI);
+  Clock.install(Injector);
+
+  ExplorerOptions Opts;
+  Clock.install(Opts);
+  Opts.Estimator = Injector.wrapDefault();
+  Opts.WatchdogSeconds = 0.5;
+  Opts.MaxRetries = 8; // Enough that P(all attempts hang) ~ 0.
+  ExplorationResult R = DesignSpaceExplorer(FIR, Opts).run();
+
+  EXPECT_FALSE(R.Degraded) << R.Trace;
+  EXPECT_EQ(R.Selected, Healthy.Selected);
+  EXPECT_EQ(R.SelectedEstimate.Cycles, Healthy.SelectedEstimate.Cycles);
+  EXPECT_GT(Injector.counters().HangCancellations, 0u);
+}
+
+TEST(HangWatchdog, NoWatchdogMeansTheHangGivesUpBounded) {
+  // The injector's no-watchdog bound: a hang without any token armed
+  // must terminate on its own (as EstimationFailed) instead of spinning
+  // the suite forever.
+  Kernel FIR = buildKernel("FIR");
+  VirtualClock Clock;
+  FaultInjectorOptions FI;
+  FI.HangRate = 1.0;
+  FaultInjector Injector(FI);
+  Clock.install(Injector);
+
+  ExplorerOptions Opts;
+  Clock.install(Opts);
+  Opts.Estimator = Injector.wrapDefault();
+  Opts.MaxRetries = 0;
+  ExplorationResult R = DesignSpaceExplorer(FIR, Opts).run();
+
+  EXPECT_TRUE(R.Degraded);
+  ASSERT_FALSE(R.Failures.empty());
+  for (const EvaluationFailure &F : R.Failures)
+    EXPECT_EQ(F.Error.code(), ErrorCode::EstimationFailed)
+        << F.Error.toString();
+  EXPECT_EQ(Injector.counters().HangCancellations, 0u);
+}
+
+TEST(HangWatchdog, EmitsCancelTraceEvents) {
+  Kernel FIR = buildKernel("FIR");
+  VirtualClock Clock;
+  FaultInjectorOptions FI;
+  FI.HangRate = 1.0;
+  FaultInjector Injector(FI);
+  Clock.install(Injector);
+
+  ExplorerOptions Opts;
+  Clock.install(Opts);
+  Opts.Estimator = Injector.wrapDefault();
+  Opts.WatchdogSeconds = 1.0;
+  Opts.MaxRetries = 0;
+  Opts.Trace = std::make_shared<TraceRecorder>();
+  Opts.Trace->setEnabled(true);
+  (void)DesignSpaceExplorer(FIR, Opts).run();
+
+  unsigned Cancels = 0;
+  for (const TraceEvent &E : Opts.Trace->sortedEvents())
+    if (E.Category == "dse.cancel")
+      ++Cancels;
+  EXPECT_GT(Cancels, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Circuit breaker: the state machine alone
+//===----------------------------------------------------------------------===//
+
+TEST(CircuitBreaker, OpensAfterThresholdConsecutiveFailures) {
+  CircuitBreakerOptions Opts;
+  Opts.FailureThreshold = 3;
+  Opts.CooldownSeconds = 10.0;
+  CircuitBreakerRegistry Reg(Opts);
+
+  EXPECT_EQ(Reg.admit("wildstar", 0),
+            CircuitBreakerRegistry::Decision::Allow);
+  EXPECT_EQ(Reg.recordFailure("wildstar", 0), nullptr);
+  EXPECT_EQ(Reg.recordFailure("wildstar", 1), nullptr);
+  EXPECT_STREQ(Reg.recordFailure("wildstar", 2), "opened");
+  EXPECT_EQ(Reg.admit("wildstar", 3),
+            CircuitBreakerRegistry::Decision::FailFast);
+  EXPECT_EQ(Reg.snapshot("wildstar").Current,
+            CircuitBreakerRegistry::State::Open);
+  EXPECT_EQ(Reg.snapshot("wildstar").FastFailures, 1u);
+  // A success resets the consecutive count while closed.
+  EXPECT_EQ(Reg.recordFailure("other", 0), nullptr);
+  EXPECT_EQ(Reg.recordSuccess("other", 1), nullptr);
+  EXPECT_EQ(Reg.recordFailure("other", 2), nullptr);
+  EXPECT_EQ(Reg.snapshot("other").Current,
+            CircuitBreakerRegistry::State::Closed);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeRestoresOrReopens) {
+  CircuitBreakerOptions Opts;
+  Opts.FailureThreshold = 1;
+  Opts.CooldownSeconds = 10.0;
+  CircuitBreakerRegistry Reg(Opts);
+
+  EXPECT_STREQ(Reg.recordFailure("be", 0), "opened");
+  EXPECT_EQ(Reg.admit("be", 5), CircuitBreakerRegistry::Decision::FailFast);
+  // Cooldown elapsed: exactly one probe is admitted; a second caller
+  // keeps failing fast while the probe is in flight.
+  EXPECT_EQ(Reg.admit("be", 10), CircuitBreakerRegistry::Decision::Probe);
+  EXPECT_EQ(Reg.admit("be", 11),
+            CircuitBreakerRegistry::Decision::FailFast);
+  // Probe fails: reopen, cooldown restarts from now.
+  EXPECT_STREQ(Reg.recordFailure("be", 12), "reopened");
+  EXPECT_EQ(Reg.admit("be", 13), CircuitBreakerRegistry::Decision::FailFast);
+  EXPECT_EQ(Reg.admit("be", 22), CircuitBreakerRegistry::Decision::Probe);
+  // Probe succeeds: closed, service restored.
+  EXPECT_STREQ(Reg.recordSuccess("be", 23), "closed");
+  EXPECT_EQ(Reg.admit("be", 24), CircuitBreakerRegistry::Decision::Allow);
+  EXPECT_EQ(Reg.snapshot("be").TimesOpened, 2u);
+  EXPECT_EQ(Reg.snapshot("be").Probes, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Circuit breaker wired into the evaluation service
+//===----------------------------------------------------------------------===//
+
+TEST(CircuitBreaker, FailsEvaluationsFastOnceOpen) {
+  Kernel FIR = buildKernel("FIR");
+  VirtualClock Clock;
+  unsigned BackendCalls = 0;
+  ExplorerOptions Opts;
+  Clock.install(Opts);
+  Opts.Estimator = [&BackendCalls](const Kernel &,
+                                   const TargetPlatform &)
+      -> Expected<SynthesisEstimate> {
+    ++BackendCalls;
+    return Status::error(ErrorCode::EstimationFailed, "backend down");
+  };
+  Opts.MaxRetries = 0;
+  CircuitBreakerOptions BreakerOpts;
+  BreakerOpts.FailureThreshold = 2;
+  BreakerOpts.CooldownSeconds = 1000.0; // Never half-opens in this test.
+  Opts.Breakers = std::make_shared<CircuitBreakerRegistry>(BreakerOpts);
+
+  // Exhaustive search keeps evaluating past failures, so the breaker
+  // sees the full candidate stream (the guided walk would stop at its
+  // first unsteerable failure, before the circuit ever mattered).
+  Expected<ExplorationResult> ROr =
+      DesignSpaceExplorer(FIR, Opts).runWithStrategy("exhaustive");
+  ASSERT_TRUE(ROr.hasValue());
+  ExplorationResult R = *ROr;
+  EXPECT_TRUE(R.Degraded);
+  ASSERT_FALSE(R.Failures.empty());
+  // The first FailureThreshold permanent failures reached the backend;
+  // everything after failed fast without touching it.
+  EXPECT_EQ(BackendCalls, BreakerOpts.FailureThreshold);
+  unsigned FastFailures = 0;
+  for (const EvaluationFailure &F : R.Failures)
+    if (F.Error.code() == ErrorCode::BackendUnavailable) {
+      ++FastFailures;
+      EXPECT_EQ(F.Attempts, 0u); // Never charged against the budget.
+    }
+  EXPECT_GT(FastFailures, 0u);
+  // Fast failures cost no evaluations: only the real attempts counted.
+  EXPECT_EQ(R.EvaluationsUsed, BackendCalls);
+  CircuitBreakerRegistry::Snapshot Snap =
+      Opts.Breakers->snapshot(Opts.Platform.Name);
+  EXPECT_EQ(Snap.Current, CircuitBreakerRegistry::State::Open);
+  EXPECT_EQ(Snap.FastFailures, FastFailures);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeRestoresServiceMidSearch) {
+  // Backend dead for its first 6 calls, healthy afterwards. With a
+  // 2-failure threshold, retries exhaust on the first two designs and
+  // the breaker opens. Every clock read ticks time forward, so the
+  // fail-fast stretch walks past the cooldown, a half-open probe finds
+  // the backend recovered, and the exhaustive search finishes healthy.
+  Kernel FIR = buildKernel("FIR");
+  double Now = 0.0;
+  unsigned Calls = 0;
+  ExplorerOptions Opts;
+  Opts.Clock = [&Now] {
+    Now += 0.05;
+    return Now;
+  };
+  Opts.Sleep = [&Now](double S) { Now += S; };
+  Opts.Estimator = [&Calls](const Kernel &K, const TargetPlatform &P)
+      -> Expected<SynthesisEstimate> {
+    if (++Calls <= 6)
+      return Status::error(ErrorCode::EstimationFailed, "still booting");
+    return estimateDesignChecked(K, P);
+  };
+  Opts.MaxRetries = 2;
+  Opts.RetryBackoffSeconds = 1.0; // Advances the virtual clock.
+  CircuitBreakerOptions BreakerOpts;
+  BreakerOpts.FailureThreshold = 2;
+  BreakerOpts.CooldownSeconds = 0.2;
+  Opts.Breakers = std::make_shared<CircuitBreakerRegistry>(BreakerOpts);
+  Opts.Trace = std::make_shared<TraceRecorder>();
+  Opts.Trace->setEnabled(true);
+
+  Expected<ExplorationResult> ROr =
+      DesignSpaceExplorer(FIR, Opts).runWithStrategy("exhaustive");
+  ASSERT_TRUE(ROr.hasValue());
+  ExplorationResult R = *ROr;
+  // Designs evaluated after the probe closed the circuit succeeded:
+  // the search still selected a real, fitting winner.
+  EXPECT_FALSE(R.Visited.empty());
+  EXPECT_TRUE(R.SelectedFits);
+  EXPECT_GT(R.SelectedEstimate.Cycles, 0u);
+  CircuitBreakerRegistry::Snapshot Snap =
+      Opts.Breakers->snapshot(Opts.Platform.Name);
+  EXPECT_EQ(Snap.Current, CircuitBreakerRegistry::State::Closed);
+  EXPECT_GE(Snap.TimesOpened, 1u);
+  EXPECT_GE(Snap.Probes, 1u);
+  EXPECT_GT(Snap.FastFailures, 0u);
+
+  // The transitions landed as dse.breaker events.
+  bool SawOpen = false, SawClose = false;
+  for (const TraceEvent &E : Opts.Trace->sortedEvents()) {
+    if (E.Category != "dse.breaker")
+      continue;
+    for (const auto &[K, V] : E.Runtime) {
+      if (K != "event")
+        continue;
+      SawOpen |= V == "opened";
+      SawClose |= V == "closed";
+    }
+  }
+  EXPECT_TRUE(SawOpen);
+  EXPECT_TRUE(SawClose);
+}
+
+TEST(CircuitBreaker, OpenCircuitStillServesCachedResults) {
+  // The gate sits behind the cache: designs estimated before the outage
+  // keep being served from cache while the circuit is open.
+  Kernel FIR = buildKernel("FIR");
+  auto Shared = std::make_shared<EstimateCache>();
+  auto Breakers = std::make_shared<CircuitBreakerRegistry>(
+      CircuitBreakerOptions{1, 1e9});
+
+  // Healthy pass fills the cache.
+  ExplorerOptions Warm;
+  Warm.Cache = Shared;
+  ExplorationResult First = DesignSpaceExplorer(FIR, Warm).run();
+  EXPECT_FALSE(First.Degraded);
+
+  // Backend now dead and the breaker armed: the rerun must reproduce
+  // the healthy result entirely from cache, never failing fast.
+  ExplorerOptions Down;
+  Down.Cache = Shared;
+  Down.Breakers = Breakers;
+  Down.Estimator = [](const Kernel &,
+                      const TargetPlatform &) -> Expected<SynthesisEstimate> {
+    return Status::error(ErrorCode::EstimationFailed, "dead");
+  };
+  ExplorationResult Second = DesignSpaceExplorer(FIR, Down).run();
+  EXPECT_FALSE(Second.Degraded) << Second.Trace;
+  EXPECT_EQ(Second.Selected, First.Selected);
+  EXPECT_EQ(Breakers->snapshot(Down.Platform.Name).FastFailures, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Bounded failure ring
+//===----------------------------------------------------------------------===//
+
+TEST(FailureRing, CapsTheLogAndCountsTheDropped) {
+  Kernel FIR = buildKernel("FIR");
+  VirtualClock Clock;
+  FaultInjectorOptions FI;
+  FI.FailureRate = 1.0;
+  FaultInjector Injector(FI);
+  Clock.install(Injector);
+
+  ExplorerOptions Opts;
+  Clock.install(Opts);
+  Opts.Estimator = Injector.wrapDefault();
+  Opts.MaxRetries = 0;
+  Opts.MaxFailureLogEntries = 2;
+  // Exhaustive search pushes every candidate through the dead backend,
+  // flooding the failure log well past its 2-entry cap.
+  Expected<ExplorationResult> ROr =
+      DesignSpaceExplorer(FIR, Opts).runWithStrategy("exhaustive");
+  ASSERT_TRUE(ROr.hasValue());
+  ExplorationResult R = *ROr;
+
+  EXPECT_TRUE(R.Degraded);
+  EXPECT_EQ(R.Failures.size(), 2u); // The ring's cap.
+  EXPECT_GT(R.DroppedFailures, 0u);
+  EXPECT_EQ(R.DroppedFailures + 2, Injector.counters().Failures);
+}
+
+TEST(FailureRing, KeepsTheMostRecentEntriesInOrder) {
+  Kernel FIR = buildKernel("FIR");
+  VirtualClock Clock;
+  unsigned Call = 0;
+  ExplorerOptions Opts;
+  Clock.install(Opts);
+  Opts.Estimator = [&Call](const Kernel &,
+                           const TargetPlatform &)
+      -> Expected<SynthesisEstimate> {
+    return Status::error(ErrorCode::EstimationFailed,
+                         "call " + std::to_string(Call++));
+  };
+  Opts.MaxRetries = 0;
+  Opts.MaxFailureLogEntries = 3;
+  Expected<ExplorationResult> ROr =
+      DesignSpaceExplorer(FIR, Opts).runWithStrategy("exhaustive");
+  ASSERT_TRUE(ROr.hasValue());
+  ExplorationResult R = *ROr;
+
+  // The retained entries are the chronologically last ones, oldest
+  // first: their messages carry strictly increasing call numbers ending
+  // at the final call.
+  std::vector<unsigned> Seen;
+  for (const EvaluationFailure &F : R.Failures)
+    if (F.Error.code() == ErrorCode::EstimationFailed)
+      Seen.push_back(static_cast<unsigned>(
+          std::stoul(F.Error.message().substr(5))));
+  ASSERT_EQ(Seen.size(), 3u);
+  EXPECT_EQ(Seen.back(), Call - 1);
+  for (size_t I = 1; I < Seen.size(); ++I)
+    EXPECT_EQ(Seen[I], Seen[I - 1] + 1);
+}
+
+TEST(FailureRing, DefaultBoundIsInvisibleToHealthyRuns) {
+  Kernel FIR = buildKernel("FIR");
+  ExplorationResult R = DesignSpaceExplorer(FIR, ExplorerOptions()).run();
+  EXPECT_FALSE(R.Degraded);
+  EXPECT_EQ(R.DroppedFailures, 0u);
+}

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# chaos_kill_resume.sh — crash-safety soak for the evaluation journal.
+#
+# For each seed: start explore_batch with a journal, SIGKILL it at a
+# seed-derived random moment mid-run, then resume from whatever journal
+# the corpse left behind and demand the resumed run's result table be
+# bit-identical to an uninterrupted reference run. A kill that lands
+# mid-flush exercises the write-then-rename path; one that lands before
+# the first flush exercises the empty-journal resume path.
+#
+# usage: chaos_kill_resume.sh <explore_batch-binary> [num-seeds]
+set -u
+
+BIN=${1:?usage: chaos_kill_resume.sh <explore_batch-binary> [num-seeds]}
+SEEDS=${2:-32}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# Exploration flags: exhaustive over the extended kernel set runs a few
+# seconds, so the random kill usually lands mid-run with a partial
+# journal on disk. Single-threaded keeps the kill window wide; the
+# resume contract itself is thread-count independent
+# (journal_resume_test covers 8 threads).
+FLAGS=(--threads 1 --strategy exhaustive --extended)
+
+# The uninterrupted reference: winners every resumed run must reproduce.
+# Strip run-variant output (cache stats, journal line) down to the
+# per-job result rows.
+result_rows() {
+  sed -n '/^job  /,/^$/p' "$1"
+}
+
+"$BIN" "${FLAGS[@]}" --journal="$WORK/ref.jsonl" >"$WORK/ref.out"
+REF_STATUS=$?
+if [ $REF_STATUS -ne 0 ] && [ $REF_STATUS -ne 3 ]; then
+  echo "FAIL: reference run exited $REF_STATUS" >&2
+  cat "$WORK/ref.out" >&2
+  exit 1
+fi
+result_rows "$WORK/ref.out" >"$WORK/ref.rows"
+if ! [ -s "$WORK/ref.rows" ]; then
+  echo "FAIL: reference run produced no result rows" >&2
+  cat "$WORK/ref.out" >&2
+  exit 1
+fi
+
+FAILURES=0
+for SEED in $(seq 1 "$SEEDS"); do
+  J="$WORK/run$SEED.jsonl"
+  rm -f "$J" "$J.tmp"
+
+  # Seed-derived kill delay spread across the run's ~2.5s lifetime:
+  # deterministic per seed, from "before the first flush" to "almost
+  # done".
+  DELAY=$(awk -v s="$SEED" 'BEGIN { srand(s); printf "%.3f", 0.01 + rand() * 2.0 }')
+
+  "$BIN" "${FLAGS[@]}" --journal="$J" >"$WORK/run$SEED.out" 2>&1 &
+  PID=$!
+  sleep "$DELAY"
+  kill -KILL "$PID" 2>/dev/null
+  wait "$PID" 2>/dev/null
+
+  # Resume. The journal may be absent (killed before the first flush) —
+  # --resume treats that as an empty journal and redoes everything.
+  "$BIN" "${FLAGS[@]}" --journal="$J" --resume >"$WORK/resume$SEED.out" 2>"$WORK/resume$SEED.err"
+  STATUS=$?
+  if [ $STATUS -ne 0 ] && [ $STATUS -ne 3 ]; then
+    echo "seed $SEED: FAIL resume exited $STATUS (killed after ${DELAY}s)" >&2
+    cat "$WORK/resume$SEED.err" >&2
+    FAILURES=$((FAILURES + 1))
+    continue
+  fi
+  result_rows "$WORK/resume$SEED.out" >"$WORK/resume$SEED.rows"
+  if ! diff -u "$WORK/ref.rows" "$WORK/resume$SEED.rows" >"$WORK/diff$SEED"; then
+    echo "seed $SEED: FAIL resumed winners differ from reference (killed after ${DELAY}s)" >&2
+    cat "$WORK/diff$SEED" >&2
+    FAILURES=$((FAILURES + 1))
+    continue
+  fi
+  REPLAYED=$(sed -n 's/^resumed from journal .*: \([0-9]*\) evaluation(s) replayed.*/\1/p' "$WORK/resume$SEED.out")
+  echo "seed $SEED: ok (killed after ${DELAY}s, ${REPLAYED:-0} evaluation(s) replayed)"
+done
+
+if [ $FAILURES -ne 0 ]; then
+  echo "chaos kill-resume: $FAILURES/$SEEDS seed(s) FAILED" >&2
+  exit 1
+fi
+echo "chaos kill-resume: all $SEEDS seed(s) reproduced the reference bit-identically"
