@@ -22,6 +22,22 @@ bool defacto::bench::parseCsvFlag(int Argc, char **Argv) {
   return Args.consumeFlag("--csv");
 }
 
+FastPathMode defacto::bench::parseFastPathFlag(int Argc, char **Argv) {
+  cl::ArgList Args(Argc, Argv);
+  std::string Name = Args.consumeValue("--fast-path").value_or("off");
+  if (Name == "off")
+    return FastPathMode::Off;
+  if (Name == "on")
+    return FastPathMode::On;
+  if (Name == "verify")
+    return FastPathMode::Verify;
+  std::fprintf(stderr,
+               "warning: unknown --fast-path=%s (expected off|on|verify), "
+               "using off\n",
+               Name.c_str());
+  return FastPathMode::Off;
+}
+
 bench::ObservabilityFlags defacto::bench::parseObservabilityFlags(int &Argc,
                                                                   char **Argv) {
   cl::ArgList Args(Argc, Argv);
@@ -37,10 +53,11 @@ bool defacto::bench::finishObservability(const ObservabilityFlags &Flags) {
 int defacto::bench::runFigureSweep(const std::string &FigureName,
                                    const std::string &KernelName,
                                    const TargetPlatform &Platform,
-                                   bool Csv) {
+                                   bool Csv, FastPathMode FastPath) {
   Kernel K = buildKernel(KernelName);
   ExplorerOptions Opts;
   Opts.Platform = Platform;
+  Opts.FastPath = FastPath;
   DesignSpaceExplorer Ex(K, Opts);
   ExplorationResult Dse = Ex.run();
 

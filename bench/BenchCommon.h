@@ -35,11 +35,18 @@ namespace bench {
 /// Returns 0 on success.
 int runFigureSweep(const std::string &FigureName,
                    const std::string &KernelName,
-                   const TargetPlatform &Platform, bool Csv = false);
+                   const TargetPlatform &Platform, bool Csv = false,
+                   FastPathMode FastPath = FastPathMode::Off);
 
 /// Parses the common figure-bench command line: `--csv` selects CSV
 /// output.
 bool parseCsvFlag(int Argc, char **Argv);
+
+/// Parses `--fast-path=off|on|verify` (see docs/PERFORMANCE.md);
+/// defaults to off, and an unrecognized mode falls back to off with a
+/// warning on stderr. The figure panels are bit-identical in every mode
+/// — the flag exists to time the sweep and to fuzz parity (`verify`).
+FastPathMode parseFastPathFlag(int Argc, char **Argv);
 
 /// The common observability command line shared by the bench binaries:
 ///   --trace-out=PATH   write a Chrome trace_event file (chrome://tracing

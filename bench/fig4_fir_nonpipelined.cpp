@@ -7,7 +7,8 @@
 /// Regenerates Figure 4 of the paper: balance, execution cycles, and design
 /// area for FIR with nonpipelined memory accesses, as a function of the
 /// inner and outer unroll factors. Pass --csv for machine-readable
-/// output.
+/// output and --fast-path=on|verify to exercise the fast evaluation
+/// engine (docs/PERFORMANCE.md); the panels are bit-identical either way.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,5 +18,6 @@ int main(int argc, char **argv) {
   return defacto::bench::runFigureSweep(
       "Figure 4", "FIR",
       defacto::TargetPlatform::wildstarNonPipelined(),
-      defacto::bench::parseCsvFlag(argc, argv));
+      defacto::bench::parseCsvFlag(argc, argv),
+      defacto::bench::parseFastPathFlag(argc, argv));
 }

@@ -1,0 +1,363 @@
+//===- perf_eval_fastpath.cpp - Fast-path evaluation benchmarks -----------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures the evaluation fast path (--fast-path=on: arena-allocated IR
+/// clones, transform-stage memoization, memoized estimation — see
+/// docs/PERFORMANCE.md) against the historical per-candidate path on the
+/// paper's Figure 6 matrix-multiply kernel, exhaustive strategy, default
+/// unroll caps. Three configurations per thread count:
+///
+///   off        every candidate runs the full transform pipeline and the
+///              reference estimator (the bit-for-bit historical path);
+///   on-cold    fast path with an empty TransformStageCache, so the
+///              sweep pays every stage and candidate build once;
+///   on         fast path against a warm shared TransformStageCache, the
+///              steady state of batch runs that revisit a kernel
+///              (multiple platforms, --repeat, portfolio strategies) —
+///              candidates are served from the cache's finished-kernel
+///              level and evaluation cost is the estimator itself.
+///
+/// Every sweep uses a fresh EstimateCache, so each of the 90 candidates
+/// is genuinely evaluated every time: the numbers are evaluations per
+/// second of the engine, never cache replay of estimates.
+///
+/// The run is also a parity gate: winners, estimates, and the decision
+/// digest must be identical off vs on (1 and 8 threads), and a
+/// FastPathMode::Verify sweep must report zero parity violations. The
+/// process exits nonzero only when parity fails — never on a slow
+/// machine — so CI can run it as a smoke test (--quick caps the
+/// repetitions).
+///
+/// Writes BENCH_eval.json (override with --json=PATH): per-sweep
+/// evaluations/sec, the off-vs-on speedups, the parity verdicts, and the
+/// per-phase timer split (pipeline.clone/unroll/scalarrepl/...,
+/// estimator.dfg, scheduler.schedule) for the off and on paths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "defacto/Core/Explorer.h"
+#include "defacto/Core/TransformStageCache.h"
+#include "defacto/Kernels/Kernels.h"
+#include "defacto/Support/Stats.h"
+#include "defacto/Support/Timer.h"
+#include "defacto/Support/Trace.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace defacto;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SweepOutcome {
+  double Seconds = 0;
+  unsigned Evaluations = 0;
+  UnrollVector Selected;
+  SynthesisEstimate Estimate;
+  std::vector<std::string> Digest;
+};
+
+/// One exhaustive sweep with a fresh estimate cache. \p Stages empty:
+/// the mode's default (fresh cache when the fast path is enabled).
+SweepOutcome runSweep(const Kernel &K, FastPathMode Mode, unsigned Threads,
+                      std::shared_ptr<ThreadPool> Pool,
+                      std::shared_ptr<TransformStageCache> Stages,
+                      bool WantDigest = false) {
+  ExplorerOptions Opts;
+  Opts.NumThreads = Threads;
+  if (Threads > 1)
+    Opts.Pool = Pool;
+  Opts.Cache = std::make_shared<EstimateCache>();
+  Opts.FastPath = Mode;
+  Opts.StageCache = std::move(Stages);
+
+  TraceRecorder &R = TraceRecorder::global();
+  if (WantDigest) {
+    R.clear();
+    R.setEnabled(true);
+  }
+  double T0 = now();
+  ExplorationResult Res = exploreExhaustive(K, Opts);
+  SweepOutcome Out;
+  Out.Seconds = now() - T0;
+  Out.Evaluations = Res.EvaluationsUsed;
+  Out.Selected = Res.Selected;
+  Out.Estimate = Res.SelectedEstimate;
+  if (WantDigest) {
+    Out.Digest = R.decisionDigest();
+    R.setEnabled(false);
+    R.clear();
+  }
+  return Out;
+}
+
+bool sameEstimate(const SynthesisEstimate &A, const SynthesisEstimate &B) {
+  return A.Cycles == B.Cycles && A.Slices == B.Slices &&
+         A.Registers == B.Registers && A.Balance == B.Balance;
+}
+
+struct SweepRow {
+  std::string Mode;
+  unsigned Threads = 0;
+  unsigned Repetitions = 0;
+  double BestSeconds = 0;
+  unsigned Evaluations = 0;
+
+  double evalsPerSec() const {
+    return BestSeconds > 0 ? Evaluations / BestSeconds : 0;
+  }
+};
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bench::ObservabilityFlags Obs = bench::parseObservabilityFlags(argc, argv);
+  // The timed sweeps run with recording off; the instrumented phase-split
+  // passes below enable it explicitly.
+  StatRegistry::instance().setEnabled(false);
+  TraceRecorder::global().setEnabled(false);
+
+  std::string JsonPath = "BENCH_eval.json";
+  bool Quick = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--json=", 7) == 0) {
+      JsonPath = argv[I] + 7;
+    } else if (std::strcmp(argv[I], "--quick") == 0) {
+      Quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_eval_fastpath [--quick] [--json=PATH] "
+                   "[--stats] [--trace-out=PATH]\n");
+      return 2;
+    }
+  }
+
+  const Kernel K = buildKernel("MM");
+  const unsigned Reps = Quick ? 2 : 5;
+  const std::vector<unsigned> ThreadCounts = {1, 4, 8};
+  auto Pool = std::make_shared<ThreadPool>(8);
+
+  //===------------------------------------------------------------===//
+  // Timed sweeps.
+  //===------------------------------------------------------------===//
+  std::vector<SweepRow> Rows;
+  for (unsigned T : ThreadCounts) {
+    {
+      SweepRow Row{"off", T, Reps};
+      for (unsigned I = 0; I != Reps; ++I) {
+        SweepOutcome O = runSweep(K, FastPathMode::Off, T, Pool, nullptr);
+        if (I == 0 || O.Seconds < Row.BestSeconds)
+          Row.BestSeconds = O.Seconds;
+        Row.Evaluations = O.Evaluations;
+      }
+      Rows.push_back(Row);
+    }
+    {
+      // Cold: a fresh stage cache per repetition.
+      SweepRow Row{"on-cold", T, Reps};
+      for (unsigned I = 0; I != Reps; ++I) {
+        SweepOutcome O = runSweep(K, FastPathMode::On, T, Pool,
+                                  std::make_shared<TransformStageCache>());
+        if (I == 0 || O.Seconds < Row.BestSeconds)
+          Row.BestSeconds = O.Seconds;
+        Row.Evaluations = O.Evaluations;
+      }
+      Rows.push_back(Row);
+    }
+    {
+      // Steady state: one shared stage cache, warmed by a discarded
+      // first sweep (batch-run usage, where jobs revisit a kernel).
+      SweepRow Row{"on", T, Reps};
+      auto Stages = std::make_shared<TransformStageCache>();
+      runSweep(K, FastPathMode::On, T, Pool, Stages); // warm-up
+      for (unsigned I = 0; I != Reps; ++I) {
+        SweepOutcome O = runSweep(K, FastPathMode::On, T, Pool, Stages);
+        if (I == 0 || O.Seconds < Row.BestSeconds)
+          Row.BestSeconds = O.Seconds;
+        Row.Evaluations = O.Evaluations;
+      }
+      Rows.push_back(Row);
+    }
+  }
+
+  auto rowFor = [&Rows](const std::string &Mode,
+                        unsigned T) -> const SweepRow & {
+    for (const SweepRow &R : Rows)
+      if (R.Mode == Mode && R.Threads == T)
+        return R;
+    static SweepRow Empty;
+    return Empty;
+  };
+
+  //===------------------------------------------------------------===//
+  // Parity gate.
+  //===------------------------------------------------------------===//
+  bool ParityOk = true;
+  auto check = [&ParityOk](bool Cond, const char *What) {
+    if (!Cond) {
+      std::fprintf(stderr, "PARITY VIOLATION: %s\n", What);
+      ParityOk = false;
+    }
+    return Cond;
+  };
+
+  bool DigestMatch1 = false, DigestMatch8 = false, WinnerMatch = false,
+       SteadyMatch = false;
+  {
+    SweepOutcome Off1 =
+        runSweep(K, FastPathMode::Off, 1, Pool, nullptr, /*WantDigest=*/true);
+    SweepOutcome On1 =
+        runSweep(K, FastPathMode::On, 1, Pool,
+                 std::make_shared<TransformStageCache>(), /*WantDigest=*/true);
+    DigestMatch1 = Off1.Digest == On1.Digest;
+    WinnerMatch = Off1.Selected == On1.Selected &&
+                  sameEstimate(Off1.Estimate, On1.Estimate);
+    check(DigestMatch1, "decision digest differs off vs on (1 thread)");
+    check(WinnerMatch, "selected design differs off vs on (1 thread)");
+
+    // Steady state must stay bit-identical too: candidates served from
+    // the finished-kernel cache level must reproduce the off digest.
+    auto Stages = std::make_shared<TransformStageCache>();
+    runSweep(K, FastPathMode::On, 1, Pool, Stages);
+    SweepOutcome Warm =
+        runSweep(K, FastPathMode::On, 1, Pool, Stages, /*WantDigest=*/true);
+    SteadyMatch = Off1.Digest == Warm.Digest &&
+                  Off1.Selected == Warm.Selected &&
+                  sameEstimate(Off1.Estimate, Warm.Estimate);
+    check(SteadyMatch, "warm-cache sweep diverged from the off path");
+
+    SweepOutcome Off8 =
+        runSweep(K, FastPathMode::Off, 8, Pool, nullptr, /*WantDigest=*/true);
+    SweepOutcome On8 =
+        runSweep(K, FastPathMode::On, 8, Pool,
+                 std::make_shared<TransformStageCache>(), /*WantDigest=*/true);
+    DigestMatch8 = Off8.Digest == On8.Digest && Off1.Digest == Off8.Digest;
+    check(DigestMatch8, "decision digest differs off vs on (8 threads)");
+  }
+
+  // Verify mode re-runs every candidate on both paths and counts
+  // estimate mismatches in fastpath.parity_violations.
+  uint64_t VerifyViolations = 0;
+  {
+    StatRegistry::instance().setEnabled(true);
+    auto countViolations = [] {
+      uint64_t N = 0;
+      for (const StatSnapshot &S : StatRegistry::instance().snapshot())
+        if (S.Group == "fastpath" && S.Name == "parity_violations")
+          N = S.Value;
+      return N;
+    };
+    uint64_t Before = countViolations();
+    runSweep(K, FastPathMode::Verify, 1, Pool, nullptr);
+    runSweep(K, FastPathMode::Verify, 8, Pool, nullptr);
+    VerifyViolations = countViolations() - Before;
+    StatRegistry::instance().setEnabled(false);
+    check(VerifyViolations == 0,
+          "FastPathMode::Verify found estimate mismatches");
+  }
+
+  //===------------------------------------------------------------===//
+  // Instrumented phase-split passes (off, then cold on), outside the
+  // timed measurements.
+  //===------------------------------------------------------------===//
+  std::string PhasesOff, PhasesOn;
+  {
+    StatRegistry::instance().setEnabled(true);
+    TimerGroup::global().reset();
+    runSweep(K, FastPathMode::Off, 1, Pool, nullptr);
+    PhasesOff = TimerGroup::global().toJson();
+    TimerGroup::global().reset();
+    runSweep(K, FastPathMode::On, 1, Pool,
+             std::make_shared<TransformStageCache>());
+    PhasesOn = TimerGroup::global().toJson();
+    TimerGroup::global().reset();
+    StatRegistry::instance().setEnabled(false);
+  }
+
+  //===------------------------------------------------------------===//
+  // Report.
+  //===------------------------------------------------------------===//
+  double OffEps = rowFor("off", 1).evalsPerSec();
+  double ColdEps = rowFor("on-cold", 1).evalsPerSec();
+  double SteadyEps = rowFor("on", 1).evalsPerSec();
+  double SpeedupCold = OffEps > 0 ? ColdEps / OffEps : 0;
+  double SpeedupSteady = OffEps > 0 ? SteadyEps / OffEps : 0;
+
+  std::printf("%-8s %8s %6s %14s %14s\n", "mode", "threads", "reps",
+              "best_wall_ms", "evals/sec");
+  for (const SweepRow &R : Rows)
+    std::printf("%-8s %8u %6u %14.2f %14.1f\n", R.Mode.c_str(), R.Threads,
+                R.Repetitions, R.BestSeconds * 1e3, R.evalsPerSec());
+  std::printf("single-thread speedup vs off: %.2fx cold, %.2fx steady\n",
+              SpeedupCold, SpeedupSteady);
+  std::printf("parity: %s (verify violations: %llu)\n",
+              ParityOk ? "OK" : "VIOLATED",
+              static_cast<unsigned long long>(VerifyViolations));
+
+  std::ostringstream OS;
+  OS << "{\n";
+  OS << "  \"kernel\": \"MM\",\n  \"strategy\": \"exhaustive\",\n"
+     << "  \"platform\": \"wildstar-pipelined\",\n"
+     << "  \"quick\": " << (Quick ? "true" : "false") << ",\n";
+  OS << "  \"sweeps\": [\n";
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const SweepRow &R = Rows[I];
+    OS << "    {\"mode\": \"" << jsonEscape(R.Mode)
+       << "\", \"threads\": " << R.Threads
+       << ", \"repetitions\": " << R.Repetitions
+       << ", \"best_wall_seconds\": " << R.BestSeconds
+       << ", \"evaluations\": " << R.Evaluations
+       << ", \"evals_per_sec\": " << R.evalsPerSec() << "}"
+       << (I + 1 == Rows.size() ? "\n" : ",\n");
+  }
+  OS << "  ],\n";
+  OS << "  \"fastpath\": {\"threads\": 1, \"off_evals_per_sec\": " << OffEps
+     << ", \"on_cold_evals_per_sec\": " << ColdEps
+     << ", \"on_steady_evals_per_sec\": " << SteadyEps
+     << ", \"speedup_cold\": " << SpeedupCold
+     << ", \"speedup_steady\": " << SpeedupSteady << "},\n";
+  OS << "  \"parity\": {\"digest_match_1thread\": "
+     << (DigestMatch1 ? "true" : "false")
+     << ", \"digest_match_8threads\": " << (DigestMatch8 ? "true" : "false")
+     << ", \"winner_match\": " << (WinnerMatch ? "true" : "false")
+     << ", \"steady_state_match\": " << (SteadyMatch ? "true" : "false")
+     << ", \"verify_violations\": " << VerifyViolations << "},\n";
+  OS << "  \"phase_timings_ms\": {\"off\": " << PhasesOff
+     << ", \"on\": " << PhasesOn << "}\n";
+  OS << "}\n";
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    Out << OS.str();
+  }
+
+  if (!bench::finishObservability(Obs))
+    return 1;
+  return ParityOk ? 0 : 1;
+}

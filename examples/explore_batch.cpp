@@ -13,6 +13,7 @@
 ///                 [--repeat N] [--trace-out=PATH] [--stats] [--explain]
 ///                 [--journal=PATH] [--resume] [--watchdog=SECONDS]
 ///                 [--breaker-threshold=N] [--breaker-cooldown=SECONDS]
+///                 [--fast-path=off|on|verify]
 ///
 /// --strategy selects any StrategyRegistry search ("guided",
 /// "exhaustive", "random", "hillclimb", "portfolio", or one a caller
@@ -35,6 +36,13 @@
 /// watchdog; --breaker-threshold enables the per-backend circuit breaker
 /// (--breaker-cooldown tunes its open interval).
 ///
+/// --fast-path=on evaluates through the fast-path engine (arena-allocated
+/// IR clones, one shared transform-stage cache across all jobs, the
+/// replication-aware estimator) — identical selections, decision digests,
+/// and table output, fewer milliseconds. --fast-path=verify runs both
+/// engines per evaluation and cross-checks every estimate field bit for
+/// bit (violations land in the fastpath.parity_violations counter).
+///
 /// Exit codes: 0 all jobs healthy; 3 batch completed but at least one
 /// job degraded (fault/deadline/budget/breaker); 1 runtime failure
 /// (journal or trace I/O); 2 usage error.
@@ -45,6 +53,7 @@
 #include "defacto/Core/CircuitBreaker.h"
 #include "defacto/Core/EvaluationJournal.h"
 #include "defacto/Core/ExplorationReport.h"
+#include "defacto/Core/TransformStageCache.h"
 #include "defacto/IR/IRUtils.h"
 #include "defacto/Kernels/Kernels.h"
 #include "defacto/Support/CommandLine.h"
@@ -83,6 +92,19 @@ int main(int Argc, char **Argv) {
   double BreakerCooldown = 30.0;
   if (std::optional<std::string> C = Args.consumeValue("--breaker-cooldown"))
     BreakerCooldown = std::strtod(C->c_str(), nullptr);
+  std::string FastPathName = Args.consumeValue("--fast-path").value_or("off");
+  FastPathMode FastPath;
+  if (FastPathName == "off")
+    FastPath = FastPathMode::Off;
+  else if (FastPathName == "on")
+    FastPath = FastPathMode::On;
+  else if (FastPathName == "verify")
+    FastPath = FastPathMode::Verify;
+  else {
+    std::fprintf(stderr, "--fast-path must be off, on, or verify (got '%s')\n",
+                 FastPathName.c_str());
+    return 2;
+  }
 
   if (!Args.empty()) {
     std::fprintf(stderr,
@@ -92,7 +114,7 @@ int main(int Argc, char **Argv) {
                  "[--kernels a,b,...] [--repeat N] [--trace-out=PATH] "
                  "[--stats] [--explain] [--journal=PATH] [--resume] "
                  "[--watchdog=SECONDS] [--breaker-threshold=N] "
-                 "[--breaker-cooldown=SECONDS]\n",
+                 "[--breaker-cooldown=SECONDS] [--fast-path=off|on|verify]\n",
                  Args.rest().front().c_str());
     return 2;
   }
@@ -160,6 +182,13 @@ int main(int Argc, char **Argv) {
   if (BothPlatforms)
     Platforms.push_back(TargetPlatform::wildstarNonPipelined());
 
+  // One stage cache across every job: kernels repeated across platforms
+  // and --repeat rounds share their memoized pipeline prefixes the same
+  // way they share the estimate cache.
+  std::shared_ptr<TransformStageCache> StageCache;
+  if (FastPath != FastPathMode::Off)
+    StageCache = std::make_shared<TransformStageCache>();
+
   BatchExplorer Engine(Batch);
   for (unsigned Round = 0; Round != std::max(1u, Repeat); ++Round)
     for (const std::string &Name : Names) {
@@ -171,6 +200,8 @@ int main(int Argc, char **Argv) {
         ExplorerOptions Opts;
         Opts.Platform = Platform;
         Opts.WatchdogSeconds = WatchdogSeconds;
+        Opts.FastPath = FastPath;
+        Opts.StageCache = StageCache;
         std::string Label = Name + " @ " + Platform.Name;
         if (Round > 0)
           Label += " (repeat)";
@@ -221,6 +252,18 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(CacheStats.NegativeHits),
               static_cast<unsigned long long>(CacheStats.Waits),
               Engine.estimateCache()->size());
+
+  if (StageCache) {
+    TransformStageCache::Stats StageStats = StageCache->stats();
+    std::printf("stage cache:  %llu lookups, %llu hits (%.1f%% hit rate), "
+                "%llu waits, %llu evicted, %zu stage(s) resident\n",
+                static_cast<unsigned long long>(StageStats.Lookups),
+                static_cast<unsigned long long>(StageStats.Hits),
+                100.0 * StageStats.hitRate(),
+                static_cast<unsigned long long>(StageStats.Waits),
+                static_cast<unsigned long long>(StageStats.Evictions),
+                StageCache->size());
+  }
 
   if (Explain)
     for (const BatchResult &R : Results)

@@ -39,6 +39,7 @@
 #include "defacto/Core/DesignSpace.h"
 #include "defacto/Core/EstimateCache.h"
 #include "defacto/Core/Saturation.h"
+#include "defacto/Core/TransformStageCache.h"
 #include "defacto/HLS/Estimator.h"
 #include "defacto/Support/Error.h"
 #include "defacto/Support/ThreadPool.h"
@@ -57,6 +58,13 @@ namespace defacto {
 
 class CircuitBreakerRegistry;
 struct ExplorationResult;
+
+/// Evaluation fast-path selector (ExplorerOptions::FastPath).
+enum class FastPathMode {
+  Off,    ///< Historical per-candidate evaluation, bit for bit.
+  On,     ///< Staged pipeline, arena clones, memoized scheduling.
+  Verify, ///< Run both paths, assert bit-equality, return the slow result.
+};
 
 /// Exploration configuration, shared by every search strategy and the
 /// evaluation service underneath them.
@@ -141,6 +149,26 @@ struct ExplorerOptions {
   /// the explorer creates a private cache, i.e. per-instance memoization
   /// exactly as before.
   std::shared_ptr<EstimateCache> Cache;
+
+  //===--------------------------------------------------------------===//
+  // Fast path. An evaluation-speed lever, never a results lever: every
+  // mode produces the same estimates, the same winners, and the same
+  // decision digest (fastpath_parity_test and Verify enforce it).
+  //===--------------------------------------------------------------===//
+
+  /// Off: the historical per-candidate pipeline. On: arena-allocated IR
+  /// clones, memoized transform-stage prefixes (StageCache), the scalar-
+  /// replacement site index, skipping the pipeline's verification pass
+  /// when the built-in checked estimator re-verifies anyway, and the
+  /// replication-aware estimator (estimateDesignCheckedFast). Verify:
+  /// run both paths for every attempt, compare every estimate field
+  /// bit-exactly (violations increment fastpath.parity_violations), and
+  /// return the slow result.
+  FastPathMode FastPath = FastPathMode::Off;
+  /// Transform-stage snapshots shared across explorers, runs, and
+  /// threads. Unset with FastPath != Off: the service creates a private
+  /// cache.
+  std::shared_ptr<TransformStageCache> StageCache;
 
   //===--------------------------------------------------------------===//
   // Observability. Off by default and zero-cost while off: a disabled
@@ -290,8 +318,22 @@ public:
 private:
   /// One raw estimation attempt: transform pipeline + estimator (+ the
   /// §5.4 register-cap shrink loop). Thread-safe: touches only the
-  /// shared read-only PipelineContext and the options.
+  /// shared read-only PipelineContext and the options. Dispatches on
+  /// Opts.FastPath; Verify runs both routes and compares.
   Expected<SynthesisEstimate> computeRaw(const UnrollVector &U) const;
+  /// The historical route: applyPipeline + configured backend.
+  Expected<SynthesisEstimate> computeSlow(const UnrollVector &U) const;
+  /// The staged route: FastPathPipeline over this worker's IR arena,
+  /// estimateDesignCheckedFast when the backend is the built-in one.
+  Expected<SynthesisEstimate> computeFast(const UnrollVector &U) const;
+  /// The estimator seam both routes share: invocation timing, the hang
+  /// watchdog, the dse.cancel trace event. \p FastBackend substitutes
+  /// estimateDesignCheckedFast for the configured estimator.
+  Expected<SynthesisEstimate> invokeBackend(const Kernel &K,
+                                            const UnrollVector &U,
+                                            bool FastBackend) const;
+  /// Emits one run-variant "dse.stagecache" trace event.
+  void traceStageCache(const UnrollVector &U, const StageRunInfo &Info) const;
   std::string cacheKey(const UnrollVector &U) const;
   std::shared_ptr<ThreadPool> workerPool();
   /// Appends to the bounded failure ring, evicting (and counting) the
@@ -310,6 +352,14 @@ private:
   uint64_t SourceFp = 0;
   std::vector<unsigned> Preference; // nest positions, best first
   std::shared_ptr<EstimateCache> Estimates; // never null
+  /// Stage snapshots (never null when FastPath != Off) and the staged
+  /// pipeline over Ctx; unset in Off mode.
+  std::shared_ptr<TransformStageCache> Stages;
+  std::optional<FastPathPipeline> FastPipeline;
+  /// No estimator was injected, i.e. the backend is the built-in checked
+  /// estimator — the precondition for the fast estimator substitution
+  /// and for skipping the pipeline's redundant verification pass.
+  bool DefaultEstimator = false;
   std::shared_ptr<ThreadPool> Pool;         // created lazily when parallel
   std::vector<std::future<void>> Speculation;
   std::map<UnrollVector, SynthesisEstimate> Cache; // this run's successes

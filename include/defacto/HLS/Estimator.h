@@ -106,6 +106,23 @@ using EstimatorFn =
 Expected<SynthesisEstimate>
 estimateDesignChecked(const Kernel &K, const TargetPlatform &Platform);
 
+/// estimateDesign(), replication-aware: an unrolled body is U structurally
+/// identical copies of a base body, so the straight-line segments a sweep
+/// schedules repeat across candidates. This variant memoizes list
+/// scheduling per (DFG content, platform) in a per-thread table (exact
+/// key compare — a hit returns the bit-identical SegmentSchedule) and
+/// fuses the register/rotation-mux area walks into one traversal. Every
+/// area term is a dyadic rational, so the fused summation is exact and
+/// the result equals estimateDesign() bit for bit; fastpath_parity_test
+/// and FastPath::Verify enforce that.
+SynthesisEstimate estimateDesignFast(const Kernel &K,
+                                     const TargetPlatform &Platform);
+
+/// estimateDesignChecked() over estimateDesignFast(): same verification,
+/// cancellation, and degeneracy reporting, bit-identical results.
+Expected<SynthesisEstimate>
+estimateDesignCheckedFast(const Kernel &K, const TargetPlatform &Platform);
+
 } // namespace defacto
 
 #endif // DEFACTO_HLS_ESTIMATOR_H

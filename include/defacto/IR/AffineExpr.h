@@ -51,6 +51,11 @@ public:
   /// Number of loops with nonzero coefficient.
   unsigned numTerms() const { return Terms.size(); }
 
+  /// The canonical (loop id, coefficient) term list: sorted by loop id,
+  /// no zero coefficients. Exposed for allocation-free hashing/equality
+  /// in hot paths (loopIds()/coeff() allocate or scan).
+  const std::vector<std::pair<int, int64_t>> &terms() const { return Terms; }
+
   AffineExpr add(const AffineExpr &Other) const;
   AffineExpr sub(const AffineExpr &Other) const;
   AffineExpr scale(int64_t Factor) const;

@@ -20,9 +20,12 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace defacto {
+
+class IRArena;
 
 /// One loop-nest computation plus its variable declarations.
 class Kernel {
@@ -82,6 +85,13 @@ public:
   /// declaration pointers into the new kernel.
   Kernel clone() const;
 
+  /// Deep copy whose Expr/Stmt nodes are carved from \p Arena (one bump
+  /// per node instead of a heap allocation; see Support/Arena.h). The
+  /// caller must not let the clone outlive the arena's next reset().
+  /// Declarations stay heap-allocated, so decl pointers remain valid for
+  /// the Kernel's own lifetime as usual.
+  Kernel cloneInto(IRArena &Arena) const;
+
   /// Outermost ForStmt of the kernel body if the body is a single loop,
   /// else null.
   ForStmt *topLoop() const;
@@ -90,6 +100,13 @@ private:
   std::string Name;
   std::vector<std::unique_ptr<ArrayDecl>> Arrays;
   std::vector<std::unique_ptr<ScalarDecl>> Scalars;
+  /// Name -> declaration indexes kept in lockstep with Arrays/Scalars so
+  /// findArray/findScalar (and the name-uniqueness probes in tryMake*)
+  /// are O(1); scalar replacement mints hundreds of temps per candidate
+  /// and the linear scans were quadratic in practice. Decl pointers are
+  /// stable (unique_ptr), so moves of the Kernel keep the index valid.
+  std::unordered_map<std::string, ArrayDecl *> ArrayIndex;
+  std::unordered_map<std::string, ScalarDecl *> ScalarIndex;
   StmtList Body;
   int NextLoopId = 0;
   unsigned NextTempId = 0;

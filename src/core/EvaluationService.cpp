@@ -10,6 +10,7 @@
 #include "defacto/Core/CircuitBreaker.h"
 #include "defacto/Core/SearchStrategy.h"
 #include "defacto/IR/IRUtils.h"
+#include "defacto/Support/Arena.h"
 #include "defacto/Support/Cancellation.h"
 #include "defacto/Support/MathExtras.h"
 #include "defacto/Support/Stats.h"
@@ -28,6 +29,9 @@ DEFACTO_STATISTIC(NumWatchdogCancels, "explore", "watchdog-cancels",
                   "estimator invocations cancelled by the hang watchdog");
 DEFACTO_STATISTIC(NumDroppedFailures, "explore", "dropped-failures",
                   "failure-log entries evicted by the ring bound");
+DEFACTO_STATISTIC(NumParityViolations, "fastpath", "parity_violations",
+                  "verify-mode attempts where fast and slow estimates "
+                  "disagreed");
 
 EvaluationService::EvaluationService(const Kernel &Source,
                                      ExplorerOptions Opts)
@@ -35,6 +39,7 @@ EvaluationService::EvaluationService(const Kernel &Source,
       Sat(computeSaturation(Source, this->Opts.Platform.NumMemories)),
       Space(Sat.Trips.empty() ? std::vector<int64_t>{1} : Sat.Trips),
       Ctx(Source), SourceFp(kernelFingerprint(Source)) {
+  DefaultEstimator = !this->Opts.Estimator;
   if (!this->Opts.Estimator)
     this->Opts.Estimator = [](const Kernel &K, const TargetPlatform &P) {
       return estimateDesignChecked(K, P);
@@ -53,6 +58,11 @@ EvaluationService::EvaluationService(const Kernel &Source,
     };
   Estimates = this->Opts.Cache ? this->Opts.Cache
                                : std::make_shared<EstimateCache>();
+  if (this->Opts.FastPath != FastPathMode::Off) {
+    Stages = this->Opts.StageCache ? this->Opts.StageCache
+                                   : std::make_shared<TransformStageCache>();
+    FastPipeline.emplace(Ctx, Stages);
+  }
   Track = this->Opts.TraceLabel.empty() ? Source.name()
                                         : this->Opts.TraceLabel;
   StartSeconds = this->Opts.Clock();
@@ -167,50 +177,67 @@ void EvaluationService::traceSelection(const ExplorationResult &Res) {
 }
 
 Expected<SynthesisEstimate>
-EvaluationService::computeRaw(const UnrollVector &U) const {
-  TransformOptions TO = Opts.BaseTransforms;
-  TO.Unroll = U;
-  TO.Layout.NumMemories = Opts.Platform.NumMemories;
-
+EvaluationService::invokeBackend(const Kernel &K, const UnrollVector &U,
+                                 bool FastBackend) const {
   // Estimation backends are arbitrary callables (a real synthesis tool
   // behind a wrapper); time every invocation at this seam. The hang
   // watchdog arms a fresh deadline token per invocation: a cooperative
   // backend (the built-in estimator polls in its walk and scheduling
   // loops; a FaultInjector hang polls between simulated sleeps) observes
   // it thread-locally and returns ErrorCode::Cancelled.
-  auto invokeEstimator =
-      [this, &U](const Kernel &K) -> Expected<SynthesisEstimate> {
-    DEFACTO_SCOPED_TIMER("estimator.invoke");
-    if (Opts.WatchdogSeconds <= 0)
+  auto Call = [&]() -> Expected<SynthesisEstimate> {
+    if (!FastBackend)
       return Opts.Estimator(K, Opts.Platform);
-    CancellationToken Watchdog = CancellationToken::withDeadline(
-        Opts.Clock() + Opts.WatchdogSeconds, Opts.Clock,
-        "estimator watchdog (" + std::to_string(Opts.WatchdogSeconds) +
-            "s)");
-    CancellationScope Scope(Watchdog);
-    Expected<SynthesisEstimate> Est = Opts.Estimator(K, Opts.Platform);
-    if (!Est && Est.status().code() == ErrorCode::Cancelled) {
-      ++NumWatchdogCancels;
-      TraceRecorder &R = recorder();
-      if (R.enabled()) {
-        // Run-variant by nature (real clocks fire at real times), so
-        // everything lands in Runtime, never in the decision digest.
-        TraceEvent Ev;
-        Ev.Track = Track;
-        Ev.Category = "dse.cancel";
-        Ev.Name = unrollVectorToString(U);
-        Ev.Runtime = {{"reason", Est.status().message()},
-                      {"watchdog_s", formatDouble(Opts.WatchdogSeconds, 3)}};
-        R.record(std::move(Ev));
-      }
-    }
+    // The fast route already verified this kernel's lineage: the stage
+    // snapshot is verified once when built, and the unstaged fallback
+    // runs the full pipeline including its verification pass. Estimate
+    // without re-verifying per candidate.
+    SynthesisEstimate Est = estimateDesignFast(K, Opts.Platform);
+    if (Status Cancel = currentCancelStatus(); !Cancel.isOk())
+      return Cancel;
+    if (Est.Cycles == 0 || Est.Slices <= 0.0)
+      return Status::error(ErrorCode::EstimationFailed,
+                           "estimator returned a degenerate design (cycles=" +
+                               std::to_string(Est.Cycles) + ")");
     return Est;
   };
+  DEFACTO_SCOPED_TIMER("estimator.invoke");
+  if (Opts.WatchdogSeconds <= 0)
+    return Call();
+  CancellationToken Watchdog = CancellationToken::withDeadline(
+      Opts.Clock() + Opts.WatchdogSeconds, Opts.Clock,
+      "estimator watchdog (" + std::to_string(Opts.WatchdogSeconds) +
+          "s)");
+  CancellationScope Scope(Watchdog);
+  Expected<SynthesisEstimate> Est = Call();
+  if (!Est && Est.status().code() == ErrorCode::Cancelled) {
+    ++NumWatchdogCancels;
+    TraceRecorder &R = recorder();
+    if (R.enabled()) {
+      // Run-variant by nature (real clocks fire at real times), so
+      // everything lands in Runtime, never in the decision digest.
+      TraceEvent Ev;
+      Ev.Track = Track;
+      Ev.Category = "dse.cancel";
+      Ev.Name = unrollVectorToString(U);
+      Ev.Runtime = {{"reason", Est.status().message()},
+                    {"watchdog_s", formatDouble(Opts.WatchdogSeconds, 3)}};
+      R.record(std::move(Ev));
+    }
+  }
+  return Est;
+}
+
+Expected<SynthesisEstimate>
+EvaluationService::computeSlow(const UnrollVector &U) const {
+  TransformOptions TO = Opts.BaseTransforms;
+  TO.Unroll = U;
+  TO.Layout.NumMemories = Opts.Platform.NumMemories;
 
   TransformResult R = applyPipeline(Ctx, TO);
   if (!R.ok())
     return R.Error;
-  Expected<SynthesisEstimate> Est = invokeEstimator(R.K);
+  Expected<SynthesisEstimate> Est = invokeBackend(R.K, U, false);
   if (!Est)
     return Est;
 
@@ -225,12 +252,143 @@ EvaluationService::computeRaw(const UnrollVector &U) const {
       TransformResult Capped = applyPipeline(Ctx, TO);
       if (!Capped.ok())
         return Capped.Error;
-      Est = invokeEstimator(Capped.K);
+      Est = invokeBackend(Capped.K, U, false);
       if (!Est)
         return Est;
     }
   }
   return Est;
+}
+
+Expected<SynthesisEstimate>
+EvaluationService::computeFast(const UnrollVector &U) const {
+  TransformOptions TO = Opts.BaseTransforms;
+  TO.Unroll = U;
+  TO.Layout.NumMemories = Opts.Platform.NumMemories;
+  // The site index accelerates scalar replacement without changing what
+  // it emits; gated here so Off stays the untouched historical path.
+  TO.SR.UseSiteIndex = true;
+
+  // Every IR node this attempt builds — the stage clone, the finished
+  // pipeline, register-capped re-runs — lands in this worker's arena and
+  // is released in one bump-pointer reset instead of node-by-node
+  // deletes. The guard is declared before the scope so the reset runs
+  // only after the TransformResults below are destroyed and the arena
+  // is deactivated.
+  thread_local IRArena Arena;
+  struct ResetGuard {
+    IRArena &A;
+    ~ResetGuard() { A.reset(); }
+  } Guard{Arena};
+  IRArenaScope Scope(&Arena);
+
+  // With the built-in estimator, verification happens once per stage
+  // snapshot (see TransformStageCache::buildStage) rather than once per
+  // candidate, so the pipeline's own verification pass is skipped here;
+  // injected backends keep it.
+  bool SkipVerify = DefaultEstimator;
+
+  StageRunInfo Info;
+  TransformResult R = FastPipeline->run(TO, SkipVerify, &Info);
+  traceStageCache(U, Info);
+  if (!R.ok())
+    return R.Error;
+  Expected<SynthesisEstimate> Est = invokeBackend(R.K, U, DefaultEstimator);
+  if (!Est)
+    return Est;
+
+  if (Opts.RegisterCap) {
+    unsigned ChainLimit = TO.SR.MaxChainLength;
+    while (Est->Registers > *Opts.RegisterCap && ChainLimit > 1) {
+      ChainLimit /= 2;
+      TO.SR.MaxChainLength = ChainLimit;
+      // Re-runs only vary the post-stage passes, so they clone the same
+      // memoized stage.
+      TransformResult Capped = FastPipeline->run(TO, SkipVerify);
+      if (!Capped.ok())
+        return Capped.Error;
+      Est = invokeBackend(Capped.K, U, DefaultEstimator);
+      if (!Est)
+        return Est;
+    }
+  }
+  return Est;
+}
+
+/// Field-by-field bit equality (== on doubles is exact and handles the
+/// HUGE_VAL balance of memory-free designs; NaN never occurs here).
+static bool estimatesBitEqual(const SynthesisEstimate &A,
+                              const SynthesisEstimate &B) {
+  return A.Cycles == B.Cycles && A.Slices == B.Slices &&
+         A.Registers == B.Registers && A.Units == B.Units &&
+         A.FetchRate == B.FetchRate && A.ConsumeRate == B.ConsumeRate &&
+         A.Balance == B.Balance && A.MemOnlyCycles == B.MemOnlyCycles &&
+         A.CompOnlyCycles == B.CompOnlyCycles &&
+         A.BitsTransferred == B.BitsTransferred && A.FsmStates == B.FsmStates;
+}
+
+Expected<SynthesisEstimate>
+EvaluationService::computeRaw(const UnrollVector &U) const {
+  if (Opts.FastPath == FastPathMode::Off || !FastPipeline)
+    return computeSlow(U);
+  if (Opts.FastPath == FastPathMode::On)
+    return computeFast(U);
+
+  // Verify: run both routes for this attempt and return the slow result,
+  // so a verify run is behaviorally the historical engine plus
+  // assertions. Watchdog cancellations are timing, not parity; skip the
+  // comparison when either route was cancelled.
+  Expected<SynthesisEstimate> Fast = computeFast(U);
+  Expected<SynthesisEstimate> Slow = computeSlow(U);
+  bool Cancelled = (!Fast && Fast.status().code() == ErrorCode::Cancelled) ||
+                   (!Slow && Slow.status().code() == ErrorCode::Cancelled);
+  bool Violation = false;
+  if (!Cancelled) {
+    if (!Fast != !Slow)
+      Violation = true; // One route succeeded, the other failed.
+    else if (Fast && Slow)
+      Violation = !estimatesBitEqual(*Fast, *Slow);
+    // Both failed: same verdict; messages may legitimately differ
+    // (pipeline verification vs. the checked estimator's re-verify).
+  }
+  if (Violation) {
+    ++NumParityViolations;
+    TraceRecorder &R = recorder();
+    if (R.enabled()) {
+      TraceEvent Ev;
+      Ev.Track = Track;
+      Ev.Category = "dse.fastpath";
+      Ev.Name = unrollVectorToString(U);
+      Ev.Runtime = {{"event", "parity-violation"},
+                    {"fast", Fast ? Fast->toString() : Fast.status().toString()},
+                    {"slow", Slow ? Slow->toString() : Slow.status().toString()}};
+      R.record(std::move(Ev));
+    }
+  }
+  return Slow;
+}
+
+void EvaluationService::traceStageCache(const UnrollVector &U,
+                                        const StageRunInfo &Info) const {
+  TraceRecorder &R = recorder();
+  if (!R.enabled())
+    return;
+  TraceEvent Ev;
+  Ev.Track = Track;
+  Ev.Category = "dse.stagecache";
+  Ev.Name = unrollVectorToString(U);
+  const char *Outcome =
+      Info.Outcome == TransformStageCache::Outcome::Hit    ? "hit"
+      : Info.Outcome == TransformStageCache::Outcome::Wait ? "wait"
+                                                           : "miss";
+  // Which worker builds a stage depends on scheduling, so the whole
+  // payload is run-variant Runtime detail — never in the decision
+  // digest.
+  Ev.Runtime = {{"staged", Info.Staged ? "1" : "0"},
+                {"outcome", Outcome},
+                {"final", Info.FinalHit ? "1" : "0"},
+                {"key", Info.Key}};
+  R.record(std::move(Ev));
 }
 
 void EvaluationService::beginBudget(unsigned MaxEvaluations) {

@@ -7,10 +7,10 @@
 #include "defacto/IR/Kernel.h"
 
 #include "defacto/IR/IRUtils.h"
+#include "defacto/Support/Arena.h"
 #include "defacto/Support/ErrorHandling.h"
 
 #include <cassert>
-#include <map>
 
 using namespace defacto;
 
@@ -49,6 +49,7 @@ Expected<ArrayDecl *> Kernel::tryMakeArray(std::string ArrName,
                                "' has a non-positive dimension");
   Arrays.push_back(std::make_unique<ArrayDecl>(std::move(ArrName), ElemTy,
                                                std::move(Dims)));
+  ArrayIndex.emplace(Arrays.back()->name(), Arrays.back().get());
   return Arrays.back().get();
 }
 
@@ -60,6 +61,7 @@ Expected<ScalarDecl *> Kernel::tryMakeScalar(std::string VarName,
                          "redeclaration of '" + VarName + "'");
   Scalars.push_back(
       std::make_unique<ScalarDecl>(std::move(VarName), Ty, IsCompilerTemp));
+  ScalarIndex.emplace(Scalars.back()->name(), Scalars.back().get());
   return Scalars.back().get();
 }
 
@@ -72,17 +74,13 @@ ScalarDecl *Kernel::makeTempScalar(const std::string &Prefix, ScalarType Ty) {
 }
 
 ArrayDecl *Kernel::findArray(const std::string &ArrName) const {
-  for (const auto &A : Arrays)
-    if (A->name() == ArrName)
-      return A.get();
-  return nullptr;
+  auto It = ArrayIndex.find(ArrName);
+  return It == ArrayIndex.end() ? nullptr : It->second;
 }
 
 ScalarDecl *Kernel::findScalar(const std::string &VarName) const {
-  for (const auto &S : Scalars)
-    if (S->name() == VarName)
-      return S.get();
-  return nullptr;
+  auto It = ScalarIndex.find(VarName);
+  return It == ScalarIndex.end() ? nullptr : It->second;
 }
 
 void Kernel::reserveLoopIdsThrough(int Id) {
@@ -100,9 +98,15 @@ Kernel Kernel::clone() const {
   Kernel New(Name);
   New.NextLoopId = NextLoopId;
   New.NextTempId = NextTempId;
+  New.Arrays.reserve(Arrays.size());
+  New.Scalars.reserve(Scalars.size());
+  New.ArrayIndex.reserve(Arrays.size());
+  New.ScalarIndex.reserve(Scalars.size());
 
-  std::map<const ArrayDecl *, ArrayDecl *> ArrayMap;
-  std::map<const ScalarDecl *, ScalarDecl *> ScalarMap;
+  std::unordered_map<const ArrayDecl *, ArrayDecl *> ArrayMap;
+  std::unordered_map<const ScalarDecl *, ScalarDecl *> ScalarMap;
+  ArrayMap.reserve(Arrays.size());
+  ScalarMap.reserve(Scalars.size());
 
   for (const auto &A : Arrays) {
     ArrayDecl *NewA = New.makeArray(A->name(), A->elementType(), A->dims());
@@ -148,4 +152,9 @@ Kernel Kernel::clone() const {
     }
   });
   return New;
+}
+
+Kernel Kernel::cloneInto(IRArena &Arena) const {
+  IRArenaScope Scope(&Arena);
+  return clone();
 }

@@ -1,0 +1,157 @@
+//===- Arena.cpp - Bump-pointer arena for IR nodes ------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Support/Arena.h"
+
+#include <algorithm>
+#include <new>
+
+namespace defacto {
+
+namespace {
+
+/// First block size; doubles (up to a cap) as the arena grows so a large
+/// kernel settles into a handful of blocks.
+constexpr std::size_t FirstBlockBytes = 1u << 16; // 64 KiB
+constexpr std::size_t MaxBlockBytes = 1u << 22;   // 4 MiB
+
+/// Every node allocation is rounded up to this alignment, which is
+/// sufficient for any Expr/Stmt subclass.
+constexpr std::size_t NodeAlign = alignof(std::max_align_t);
+
+constexpr std::size_t alignUp(std::size_t N) {
+  return (N + NodeAlign - 1) & ~(NodeAlign - 1);
+}
+
+/// The arena new Expr/Stmt nodes are carved from, or nullptr for heap
+/// allocation. Installed by IRArenaScope.
+thread_local IRArena *ActiveArena = nullptr;
+
+/// Arenas whose memory this thread may be asked to "free". Node deletes
+/// probe these and skip the heap free on a hit. Arenas register on first
+/// scope installation and unregister in their destructor; the list stays
+/// tiny (one worker arena plus the occasional test arena).
+///
+/// Deliberately a trivially-destructible plain array, not a vector:
+/// worker arenas are themselves thread_local, and TLS destructors run in
+/// reverse construction order, so a registry with a destructor can be
+/// torn down before the arenas that must unregister from it. POD TLS has
+/// no destructor and stays valid for the entire thread lifetime.
+constexpr unsigned MaxRegisteredArenas = 16;
+thread_local IRArena *RegisteredArenas[MaxRegisteredArenas] = {};
+thread_local unsigned NumRegisteredArenas = 0;
+
+/// True when \p Arena is (now) in the registry; false when the registry
+/// is full, in which case the caller must not activate the arena (its
+/// nodes' deletes would be heap-freed).
+bool registerArena(IRArena *Arena) {
+  for (unsigned I = 0; I != NumRegisteredArenas; ++I)
+    if (RegisteredArenas[I] == Arena)
+      return true;
+  if (NumRegisteredArenas == MaxRegisteredArenas)
+    return false;
+  RegisteredArenas[NumRegisteredArenas++] = Arena;
+  return true;
+}
+
+} // namespace
+
+IRArena::IRArena() = default;
+
+IRArena::~IRArena() {
+  for (unsigned I = 0; I != NumRegisteredArenas; ++I)
+    if (RegisteredArenas[I] == this) {
+      RegisteredArenas[I] = RegisteredArenas[--NumRegisteredArenas];
+      break;
+    }
+}
+
+void *IRArena::allocate(std::size_t Size) {
+  Size = alignUp(std::max<std::size_t>(Size, 1));
+  if (CurBlock < Blocks.size() &&
+      CurOffset + Size <= Blocks[CurBlock].Size) {
+    void *P = Blocks[CurBlock].Memory.get() + CurOffset;
+    CurOffset += Size;
+    LiveBytes += Size;
+    return P;
+  }
+  return allocateSlow(Size);
+}
+
+void *IRArena::allocateSlow(std::size_t Size) {
+  // Advance through retained blocks (a reset leaves them behind us).
+  while (CurBlock + 1 < Blocks.size()) {
+    ++CurBlock;
+    CurOffset = 0;
+    if (Size <= Blocks[CurBlock].Size) {
+      CurOffset = Size;
+      LiveBytes += Size;
+      return Blocks[CurBlock].Memory.get();
+    }
+  }
+  std::size_t NewSize = Blocks.empty()
+                            ? FirstBlockBytes
+                            : std::min(Blocks.back().Size * 2, MaxBlockBytes);
+  NewSize = std::max(NewSize, Size);
+  Block B;
+  // operator new[] guarantees max_align_t alignment for char buffers of
+  // this size, matching alignUp's rounding.
+  B.Memory.reset(new char[NewSize]);
+  B.Size = NewSize;
+  Blocks.push_back(std::move(B));
+  CurBlock = Blocks.size() - 1;
+  CurOffset = Size;
+  LiveBytes += Size;
+  return Blocks[CurBlock].Memory.get();
+}
+
+void IRArena::reset() {
+  CurBlock = 0;
+  CurOffset = 0;
+  LiveBytes = 0;
+}
+
+bool IRArena::owns(const void *P) const {
+  const char *C = static_cast<const char *>(P);
+  for (const Block &B : Blocks)
+    if (C >= B.Memory.get() && C < B.Memory.get() + B.Size)
+      return true;
+  return false;
+}
+
+IRArenaScope::IRArenaScope(IRArena *Arena) : Previous(ActiveArena) {
+  // A full registry (16+ live arenas on one thread — never in practice)
+  // degrades to heap allocation rather than risking a heap free of
+  // arena-owned nodes.
+  if (Arena && !registerArena(Arena))
+    Arena = nullptr;
+  ActiveArena = Arena;
+}
+
+IRArenaScope::~IRArenaScope() { ActiveArena = Previous; }
+
+IRArena *activeIRArena() { return ActiveArena; }
+
+namespace detail {
+
+void *irNodeAllocate(std::size_t Size) {
+  if (IRArena *A = ActiveArena)
+    return A->allocate(Size);
+  return ::operator new(Size);
+}
+
+void irNodeDeallocate(void *P) noexcept {
+  if (!P)
+    return;
+  for (unsigned I = 0; I != NumRegisteredArenas; ++I)
+    if (RegisteredArenas[I]->owns(P))
+      return;
+  ::operator delete(P);
+}
+
+} // namespace detail
+
+} // namespace defacto

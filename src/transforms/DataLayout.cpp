@@ -73,7 +73,10 @@ defacto::applyDataLayout(Kernel &K, const DataLayoutOptions &Opts) {
   for (const auto &A : K.arrays())
     if (!A->renamedFrom())
       Order.push_back(A.get());
-  for (const AccessInfo &Info : collectArrayAccesses(K))
+  // One walk serves both phases: phase 1 rewrites subscripts and
+  // retargets accesses in place, so the collected pointers stay valid.
+  const std::vector<AccessInfo> AllAccesses = collectArrayAccesses(K);
+  for (const AccessInfo &Info : AllAccesses)
     ByArray[Info.Access->array()].push_back(Info.Access);
 
   // Phase 1 preparation: per array, pick the distribution dimension (the
@@ -178,10 +181,10 @@ defacto::applyDataLayout(Kernel &K, const DataLayoutOptions &Opts) {
     if (Arr->physicalMemId() < 0)
       Arr->setPhysicalMemId(It->second);
   };
-  for (const AccessInfo &Info : collectArrayAccesses(K))
+  for (const AccessInfo &Info : AllAccesses)
     if (!Info.IsWrite)
       bind(Info.Access);
-  for (const AccessInfo &Info : collectArrayAccesses(K))
+  for (const AccessInfo &Info : AllAccesses)
     if (Info.IsWrite)
       bind(Info.Access);
 

@@ -24,8 +24,7 @@ TransformResult runOnNormalized(Kernel Normalized,
                                 const TransformOptions &Opts,
                                 const Kernel &ErrorFallback) {
   DEFACTO_SCOPED_TIMER("pipeline.run");
-  TransformResult Result(std::move(Normalized));
-  Kernel &K = Result.K;
+  Kernel K = std::move(Normalized);
 
   if (Opts.StripMine) {
     DEFACTO_SCOPED_TIMER("pipeline.stripmine");
@@ -38,14 +37,28 @@ TransformResult runOnNormalized(Kernel Normalized,
     }
   }
 
+  bool UnrollApplied;
   {
     DEFACTO_SCOPED_TIMER("pipeline.unroll");
-    Result.UnrollApplied = unrollAndJam(K, Opts.Unroll);
+    UnrollApplied = unrollAndJam(K, Opts.Unroll);
   }
   {
     DEFACTO_SCOPED_TIMER("pipeline.normalize");
     normalizeLoops(K);
   }
+
+  return finishPipeline(std::move(K), Opts, ErrorFallback, UnrollApplied);
+}
+
+} // namespace
+
+TransformResult defacto::finishPipeline(Kernel Staged,
+                                        const TransformOptions &Opts,
+                                        const Kernel &ErrorFallback,
+                                        bool UnrollApplied, bool SkipVerify) {
+  TransformResult Result(std::move(Staged));
+  Result.UnrollApplied = UnrollApplied;
+  Kernel &K = Result.K;
 
   if (Opts.EnableScalarReplacement) {
     DEFACTO_SCOPED_TIMER("pipeline.scalarrepl");
@@ -70,6 +83,9 @@ TransformResult runOnNormalized(Kernel Normalized,
     Result.Layout = *Layout;
   }
 
+  if (SkipVerify)
+    return Result;
+
   DEFACTO_SCOPED_TIMER("pipeline.verify");
   if (!isKernelValid(K)) {
     Result.Error = Status::error(
@@ -79,8 +95,6 @@ TransformResult runOnNormalized(Kernel Normalized,
   }
   return Result;
 }
-
-} // namespace
 
 TransformResult defacto::applyPipeline(const Kernel &Source,
                                        const TransformOptions &Opts) {
@@ -106,8 +120,13 @@ void PipelineContext::assertUnchanged() const {
 
 TransformResult defacto::applyPipeline(const PipelineContext &Ctx,
                                        const TransformOptions &Opts) {
+  std::optional<Kernel> Cloned;
+  {
+    DEFACTO_SCOPED_TIMER("pipeline.clone");
+    Cloned.emplace(Ctx.normalized().clone());
+  }
   TransformResult Result =
-      runOnNormalized(Ctx.normalized().clone(), Opts, Ctx.normalized());
+      runOnNormalized(std::move(*Cloned), Opts, Ctx.normalized());
   Ctx.assertUnchanged();
   return Result;
 }

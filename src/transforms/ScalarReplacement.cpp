@@ -12,8 +12,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <map>
 #include <set>
+#include <unordered_map>
 
 using namespace defacto;
 
@@ -95,7 +97,35 @@ private:
     return -1;
   }
 
+  /// Hash of a site key for the optional index; exact equality is still
+  /// checked on every probe, so collisions only cost a compare.
+  static uint64_t hashSiteKey(const ArrayDecl *Array,
+                              const std::vector<AffineExpr> &Subs) {
+    uint64_t H = std::hash<const void *>()(Array);
+    auto Mix = [&H](uint64_t V) {
+      H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+    };
+    for (const AffineExpr &Sub : Subs) {
+      Mix(static_cast<uint64_t>(Sub.constant()));
+      for (const auto &[Id, Coeff] : Sub.terms()) {
+        Mix(static_cast<uint64_t>(Id));
+        Mix(static_cast<uint64_t>(Coeff));
+      }
+      Mix(0x5b5bu); // subscript separator
+    }
+    return H;
+  }
+
   int findSite(const ArrayAccessExpr *A) const {
+    if (Opts.UseSiteIndex) {
+      auto It = SiteIndex.find(hashSiteKey(A->array(), A->subscripts()));
+      if (It == SiteIndex.end())
+        return -1;
+      for (unsigned I : It->second)
+        if (Sites[I].Array == A->array() && Sites[I].Subs == A->subscripts())
+          return static_cast<int>(I);
+      return -1;
+    }
     for (unsigned I = 0; I != Sites.size(); ++I)
       if (Sites[I].Array == A->array() && Sites[I].Subs == A->subscripts())
         return static_cast<int>(I);
@@ -122,6 +152,10 @@ private:
   const ScalarReplacementOptions &Opts;
   std::vector<ForStmt *> Nest;
   std::vector<Site> Sites;
+  /// Site-key hash -> site indices, maintained by collectSites when
+  /// Opts.UseSiteIndex is set. Sites are append-only after collection,
+  /// so the index stays valid through rewriteBody.
+  std::unordered_map<uint64_t, std::vector<unsigned>> SiteIndex;
   std::vector<Stream> Streams;
   std::set<const ArrayDecl *> IneligibleArrays; // accessed under control flow
   std::set<const ArrayDecl *> WrittenArrays;
@@ -184,6 +218,9 @@ void ScalarReplacer::collectSites() {
         S.FirstUseIdx = Idx;
         Sites.push_back(std::move(S));
         SiteIdx = static_cast<int>(Sites.size()) - 1;
+        if (Opts.UseSiteIndex)
+          SiteIndex[hashSiteKey(A->array(), A->subscripts())].push_back(
+              static_cast<unsigned>(SiteIdx));
       }
       Site &S = Sites[SiteIdx];
       if (IsWrite)
@@ -261,6 +298,82 @@ void ScalarReplacer::buildStreams() {
     return;
   int InnerId = Nest.back()->loopId();
 
+  // Precomputed per-site signatures for the indexed fast path: two sites
+  // can belong to one stream only when every subscript pair differs by a
+  // constant, i.e. the loop-term vectors match exactly (AffineExpr is
+  // canonical, so term equality is sub().isConstant() verbatim). Group
+  // sites by (array, per-dimension terms) once; then streamDelta within
+  // a group is pure integer arithmetic over the precomputed constants —
+  // no AffineExpr temporaries in the quadratic greedy loop.
+  std::vector<int> GroupOf;
+  struct SubSig {
+    int64_t Constant = 0;
+    int64_t InnerCoeff = 0;
+    bool UsesOther = false;
+  };
+  std::vector<std::vector<SubSig>> Sigs;
+  if (Opts.UseSiteIndex) {
+    GroupOf.resize(Sites.size(), -1);
+    Sigs.resize(Sites.size());
+    std::map<std::pair<const ArrayDecl *,
+                       std::vector<std::vector<std::pair<int, int64_t>>>>,
+             int>
+        Groups;
+    for (unsigned I = 0; I != Sites.size(); ++I) {
+      std::vector<std::vector<std::pair<int, int64_t>>> Terms;
+      Terms.reserve(Sites[I].Subs.size());
+      for (const AffineExpr &Sub : Sites[I].Subs) {
+        Terms.push_back(Sub.terms());
+        SubSig Sig;
+        Sig.Constant = Sub.constant();
+        Sig.InnerCoeff = Sub.coeff(InnerId);
+        for (const auto &[Id, Coeff] : Sub.terms()) {
+          (void)Coeff;
+          if (Id != InnerId)
+            Sig.UsesOther = true;
+        }
+        Sigs[I].push_back(Sig);
+      }
+      auto [It, Inserted] = Groups.emplace(
+          std::make_pair(Sites[I].Array, std::move(Terms)),
+          static_cast<int>(Groups.size()));
+      GroupOf[I] = It->second;
+      (void)Inserted;
+    }
+  }
+
+  // Signature-based delta: bit-identical verdicts to the AffineExpr
+  // version below, an order of magnitude cheaper.
+  auto fastStreamDelta = [&](unsigned I,
+                             unsigned J) -> std::optional<int64_t> {
+    if (GroupOf[I] != GroupOf[J])
+      return std::nullopt; // Some dimension's difference is not constant.
+    std::optional<int64_t> Delta;
+    const std::vector<SubSig> &A = Sigs[I];
+    const std::vector<SubSig> &B = Sigs[J];
+    for (unsigned D = 0; D != A.size(); ++D) {
+      int64_t DiffC = B[D].Constant - A[D].Constant;
+      if (A[D].UsesOther) {
+        if (DiffC != 0)
+          return std::nullopt;
+        continue;
+      }
+      if (A[D].InnerCoeff == 0) {
+        if (DiffC != 0)
+          return std::nullopt;
+        continue;
+      }
+      int64_t Scale = A[D].InnerCoeff * Nest.back()->step();
+      if (DiffC % Scale != 0)
+        return std::nullopt;
+      int64_t D1 = DiffC / Scale;
+      if (Delta && *Delta != D1)
+        return std::nullopt;
+      Delta = D1;
+    }
+    return Delta ? Delta : std::optional<int64_t>(0);
+  };
+
   // Relative inner-iteration offset between two sites, when the shift is
   // the *unique* explanation of element equality (mirrors the paper's
   // consistent-distance requirement; S[i+j] vs S[i+j+1] is rejected
@@ -333,7 +446,8 @@ void ScalarReplacer::buildStreams() {
         continue;
       if (SJ.Plan != SitePlan::Keep && SJ.Plan != SitePlan::CseTemp)
         continue;
-      auto Delta = streamDelta(SI, SJ);
+      auto Delta =
+          Opts.UseSiteIndex ? fastStreamDelta(I, J) : streamDelta(SI, SJ);
       if (!Delta)
         continue;
       StreamOf[J] = StreamOf[I];
@@ -512,12 +626,18 @@ void ScalarReplacer::insertCode() {
         makeAccess(Lead)));
   }
 
-  // 3. Original statements, with CSE temp loads before first use.
+  // 3. Original statements, with CSE temp loads before first use. The
+  //    loads are bucketed by first-use index up front (site order within
+  //    a bucket preserved) so this is linear, not |Body| x |Sites|.
+  std::vector<std::vector<Site *>> CseLoadsAt(Body.size());
+  for (Site &S : Sites)
+    if (S.Plan == SitePlan::CseTemp)
+      CseLoadsAt[S.FirstUseIdx].push_back(&S);
+  NewBody.reserve(NewBody.size() + Body.size() + Sites.size());
   for (unsigned Idx = 0; Idx != Body.size(); ++Idx) {
-    for (Site &S : Sites)
-      if (S.Plan == SitePlan::CseTemp && S.FirstUseIdx == Idx)
-        NewBody.push_back(std::make_unique<AssignStmt>(
-            std::make_unique<ScalarRefExpr>(S.Reg), makeAccess(S)));
+    for (Site *S : CseLoadsAt[Idx])
+      NewBody.push_back(std::make_unique<AssignStmt>(
+          std::make_unique<ScalarRefExpr>(S->Reg), makeAccess(*S)));
     NewBody.push_back(std::move(Body[Idx]));
   }
 

@@ -62,6 +62,8 @@ bool defacto::unrollAndJam(Kernel &K, const UnrollVector &U) {
   ForStmt *Innermost = Nest.back();
   StmtList Original = std::move(Innermost->body());
   Innermost->body().clear();
+  Innermost->body().reserve(static_cast<size_t>(unrollProduct(Factors)) *
+                            Original.size());
 
   // Enumerate offset combinations in outer-major lexicographic order
   // (Figure 1(b): unroll(0,0), unroll(0,1), unroll(1,0), unroll(1,1)).
