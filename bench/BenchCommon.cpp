@@ -43,11 +43,12 @@ bench::ObservabilityFlags defacto::bench::parseObservabilityFlags(int &Argc,
   cl::ArgList Args(Argc, Argv);
   cl::ObservabilityConfig Config = cl::consumeObservabilityFlags(Args);
   Args.compactInto(Argc, Argv);
-  return {Config.TraceOutPath, Config.Stats};
+  return {Config.TraceOutPath, Config.Stats, Config.StatsOutPath};
 }
 
 bool defacto::bench::finishObservability(const ObservabilityFlags &Flags) {
-  return cl::finishObservability({Flags.TraceOutPath, Flags.Stats});
+  return cl::finishObservability(
+      {Flags.TraceOutPath, Flags.Stats, Flags.StatsOutPath});
 }
 
 int defacto::bench::runFigureSweep(const std::string &FigureName,

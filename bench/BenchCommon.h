@@ -53,21 +53,28 @@ FastPathMode parseFastPathFlag(int Argc, char **Argv);
 ///                      / Perfetto) of the run's decision/phase events
 ///   --stats            print the counter registry and phase timings at
 ///                      exit
+///   --stats-out=PATH   write counters + timers + histograms as one JSON
+///                      document at exit
 struct ObservabilityFlags {
   std::string TraceOutPath; // empty: tracing stays off
   bool Stats = false;
+  std::string StatsOutPath; // empty: no stats file
 
-  bool any() const { return Stats || !TraceOutPath.empty(); }
+  bool any() const {
+    return Stats || !TraceOutPath.empty() || !StatsOutPath.empty();
+  }
 };
 
-/// Peels --trace-out=/--stats out of (\p Argc, \p Argv), compacting the
-/// remaining arguments in place, and enables the global TraceRecorder /
-/// StatRegistry accordingly. Call before handing argv to another parser.
+/// Peels --trace-out=/--stats/--stats-out out of (\p Argc, \p Argv),
+/// compacting the remaining arguments in place, and enables the global
+/// TraceRecorder / StatRegistry accordingly. Call before handing argv to
+/// another parser.
 ObservabilityFlags parseObservabilityFlags(int &Argc, char **Argv);
 
 /// Finishes an observed run: writes the Chrome trace when a path was
-/// given and prints counters plus phase timings when --stats was. Returns
-/// false when the trace file could not be written.
+/// given, prints counters plus phase timings when --stats was, and writes
+/// the stats JSON file when --stats-out was. Returns false when an output
+/// file could not be written.
 bool finishObservability(const ObservabilityFlags &Flags);
 
 } // namespace bench

@@ -43,6 +43,7 @@
 #include "defacto/Core/Explorer.h"
 #include "defacto/Core/TransformStageCache.h"
 #include "defacto/Kernels/Kernels.h"
+#include "defacto/Support/Histogram.h"
 #include "defacto/Support/Stats.h"
 #include "defacto/Support/Timer.h"
 #include "defacto/Support/Trace.h"
@@ -285,19 +286,41 @@ int main(int argc, char **argv) {
 
   //===------------------------------------------------------------===//
   // Instrumented phase-split passes (off, then cold on), outside the
-  // timed measurements.
+  // timed measurements. The same passes feed the per-evaluation latency
+  // percentiles from the eval.latency_us histogram.
   //===------------------------------------------------------------===//
+  struct LatencyPercentiles {
+    uint64_t Count = 0, P50 = 0, P95 = 0, P99 = 0, Max = 0;
+  };
+  auto evalLatency = [] {
+    LatencyPercentiles P;
+    for (const HistogramSnapshot &S : HistogramRegistry::global().snapshot())
+      if (S.Name == "eval.latency_us") {
+        P.Count = S.Count;
+        P.P50 = S.quantile(0.50);
+        P.P95 = S.quantile(0.95);
+        P.P99 = S.quantile(0.99);
+        P.Max = S.Max;
+      }
+    return P;
+  };
   std::string PhasesOff, PhasesOn;
+  LatencyPercentiles LatOff, LatOn;
   {
     StatRegistry::instance().setEnabled(true);
     TimerGroup::global().reset();
+    HistogramRegistry::global().reset();
     runSweep(K, FastPathMode::Off, 1, Pool, nullptr);
     PhasesOff = TimerGroup::global().toJson();
+    LatOff = evalLatency();
     TimerGroup::global().reset();
+    HistogramRegistry::global().reset();
     runSweep(K, FastPathMode::On, 1, Pool,
              std::make_shared<TransformStageCache>());
     PhasesOn = TimerGroup::global().toJson();
+    LatOn = evalLatency();
     TimerGroup::global().reset();
+    HistogramRegistry::global().reset();
     StatRegistry::instance().setEnabled(false);
   }
 
@@ -320,6 +343,17 @@ int main(int argc, char **argv) {
   std::printf("parity: %s (verify violations: %llu)\n",
               ParityOk ? "OK" : "VIOLATED",
               static_cast<unsigned long long>(VerifyViolations));
+  auto printLatency = [](const char *Mode, const LatencyPercentiles &L) {
+    std::printf("eval latency %-4s p50 %llu us, p95 %llu us, p99 %llu us, "
+                "max %llu us (%llu evaluations)\n",
+                Mode, static_cast<unsigned long long>(L.P50),
+                static_cast<unsigned long long>(L.P95),
+                static_cast<unsigned long long>(L.P99),
+                static_cast<unsigned long long>(L.Max),
+                static_cast<unsigned long long>(L.Count));
+  };
+  printLatency("off:", LatOff);
+  printLatency("on:", LatOn);
 
   std::ostringstream OS;
   OS << "{\n";
@@ -349,6 +383,16 @@ int main(int argc, char **argv) {
      << ", \"winner_match\": " << (WinnerMatch ? "true" : "false")
      << ", \"steady_state_match\": " << (SteadyMatch ? "true" : "false")
      << ", \"verify_violations\": " << VerifyViolations << "},\n";
+  auto latencyJson = [](const LatencyPercentiles &L) {
+    std::ostringstream LS;
+    LS << "{\"count\": " << L.Count << ", \"p50_us\": " << L.P50
+       << ", \"p95_us\": " << L.P95 << ", \"p99_us\": " << L.P99
+       << ", \"max_us\": " << L.Max << "}";
+    return LS.str();
+  };
+  OS << "  \"latency_percentiles\": {\"histogram\": \"eval.latency_us\", "
+     << "\"threads\": 1, \"off\": " << latencyJson(LatOff)
+     << ", \"on\": " << latencyJson(LatOn) << "},\n";
   OS << "  \"phase_timings_ms\": {\"off\": " << PhasesOff
      << ", \"on\": " << PhasesOn << "}\n";
   OS << "}\n";

@@ -10,10 +10,12 @@
 ///
 ///   explore_batch [--threads N] [--strategy NAME] [--exhaustive]
 ///                 [--both-platforms] [--extended] [--kernels fir,mm,...]
-///                 [--repeat N] [--trace-out=PATH] [--stats] [--explain]
-///                 [--journal=PATH] [--resume] [--watchdog=SECONDS]
-///                 [--breaker-threshold=N] [--breaker-cooldown=SECONDS]
-///                 [--fast-path=off|on|verify]
+///                 [--repeat N] [--trace-out=PATH] [--stats]
+///                 [--stats-out=PATH] [--explain] [--journal=PATH]
+///                 [--resume] [--watchdog=SECONDS] [--breaker-threshold=N]
+///                 [--breaker-cooldown=SECONDS] [--fast-path=off|on|verify]
+///                 [--metrics-out=PATH] [--metrics-interval-ms=N]
+///                 [--metrics-prom=PATH]
 ///
 /// --strategy selects any StrategyRegistry search ("guided",
 /// "exhaustive", "random", "hillclimb", "portfolio", or one a caller
@@ -36,6 +38,15 @@
 /// watchdog; --breaker-threshold enables the per-backend circuit breaker
 /// (--breaker-cooldown tunes its open interval).
 ///
+/// Live telemetry (docs/OBSERVABILITY.md "Live metrics"): --metrics-out
+/// appends one JSONL snapshot of every counter, phase timer, latency
+/// histogram, and progress gauge per interval (write-then-rename, so
+/// `defacto_monitor` can tail it live), --metrics-interval-ms sets the
+/// sampling period (default 250), and --metrics-prom maintains an
+/// OpenMetrics/Prometheus text exposition of the latest snapshot.
+/// --stats-out writes the final counters + timers + histograms as one
+/// JSON document.
+///
 /// --fast-path=on evaluates through the fast-path engine (arena-allocated
 /// IR clones, one shared transform-stage cache across all jobs, the
 /// replication-aware estimator) — identical selections, decision digests,
@@ -57,6 +68,7 @@
 #include "defacto/IR/IRUtils.h"
 #include "defacto/Kernels/Kernels.h"
 #include "defacto/Support/CommandLine.h"
+#include "defacto/Support/MetricsSampler.h"
 #include "defacto/Support/Stats.h"
 #include "defacto/Support/Table.h"
 #include "defacto/Support/Timer.h"
@@ -78,7 +90,12 @@ int main(int Argc, char **Argv) {
   bool BothPlatforms = Args.consumeFlag("--both-platforms");
   bool Extended = Args.consumeFlag("--extended");
   bool Stats = Args.consumeFlag("--stats");
+  std::string StatsOut = Args.consumeValue("--stats-out").value_or("");
   bool Explain = Args.consumeFlag("--explain");
+  std::string MetricsOut = Args.consumeValue("--metrics-out").value_or("");
+  std::string MetricsProm = Args.consumeValue("--metrics-prom").value_or("");
+  unsigned MetricsIntervalMs =
+      Args.consumeUnsigned("--metrics-interval-ms").value_or(250);
   std::string TraceOut = Args.consumeValue("--trace-out").value_or("");
   unsigned Repeat = Args.consumeUnsigned("--repeat").value_or(1);
   std::vector<std::string> Names = Args.consumeList("--kernels");
@@ -112,9 +129,11 @@ int main(int Argc, char **Argv) {
                  "usage: explore_batch [--threads N] [--strategy NAME] "
                  "[--exhaustive] [--both-platforms] [--extended] "
                  "[--kernels a,b,...] [--repeat N] [--trace-out=PATH] "
-                 "[--stats] [--explain] [--journal=PATH] [--resume] "
-                 "[--watchdog=SECONDS] [--breaker-threshold=N] "
-                 "[--breaker-cooldown=SECONDS] [--fast-path=off|on|verify]\n",
+                 "[--stats] [--stats-out=PATH] [--explain] "
+                 "[--journal=PATH] [--resume] [--watchdog=SECONDS] "
+                 "[--breaker-threshold=N] [--breaker-cooldown=SECONDS] "
+                 "[--fast-path=off|on|verify] [--metrics-out=PATH] "
+                 "[--metrics-interval-ms=N] [--metrics-prom=PATH]\n",
                  Args.rest().front().c_str());
     return 2;
   }
@@ -133,7 +152,8 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  if (Stats)
+  bool Metrics = !MetricsOut.empty() || !MetricsProm.empty();
+  if (Stats || !StatsOut.empty() || Metrics)
     StatRegistry::instance().setEnabled(true);
   if (!TraceOut.empty()) {
     Batch.Trace = std::make_shared<TraceRecorder>();
@@ -189,6 +209,9 @@ int main(int Argc, char **Argv) {
   if (FastPath != FastPathMode::Off)
     StageCache = std::make_shared<TransformStageCache>();
 
+  if (Metrics && !Batch.Pool && Batch.NumThreads > 1)
+    Batch.Pool = std::make_shared<ThreadPool>(Batch.NumThreads);
+
   BatchExplorer Engine(Batch);
   for (unsigned Round = 0; Round != std::max(1u, Repeat); ++Round)
     for (const std::string &Name : Names) {
@@ -218,7 +241,58 @@ int main(int Argc, char **Argv) {
                 "%zu finished job(s) on record\n\n",
                 JournalPath.c_str(), ResumedEvals, ResumedJobs);
 
+  std::unique_ptr<MetricsSampler> Sampler;
+  if (Metrics) {
+    MetricsSamplerOptions SamplerOpts;
+    SamplerOpts.IntervalSeconds = MetricsIntervalMs / 1000.0;
+    SamplerOpts.JsonlPath = MetricsOut;
+    SamplerOpts.PromPath = MetricsProm;
+    Sampler = std::make_unique<MetricsSampler>(std::move(SamplerOpts));
+    Sampler->setGauge("jobs_total", [&Engine] {
+      return static_cast<double>(Engine.jobsQueued());
+    });
+    Sampler->setGauge("jobs_done", [&Engine] {
+      return static_cast<double>(Engine.jobsCompleted());
+    });
+    Sampler->setGauge("in_flight_evals", [] {
+      return static_cast<double>(EvaluationService::inFlightEvaluations());
+    });
+    Sampler->setGauge("cache_designs", [&Engine] {
+      return static_cast<double>(Engine.estimateCache()->size());
+    });
+    if (Batch.Pool)
+      Sampler->setGauge("queue_depth", [Pool = Batch.Pool] {
+        return static_cast<double>(Pool->queueDepth());
+      });
+    if (Batch.Breakers)
+      Sampler->setGauge("breakers_open", [Breakers = Batch.Breakers] {
+        double Open = 0;
+        for (const auto &[Key, Snap] : Breakers->snapshotAll())
+          if (Snap.Current != CircuitBreakerRegistry::State::Closed)
+            ++Open;
+        return Open;
+      });
+    Sampler->start();
+  }
+
   std::vector<BatchResult> Results = Engine.runAll();
+
+  if (Sampler) {
+    // Final sample after the last job: totals now exactly match the
+    // end-of-run registry and cache stats below.
+    Sampler->stop();
+    if (Status MetricsIo = Sampler->ioStatus(); !MetricsIo.isOk()) {
+      std::fprintf(stderr, "metrics output failed: %s\n",
+                   MetricsIo.toString().c_str());
+      return 1;
+    }
+    std::printf("metrics: %llu sample(s)%s%s%s%s\n\n",
+                static_cast<unsigned long long>(Sampler->samples()),
+                MetricsOut.empty() ? "" : " -> ",
+                MetricsOut.c_str(),
+                MetricsProm.empty() ? "" : ", prom -> ",
+                MetricsProm.c_str());
+  }
 
   Table Out({"job", "strategy", "selected", "cycles", "slices", "speedup",
              "evals", "searched", "flags"});
@@ -272,6 +346,12 @@ int main(int Argc, char **Argv) {
   if (Stats) {
     std::printf("\n%s", StatRegistry::instance().toText().c_str());
     std::printf("%s", TimerGroup::global().toText().c_str());
+  }
+
+  if (!StatsOut.empty()) {
+    if (!cl::writeStatsFile(StatsOut))
+      return 1;
+    std::printf("wrote stats to %s\n", StatsOut.c_str());
   }
 
   if (!TraceOut.empty()) {

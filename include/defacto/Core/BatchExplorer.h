@@ -21,6 +21,7 @@
 
 #include "defacto/Core/Explorer.h"
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -111,10 +112,26 @@ public:
     return Cache;
   }
 
+  //===--------------------------------------------------------------===//
+  // Live progress, for the metrics gauges: readable from any thread
+  // while runAll() executes on another.
+  //===--------------------------------------------------------------===//
+
+  /// Jobs the in-progress (or most recent) runAll() call took on.
+  uint64_t jobsQueued() const {
+    return JobsQueued.load(std::memory_order_relaxed);
+  }
+  /// Jobs that have finished so far in that call.
+  uint64_t jobsCompleted() const {
+    return JobsDone.load(std::memory_order_relaxed);
+  }
+
 private:
   BatchOptions Opts;
   std::shared_ptr<EstimateCache> Cache; // never null
   std::vector<BatchJob> Jobs;
+  std::atomic<uint64_t> JobsQueued{0};
+  std::atomic<uint64_t> JobsDone{0};
 };
 
 /// One-shot convenience: run \p Jobs with \p Opts.

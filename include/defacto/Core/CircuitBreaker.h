@@ -40,6 +40,8 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace defacto {
 
@@ -92,6 +94,10 @@ public:
   const char *recordFailure(const std::string &Key, double Now);
 
   Snapshot snapshot(const std::string &Key) const;
+
+  /// Every breaker the registry has seen, keyed and sorted by backend
+  /// key — the metrics gauges derive open/half-open counts from this.
+  std::vector<std::pair<std::string, Snapshot>> snapshotAll() const;
 
   const CircuitBreakerOptions &options() const { return Opts; }
 

@@ -315,12 +315,22 @@ public:
   /// True when a worker pool is configured (speculation is live).
   bool parallel() const { return Opts.Pool != nullptr || Opts.NumThreads > 1; }
 
+  /// Raw estimation attempts currently executing, process-wide (every
+  /// service, sequential walks and speculation workers alike). Tracked
+  /// only while stats recording is enabled; the MetricsSampler exposes
+  /// it as the in_flight_evals gauge.
+  static uint64_t inFlightEvaluations();
+
 private:
   /// One raw estimation attempt: transform pipeline + estimator (+ the
   /// §5.4 register-cap shrink loop). Thread-safe: touches only the
-  /// shared read-only PipelineContext and the options. Dispatches on
-  /// Opts.FastPath; Verify runs both routes and compares.
+  /// shared read-only PipelineContext and the options. The single
+  /// instrumentation chokepoint: records eval.latency_us and the
+  /// estimate.* distributions, and tracks the in-flight gauge.
   Expected<SynthesisEstimate> computeRaw(const UnrollVector &U) const;
+  /// computeRaw minus instrumentation: dispatches on Opts.FastPath;
+  /// Verify runs both routes and compares.
+  Expected<SynthesisEstimate> computeDispatch(const UnrollVector &U) const;
   /// The historical route: applyPipeline + configured backend.
   Expected<SynthesisEstimate> computeSlow(const UnrollVector &U) const;
   /// The staged route: FastPathPipeline over this worker's IR arena,

@@ -71,21 +71,33 @@ private:
 ///                      / Perfetto) of the run's decision/phase events
 ///   --stats            print the counter registry and phase timings at
 ///                      exit
+///   --stats-out=PATH   write counters + timers + histograms as one JSON
+///                      document at exit (machine-readable --stats)
 struct ObservabilityConfig {
   std::string TraceOutPath; // empty: tracing stays off
   bool Stats = false;
+  std::string StatsOutPath; // empty: no stats file
 
-  bool any() const { return Stats || !TraceOutPath.empty(); }
+  bool any() const {
+    return Stats || !TraceOutPath.empty() || !StatsOutPath.empty();
+  }
 };
 
-/// Consumes --trace-out=/--stats from \p Args and enables the global
-/// TraceRecorder / StatRegistry accordingly.
+/// Consumes --trace-out=/--stats/--stats-out from \p Args and enables the
+/// global TraceRecorder / StatRegistry accordingly.
 ObservabilityConfig consumeObservabilityFlags(ArgList &Args);
 
 /// Finishes an observed run: writes the Chrome trace when a path was
-/// given and prints counters plus phase timings when --stats was. Returns
-/// false when the trace file could not be written.
+/// given, prints counters plus phase timings when --stats was, and writes
+/// the stats JSON file when --stats-out was. Returns false when any
+/// output file could not be written.
 bool finishObservability(const ObservabilityConfig &Config);
+
+/// Writes {"counters": ..., "timers": ..., "histograms": ...} — the
+/// StatRegistry, TimerGroup, and HistogramRegistry JSON exports — to
+/// \p Path (write-then-rename), validating the document with
+/// Support/Json first. Returns false on validation or I/O failure.
+bool writeStatsFile(const std::string &Path);
 
 } // namespace cl
 } // namespace defacto

@@ -1,0 +1,73 @@
+//===- OpenMetrics.h - Prometheus text exposition --------------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal OpenMetrics / Prometheus text-exposition writer and
+/// validator for the live telemetry layer (MetricsSampler.h). The
+/// writer builds one exposition document — `# TYPE`/`# HELP` metadata,
+/// sample lines, a terminating `# EOF` — and the validator checks a
+/// document an external scraper would accept: metric-name and label
+/// syntax, values that parse as floats, `# TYPE` metadata preceding the
+/// family's samples, and the mandatory `# EOF` terminator. CI gates the
+/// `explore_batch --metrics-prom=` output on it
+/// (`tools/openmetrics_check.cpp`), and `metrics_test` runs it over the
+/// sampler's own output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_SUPPORT_OPENMETRICS_H
+#define DEFACTO_SUPPORT_OPENMETRICS_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace defacto {
+
+/// \p Name with every character outside [a-zA-Z0-9_:] replaced by '_'
+/// and a leading '_' prepended when the first character is a digit —
+/// a legal OpenMetrics metric name ("cache.watchdog-cancels" ->
+/// "cache_watchdog_cancels").
+std::string openMetricsName(const std::string &Name);
+
+/// \p S escaped for use inside a label value: backslash, double quote,
+/// and newline are escaped per the exposition format.
+std::string openMetricsLabelEscape(const std::string &S);
+
+/// Incremental builder for one exposition document.
+class OpenMetricsWriter {
+public:
+  /// Emits `# HELP` (when \p Help is non-empty) and `# TYPE` metadata
+  /// for \p Family. \p Type is "counter", "gauge", or "summary".
+  void family(const std::string &Family, const std::string &Type,
+              const std::string &Help = "");
+
+  /// Emits one sample line `name{labels} value`. \p Labels may be
+  /// empty. Non-finite values are rendered as "+Inf"/"-Inf"/"NaN" per
+  /// the exposition format.
+  void
+  sample(const std::string &Name, double Value,
+         const std::vector<std::pair<std::string, std::string>> &Labels = {});
+
+  /// The document so far plus the mandatory `# EOF` terminator.
+  std::string finish() const;
+
+private:
+  std::string Out;
+};
+
+/// True when \p Text is a well-formed exposition document: every line is
+/// `# HELP|TYPE|UNIT` metadata, a sample `name{labels} value [ts]`, or
+/// the final `# EOF`; names are legal; sample values parse as floats;
+/// a family's `# TYPE` precedes its samples; the document ends with
+/// `# EOF`. On failure \p Error, when non-null, receives a line number
+/// and reason.
+bool validateOpenMetrics(const std::string &Text, std::string *Error = nullptr);
+
+} // namespace defacto
+
+#endif // DEFACTO_SUPPORT_OPENMETRICS_H

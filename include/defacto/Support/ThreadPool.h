@@ -72,6 +72,10 @@ public:
   /// Tasks executed since construction.
   uint64_t tasksRun() const;
 
+  /// Tasks queued or currently executing — the live backlog a metrics
+  /// gauge watches. Point-in-time under the pool lock.
+  uint64_t queueDepth() const;
+
 private:
   void workerLoop();
 

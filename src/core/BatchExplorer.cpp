@@ -98,6 +98,8 @@ void journalJob(EvaluationJournal &Journal, const std::string &Name,
 std::vector<BatchResult> BatchExplorer::runAll() {
   std::vector<BatchJob> Pending;
   Pending.swap(Jobs);
+  JobsQueued.store(Pending.size(), std::memory_order_relaxed);
+  JobsDone.store(0, std::memory_order_relaxed);
 
   std::vector<BatchResult> Results(Pending.size());
   for (size_t I = 0; I != Pending.size(); ++I)
@@ -122,6 +124,7 @@ std::vector<BatchResult> BatchExplorer::runAll() {
           runJob(Pending[I], Cache, Opts.Trace, Opts.Breakers);
       if (Opts.Journal)
         journalJob(*Opts.Journal, Results[I].Name, Results[I].Result);
+      JobsDone.fetch_add(1, std::memory_order_relaxed);
     }
     if (Opts.Journal)
       Cache->setObserver({});
@@ -133,12 +136,12 @@ std::vector<BatchResult> BatchExplorer::runAll() {
   std::vector<std::future<void>> Done;
   Done.reserve(Pending.size());
   for (size_t I = 0; I != Pending.size(); ++I)
-    Done.push_back(Pool->submit([&Pending, &Results, &Cache = Cache,
-                                 &Opts = Opts, I] {
+    Done.push_back(Pool->submit([this, &Pending, &Results, I] {
       Results[I].Result =
           runJob(Pending[I], Cache, Opts.Trace, Opts.Breakers);
       if (Opts.Journal)
         journalJob(*Opts.Journal, Results[I].Name, Results[I].Result);
+      JobsDone.fetch_add(1, std::memory_order_relaxed);
     }));
   for (std::future<void> &F : Done)
     F.wait();

@@ -112,3 +112,20 @@ CircuitBreakerRegistry::snapshot(const std::string &Key) const {
   S.Probes = B.Probes;
   return S;
 }
+
+std::vector<std::pair<std::string, CircuitBreakerRegistry::Snapshot>>
+CircuitBreakerRegistry::snapshotAll() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::vector<std::pair<std::string, Snapshot>> Out;
+  Out.reserve(Breakers.size());
+  for (const auto &[Key, B] : Breakers) {
+    Snapshot S;
+    S.Current = B.Current;
+    S.ConsecutiveFailures = B.ConsecutiveFailures;
+    S.TimesOpened = B.TimesOpened;
+    S.FastFailures = B.FastFailures;
+    S.Probes = B.Probes;
+    Out.emplace_back(Key, S);
+  }
+  return Out; // std::map iterates sorted by key
+}

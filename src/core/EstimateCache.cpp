@@ -6,6 +6,7 @@
 
 #include "defacto/Core/EstimateCache.h"
 
+#include "defacto/Support/Histogram.h"
 #include "defacto/Support/Stats.h"
 #include "defacto/Support/Timer.h"
 
@@ -126,6 +127,7 @@ EstimateCache::lookupOrBegin(const std::string &Key, Outcome *Served) {
     *Served = Outcome::Wait;
   Result R = [&] {
     DEFACTO_SCOPED_TIMER("cache.shard_wait");
+    DEFACTO_SCOPED_HISTOGRAM_US("cache.wait_us");
     return Pending.get();
   }();
   if (!R.ok()) {

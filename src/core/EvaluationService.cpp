@@ -12,6 +12,7 @@
 #include "defacto/IR/IRUtils.h"
 #include "defacto/Support/Arena.h"
 #include "defacto/Support/Cancellation.h"
+#include "defacto/Support/Histogram.h"
 #include "defacto/Support/MathExtras.h"
 #include "defacto/Support/Stats.h"
 #include "defacto/Support/Table.h"
@@ -19,6 +20,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
 
 using namespace defacto;
@@ -327,8 +329,49 @@ static bool estimatesBitEqual(const SynthesisEstimate &A,
          A.BitsTransferred == B.BitsTransferred && A.FsmStates == B.FsmStates;
 }
 
+static std::atomic<uint64_t> InFlightEvals{0};
+
+uint64_t EvaluationService::inFlightEvaluations() {
+  return InFlightEvals.load(std::memory_order_relaxed);
+}
+
 Expected<SynthesisEstimate>
 EvaluationService::computeRaw(const UnrollVector &U) const {
+  // The single instrumentation chokepoint for evaluation cost: the
+  // sequential walk, speculation workers, and verify mode all come
+  // through here. Zero-cost discipline: disabled, this is one relaxed
+  // load and a branch on top of the dispatch.
+  if (!statsEnabled())
+    return computeDispatch(U);
+
+  InFlightEvals.fetch_add(1, std::memory_order_relaxed);
+  Expected<SynthesisEstimate> Est = [&] {
+    DEFACTO_SCOPED_HISTOGRAM_US("eval.latency_us");
+    return computeDispatch(U);
+  }();
+  InFlightEvals.fetch_sub(1, std::memory_order_relaxed);
+
+  if (Est) {
+    static Histogram &BalanceHist =
+        HistogramRegistry::global().histogram("estimate.balance_milli");
+    static Histogram &CyclesHist =
+        HistogramRegistry::global().histogram("estimate.cycles");
+    static Histogram &SlicesHist =
+        HistogramRegistry::global().histogram("estimate.slices");
+    // Balance is a ratio (1.0 == balanced, HUGE_VAL for memory-free
+    // designs); record it in milli-units, clamped into bucket range.
+    double B = Est->Balance * 1000.0;
+    if (!std::isfinite(B) || B > 1e15)
+      B = 1e15;
+    BalanceHist.record(static_cast<uint64_t>(std::max(B, 0.0)));
+    CyclesHist.record(Est->Cycles);
+    SlicesHist.record(static_cast<uint64_t>(std::max(Est->Slices, 0.0)));
+  }
+  return Est;
+}
+
+Expected<SynthesisEstimate>
+EvaluationService::computeDispatch(const UnrollVector &U) const {
   if (Opts.FastPath == FastPathMode::Off || !FastPipeline)
     return computeSlow(U);
   if (Opts.FastPath == FastPathMode::On)

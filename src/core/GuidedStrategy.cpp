@@ -31,6 +31,9 @@ DEFACTO_STATISTIC(NumEvaluationsSpent, "explore", "evaluations",
                   "estimator attempts charged to exploration budgets");
 DEFACTO_STATISTIC(NumDegraded, "explore", "degraded",
                   "explorations that finished degraded");
+DEFACTO_STATISTIC(FrontierSize, "explore", "frontier_size",
+                  "candidates in the most recent speculative frontier "
+                  "(gauge)");
 
 UnrollVector defacto::guidedInitialVector(const EvaluationService &Eval) {
   const UnrollSpace &Space = Eval.space();
@@ -152,8 +155,11 @@ ExplorationResult GuidedStrategy::search(const SearchContext &SC) {
   // Parallel mode: overlap the walk with speculative estimation of its
   // enumerable frontier. The walk below is unchanged — it consumes the
   // memoized results in its own order, so selection is deterministic.
-  if (Eval.parallel())
-    Eval.prefetch(guidedFrontier(Eval));
+  if (Eval.parallel()) {
+    std::vector<UnrollVector> Frontier = guidedFrontier(Eval);
+    FrontierSize.set(Frontier.size());
+    Eval.prefetch(Frontier);
+  }
 
   bool HaveBaseline = false;
   if (Expected<SynthesisEstimate> Base =

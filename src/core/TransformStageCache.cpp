@@ -10,6 +10,7 @@
 #include "defacto/IR/IRUtils.h"
 #include "defacto/IR/IRVerifier.h"
 #include "defacto/Support/Arena.h"
+#include "defacto/Support/Histogram.h"
 #include "defacto/Support/Stats.h"
 #include "defacto/Support/Timer.h"
 #include "defacto/Transforms/Normalize.h"
@@ -102,6 +103,7 @@ TransformStageCache::lookupOrBegin(const std::string &Key, Outcome *Served,
   if (Served)
     *Served = Outcome::Wait;
   DEFACTO_SCOPED_TIMER("cache.stage_wait");
+  DEFACTO_SCOPED_HISTOGRAM_US("cache.stage_wait_us");
   return Pending.get();
 }
 
@@ -174,6 +176,7 @@ TransformStageCache::EntryPtr
 FastPathPipeline::buildStage(const TransformOptions &Opts,
                              const UnrollVector &Prefix) const {
   DEFACTO_SCOPED_TIMER("pipeline.stage");
+  DEFACTO_SCOPED_HISTOGRAM_US("pipeline.stage_us");
   // The snapshot is shared read-only across worker threads and must
   // survive every worker's arena resets: build it on the heap.
   IRArenaScope Suspend(nullptr);
@@ -301,6 +304,7 @@ TransformResult FastPathPipeline::run(const TransformOptions &Opts,
 
   TransformResult Result = [&] {
     DEFACTO_SCOPED_TIMER("pipeline.run");
+    DEFACTO_SCOPED_HISTOGRAM_US("pipeline.run_us");
     std::optional<Kernel> K;
     {
       DEFACTO_SCOPED_TIMER("pipeline.clone");

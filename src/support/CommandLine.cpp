@@ -6,6 +6,8 @@
 
 #include "defacto/Support/CommandLine.h"
 
+#include "defacto/Support/Histogram.h"
+#include "defacto/Support/Json.h"
 #include "defacto/Support/Stats.h"
 #include "defacto/Support/Timer.h"
 #include "defacto/Support/Trace.h"
@@ -101,11 +103,46 @@ ObservabilityConfig defacto::cl::consumeObservabilityFlags(ArgList &Args) {
   ObservabilityConfig Config;
   Config.TraceOutPath = Args.consumeValue("--trace-out").value_or("");
   Config.Stats = Args.consumeFlag("--stats");
+  Config.StatsOutPath = Args.consumeValue("--stats-out").value_or("");
   if (!Config.TraceOutPath.empty())
     TraceRecorder::global().setEnabled(true);
   if (Config.any())
     StatRegistry::instance().setEnabled(true);
   return Config;
+}
+
+bool defacto::cl::writeStatsFile(const std::string &Path) {
+  std::string Doc = "{\"counters\": " + StatRegistry::instance().toJson() +
+                    ", \"timers\": " + TimerGroup::global().toJson() +
+                    ", \"histograms\": " +
+                    HistogramRegistry::global().toJson() + "}\n";
+  std::string Error;
+  if (!isValidJson(Doc, &Error)) {
+    std::fprintf(stderr, "stats export is not valid JSON (%s); not writing %s\n",
+                 Error.c_str(), Path.c_str());
+    return false;
+  }
+  // Write-then-rename, same as the journal: a concurrent reader never
+  // sees a torn document.
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp);
+    if (!Out) {
+      std::fprintf(stderr, "failed to open stats output '%s'\n", Tmp.c_str());
+      return false;
+    }
+    Out << Doc;
+    if (!Out.good()) {
+      std::fprintf(stderr, "failed to write stats output '%s'\n", Tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::fprintf(stderr, "failed to rename '%s' to '%s'\n", Tmp.c_str(),
+                 Path.c_str());
+    return false;
+  }
+  return true;
 }
 
 bool defacto::cl::finishObservability(const ObservabilityConfig &Config) {
@@ -127,6 +164,12 @@ bool defacto::cl::finishObservability(const ObservabilityConfig &Config) {
   if (Config.Stats) {
     std::printf("%s", StatRegistry::instance().toText().c_str());
     std::printf("%s", TimerGroup::global().toText().c_str());
+  }
+  if (!Config.StatsOutPath.empty()) {
+    if (writeStatsFile(Config.StatsOutPath))
+      std::printf("wrote stats to %s\n", Config.StatsOutPath.c_str());
+    else
+      Ok = false;
   }
   return Ok;
 }

@@ -1,0 +1,265 @@
+//===- OpenMetrics.cpp ----------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Support/OpenMetrics.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+using namespace defacto;
+
+std::string defacto::openMetricsName(const std::string &Name) {
+  std::string Out;
+  Out.reserve(Name.size());
+  for (char C : Name) {
+    bool Legal = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                 (C >= '0' && C <= '9') || C == '_' || C == ':';
+    Out += Legal ? C : '_';
+  }
+  if (!Out.empty() && Out.front() >= '0' && Out.front() <= '9')
+    Out.insert(Out.begin(), '_');
+  return Out;
+}
+
+std::string defacto::openMetricsLabelEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '"')
+      Out += "\\\"";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+static std::string formatValue(double V) {
+  if (std::isnan(V))
+    return "NaN";
+  if (std::isinf(V))
+    return V > 0 ? "+Inf" : "-Inf";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.10g", V);
+  return Buf;
+}
+
+void OpenMetricsWriter::family(const std::string &Family,
+                               const std::string &Type,
+                               const std::string &Help) {
+  if (!Help.empty())
+    Out += "# HELP " + Family + " " + Help + "\n";
+  Out += "# TYPE " + Family + " " + Type + "\n";
+}
+
+void OpenMetricsWriter::sample(
+    const std::string &Name, double Value,
+    const std::vector<std::pair<std::string, std::string>> &Labels) {
+  Out += Name;
+  if (!Labels.empty()) {
+    Out += '{';
+    bool First = true;
+    for (const auto &[K, V] : Labels) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += K + "=\"" + openMetricsLabelEscape(V) + '"';
+    }
+    Out += '}';
+  }
+  Out += ' ';
+  Out += formatValue(Value);
+  Out += '\n';
+}
+
+std::string OpenMetricsWriter::finish() const { return Out + "# EOF\n"; }
+
+//===----------------------------------------------------------------------===//
+// Validator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool isNameStart(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_' ||
+         C == ':';
+}
+
+bool isNameChar(char C) {
+  return isNameStart(C) || (C >= '0' && C <= '9');
+}
+
+/// Parses a metric name at \p I; advances \p I past it. Empty on error.
+std::string parseName(const std::string &Line, size_t &I) {
+  size_t Start = I;
+  if (I >= Line.size() || !isNameStart(Line[I]))
+    return "";
+  while (I < Line.size() && isNameChar(Line[I]))
+    ++I;
+  return Line.substr(Start, I - Start);
+}
+
+/// Strips a recognized sample suffix so "family_total"/"_sum"/"_count"/
+/// "_bucket"/"_created" map back to the declared family name.
+std::string familyOf(const std::string &SampleName,
+                     const std::set<std::string> &Declared) {
+  if (Declared.count(SampleName))
+    return SampleName;
+  for (const char *Suffix :
+       {"_total", "_sum", "_count", "_bucket", "_created"}) {
+    std::string S = Suffix;
+    if (SampleName.size() > S.size() &&
+        SampleName.compare(SampleName.size() - S.size(), S.size(), S) == 0) {
+      std::string Base = SampleName.substr(0, SampleName.size() - S.size());
+      if (Declared.count(Base))
+        return Base;
+    }
+  }
+  return "";
+}
+
+bool parseLabels(const std::string &Line, size_t &I, std::string *Why) {
+  ++I; // consume '{'
+  bool First = true;
+  for (;;) {
+    if (I >= Line.size()) {
+      *Why = "unterminated label set";
+      return false;
+    }
+    if (Line[I] == '}') {
+      ++I;
+      return true;
+    }
+    if (!First) {
+      if (Line[I] != ',') {
+        *Why = "expected ',' between labels";
+        return false;
+      }
+      ++I;
+    }
+    First = false;
+    std::string LabelName = parseName(Line, I);
+    if (LabelName.empty()) {
+      *Why = "bad label name";
+      return false;
+    }
+    if (I >= Line.size() || Line[I] != '=') {
+      *Why = "expected '=' after label name";
+      return false;
+    }
+    ++I;
+    if (I >= Line.size() || Line[I] != '"') {
+      *Why = "label value must be quoted";
+      return false;
+    }
+    ++I;
+    while (I < Line.size() && Line[I] != '"') {
+      if (Line[I] == '\\')
+        ++I; // escape: skip the escaped character
+      ++I;
+    }
+    if (I >= Line.size()) {
+      *Why = "unterminated label value";
+      return false;
+    }
+    ++I; // closing quote
+  }
+}
+
+bool parseFloatToken(const std::string &Token) {
+  if (Token == "+Inf" || Token == "-Inf" || Token == "Inf" || Token == "NaN")
+    return true;
+  if (Token.empty())
+    return false;
+  char *End = nullptr;
+  std::strtod(Token.c_str(), &End);
+  return End && *End == '\0' && End != Token.c_str();
+}
+
+} // namespace
+
+bool defacto::validateOpenMetrics(const std::string &Text,
+                                  std::string *Error) {
+  auto Fail = [&](unsigned LineNo, const std::string &Why) {
+    if (Error)
+      *Error = "line " + std::to_string(LineNo) + ": " + Why;
+    return false;
+  };
+
+  std::set<std::string> Declared;
+  bool SawEof = false;
+  unsigned LineNo = 0;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (SawEof)
+      return Fail(LineNo, "content after '# EOF'");
+    if (Line.empty())
+      return Fail(LineNo, "empty line");
+
+    if (Line[0] == '#') {
+      if (Line == "# EOF") {
+        SawEof = true;
+        continue;
+      }
+      std::istringstream Meta(Line);
+      std::string Hash, Keyword, Family;
+      Meta >> Hash >> Keyword >> Family;
+      if (Keyword != "HELP" && Keyword != "TYPE" && Keyword != "UNIT")
+        return Fail(LineNo, "unknown comment keyword '" + Keyword + "'");
+      if (Family.empty() || openMetricsName(Family) != Family)
+        return Fail(LineNo, "bad metric family name '" + Family + "'");
+      if (Keyword == "TYPE") {
+        std::string Type;
+        Meta >> Type;
+        static const std::set<std::string> Types{
+            "counter", "gauge",    "summary", "histogram",
+            "info",    "stateset", "unknown"};
+        if (!Types.count(Type))
+          return Fail(LineNo, "unknown metric type '" + Type + "'");
+        Declared.insert(Family);
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    size_t I = 0;
+    std::string Name = parseName(Line, I);
+    if (Name.empty())
+      return Fail(LineNo, "bad metric name");
+    if (familyOf(Name, Declared).empty())
+      return Fail(LineNo,
+                  "sample '" + Name + "' has no preceding '# TYPE' family");
+    if (I < Line.size() && Line[I] == '{') {
+      std::string Why;
+      if (!parseLabels(Line, I, &Why))
+        return Fail(LineNo, Why);
+    }
+    if (I >= Line.size() || Line[I] != ' ')
+      return Fail(LineNo, "expected space before sample value");
+    std::istringstream Rest(Line.substr(I + 1));
+    std::string Value, Timestamp, Extra;
+    Rest >> Value >> Timestamp >> Extra;
+    if (!parseFloatToken(Value))
+      return Fail(LineNo, "sample value '" + Value + "' is not a float");
+    if (!Timestamp.empty() && !parseFloatToken(Timestamp))
+      return Fail(LineNo, "sample timestamp '" + Timestamp +
+                              "' is not a number");
+    if (!Extra.empty())
+      return Fail(LineNo, "trailing content after sample");
+  }
+  if (!SawEof)
+    return Fail(LineNo, "document does not end with '# EOF'");
+  return true;
+}

@@ -50,6 +50,11 @@ uint64_t ThreadPool::tasksRun() const {
   return Executed;
 }
 
+uint64_t ThreadPool::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Queue.size() + Active;
+}
+
 void ThreadPool::workerLoop() {
   std::unique_lock<std::mutex> Lock(M);
   while (true) {

@@ -8,6 +8,7 @@
 
 #include "defacto/IR/IRUtils.h"
 #include "defacto/IR/IRVerifier.h"
+#include "defacto/Support/Histogram.h"
 #include "defacto/Support/Timer.h"
 #include "defacto/Transforms/ConstantFolding.h"
 #include "defacto/Transforms/Normalize.h"
@@ -24,6 +25,7 @@ TransformResult runOnNormalized(Kernel Normalized,
                                 const TransformOptions &Opts,
                                 const Kernel &ErrorFallback) {
   DEFACTO_SCOPED_TIMER("pipeline.run");
+  DEFACTO_SCOPED_HISTOGRAM_US("pipeline.run_us");
   Kernel K = std::move(Normalized);
 
   if (Opts.StripMine) {

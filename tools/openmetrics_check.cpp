@@ -1,0 +1,55 @@
+//===- openmetrics_check.cpp - OpenMetrics exposition linter --------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Validates OpenMetrics text expositions (the --metrics-prom output of
+/// explore_batch) against the subset of the OpenMetrics 1.0 grammar that
+/// Support/OpenMetrics.h enforces: metric name syntax, TYPE declarations
+/// before samples, parsable float values, and the mandatory trailing
+/// `# EOF`. CI runs it as a gate so a malformed exposition fails the
+/// build instead of a scrape.
+///
+///   openmetrics_check FILE...
+///
+/// Exits 0 when every file validates, 1 on the first hard failure
+/// (unreadable file or invalid exposition), 2 on usage errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Support/OpenMetrics.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace defacto;
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: openmetrics_check FILE...\n");
+    return 2;
+  }
+  bool Ok = true;
+  for (int I = 1; I < argc; ++I) {
+    std::ifstream In(argv[I]);
+    if (!In) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[I]);
+      Ok = false;
+      continue;
+    }
+    std::ostringstream OS;
+    OS << In.rdbuf();
+    const std::string Text = OS.str();
+    std::string Error;
+    if (validateOpenMetrics(Text, &Error)) {
+      std::printf("%s: OK (%zu bytes)\n", argv[I], Text.size());
+    } else {
+      std::fprintf(stderr, "%s: INVALID: %s\n", argv[I], Error.c_str());
+      Ok = false;
+    }
+  }
+  return Ok ? 0 : 1;
+}
