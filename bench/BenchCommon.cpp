@@ -9,6 +9,7 @@
 #include "defacto/Support/CommandLine.h"
 #include "defacto/Support/MathExtras.h"
 #include "defacto/Support/Table.h"
+#include "defacto/Transforms/PassRegistry.h"
 
 #include <cstdio>
 
@@ -38,6 +39,21 @@ FastPathMode defacto::bench::parseFastPathFlag(int Argc, char **Argv) {
   return FastPathMode::Off;
 }
 
+std::string defacto::bench::parsePipelineFlag(int Argc, char **Argv) {
+  cl::ArgList Args(Argc, Argv);
+  std::string Text = Args.consumeValue("--pipeline").value_or("");
+  if (Text.empty())
+    return Text;
+  if (Expected<std::vector<std::string>> Parsed = parsePipelineText(Text);
+      !Parsed) {
+    std::fprintf(stderr,
+                 "warning: bad --pipeline: %s; using the default pipeline\n",
+                 Parsed.status().message().c_str());
+    return "";
+  }
+  return Text;
+}
+
 bench::ObservabilityFlags defacto::bench::parseObservabilityFlags(int &Argc,
                                                                   char **Argv) {
   cl::ArgList Args(Argc, Argv);
@@ -54,11 +70,22 @@ bool defacto::bench::finishObservability(const ObservabilityFlags &Flags) {
 int defacto::bench::runFigureSweep(const std::string &FigureName,
                                    const std::string &KernelName,
                                    const TargetPlatform &Platform,
-                                   bool Csv, FastPathMode FastPath) {
+                                   bool Csv, FastPathMode FastPath,
+                                   const std::string &Pipeline) {
+  if (!Pipeline.empty()) {
+    if (Expected<std::vector<std::string>> Parsed =
+            parsePipelineText(Pipeline);
+        !Parsed) {
+      std::fprintf(stderr, "bad pipeline: %s\n",
+                   Parsed.status().message().c_str());
+      return 2;
+    }
+  }
   Kernel K = buildKernel(KernelName);
   ExplorerOptions Opts;
   Opts.Platform = Platform;
   Opts.FastPath = FastPath;
+  Opts.BaseTransforms.Pipeline = Pipeline;
   DesignSpaceExplorer Ex(K, Opts);
   ExplorationResult Dse = Ex.run();
 

@@ -32,11 +32,14 @@ namespace bench {
 /// device capacity with '!'. Rows are inner-loop unroll factors (the
 /// paper's x axis); columns are outer-loop factors (the paper's curves).
 /// With \p Csv the panels print as CSV blocks for downstream plotting.
-/// Returns 0 on success.
+/// \p Pipeline overrides the transformation pass pipeline (a
+/// comma-separated PassRegistry list; empty keeps the default — see
+/// parsePipelineFlag). Returns 0 on success, 2 on a bad pipeline.
 int runFigureSweep(const std::string &FigureName,
                    const std::string &KernelName,
                    const TargetPlatform &Platform, bool Csv = false,
-                   FastPathMode FastPath = FastPathMode::Off);
+                   FastPathMode FastPath = FastPathMode::Off,
+                   const std::string &Pipeline = "");
 
 /// Parses the common figure-bench command line: `--csv` selects CSV
 /// output.
@@ -47,6 +50,13 @@ bool parseCsvFlag(int Argc, char **Argv);
 /// warning on stderr. The figure panels are bit-identical in every mode
 /// — the flag exists to time the sweep and to fuzz parity (`verify`).
 FastPathMode parseFastPathFlag(int Argc, char **Argv);
+
+/// Parses `--pipeline=p1,p2,...` (a comma-separated PassRegistry pass
+/// list overriding the default transformation pipeline). Defaults to ""
+/// (the built-in default pipeline); an unparsable list warns on stderr
+/// — listing the registered passes — and falls back to the default, so
+/// a figure bench still produces its panels.
+std::string parsePipelineFlag(int Argc, char **Argv);
 
 /// The common observability command line shared by the bench binaries:
 ///   --trace-out=PATH   write a Chrome trace_event file (chrome://tracing

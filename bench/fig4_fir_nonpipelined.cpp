@@ -7,7 +7,8 @@
 /// Regenerates Figure 4 of the paper: balance, execution cycles, and design
 /// area for FIR with nonpipelined memory accesses, as a function of the
 /// inner and outer unroll factors. Pass --csv for machine-readable
-/// output and --fast-path=on|verify to exercise the fast evaluation
+/// output, --pipeline=p1,p2,... to override the transformation pass
+/// pipeline, and --fast-path=on|verify to exercise the fast evaluation
 /// engine (docs/PERFORMANCE.md); the panels are bit-identical either way.
 ///
 //===----------------------------------------------------------------------===//
@@ -19,5 +20,6 @@ int main(int argc, char **argv) {
       "Figure 4", "FIR",
       defacto::TargetPlatform::wildstarNonPipelined(),
       defacto::bench::parseCsvFlag(argc, argv),
-      defacto::bench::parseFastPathFlag(argc, argv));
+      defacto::bench::parseFastPathFlag(argc, argv),
+      defacto::bench::parsePipelineFlag(argc, argv));
 }

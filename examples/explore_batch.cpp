@@ -10,17 +10,24 @@
 ///
 ///   explore_batch [--threads N] [--strategy NAME] [--exhaustive]
 ///                 [--both-platforms] [--extended] [--kernels fir,mm,...]
-///                 [--repeat N] [--trace-out=PATH] [--stats]
-///                 [--stats-out=PATH] [--explain] [--journal=PATH]
-///                 [--resume] [--watchdog=SECONDS] [--breaker-threshold=N]
-///                 [--breaker-cooldown=SECONDS] [--fast-path=off|on|verify]
-///                 [--metrics-out=PATH] [--metrics-interval-ms=N]
-///                 [--metrics-prom=PATH]
+///                 [--repeat N] [--pipeline=p1,p2,...] [--trace-out=PATH]
+///                 [--stats] [--stats-out=PATH] [--explain]
+///                 [--journal=PATH] [--resume] [--watchdog=SECONDS]
+///                 [--breaker-threshold=N] [--breaker-cooldown=SECONDS]
+///                 [--fast-path=off|on|verify] [--metrics-out=PATH]
+///                 [--metrics-interval-ms=N] [--metrics-prom=PATH]
 ///
 /// --strategy selects any StrategyRegistry search ("guided",
-/// "exhaustive", "random", "hillclimb", "portfolio", or one a caller
-/// registered); an unknown name lists the registry and exits.
-/// --exhaustive is the historical shorthand for --strategy exhaustive.
+/// "exhaustive", "random", "hillclimb", "portfolio", "guided+tile", or
+/// one a caller registered); an unknown name lists the registry and
+/// exits. --exhaustive is the historical shorthand for --strategy
+/// exhaustive.
+///
+/// --pipeline overrides the transformation pass pipeline for every job
+/// with a comma-separated PassRegistry list (e.g.
+/// "normalize,unroll,fold"); an unknown pass name lists the registry and
+/// exits. Custom pipelines bypass the transform-stage cache, so combine
+/// with --fast-path only to measure that cost.
 ///
 /// Prints one row per job (strategy, selected design, speedup,
 /// evaluations) plus the shared cache's hit statistics. --repeat queues
@@ -67,6 +74,7 @@
 #include "defacto/Core/TransformStageCache.h"
 #include "defacto/IR/IRUtils.h"
 #include "defacto/Kernels/Kernels.h"
+#include "defacto/Transforms/PassRegistry.h"
 #include "defacto/Support/CommandLine.h"
 #include "defacto/Support/MetricsSampler.h"
 #include "defacto/Support/Stats.h"
@@ -98,6 +106,7 @@ int main(int Argc, char **Argv) {
       Args.consumeUnsigned("--metrics-interval-ms").value_or(250);
   std::string TraceOut = Args.consumeValue("--trace-out").value_or("");
   unsigned Repeat = Args.consumeUnsigned("--repeat").value_or(1);
+  std::string Pipeline = Args.consumeValue("--pipeline").value_or("");
   std::vector<std::string> Names = Args.consumeList("--kernels");
   std::string JournalPath = Args.consumeValue("--journal").value_or("");
   bool Resume = Args.consumeFlag("--resume");
@@ -128,12 +137,13 @@ int main(int Argc, char **Argv) {
                  "unknown argument '%s'\n"
                  "usage: explore_batch [--threads N] [--strategy NAME] "
                  "[--exhaustive] [--both-platforms] [--extended] "
-                 "[--kernels a,b,...] [--repeat N] [--trace-out=PATH] "
-                 "[--stats] [--stats-out=PATH] [--explain] "
-                 "[--journal=PATH] [--resume] [--watchdog=SECONDS] "
-                 "[--breaker-threshold=N] [--breaker-cooldown=SECONDS] "
-                 "[--fast-path=off|on|verify] [--metrics-out=PATH] "
-                 "[--metrics-interval-ms=N] [--metrics-prom=PATH]\n",
+                 "[--kernels a,b,...] [--repeat N] [--pipeline=p1,p2,...] "
+                 "[--trace-out=PATH] [--stats] [--stats-out=PATH] "
+                 "[--explain] [--journal=PATH] [--resume] "
+                 "[--watchdog=SECONDS] [--breaker-threshold=N] "
+                 "[--breaker-cooldown=SECONDS] [--fast-path=off|on|verify] "
+                 "[--metrics-out=PATH] [--metrics-interval-ms=N] "
+                 "[--metrics-prom=PATH]\n",
                  Args.rest().front().c_str());
     return 2;
   }
@@ -151,9 +161,20 @@ int main(int Argc, char **Argv) {
                  StrategyRegistry::instance().describe().c_str());
     return 2;
   }
+  if (!Pipeline.empty()) {
+    if (Expected<std::vector<std::string>> Parsed =
+            parsePipelineText(Pipeline);
+        !Parsed) {
+      std::fprintf(stderr, "bad --pipeline: %s\n",
+                   Parsed.status().message().c_str());
+      return 2;
+    }
+  }
 
   bool Metrics = !MetricsOut.empty() || !MetricsProm.empty();
-  if (Stats || !StatsOut.empty() || Metrics)
+  // --explain renders the per-pass pipeline timing table, which needs the
+  // phase timers recording.
+  if (Stats || !StatsOut.empty() || Metrics || Explain)
     StatRegistry::instance().setEnabled(true);
   if (!TraceOut.empty()) {
     Batch.Trace = std::make_shared<TraceRecorder>();
@@ -225,6 +246,7 @@ int main(int Argc, char **Argv) {
         Opts.WatchdogSeconds = WatchdogSeconds;
         Opts.FastPath = FastPath;
         Opts.StageCache = StageCache;
+        Opts.BaseTransforms.Pipeline = Pipeline;
         std::string Label = Name + " @ " + Platform.Name;
         if (Round > 0)
           Label += " (repeat)";
@@ -306,7 +328,10 @@ int main(int Argc, char **Argv) {
     if (E.DroppedFailures > 0)
       Flags += " (+" + std::to_string(E.DroppedFailures) +
                " failures dropped)";
-    Out.addRow({R.Name, E.Strategy, unrollVectorToString(E.Selected),
+    std::string Selected = E.SelectedPoint.isUnrollOnly()
+                               ? unrollVectorToString(E.Selected)
+                               : E.SelectedPoint.toString();
+    Out.addRow({R.Name, E.Strategy, Selected,
                 formatWithCommas(static_cast<int64_t>(
                     E.SelectedEstimate.Cycles)),
                 formatDouble(E.SelectedEstimate.Slices, 0),
@@ -339,9 +364,13 @@ int main(int Argc, char **Argv) {
                 StageCache->size());
   }
 
-  if (Explain)
+  if (Explain) {
+    ReportOptions Report;
+    Report.ShowPassTimings = true;
     for (const BatchResult &R : Results)
-      std::printf("\n%s", renderExplorationReport(R.Result, R.Name).c_str());
+      std::printf("\n%s",
+                  renderExplorationReport(R.Result, R.Name, Report).c_str());
+  }
 
   if (Stats) {
     std::printf("\n%s", StatRegistry::instance().toText().c_str());

@@ -1,0 +1,133 @@
+//===- AnalysisManager.h - Cached kernel analyses --------------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One cache for the kernel-level analyses the transform pipeline and the
+/// exploration engine consume: dependence analysis, reuse groups, value
+/// ranges, and the uniformly generated partition. Each result is cached
+/// per kernel fingerprint, so a lookup against an unchanged kernel is a
+/// hit and a lookup after any mutation recomputes — even when a pass
+/// over-claimed preservation, the fingerprint check makes a stale result
+/// impossible.
+///
+/// Transform passes (Transforms/Pass.h) declare which analyses they
+/// preserve; the pass-pipeline executor calls invalidate() with that set
+/// after each pass. PipelineContext owns one manager warmed with the
+/// normalized kernel's dependence analysis, replacing the historical
+/// hoist-once special case in the evaluation service.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_ANALYSIS_ANALYSISMANAGER_H
+#define DEFACTO_ANALYSIS_ANALYSISMANAGER_H
+
+#include "defacto/Analysis/DependenceAnalysis.h"
+#include "defacto/Analysis/ReuseAnalysis.h"
+#include "defacto/Analysis/UniformlyGenerated.h"
+#include "defacto/Analysis/ValueRange.h"
+#include "defacto/IR/Kernel.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace defacto {
+
+/// The analyses the manager caches.
+enum class AnalysisKind : unsigned {
+  Dependence = 0,
+  Reuse,
+  ValueRange,
+  UniformlyGenerated,
+};
+
+inline constexpr unsigned NumAnalysisKinds = 4;
+
+/// The set of analyses a transform pass leaves valid — the pass-pipeline
+/// executor invalidates everything outside it after the pass runs.
+class PreservedAnalyses {
+public:
+  /// Nothing survives (the safe default for a mutating pass).
+  static PreservedAnalyses none() { return PreservedAnalyses(); }
+
+  /// Everything survives (a pass that did not mutate the kernel).
+  static PreservedAnalyses all() {
+    PreservedAnalyses P;
+    P.Mask = (1u << NumAnalysisKinds) - 1;
+    return P;
+  }
+
+  PreservedAnalyses &preserve(AnalysisKind Kind) {
+    Mask |= 1u << static_cast<unsigned>(Kind);
+    return *this;
+  }
+
+  bool isPreserved(AnalysisKind Kind) const {
+    return Mask & (1u << static_cast<unsigned>(Kind));
+  }
+
+private:
+  unsigned Mask = 0;
+};
+
+/// Caches one kernel's analysis results, keyed by kernel fingerprint.
+///
+/// Each getter computes on demand and returns a reference that stays
+/// valid until the next mutation-and-recompute or invalidation of that
+/// analysis. The fingerprint tag makes the cache self-correcting: a
+/// getter called after the kernel changed recomputes even if no one
+/// invalidated, so preserved-set mistakes cost time, never correctness.
+/// Not thread-safe; share one manager per single-threaded pipeline run
+/// (read-only sharing of a warmed manager across threads is safe as long
+/// as no thread calls a getter that misses).
+class AnalysisManager {
+public:
+  /// Dependence analysis of \p K (cached).
+  const DependenceInfo &dependence(Kernel &K);
+
+  /// Reuse groups of \p K (cached; computes the dependence analysis
+  /// first when needed).
+  const std::vector<ReuseGroup> &reuse(Kernel &K);
+
+  /// Value ranges of \p K (cached).
+  const ValueRangeAnalysis &valueRange(const Kernel &K);
+
+  /// Uniformly generated partition of \p K (cached).
+  const UGPartition &uniformlyGenerated(Kernel &K);
+
+  /// Drops every cached result \p Preserved does not cover.
+  void invalidate(const PreservedAnalyses &Preserved);
+
+  /// Drops everything.
+  void invalidateAll() { invalidate(PreservedAnalyses::none()); }
+
+  /// The cached dependence analysis, or nullptr when none is cached —
+  /// read-only access for consumers of a pre-warmed manager
+  /// (PipelineContext warms this one at construction).
+  const DependenceInfo *cachedDependence() const {
+    return Dep ? &*Dep : nullptr;
+  }
+
+  /// Cache accounting (tests and the stats surface).
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+
+private:
+  std::optional<DependenceInfo> Dep;
+  uint64_t DepFp = 0;
+  std::optional<std::vector<ReuseGroup>> Reuse;
+  uint64_t ReuseFp = 0;
+  std::optional<ValueRangeAnalysis> Ranges;
+  uint64_t RangesFp = 0;
+  std::optional<UGPartition> UG;
+  uint64_t UGFp = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_ANALYSIS_ANALYSISMANAGER_H

@@ -11,6 +11,13 @@
 /// trip-count many choices per loop. The *candidate* set the search
 /// materializes is the divisor vectors (remainderless unrolling).
 ///
+/// DesignPoint / DesignSpace generalize the unroll lattice into the
+/// multi-dimensional space of §5.4: a point composes an unroll vector
+/// with an optional loop permutation (interchange) and an optional tile
+/// (strip-mine position and size). An unroll-only point is bit-for-bit
+/// the historical design; the extra dimensions serialize to nothing when
+/// unset, so caches and journals keyed on the old shape stay valid.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DEFACTO_CORE_DESIGNSPACE_H
@@ -20,6 +27,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 namespace defacto {
@@ -75,6 +85,85 @@ public:
 private:
   std::vector<int64_t> Trips;
   std::vector<std::vector<int64_t>> Divisors; // per position
+};
+
+/// One point of the multi-dimensional design space: interchange is
+/// applied first, Tile indexes the post-interchange nest, and Unroll
+/// indexes the post-tile nest (whose depth grew by one when Tile is
+/// set). A default-constructed point with just an unroll vector is
+/// exactly the historical unroll-only design.
+struct DesignPoint {
+  UnrollVector Unroll;
+  /// Loop permutation: entry i names the original nest position whose
+  /// loop lands at position i (outermost first). Empty means identity.
+  std::vector<unsigned> Interchange;
+  /// Strip-mine the post-interchange loop at this position to this tile
+  /// size before unrolling.
+  std::optional<std::pair<unsigned, int64_t>> Tile;
+
+  DesignPoint() = default;
+  explicit DesignPoint(UnrollVector U) : Unroll(std::move(U)) {}
+
+  /// True when the point has no interchange and no tile — the historical
+  /// design shape, cached and journaled under the unchanged key.
+  bool isUnrollOnly() const { return Interchange.empty() && !Tile; }
+
+  /// unrollVectorToString(Unroll) for unroll-only points (so digests of
+  /// unroll-only runs are unchanged); otherwise that string plus
+  /// " perm(i,j,...)" and/or " tile(PxS)" suffixes.
+  std::string toString() const;
+
+  friend bool operator==(const DesignPoint &A, const DesignPoint &B) {
+    return A.Unroll == B.Unroll && A.Interchange == B.Interchange &&
+           A.Tile == B.Tile;
+  }
+  friend bool operator!=(const DesignPoint &A, const DesignPoint &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const DesignPoint &A, const DesignPoint &B) {
+    return std::tie(A.Unroll, A.Interchange, A.Tile) <
+           std::tie(B.Unroll, B.Interchange, B.Tile);
+  }
+};
+
+/// The multi-dimensional design space over one nest: the unroll lattice
+/// composed with the legal-by-shape interchange permutations and tile
+/// choices. Shape-validity only — dependence legality of a permutation
+/// is the interchange pass's job (an illegal point evaluates to an
+/// error, it is not a member-check here).
+class DesignSpace {
+public:
+  explicit DesignSpace(UnrollSpace Unroll) : Space(std::move(Unroll)) {}
+
+  const UnrollSpace &unroll() const { return Space; }
+
+  /// Tile sizes available at nest position \p Position: the proper
+  /// divisors 1 < T < trip (tiling by 1 or by the full trip is the
+  /// identity).
+  std::vector<int64_t> tileSizes(unsigned Position) const;
+
+  /// Every permutation exchanging exactly two nest positions (identity
+  /// excluded) — the interchange neighborhood the guided+tile strategy
+  /// explores. Empty for nests of depth < 2.
+  std::vector<std::vector<unsigned>> pairSwaps() const;
+
+  /// Trip counts of the nest once \p P's interchange and tile are
+  /// applied — the nest \p P's unroll vector indexes. Empty when the
+  /// interchange or tile is shape-invalid.
+  std::vector<int64_t> tripsAfter(const DesignPoint &P) const;
+
+  /// True when the point is shape-valid: the permutation (if any)
+  /// permutes the nest positions, the tile (if any) is a proper divisor
+  /// at a valid position, and every unroll factor divides its
+  /// post-transform trip count.
+  bool isCandidate(const DesignPoint &P) const;
+
+  /// Coverage accounting for the generalized space: unroll choices times
+  /// (identity + pair swaps) times (untiled + tile choices per position).
+  uint64_t fullSize() const;
+
+private:
+  UnrollSpace Space;
 };
 
 } // namespace defacto

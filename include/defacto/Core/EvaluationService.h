@@ -191,6 +191,11 @@ struct EvaluationFailure {
   UnrollVector U;
   unsigned Attempts = 0;
   Status Error;
+  /// The full design point (equals DesignPoint(U) for unroll-only
+  /// designs; carries the interchange/tile of a multi-dimensional one).
+  /// Last member so the historical {U, Attempts, Error} aggregate
+  /// initializations stay valid.
+  DesignPoint Point;
 };
 
 /// The evaluation layer of one exploration: memoized, budgeted, traced
@@ -223,12 +228,27 @@ public:
   /// conditions and are never cached against the vector.
   Expected<SynthesisEstimate> evaluateChecked(const UnrollVector &U);
 
+  /// The multi-dimensional generalization: evaluates one design point
+  /// (unroll + optional interchange/tile) under the same degradation
+  /// policy and caches. For an unroll-only point this is bit-identical
+  /// to evaluateChecked(P.Unroll) — same cache key, same trace events.
+  /// Non-unroll-only points always take the historical (slow) pipeline
+  /// route: the stage-cache factorization is only proven for the
+  /// default shape.
+  Expected<SynthesisEstimate> evaluateChecked(const DesignPoint &P);
+
+  /// evaluate() over a design point.
+  std::optional<SynthesisEstimate> evaluate(const DesignPoint &P);
+
   /// Speculatively evaluates \p Candidates on the configured worker pool
   /// into the estimate cache; no-op in sequential mode. Later
   /// evaluate() calls consume the results in their own deterministic
   /// order. Speculative work never charges the evaluation budget;
   /// consumption does.
   void prefetch(const std::vector<UnrollVector> &Candidates);
+
+  /// prefetch() over design points.
+  void prefetchPoints(const std::vector<DesignPoint> &Candidates);
 
   /// Blocks until every outstanding speculative evaluation finished.
   void drainSpeculation();
@@ -253,6 +273,9 @@ public:
   /// The normalized options (never-null Estimator/Clock/Sleep).
   const ExplorerOptions &options() const { return Opts; }
   const UnrollSpace &space() const { return Space; }
+  /// The generalized space composing the unroll lattice with interchange
+  /// permutations and tile sizes (shape-validity for DesignPoints).
+  const DesignSpace &designSpace() const { return DSpace; }
   const SaturationInfo &saturation() const { return Sat; }
   /// Nest positions in §5.3 unroll-preference order, best first.
   const std::vector<unsigned> &preference() const { return Preference; }
@@ -284,6 +307,9 @@ public:
   /// budget.
   std::optional<SynthesisEstimate> evaluated(const UnrollVector &U) const;
 
+  /// evaluated() over a design point.
+  std::optional<SynthesisEstimate> evaluated(const DesignPoint &P) const;
+
   //===--------------------------------------------------------------===//
   // Observability. The service is the single emission site for
   // per-evaluation trace events; strategies call these at every branch
@@ -297,9 +323,20 @@ public:
   void traceDecision(const UnrollVector &U, const SynthesisEstimate &E,
                      const char *Role, const char *Decision);
 
+  /// traceDecision over a design point. For unroll-only points the event
+  /// is byte-identical to the UnrollVector overload (same name, same
+  /// args) so unroll-only digests are unchanged; multi-dimensional
+  /// points add deterministic "perm"/"tile" args.
+  void traceDecision(const DesignPoint &P, const SynthesisEstimate &E,
+                     const char *Role, const char *Decision);
+
   /// "dse.failure" counterpart for designs whose evaluation failed (or
   /// the stop condition that cut the walk short).
   void traceFailure(const UnrollVector &U, const char *Role,
+                    const Status &Err);
+
+  /// traceFailure over a design point.
+  void traceFailure(const DesignPoint &P, const char *Role,
                     const Status &Err);
 
   /// Final "dse.selection" event summarizing \p Res.
@@ -327,24 +364,30 @@ private:
   /// shared read-only PipelineContext and the options. The single
   /// instrumentation chokepoint: records eval.latency_us and the
   /// estimate.* distributions, and tracks the in-flight gauge.
-  Expected<SynthesisEstimate> computeRaw(const UnrollVector &U) const;
+  Expected<SynthesisEstimate> computeRaw(const DesignPoint &P) const;
   /// computeRaw minus instrumentation: dispatches on Opts.FastPath;
-  /// Verify runs both routes and compares.
-  Expected<SynthesisEstimate> computeDispatch(const UnrollVector &U) const;
+  /// Verify runs both routes and compares. Non-unroll-only points and
+  /// custom pipelines always route slow (the stage factorization is only
+  /// proven for the default shape).
+  Expected<SynthesisEstimate> computeDispatch(const DesignPoint &P) const;
   /// The historical route: applyPipeline + configured backend.
-  Expected<SynthesisEstimate> computeSlow(const UnrollVector &U) const;
+  Expected<SynthesisEstimate> computeSlow(const DesignPoint &P) const;
   /// The staged route: FastPathPipeline over this worker's IR arena,
   /// estimateDesignCheckedFast when the backend is the built-in one.
-  Expected<SynthesisEstimate> computeFast(const UnrollVector &U) const;
+  Expected<SynthesisEstimate> computeFast(const DesignPoint &P) const;
+  /// The per-point transform configuration: BaseTransforms plus the
+  /// point's unroll vector (and interchange/tile when set) plus the
+  /// platform's memory count.
+  TransformOptions transformOptionsFor(const DesignPoint &P) const;
   /// The estimator seam both routes share: invocation timing, the hang
   /// watchdog, the dse.cancel trace event. \p FastBackend substitutes
   /// estimateDesignCheckedFast for the configured estimator.
   Expected<SynthesisEstimate> invokeBackend(const Kernel &K,
-                                            const UnrollVector &U,
+                                            const DesignPoint &P,
                                             bool FastBackend) const;
   /// Emits one run-variant "dse.stagecache" trace event.
-  void traceStageCache(const UnrollVector &U, const StageRunInfo &Info) const;
-  std::string cacheKey(const UnrollVector &U) const;
+  void traceStageCache(const DesignPoint &P, const StageRunInfo &Info) const;
+  std::string cacheKey(const DesignPoint &P) const;
   std::shared_ptr<ThreadPool> workerPool();
   /// Appends to the bounded failure ring, evicting (and counting) the
   /// oldest entry when full.
@@ -358,6 +401,7 @@ private:
   ExplorerOptions Opts;
   SaturationInfo Sat;
   UnrollSpace Space;
+  DesignSpace DSpace; // the generalized space over Space
   PipelineContext Ctx; // normalized base kernel, shared across workers
   uint64_t SourceFp = 0;
   std::vector<unsigned> Preference; // nest positions, best first
@@ -372,8 +416,8 @@ private:
   bool DefaultEstimator = false;
   std::shared_ptr<ThreadPool> Pool;         // created lazily when parallel
   std::vector<std::future<void>> Speculation;
-  std::map<UnrollVector, SynthesisEstimate> Cache; // this run's successes
-  std::map<UnrollVector, Status> FailCache; // this run's permanent failures
+  std::map<DesignPoint, SynthesisEstimate> Cache; // this run's successes
+  std::map<DesignPoint, Status> FailCache; // this run's permanent failures
   /// Bounded failure ring: oldest entry at FailLogStart once the ring
   /// wrapped; failures() linearizes it.
   std::vector<EvaluationFailure> FailLog;

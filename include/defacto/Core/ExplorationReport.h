@@ -31,6 +31,11 @@ struct ReportOptions {
   unsigned MaxVisitedRows = 24;
   /// Append the engine's raw textual walk trace verbatim.
   bool ShowWalkTrace = false;
+  /// Append the per-pass pipeline timing table (pipeline.pass.* phase
+  /// timers). The timers only accumulate while stats recording is
+  /// enabled, and they are process-wide — in a batch the table covers
+  /// every job run so far, not just this result.
+  bool ShowPassTimings = false;
 };
 
 /// Full multi-line explanation of \p R. \p Label names the exploration

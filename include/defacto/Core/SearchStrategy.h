@@ -51,12 +51,22 @@ struct EvaluatedDesign {
   SynthesisEstimate Estimate;
   /// Why the search visited it ("Uinit", "increase", "bisect", "fit").
   std::string Role;
+  /// The full design point (DesignPoint(U) for unroll-only designs;
+  /// interchange/tile dimensions for guided+tile refinements). Last
+  /// member so {U, Estimate, Role} aggregate initializations stay valid.
+  DesignPoint Point;
 };
 
 /// Outcome of one exploration.
 struct ExplorationResult {
   UnrollVector Selected;
   SynthesisEstimate SelectedEstimate;
+  /// The selected design as a full point. Unroll-only strategies leave
+  /// it defaulted or set it to DesignPoint(Selected); guided+tile
+  /// records the winning interchange/tile here (Selected then holds the
+  /// point's unroll vector). Check SelectedPoint.isUnrollOnly() before
+  /// rendering a result as a bare unroll vector.
+  DesignPoint SelectedPoint;
   /// The paper's baseline: no unrolling, all other transformations.
   SynthesisEstimate BaselineEstimate;
   std::vector<EvaluatedDesign> Visited; // in search order, no duplicates
@@ -185,6 +195,12 @@ std::unique_ptr<SearchStrategy> createExhaustiveStrategy();
 std::unique_ptr<SearchStrategy> createRandomStrategy(unsigned Samples = 24,
                                                      uint64_t Seed = 2002);
 std::unique_ptr<SearchStrategy> createHillClimbStrategy();
+/// The guided walk plus a multi-dimensional refinement stage: after the
+/// unroll-only optimum is selected, legal pairwise interchanges and §5.4
+/// tiles around it are evaluated (within the remaining budget) and the
+/// selection is upgraded when a point strictly beats the unroll-only
+/// optimum. Registered as "guided+tile".
+std::unique_ptr<SearchStrategy> createGuidedTileStrategy();
 /// Runs \p Strategies (registry names; the default portfolio is
 /// {"guided", "hillclimb", "random"}) under an evenly split evaluation
 /// budget and selects the per-kernel winner.

@@ -1,0 +1,102 @@
+//===- PassRegistry.h - Named passes and the pipeline parser ---*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps pass names to factories and parses textual pipeline descriptions
+/// ("normalize,stripmine,unroll,normalize,scalar-repl,peel,fold,layout")
+/// into PassPipelines. The eight built-in §4 passes are pre-registered;
+/// add() extends the set at runtime, after which `--pipeline=` strings
+/// reach the new pass by name.
+///
+/// Pass instances are parameterized by the TransformOptions of the run
+/// and write their statistics into the run's TransformResult, so a
+/// factory binds both by reference: a built PassPipeline must not outlive
+/// the options and result it was built against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_TRANSFORMS_PASSREGISTRY_H
+#define DEFACTO_TRANSFORMS_PASSREGISTRY_H
+
+#include "defacto/Transforms/Pass.h"
+#include "defacto/Transforms/Pipeline.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace defacto {
+
+/// The default §4 sequence applyPipeline runs when TransformOptions::
+/// Pipeline is empty: normalize, strip-mine (register control, §5.4),
+/// unroll-and-jam, renormalize, scalar replacement, loop peeling,
+/// constant folding, data layout.
+const char *defaultPipelineText();
+
+/// The default sequence with the interchange pass scheduled before
+/// strip-mining — selected automatically for design points carrying a
+/// loop permutation.
+const char *defaultPipelineTextWithInterchange();
+
+/// Thread-safe name -> factory registry with the eight built-in passes
+/// pre-registered: normalize, stripmine, unroll, interchange,
+/// scalar-repl, peel, fold, layout.
+class PassRegistry {
+public:
+  /// Builds one pass instance for a run over \p Opts writing statistics
+  /// into \p Result.
+  using Factory = std::function<std::unique_ptr<TransformPass>(
+      const TransformOptions &Opts, TransformResult &Result)>;
+
+  static PassRegistry &instance();
+
+  /// Registers \p Make under \p Name. Returns false (registry unchanged)
+  /// when the name is taken.
+  bool add(const std::string &Name, const std::string &Description,
+           Factory Make);
+
+  /// A fresh instance of the named pass, or nullptr for an unknown name.
+  std::unique_ptr<TransformPass> create(const std::string &Name,
+                                        const TransformOptions &Opts,
+                                        TransformResult &Result) const;
+
+  bool contains(const std::string &Name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// "name  description" lines, sorted by name — drivers print this when
+  /// --pipeline names an unknown pass.
+  std::string describe() const;
+
+private:
+  PassRegistry();
+  struct RegisteredPass {
+    std::string Description;
+    Factory Make;
+  };
+  mutable std::mutex M;
+  std::map<std::string, RegisteredPass> Passes;
+};
+
+/// Splits a comma-separated pipeline description into pass names,
+/// validating each against the registry. Fails with InvalidInput naming
+/// the first unknown pass (message lists the registered names).
+Expected<std::vector<std::string>> parsePipelineText(const std::string &Text);
+
+/// Parses \p Text (empty selects defaultPipelineText()) and instantiates
+/// the sequence over \p Opts / \p Result. The returned pipeline holds
+/// references to both and must not outlive them.
+Expected<PassPipeline> buildPassPipeline(const std::string &Text,
+                                         const TransformOptions &Opts,
+                                         TransformResult &Result);
+
+} // namespace defacto
+
+#endif // DEFACTO_TRANSFORMS_PASSREGISTRY_H

@@ -9,15 +9,20 @@
 /// DSE algorithm applies per candidate design:
 ///
 ///   normalize -> (strip-mine for register control, §5.4) -> unroll-and-
-///   jam -> normalize -> scalar replacement -> loop peeling -> data layout
+///   jam -> normalize -> scalar replacement -> loop peeling -> constant
+///   folding -> data layout
 ///
 /// The input kernel is cloned; each candidate gets an independent copy.
+/// The sequence is expressed as a pass pipeline (Transforms/Pass.h); the
+/// default is defaultPipelineText() and TransformOptions::Pipeline
+/// substitutes any registered pass sequence.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DEFACTO_TRANSFORMS_PIPELINE_H
 #define DEFACTO_TRANSFORMS_PIPELINE_H
 
+#include "defacto/Analysis/AnalysisManager.h"
 #include "defacto/IR/Kernel.h"
 #include "defacto/Transforms/DataLayout.h"
 #include "defacto/Transforms/LoopPeeling.h"
@@ -26,6 +31,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <vector>
 
 namespace defacto {
 
@@ -35,8 +42,18 @@ struct TransformOptions {
   /// default to 1.
   UnrollVector Unroll;
   /// Strip-mine the nest loop at this position to this tile size before
-  /// unrolling (register-pressure control, §5.4).
+  /// unrolling (register-pressure control, §5.4). The position indexes
+  /// the post-interchange nest when Interchange is set.
   std::optional<std::pair<unsigned, int64_t>> StripMine;
+  /// Loop permutation the "interchange" pass applies before strip-mining:
+  /// entry i names the original nest position that lands at position i
+  /// (outermost first). Empty means identity (the pass is a no-op).
+  std::vector<unsigned> Interchange;
+  /// Pass-pipeline description ("normalize,unroll,..."); empty runs the
+  /// default §4 sequence (defaultPipelineText(); the interchange variant
+  /// when Interchange is set). Parsed by buildPassPipeline — unknown pass
+  /// names surface as TransformResult::Error.
+  std::string Pipeline;
   bool EnableScalarReplacement = true;
   bool EnablePeeling = true;
   bool EnableDataLayout = true;
@@ -101,8 +118,15 @@ public:
   /// builds: no-op.
   void assertUnchanged() const;
 
+  /// The analysis cache over the normalized kernel, warmed with the
+  /// dependence analysis at construction (it is unroll-invariant, so no
+  /// per-design path recomputes it). Read-only after construction and
+  /// safe to share across worker threads.
+  const AnalysisManager &analyses() const { return Analyses; }
+
 private:
   Kernel Normalized;
+  AnalysisManager Analyses;
 #ifndef NDEBUG
   uint64_t Fingerprint = 0;
 #endif

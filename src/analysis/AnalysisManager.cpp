@@ -1,0 +1,71 @@
+//===- AnalysisManager.cpp ------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Analysis/AnalysisManager.h"
+
+#include "defacto/IR/IRUtils.h"
+
+using namespace defacto;
+
+const DependenceInfo &AnalysisManager::dependence(Kernel &K) {
+  uint64_t Fp = kernelFingerprint(K);
+  if (Dep && DepFp == Fp) {
+    ++Hits;
+    return *Dep;
+  }
+  ++Misses;
+  Dep.emplace(DependenceInfo::compute(K));
+  DepFp = Fp;
+  return *Dep;
+}
+
+const std::vector<ReuseGroup> &AnalysisManager::reuse(Kernel &K) {
+  uint64_t Fp = kernelFingerprint(K);
+  if (Reuse && ReuseFp == Fp) {
+    ++Hits;
+    return *Reuse;
+  }
+  ++Misses;
+  const DependenceInfo &DI = dependence(K);
+  Reuse.emplace(computeReuseGroups(K, DI));
+  ReuseFp = Fp;
+  return *Reuse;
+}
+
+const ValueRangeAnalysis &AnalysisManager::valueRange(const Kernel &K) {
+  uint64_t Fp = kernelFingerprint(K);
+  if (Ranges && RangesFp == Fp) {
+    ++Hits;
+    return *Ranges;
+  }
+  ++Misses;
+  Ranges.emplace(K);
+  RangesFp = Fp;
+  return *Ranges;
+}
+
+const UGPartition &AnalysisManager::uniformlyGenerated(Kernel &K) {
+  uint64_t Fp = kernelFingerprint(K);
+  if (UG && UGFp == Fp) {
+    ++Hits;
+    return *UG;
+  }
+  ++Misses;
+  UG.emplace(computeUniformlyGenerated(K));
+  UGFp = Fp;
+  return *UG;
+}
+
+void AnalysisManager::invalidate(const PreservedAnalyses &Preserved) {
+  if (!Preserved.isPreserved(AnalysisKind::Dependence))
+    Dep.reset();
+  if (!Preserved.isPreserved(AnalysisKind::Reuse))
+    Reuse.reset();
+  if (!Preserved.isPreserved(AnalysisKind::ValueRange))
+    Ranges.reset();
+  if (!Preserved.isPreserved(AnalysisKind::UniformlyGenerated))
+    UG.reset();
+}

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <sstream>
 
 using namespace defacto;
 
@@ -130,6 +131,105 @@ UnrollSpace::increase(const UnrollVector &U,
   UnrollVector Out = U;
   Out[Best] *= 2;
   return Out;
+}
+
+std::string DesignPoint::toString() const {
+  std::string S = unrollVectorToString(Unroll);
+  if (!Interchange.empty()) {
+    std::ostringstream OS;
+    OS << " perm(";
+    for (size_t I = 0; I != Interchange.size(); ++I)
+      OS << (I ? "," : "") << Interchange[I];
+    OS << ')';
+    S += OS.str();
+  }
+  if (Tile) {
+    std::ostringstream OS;
+    OS << " tile(" << Tile->first << 'x' << Tile->second << ')';
+    S += OS.str();
+  }
+  return S;
+}
+
+std::vector<int64_t> DesignSpace::tileSizes(unsigned Position) const {
+  std::vector<int64_t> Sizes;
+  if (Position >= Space.numLoops())
+    return Sizes;
+  int64_t Trip = Space.trip(Position);
+  for (int64_t D : divisorsOf(Trip))
+    if (D > 1 && D < Trip)
+      Sizes.push_back(D);
+  return Sizes;
+}
+
+std::vector<std::vector<unsigned>> DesignSpace::pairSwaps() const {
+  std::vector<std::vector<unsigned>> Swaps;
+  unsigned N = Space.numLoops();
+  std::vector<unsigned> Identity(N);
+  for (unsigned P = 0; P != N; ++P)
+    Identity[P] = P;
+  for (unsigned A = 0; A != N; ++A)
+    for (unsigned B = A + 1; B != N; ++B) {
+      std::vector<unsigned> Perm = Identity;
+      std::swap(Perm[A], Perm[B]);
+      Swaps.push_back(std::move(Perm));
+    }
+  return Swaps;
+}
+
+std::vector<int64_t> DesignSpace::tripsAfter(const DesignPoint &P) const {
+  unsigned N = Space.numLoops();
+  std::vector<int64_t> Trips;
+  if (P.Interchange.empty()) {
+    for (unsigned Pos = 0; Pos != N; ++Pos)
+      Trips.push_back(Space.trip(Pos));
+  } else {
+    if (P.Interchange.size() != N)
+      return {};
+    std::vector<bool> Seen(N, false);
+    for (unsigned Orig : P.Interchange) {
+      if (Orig >= N || Seen[Orig])
+        return {};
+      Seen[Orig] = true;
+      Trips.push_back(Space.trip(Orig));
+    }
+  }
+  if (P.Tile) {
+    unsigned Pos = P.Tile->first;
+    int64_t Size = P.Tile->second;
+    if (Pos >= Trips.size())
+      return {};
+    int64_t Trip = Trips[Pos];
+    if (Size <= 1 || Size >= Trip || Trip % Size != 0)
+      return {};
+    // Strip-mining splits the loop into an outer trip/Size loop and an
+    // inner Size-trip strip right inside it.
+    Trips[Pos] = Trip / Size;
+    Trips.insert(Trips.begin() + Pos + 1, Size);
+  }
+  return Trips;
+}
+
+bool DesignSpace::isCandidate(const DesignPoint &P) const {
+  if (P.isUnrollOnly())
+    return Space.isCandidate(P.Unroll);
+  std::vector<int64_t> Trips = tripsAfter(P);
+  if (Trips.empty())
+    return false;
+  if (P.Unroll.size() != Trips.size())
+    return false;
+  for (size_t Pos = 0; Pos != Trips.size(); ++Pos)
+    if (P.Unroll[Pos] < 1 || Trips[Pos] % P.Unroll[Pos] != 0)
+      return false;
+  return true;
+}
+
+uint64_t DesignSpace::fullSize() const {
+  uint64_t TileChoices = 1; // untiled
+  for (unsigned Pos = 0; Pos != Space.numLoops(); ++Pos)
+    TileChoices += tileSizes(Pos).size();
+  uint64_t PermChoices = 1 + pairSwaps().size();
+  return Space.fullSize() * PermChoices * TileChoices;
 }
 
 UnrollVector UnrollSpace::selectBetween(const UnrollVector &Small,

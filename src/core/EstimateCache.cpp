@@ -51,6 +51,16 @@ std::string defacto::transformCacheKey(const TransformOptions &Opts) {
      << Opts.EnableDataLayout << ';' << Opts.SR.MaxChainLength << ';'
      << Opts.SR.EnableOuterCarriedChains << Opts.SR.EnableWindows << ';'
      << Opts.Layout.NumMemories;
+  // The multi-dimensional extensions serialize to nothing when unset so
+  // default-shape keys — and with them the journal replay of records
+  // written before these dimensions existed — stay byte-identical.
+  if (!Opts.Interchange.empty()) {
+    OS << ";ic";
+    for (size_t I = 0; I != Opts.Interchange.size(); ++I)
+      OS << (I ? "_" : "") << Opts.Interchange[I];
+  }
+  if (!Opts.Pipeline.empty())
+    OS << ";pl" << Opts.Pipeline;
   return OS.str();
 }
 

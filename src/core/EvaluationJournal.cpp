@@ -27,7 +27,14 @@ DEFACTO_STATISTIC(NumJournalSkippedLines, "journal", "skipped-lines",
 
 namespace {
 
-constexpr const char *JournalVersion = "1";
+/// Schema version written to new journals. "2" extends "1" with the
+/// multi-dimensional cache-key fields (";ic..."/";pl..." suffixes inside
+/// eval keys); record shapes are unchanged, so v1 files load verbatim.
+constexpr const char *JournalVersion = "2";
+
+/// Versions load() accepts. Unroll-only keys are byte-identical across
+/// both, so a v1 journal resumes into a v2 run with zero skipped lines.
+bool versionReadable(const std::string &V) { return V == "1" || V == "2"; }
 
 /// Doubles are journaled as hexfloat *strings*: "%a" prints every finite
 /// value exactly (and "inf" for the Balance of a memory-free design),
@@ -126,7 +133,7 @@ bool parseLine(const std::string &Line, EvaluationJournal::Contents &C) {
   const JsonValue &V = Parsed.value();
   std::string Type = V.str("type");
   if (Type == "header")
-    return V.str("version") == JournalVersion;
+    return versionReadable(V.str("version"));
   if (Type == "eval") {
     std::string Key = V.str("key");
     if (Key.empty())

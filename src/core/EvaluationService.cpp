@@ -40,7 +40,7 @@ EvaluationService::EvaluationService(const Kernel &Source,
     : Source(Source), Opts(std::move(Opts)),
       Sat(computeSaturation(Source, this->Opts.Platform.NumMemories)),
       Space(Sat.Trips.empty() ? std::vector<int64_t>{1} : Sat.Trips),
-      Ctx(Source), SourceFp(kernelFingerprint(Source)) {
+      DSpace(Space), Ctx(Source), SourceFp(kernelFingerprint(Source)) {
   DefaultEstimator = !this->Opts.Estimator;
   if (!this->Opts.Estimator)
     this->Opts.Estimator = [](const Kernel &K, const TargetPlatform &P) {
@@ -72,10 +72,10 @@ EvaluationService::EvaluationService(const Kernel &Source,
   // dependence first (their unrolled iterations are fully parallel),
   // then loops by decreasing minimum carried distance; within a class,
   // loops that add memory parallelism come first. The dependence
-  // analysis runs once, on the shared normalized base kernel — it is
-  // unroll-invariant, so no per-design path recomputes it.
-  Kernel Analyzed = Ctx.normalized().clone();
-  DependenceInfo DI = DependenceInfo::compute(Analyzed);
+  // analysis is unroll-invariant, so it is served from the context's
+  // AnalysisManager, warmed once at construction — no clone, no
+  // recompute.
+  const DependenceInfo &DI = *Ctx.analyses().cachedDependence();
   unsigned N = Sat.Trips.size();
   struct Rank {
     unsigned Pos;
@@ -106,8 +106,27 @@ EvaluationService::EvaluationService(const Kernel &Source,
 
 EvaluationService::~EvaluationService() { drainSpeculation(); }
 
-std::string EvaluationService::cacheKey(const UnrollVector &U) const {
-  return designCacheKey(SourceFp, Opts.Platform, Opts.BaseTransforms, U,
+TransformOptions
+EvaluationService::transformOptionsFor(const DesignPoint &P) const {
+  TransformOptions TO = Opts.BaseTransforms;
+  TO.Unroll = P.Unroll;
+  TO.Layout.NumMemories = Opts.Platform.NumMemories;
+  if (P.Tile)
+    TO.StripMine = P.Tile;
+  if (!P.Interchange.empty())
+    TO.Interchange = P.Interchange;
+  return TO;
+}
+
+std::string EvaluationService::cacheKey(const DesignPoint &P) const {
+  // For unroll-only points the extra dimensions default and the key is
+  // byte-identical to the historical designCacheKey of P.Unroll.
+  TransformOptions TO = Opts.BaseTransforms;
+  if (P.Tile)
+    TO.StripMine = P.Tile;
+  if (!P.Interchange.empty())
+    TO.Interchange = P.Interchange;
+  return designCacheKey(SourceFp, Opts.Platform, TO, P.Unroll,
                         Opts.RegisterCap);
 }
 
@@ -115,7 +134,7 @@ TraceRecorder &EvaluationService::recorder() const {
   return Opts.Trace ? *Opts.Trace : TraceRecorder::global();
 }
 
-void EvaluationService::traceDecision(const UnrollVector &U,
+void EvaluationService::traceDecision(const DesignPoint &P,
                                       const SynthesisEstimate &E,
                                       const char *Role,
                                       const char *Decision) {
@@ -125,23 +144,41 @@ void EvaluationService::traceDecision(const UnrollVector &U,
   TraceEvent Ev;
   Ev.Track = Track;
   Ev.Category = "dse.decision";
-  Ev.Name = unrollVectorToString(U);
+  Ev.Name = P.toString();
   Ev.Ordinal = DecisionOrdinal++;
   // Deterministic payload: for a deterministic backend these values are
-  // bit-identical across worker-thread counts.
+  // bit-identical across worker-thread counts. Unroll-only points emit
+  // exactly the historical payload, so unroll-only digests are
+  // unchanged; the extra dimensions append deterministic args.
   Ev.Args = {{"role", Role},
              {"decision", Decision},
              {"balance", formatDouble(E.Balance, 4)},
              {"psat", std::to_string(Sat.Psat)},
              {"cycles", std::to_string(E.Cycles)},
              {"slices", formatDouble(E.Slices, 1)}};
+  if (!P.Interchange.empty()) {
+    std::string Perm;
+    for (size_t I = 0; I != P.Interchange.size(); ++I)
+      Perm += (I ? "," : "") + std::to_string(P.Interchange[I]);
+    Ev.Args.push_back({"perm", Perm});
+  }
+  if (P.Tile)
+    Ev.Args.push_back({"tile", std::to_string(P.Tile->first) + "x" +
+                                   std::to_string(P.Tile->second)});
   // Run-variant detail: a design this walk computed sequentially is a
   // speculation hit (or wait) in a parallel run.
   Ev.Runtime = {{"cache", LastCacheOutcome}};
   R.record(std::move(Ev));
 }
 
-void EvaluationService::traceFailure(const UnrollVector &U,
+void EvaluationService::traceDecision(const UnrollVector &U,
+                                      const SynthesisEstimate &E,
+                                      const char *Role,
+                                      const char *Decision) {
+  traceDecision(DesignPoint(U), E, Role, Decision);
+}
+
+void EvaluationService::traceFailure(const DesignPoint &P,
                                      const char *Role,
                                      const Status &Err) {
   TraceRecorder &R = recorder();
@@ -150,7 +187,7 @@ void EvaluationService::traceFailure(const UnrollVector &U,
   TraceEvent Ev;
   Ev.Track = Track;
   Ev.Category = "dse.failure";
-  Ev.Name = unrollVectorToString(U);
+  Ev.Name = P.toString();
   Ev.Ordinal = DecisionOrdinal++;
   const char *Decision =
       Err.code() == ErrorCode::BudgetExhausted   ? "budget-exhausted"
@@ -159,6 +196,12 @@ void EvaluationService::traceFailure(const UnrollVector &U,
   Ev.Args = {{"role", Role}, {"decision", Decision}};
   Ev.Runtime = {{"error", Err.toString()}, {"cache", LastCacheOutcome}};
   R.record(std::move(Ev));
+}
+
+void EvaluationService::traceFailure(const UnrollVector &U,
+                                     const char *Role,
+                                     const Status &Err) {
+  traceFailure(DesignPoint(U), Role, Err);
 }
 
 void EvaluationService::traceSelection(const ExplorationResult &Res) {
@@ -179,7 +222,7 @@ void EvaluationService::traceSelection(const ExplorationResult &Res) {
 }
 
 Expected<SynthesisEstimate>
-EvaluationService::invokeBackend(const Kernel &K, const UnrollVector &U,
+EvaluationService::invokeBackend(const Kernel &K, const DesignPoint &P,
                                  bool FastBackend) const {
   // Estimation backends are arbitrary callables (a real synthesis tool
   // behind a wrapper); time every invocation at this seam. The hang
@@ -221,7 +264,7 @@ EvaluationService::invokeBackend(const Kernel &K, const UnrollVector &U,
       TraceEvent Ev;
       Ev.Track = Track;
       Ev.Category = "dse.cancel";
-      Ev.Name = unrollVectorToString(U);
+      Ev.Name = P.toString();
       Ev.Runtime = {{"reason", Est.status().message()},
                     {"watchdog_s", formatDouble(Opts.WatchdogSeconds, 3)}};
       R.record(std::move(Ev));
@@ -231,15 +274,13 @@ EvaluationService::invokeBackend(const Kernel &K, const UnrollVector &U,
 }
 
 Expected<SynthesisEstimate>
-EvaluationService::computeSlow(const UnrollVector &U) const {
-  TransformOptions TO = Opts.BaseTransforms;
-  TO.Unroll = U;
-  TO.Layout.NumMemories = Opts.Platform.NumMemories;
+EvaluationService::computeSlow(const DesignPoint &P) const {
+  TransformOptions TO = transformOptionsFor(P);
 
   TransformResult R = applyPipeline(Ctx, TO);
   if (!R.ok())
     return R.Error;
-  Expected<SynthesisEstimate> Est = invokeBackend(R.K, U, false);
+  Expected<SynthesisEstimate> Est = invokeBackend(R.K, P, false);
   if (!Est)
     return Est;
 
@@ -254,7 +295,7 @@ EvaluationService::computeSlow(const UnrollVector &U) const {
       TransformResult Capped = applyPipeline(Ctx, TO);
       if (!Capped.ok())
         return Capped.Error;
-      Est = invokeBackend(Capped.K, U, false);
+      Est = invokeBackend(Capped.K, P, false);
       if (!Est)
         return Est;
     }
@@ -263,10 +304,8 @@ EvaluationService::computeSlow(const UnrollVector &U) const {
 }
 
 Expected<SynthesisEstimate>
-EvaluationService::computeFast(const UnrollVector &U) const {
-  TransformOptions TO = Opts.BaseTransforms;
-  TO.Unroll = U;
-  TO.Layout.NumMemories = Opts.Platform.NumMemories;
+EvaluationService::computeFast(const DesignPoint &P) const {
+  TransformOptions TO = transformOptionsFor(P);
   // The site index accelerates scalar replacement without changing what
   // it emits; gated here so Off stays the untouched historical path.
   TO.SR.UseSiteIndex = true;
@@ -292,10 +331,10 @@ EvaluationService::computeFast(const UnrollVector &U) const {
 
   StageRunInfo Info;
   TransformResult R = FastPipeline->run(TO, SkipVerify, &Info);
-  traceStageCache(U, Info);
+  traceStageCache(P, Info);
   if (!R.ok())
     return R.Error;
-  Expected<SynthesisEstimate> Est = invokeBackend(R.K, U, DefaultEstimator);
+  Expected<SynthesisEstimate> Est = invokeBackend(R.K, P, DefaultEstimator);
   if (!Est)
     return Est;
 
@@ -309,7 +348,7 @@ EvaluationService::computeFast(const UnrollVector &U) const {
       TransformResult Capped = FastPipeline->run(TO, SkipVerify);
       if (!Capped.ok())
         return Capped.Error;
-      Est = invokeBackend(Capped.K, U, DefaultEstimator);
+      Est = invokeBackend(Capped.K, P, DefaultEstimator);
       if (!Est)
         return Est;
     }
@@ -336,18 +375,18 @@ uint64_t EvaluationService::inFlightEvaluations() {
 }
 
 Expected<SynthesisEstimate>
-EvaluationService::computeRaw(const UnrollVector &U) const {
+EvaluationService::computeRaw(const DesignPoint &P) const {
   // The single instrumentation chokepoint for evaluation cost: the
   // sequential walk, speculation workers, and verify mode all come
   // through here. Zero-cost discipline: disabled, this is one relaxed
   // load and a branch on top of the dispatch.
   if (!statsEnabled())
-    return computeDispatch(U);
+    return computeDispatch(P);
 
   InFlightEvals.fetch_add(1, std::memory_order_relaxed);
   Expected<SynthesisEstimate> Est = [&] {
     DEFACTO_SCOPED_HISTOGRAM_US("eval.latency_us");
-    return computeDispatch(U);
+    return computeDispatch(P);
   }();
   InFlightEvals.fetch_sub(1, std::memory_order_relaxed);
 
@@ -371,18 +410,24 @@ EvaluationService::computeRaw(const UnrollVector &U) const {
 }
 
 Expected<SynthesisEstimate>
-EvaluationService::computeDispatch(const UnrollVector &U) const {
-  if (Opts.FastPath == FastPathMode::Off || !FastPipeline)
-    return computeSlow(U);
+EvaluationService::computeDispatch(const DesignPoint &P) const {
+  // The stage-cache factorization (strip-mine/unroll/normalize prefix +
+  // finishPipeline) is only proven for the default pipeline shape:
+  // interchange/tile points and custom pass pipelines take the
+  // historical route unconditionally.
+  bool Stageable = P.isUnrollOnly() && Opts.BaseTransforms.Pipeline.empty() &&
+                   Opts.BaseTransforms.Interchange.empty();
+  if (Opts.FastPath == FastPathMode::Off || !FastPipeline || !Stageable)
+    return computeSlow(P);
   if (Opts.FastPath == FastPathMode::On)
-    return computeFast(U);
+    return computeFast(P);
 
   // Verify: run both routes for this attempt and return the slow result,
   // so a verify run is behaviorally the historical engine plus
   // assertions. Watchdog cancellations are timing, not parity; skip the
   // comparison when either route was cancelled.
-  Expected<SynthesisEstimate> Fast = computeFast(U);
-  Expected<SynthesisEstimate> Slow = computeSlow(U);
+  Expected<SynthesisEstimate> Fast = computeFast(P);
+  Expected<SynthesisEstimate> Slow = computeSlow(P);
   bool Cancelled = (!Fast && Fast.status().code() == ErrorCode::Cancelled) ||
                    (!Slow && Slow.status().code() == ErrorCode::Cancelled);
   bool Violation = false;
@@ -401,7 +446,7 @@ EvaluationService::computeDispatch(const UnrollVector &U) const {
       TraceEvent Ev;
       Ev.Track = Track;
       Ev.Category = "dse.fastpath";
-      Ev.Name = unrollVectorToString(U);
+      Ev.Name = P.toString();
       Ev.Runtime = {{"event", "parity-violation"},
                     {"fast", Fast ? Fast->toString() : Fast.status().toString()},
                     {"slow", Slow ? Slow->toString() : Slow.status().toString()}};
@@ -411,7 +456,7 @@ EvaluationService::computeDispatch(const UnrollVector &U) const {
   return Slow;
 }
 
-void EvaluationService::traceStageCache(const UnrollVector &U,
+void EvaluationService::traceStageCache(const DesignPoint &P,
                                         const StageRunInfo &Info) const {
   TraceRecorder &R = recorder();
   if (!R.enabled())
@@ -419,7 +464,7 @@ void EvaluationService::traceStageCache(const UnrollVector &U,
   TraceEvent Ev;
   Ev.Track = Track;
   Ev.Category = "dse.stagecache";
-  Ev.Name = unrollVectorToString(U);
+  Ev.Name = P.toString();
   const char *Outcome =
       Info.Outcome == TransformStageCache::Outcome::Hit    ? "hit"
       : Info.Outcome == TransformStageCache::Outcome::Wait ? "wait"
@@ -456,22 +501,35 @@ Status EvaluationService::checkLimits() const {
 
 Expected<SynthesisEstimate>
 EvaluationService::evaluateChecked(const UnrollVector &U) {
-  if (!Space.isCandidate(U))
+  return evaluateChecked(DesignPoint(U));
+}
+
+Expected<SynthesisEstimate>
+EvaluationService::evaluateChecked(const DesignPoint &P) {
+  // Unroll-only points keep the historical candidate check and error
+  // message (strategy traces compare them); multi-dimensional points go
+  // through the generalized shape check.
+  if (P.isUnrollOnly()) {
+    if (!Space.isCandidate(P.Unroll))
+      return Status::error(ErrorCode::InvalidInput,
+                           unrollVectorToString(P.Unroll) +
+                               " is not a candidate unroll vector");
+  } else if (!DSpace.isCandidate(P)) {
     return Status::error(ErrorCode::InvalidInput,
-                         unrollVectorToString(U) +
-                             " is not a candidate unroll vector");
-  if (auto It = Cache.find(U); It != Cache.end()) {
+                         P.toString() + " is not a candidate design point");
+  }
+  if (auto It = Cache.find(P); It != Cache.end()) {
     LastCacheOutcome = "local-hit";
     return It->second;
   }
-  if (auto It = FailCache.find(U); It != FailCache.end()) {
+  if (auto It = FailCache.find(P); It != FailCache.end()) {
     LastCacheOutcome = "local-negative";
     return It->second;
   }
 
   for (;;) {
     EstimateCache::Outcome Served = EstimateCache::Outcome::Miss;
-    auto Found = Estimates->lookupOrBegin(cacheKey(U), &Served);
+    auto Found = Estimates->lookupOrBegin(cacheKey(P), &Served);
     switch (Served) {
     case EstimateCache::Outcome::Hit:
       LastCacheOutcome = "hit";
@@ -495,12 +553,12 @@ EvaluationService::evaluateChecked(const UnrollVector &U) {
         return Limit;
       Used += Done->Attempts;
       if (Done->ok()) {
-        Cache.emplace(U, *Done->Estimate);
+        Cache.emplace(P, *Done->Estimate);
         return *Done->Estimate;
       }
       Status Err = Done->Estimate.status();
-      FailCache.emplace(U, Err);
-      logFailure({U, Done->Attempts, Err});
+      FailCache.emplace(P, Err);
+      logFailure({P.Unroll, Done->Attempts, Err, P});
       return Err;
     }
 
@@ -522,7 +580,7 @@ EvaluationService::evaluateChecked(const UnrollVector &U) {
             ErrorCode::BackendUnavailable,
             "circuit open for backend '" + Opts.Platform.Name + "'");
         Estimates->abandon(std::move(Ticket), Fast);
-        logFailure({U, 0, Fast});
+        logFailure({P.Unroll, 0, Fast, P});
         return Fast;
       }
       if (Admit == CircuitBreakerRegistry::Decision::Probe)
@@ -535,7 +593,7 @@ EvaluationService::evaluateChecked(const UnrollVector &U) {
     for (unsigned Attempt = 0; Attempt <= Opts.MaxRetries; ++Attempt) {
       if (Status Limit = checkLimits(); !Limit.isOk()) {
         if (Attempts > 0) // Record what the cut-short retries saw.
-          logFailure({U, Attempts, Last});
+          logFailure({P.Unroll, Attempts, Last, P});
         Estimates->abandon(std::move(Ticket), Limit);
         return Limit;
       }
@@ -545,7 +603,7 @@ EvaluationService::evaluateChecked(const UnrollVector &U) {
       }
       ++Used;
       ++Attempts;
-      Expected<SynthesisEstimate> Est = computeRaw(U);
+      Expected<SynthesisEstimate> Est = computeRaw(P);
       if (Est) {
         if (Opts.Breakers)
           if (const char *Transition = Opts.Breakers->recordSuccess(
@@ -553,7 +611,7 @@ EvaluationService::evaluateChecked(const UnrollVector &U) {
             traceBreaker(Transition);
         Estimates->fulfill(std::move(Ticket),
                            EstimateCache::Result{Est, Attempts});
-        Cache.emplace(U, *Est);
+        Cache.emplace(P, *Est);
         return Est;
       }
       Last = Est.status();
@@ -568,8 +626,8 @@ EvaluationService::evaluateChecked(const UnrollVector &U) {
     Estimates->fulfill(
         std::move(Ticket),
         EstimateCache::Result{Expected<SynthesisEstimate>(Last), Attempts});
-    FailCache.emplace(U, Last);
-    logFailure({U, Attempts, Last});
+    FailCache.emplace(P, Last);
+    logFailure({P.Unroll, Attempts, Last, P});
     return Last;
   }
 }
@@ -622,7 +680,12 @@ void EvaluationService::traceBreaker(const char *What) {
 
 std::optional<SynthesisEstimate>
 EvaluationService::evaluate(const UnrollVector &U) {
-  Expected<SynthesisEstimate> Est = evaluateChecked(U);
+  return evaluate(DesignPoint(U));
+}
+
+std::optional<SynthesisEstimate>
+EvaluationService::evaluate(const DesignPoint &P) {
+  Expected<SynthesisEstimate> Est = evaluateChecked(P);
   if (!Est)
     return std::nullopt;
   return *Est;
@@ -630,7 +693,12 @@ EvaluationService::evaluate(const UnrollVector &U) {
 
 std::optional<SynthesisEstimate>
 EvaluationService::evaluated(const UnrollVector &U) const {
-  if (auto It = Cache.find(U); It != Cache.end())
+  return evaluated(DesignPoint(U));
+}
+
+std::optional<SynthesisEstimate>
+EvaluationService::evaluated(const DesignPoint &P) const {
+  if (auto It = Cache.find(P); It != Cache.end())
     return It->second;
   return std::nullopt;
 }
@@ -646,29 +714,38 @@ std::shared_ptr<ThreadPool> EvaluationService::workerPool() {
 }
 
 void EvaluationService::prefetch(const std::vector<UnrollVector> &Candidates) {
-  std::shared_ptr<ThreadPool> P = workerPool();
-  if (!P)
+  std::vector<DesignPoint> Points;
+  Points.reserve(Candidates.size());
+  for (const UnrollVector &U : Candidates)
+    Points.push_back(DesignPoint(U));
+  prefetchPoints(Points);
+}
+
+void EvaluationService::prefetchPoints(
+    const std::vector<DesignPoint> &Candidates) {
+  std::shared_ptr<ThreadPool> Workers = workerPool();
+  if (!Workers)
     return;
-  for (const UnrollVector &U : Candidates) {
-    if (!Space.isCandidate(U))
+  for (const DesignPoint &P : Candidates) {
+    if (P.isUnrollOnly() ? !Space.isCandidate(P.Unroll)
+                         : !DSpace.isCandidate(P))
       continue;
     ++NumSpeculated;
-    Speculation.push_back(P->submit([this, U] {
-      auto Found = Estimates->lookupOrBegin(cacheKey(U));
+    Speculation.push_back(Workers->submit([this, P] {
+      auto Found = Estimates->lookupOrBegin(cacheKey(P));
       if (auto *Ticket = std::get_if<EstimateCache::Ticket>(&Found)) {
         // Spans from worker threads show the estimation overlap in the
         // Perfetto timeline; they are run-variant by nature and excluded
         // from the deterministic decision digest.
-        TraceSpan Span(recorder(), Track, "speculate",
-                       unrollVectorToString(U));
+        TraceSpan Span(recorder(), Track, "speculate", P.toString());
         // Mirror the sequential retry policy (minus the backoff sleeps)
         // so the attempts recorded — and later charged on consumption —
         // match what the sequential walk would have spent.
         unsigned Attempts = 1;
-        Expected<SynthesisEstimate> Est = computeRaw(U);
+        Expected<SynthesisEstimate> Est = computeRaw(P);
         while (!Est && Attempts <= Opts.MaxRetries) {
           ++Attempts;
-          Est = computeRaw(U);
+          Est = computeRaw(P);
         }
         Span.note("attempts", std::to_string(Attempts));
         Span.note("ok", Est ? "1" : "0");

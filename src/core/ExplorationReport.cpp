@@ -7,16 +7,28 @@
 #include "defacto/Core/ExplorationReport.h"
 
 #include "defacto/Support/Table.h"
+#include "defacto/Support/Timer.h"
 
 #include <sstream>
 
 using namespace defacto;
 
+namespace {
+
+/// The design as the user should read it: the bare unroll vector for
+/// unroll-only points (the historical rendering, byte for byte), the
+/// full point with perm/tile suffixes otherwise.
+std::string designString(const UnrollVector &U, const DesignPoint &P) {
+  return P.isUnrollOnly() ? unrollVectorToString(U) : P.toString();
+}
+
+} // namespace
+
 std::string ExplorationResult::toString() const {
   std::ostringstream OS;
   if (!Strategy.empty())
     OS << "strategy=" << Strategy << ' ';
-  OS << "selected=" << unrollVectorToString(Selected)
+  OS << "selected=" << designString(Selected, SelectedPoint)
      << " cycles=" << SelectedEstimate.Cycles
      << " slices=" << formatDouble(SelectedEstimate.Slices, 0)
      << " balance=" << formatDouble(SelectedEstimate.Balance, 3)
@@ -76,10 +88,10 @@ std::string stopReason(const ExplorationResult &R) {
 
 void appendVisited(std::ostringstream &OS, const ExplorationResult &R,
                    const ReportOptions &Opts) {
-  Table T({"#", "role", "unroll", "balance", "cycles", "slices", "bound"});
+  Table T({"#", "role", "design", "balance", "cycles", "slices", "bound"});
   auto Row = [&](size_t I) {
     const EvaluatedDesign &D = R.Visited[I];
-    T.addRow({std::to_string(I), D.Role, unrollVectorToString(D.U),
+    T.addRow({std::to_string(I), D.Role, designString(D.U, D.Point),
               formatDouble(D.Estimate.Balance, 3),
               formatWithCommas(static_cast<int64_t>(D.Estimate.Cycles)),
               formatDouble(D.Estimate.Slices, 0),
@@ -112,7 +124,7 @@ std::string defacto::renderExplorationReport(const ExplorationResult &R,
   if (!Label.empty())
     OS << "=== Exploration report: " << Label << " ===\n";
 
-  OS << "Selected " << unrollVectorToString(R.Selected) << " ("
+  OS << "Selected " << designString(R.Selected, R.SelectedPoint) << " ("
      << boundness(R.SelectedEstimate) << ", B="
      << formatDouble(R.SelectedEstimate.Balance, 3) << "): "
      << formatWithCommas(static_cast<int64_t>(R.SelectedEstimate.Cycles))
@@ -121,8 +133,11 @@ std::string defacto::renderExplorationReport(const ExplorationResult &R,
   if (!R.SelectedFits)
     OS << " [exceeds device capacity]";
   OS << "\n";
+  // The baseline is the untiled nest's all-ones vector; a tiled winner's
+  // unroll is one deeper than the nest it came from.
+  size_t NestDepth = R.Selected.size() - (R.SelectedPoint.Tile ? 1 : 0);
   OS << "Speedup over baseline "
-     << unrollVectorToString(UnrollVector(R.Selected.size(), 1)) << " ("
+     << unrollVectorToString(UnrollVector(NestDepth, 1)) << " ("
      << formatWithCommas(static_cast<int64_t>(R.BaselineEstimate.Cycles))
      << " cycles): " << formatDouble(R.speedup(), 2) << "x\n";
   if (!R.Strategy.empty())
@@ -156,13 +171,33 @@ std::string defacto::renderExplorationReport(const ExplorationResult &R,
   if (R.Degraded || !R.Failures.empty()) {
     OS << "DEGRADED: the run did not reach healthy convergence.\n";
     if (!R.Failures.empty()) {
-      Table T({"unroll", "attempts", "error"});
+      Table T({"design", "attempts", "error"});
       for (const EvaluationFailure &F : R.Failures)
-        T.addRow({unrollVectorToString(F.U),
+        T.addRow({designString(F.U, F.Point),
                   F.Attempts == 0 ? "stop" : std::to_string(F.Attempts),
                   F.Error.message()});
       OS << "Failure log (" << R.Failures.size() << "):\n" << T.toString(2);
     }
+  }
+
+  // Per-pass pipeline timing, when the run recorded any (stats enabled
+  // and the pipeline.pass.* timers fired). Process-wide accumulation, so
+  // in a batch the numbers cover every job rendered so far.
+  if (Opts.ShowPassTimings) {
+    std::vector<TimerGroup::Snapshot> Timers = TimerGroup::global().snapshot();
+    Table T({"pass", "wall ms", "runs", "mean us"});
+    const std::string Prefix = "pipeline.pass.";
+    for (const TimerGroup::Snapshot &S : Timers) {
+      if (S.Name.rfind(Prefix, 0) != 0 || S.Count == 0)
+        continue;
+      T.addRow({S.Name.substr(Prefix.size()), formatDouble(S.WallMs, 2),
+                std::to_string(S.Count),
+                formatDouble(S.WallMs * 1000.0 /
+                                 static_cast<double>(S.Count),
+                             1)});
+    }
+    if (T.numRows() != 0)
+      OS << "Pass pipeline timing (process-wide):\n" << T.toString(2);
   }
 
   if (Opts.ShowWalkTrace && !R.Trace.empty())

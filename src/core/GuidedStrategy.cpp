@@ -185,7 +185,7 @@ ExplorationResult GuidedStrategy::search(const SearchContext &SC) {
     for (const EvaluatedDesign &D : Res.Visited)
       if (D.U == U)
         return Est;
-    Res.Visited.push_back({U, *Est, Role});
+    Res.Visited.push_back({U, *Est, Role, DesignPoint(U)});
     Res.Trace += "eval " + unrollVectorToString(U) + " [" + Role +
                  "]: " + Est->toString() + "\n";
     return Est;
@@ -412,7 +412,7 @@ ExplorationResult GuidedStrategy::search(const SearchContext &SC) {
   Res.Failures = Eval.failures();
   Res.DroppedFailures = Eval.failuresDropped();
   if (!Stop.isOk() && isStop(Stop))
-    Res.Failures.push_back({Ucurr, 0, Stop});
+    Res.Failures.push_back({Ucurr, 0, Stop, DesignPoint(Ucurr)});
   Res.Degraded = !Ok || !Res.Failures.empty();
   Res.EvaluationsUsed = Eval.evaluationsUsed();
   if (Res.Degraded) {

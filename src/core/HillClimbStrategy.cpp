@@ -89,7 +89,7 @@ ExplorationResult HillClimbStrategy::search(const SearchContext &SC) {
     for (const EvaluatedDesign &D : Res.Visited)
       if (D.U == U)
         return Est;
-    Res.Visited.push_back({U, *Est, Role});
+    Res.Visited.push_back({U, *Est, Role, DesignPoint(U)});
     Res.Trace += "eval " + unrollVectorToString(U) + " [" + Role +
                  "]: " + Est->toString() + "\n";
     return Est;
@@ -229,7 +229,7 @@ ExplorationResult HillClimbStrategy::search(const SearchContext &SC) {
   Res.Failures = Eval.failures();
   Res.DroppedFailures = Eval.failuresDropped();
   if (!Stop.isOk() && isStop(Stop))
-    Res.Failures.push_back({Curr, 0, Stop});
+    Res.Failures.push_back({Curr, 0, Stop, DesignPoint(Curr)});
   Res.Degraded = !Stop.isOk() || !Res.Failures.empty();
   Res.EvaluationsUsed = Eval.evaluationsUsed();
   if (Res.Degraded)

@@ -41,6 +41,11 @@ StrategyRegistry::StrategyRegistry() {
       RegisteredStrategy{
           "guided + hillclimb + random under split budgets; best wins",
           [] { return createPortfolioStrategy(); }});
+  Strategies.emplace(
+      "guided+tile",
+      RegisteredStrategy{
+          "guided walk, then interchange/tile refinement around the optimum",
+          [] { return createGuidedTileStrategy(); }});
 }
 
 StrategyRegistry &StrategyRegistry::instance() {
@@ -128,7 +133,7 @@ ExplorationResult pickBest(const SearchContext &SC,
     auto Est = Ex.evaluate(U);
     if (!Est)
       continue;
-    Res.Visited.push_back({U, *Est, Role});
+    Res.Visited.push_back({U, *Est, Role, DesignPoint(U)});
     Ex.traceDecision(U, *Est, Role, "candidate");
   }
 

@@ -221,6 +221,12 @@ FastPathPipeline::buildStage(const TransformOptions &Opts,
 TransformResult FastPathPipeline::run(const TransformOptions &Opts,
                                       bool SkipVerify,
                                       StageRunInfo *Info) const {
+  // The stage factorization below (strip-mine/unroll/normalize prefix +
+  // finishPipeline suffix) is only valid for the default pipeline shape;
+  // custom pass pipelines and interchange run the full pipeline.
+  if (!Opts.Pipeline.empty() || !Opts.Interchange.empty())
+    return applyPipeline(Ctx, Opts);
+
   const UnrollVector &U = Opts.Unroll;
 
   // Split U = Prefix (+) W: W carries only the outermost factor > 1.

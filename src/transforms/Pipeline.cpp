@@ -10,46 +10,55 @@
 #include "defacto/IR/IRVerifier.h"
 #include "defacto/Support/Histogram.h"
 #include "defacto/Support/Timer.h"
-#include "defacto/Transforms/ConstantFolding.h"
 #include "defacto/Transforms/Normalize.h"
-#include "defacto/Transforms/Tiling.h"
+#include "defacto/Transforms/PassRegistry.h"
 
 using namespace defacto;
 
 namespace {
 
-/// The pipeline stages downstream of normalization. \p Normalized is an
-/// already-normalized clone this call owns; \p ErrorFallback is cloned
-/// only on failure, so the happy path costs exactly one deep copy.
+/// Builds the \p Text pipeline over \p Result and runs it on Result.K,
+/// verifying the outcome unless \p SkipVerify. Any failure — parse, pass,
+/// or verification — degrades Result.K to a clone of \p ErrorFallback and
+/// records the status in Result.Error.
+void runTextOn(const std::string &Text, const TransformOptions &Opts,
+               const Kernel &ErrorFallback, bool SkipVerify,
+               TransformResult &Result) {
+  Status S;
+  {
+    AnalysisManager AM;
+    Expected<PassPipeline> Pipeline = buildPassPipeline(Text, Opts, Result);
+    S = Pipeline ? Pipeline->run(Result.K, AM) : Pipeline.status();
+  }
+  if (!S.isOk()) {
+    Result.Error = std::move(S);
+    Result.K = ErrorFallback.clone();
+    return;
+  }
+
+  if (SkipVerify)
+    return;
+
+  DEFACTO_SCOPED_TIMER("pipeline.verify");
+  if (!isKernelValid(Result.K)) {
+    Result.Error = Status::error(
+        ErrorCode::MalformedIR,
+        "transformation pipeline produced an invalid kernel");
+    Result.K = ErrorFallback.clone();
+  }
+}
+
+/// The full per-candidate pipeline over an already-normalized clone this
+/// call owns; \p ErrorFallback is cloned only on failure, so the happy
+/// path costs exactly one deep copy.
 TransformResult runOnNormalized(Kernel Normalized,
                                 const TransformOptions &Opts,
                                 const Kernel &ErrorFallback) {
   DEFACTO_SCOPED_TIMER("pipeline.run");
   DEFACTO_SCOPED_HISTOGRAM_US("pipeline.run_us");
-  Kernel K = std::move(Normalized);
-
-  if (Opts.StripMine) {
-    DEFACTO_SCOPED_TIMER("pipeline.stripmine");
-    ForStmt *Top = K.topLoop();
-    if (Top) {
-      std::vector<ForStmt *> Nest = perfectNest(Top);
-      unsigned Pos = Opts.StripMine->first;
-      if (Pos < Nest.size())
-        stripMine(K, Nest[Pos]->loopId(), Opts.StripMine->second);
-    }
-  }
-
-  bool UnrollApplied;
-  {
-    DEFACTO_SCOPED_TIMER("pipeline.unroll");
-    UnrollApplied = unrollAndJam(K, Opts.Unroll);
-  }
-  {
-    DEFACTO_SCOPED_TIMER("pipeline.normalize");
-    normalizeLoops(K);
-  }
-
-  return finishPipeline(std::move(K), Opts, ErrorFallback, UnrollApplied);
+  TransformResult Result(std::move(Normalized));
+  runTextOn(Opts.Pipeline, Opts, ErrorFallback, /*SkipVerify=*/false, Result);
+  return Result;
 }
 
 } // namespace
@@ -60,41 +69,11 @@ TransformResult defacto::finishPipeline(Kernel Staged,
                                         bool UnrollApplied, bool SkipVerify) {
   TransformResult Result(std::move(Staged));
   Result.UnrollApplied = UnrollApplied;
-  Kernel &K = Result.K;
-
-  if (Opts.EnableScalarReplacement) {
-    DEFACTO_SCOPED_TIMER("pipeline.scalarrepl");
-    Result.SR = scalarReplace(K, Opts.SR);
-  }
-  if (Opts.EnablePeeling) {
-    DEFACTO_SCOPED_TIMER("pipeline.peel");
-    Result.Peeling = peelGuardedIterations(K);
-  }
-  {
-    DEFACTO_SCOPED_TIMER("pipeline.fold");
-    foldConstants(K.body());
-  }
-  if (Opts.EnableDataLayout) {
-    DEFACTO_SCOPED_TIMER("pipeline.layout");
-    Expected<DataLayoutStats> Layout = applyDataLayout(K, Opts.Layout);
-    if (!Layout) {
-      Result.Error = Layout.status();
-      Result.K = ErrorFallback.clone();
-      return Result;
-    }
-    Result.Layout = *Layout;
-  }
-
-  if (SkipVerify)
-    return Result;
-
-  DEFACTO_SCOPED_TIMER("pipeline.verify");
-  if (!isKernelValid(K)) {
-    Result.Error = Status::error(
-        ErrorCode::MalformedIR,
-        "transformation pipeline produced an invalid kernel");
-    Result.K = ErrorFallback.clone();
-  }
+  // The sub-pipeline downstream of the memoized strip-mine/unroll/
+  // normalize prefix. Opts.Pipeline is deliberately not consulted here:
+  // custom pipelines bypass the stage cache entirely.
+  runTextOn("scalar-repl,peel,fold,layout", Opts, ErrorFallback, SkipVerify,
+            Result);
   return Result;
 }
 
@@ -108,6 +87,9 @@ TransformResult defacto::applyPipeline(const Kernel &Source,
 PipelineContext::PipelineContext(const Kernel &Source)
     : Normalized(Source.clone()) {
   normalizeLoops(Normalized);
+  // Warm the unroll-invariant analyses so per-design evaluation never
+  // recomputes them (EvaluationService reads cachedDependence()).
+  Analyses.dependence(Normalized);
 #ifndef NDEBUG
   Fingerprint = kernelFingerprint(Normalized);
 #endif

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "defacto/Frontend/Parser.h"
+#include "defacto/IR/IRPrinter.h"
 #include "defacto/IR/IRUtils.h"
 #include "defacto/IR/IRVerifier.h"
 #include "defacto/Kernels/Kernels.h"
@@ -114,4 +115,25 @@ TEST(Interchange, TilingPlusInterchangeShrinksChains) {
   EXPECT_LE(TiledStats.RegistersAllocated, 8u + 4u);
   EXPECT_TRUE(isKernelValid(Tiled));
   EXPECT_EQ(simulate(Tiled, 64), Reference);
+}
+
+TEST(Interchange, GoldenPrintedIR) {
+  // The exact IR an interchange must produce: the two headers swap
+  // wholesale (bounds, index names, loop ids travel with their loops)
+  // while the body is untouched.
+  Kernel K = parseOrDie("int A[8][12];\n"
+                        "for (i = 0; i < 8; i++)\n"
+                        "  for (j = 0; j < 12; j++)\n"
+                        "    A[i][j] = A[i][j] + 2;\n");
+  normalizeLoops(K);
+  ASSERT_TRUE(canInterchange(K, 0, 1));
+  ASSERT_TRUE(interchangeLoops(K, 0, 1));
+  EXPECT_TRUE(isKernelValid(K));
+  EXPECT_EQ(printKernel(K), "// kernel t\n"
+                            "int A[8][12];\n"
+                            "for (j = 0; j < 12; j += 1) {\n"
+                            "  for (i = 0; i < 8; i += 1) {\n"
+                            "    A[i][j] = (A[i][j] + 2);\n"
+                            "  }\n"
+                            "}\n");
 }

@@ -260,6 +260,66 @@ TEST(EvaluationJournal, FlushesByRenameLeavingNoTempBehind) {
   std::remove(Path.c_str());
 }
 
+TEST(EvaluationJournal, LoadsVersion1JournalsUnchanged) {
+  // Schema v2 only widened the key vocabulary (interchange/pipeline
+  // suffixes); every record shape is identical to v1, so a journal
+  // written before the multi-dimensional space must replay in full.
+  std::string Path = tempPath("v1.jsonl");
+  writeLines(Path,
+             {"{\"type\":\"header\",\"version\":\"1\"}",
+              "{\"type\":\"eval\",\"key\":\"FIR|wildstar|u(2, 1)\","
+              "\"attempts\":1,\"est\":{\"cycles\":1808,\"slices\":"
+              "\"0x1.cc4p+8\",\"registers\":12,\"fetch\":\"0x1p-1\","
+              "\"consume\":\"0x1p-1\",\"balance\":\"0x1p+0\","
+              "\"mem_cycles\":\"0x1p+10\",\"comp_cycles\":\"0x1p+10\","
+              "\"bits\":\"0x1p+12\",\"fsm\":17,\"units\":[]}}",
+              "{\"type\":\"eval\",\"key\":\"FIR|wildstar|u(8, 1)\","
+              "\"attempts\":2,\"err\":{\"code\":\"EstimationFailed\","
+              "\"msg\":\"tool crash\"}}",
+              "{\"type\":\"job\",\"name\":\"FIR @ wildstar\","
+              "\"strategy\":\"guided\",\"selected\":\"(4, 1)\","
+              "\"cycles\":904,\"slices\":\"0x1.cc4p+9\",\"evals\":7,"
+              "\"degraded\":false,\"fits\":true}"});
+
+  Expected<EvaluationJournal::Contents> Loaded =
+      EvaluationJournal::load(Path);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.status().toString();
+  EXPECT_EQ(Loaded->SkippedLines, 0u);
+  ASSERT_EQ(Loaded->Evaluations.size(), 2u);
+  EXPECT_EQ(Loaded->Evaluations[0].first, "FIR|wildstar|u(2, 1)");
+  ASSERT_TRUE(Loaded->Evaluations[0].second.ok());
+  EXPECT_EQ(Loaded->Evaluations[0].second.Estimate.value().Cycles, 1808u);
+  EXPECT_FALSE(Loaded->Evaluations[1].second.ok());
+  ASSERT_EQ(Loaded->Jobs.size(), 1u);
+  EXPECT_EQ(Loaded->Jobs[0].Name, "FIR @ wildstar");
+  EXPECT_EQ(Loaded->Jobs[0].Cycles, 904u);
+
+  // Adopting a v1 journal compacts it forward to the current version.
+  EvaluationJournal Resumed(Path);
+  Resumed.adopt(*Loaded);
+  ASSERT_TRUE(Resumed.flush().isOk());
+  std::vector<std::string> Lines = readLines(Path);
+  ASSERT_FALSE(Lines.empty());
+  EXPECT_NE(Lines[0].find("\"version\":\"2\""), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(EvaluationJournal, UnknownFutureVersionIsSkippedNotFatal) {
+  std::string Path = tempPath("v99.jsonl");
+  writeLines(Path, {"{\"type\":\"header\",\"version\":\"99\"}",
+                    "{\"type\":\"job\",\"name\":\"X\",\"strategy\":\"g\","
+                    "\"selected\":\"(1)\",\"cycles\":1,\"slices\":"
+                    "\"0x1p+0\",\"evals\":1,\"degraded\":false,"
+                    "\"fits\":true}"});
+  Expected<EvaluationJournal::Contents> Loaded =
+      EvaluationJournal::load(Path);
+  ASSERT_TRUE(Loaded.hasValue());
+  // The alien header is skipped (and counted); readable records still load.
+  EXPECT_EQ(Loaded->SkippedLines, 1u);
+  EXPECT_EQ(Loaded->Jobs.size(), 1u);
+  std::remove(Path.c_str());
+}
+
 TEST(EvaluationJournal, ReplaySeedsTheCacheWithoutReFulfilling) {
   std::string Path = tempPath("replay.jsonl");
   std::remove(Path.c_str());

@@ -1,0 +1,292 @@
+//===- passmanager_test.cpp - PassRegistry / AnalysisManager units --------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Direct unit coverage of the pass-pipeline machinery: the registry's
+/// name surface, the textual pipeline parser's error reporting, pipeline
+/// construction and execution, AnalysisManager caching and invalidation,
+/// the interchange pass's dependence-legality gate, and the extended
+/// cache-key scheme's byte-stability for historical (unroll-only)
+/// designs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Analysis/AnalysisManager.h"
+#include "defacto/Core/EstimateCache.h"
+#include "defacto/Frontend/Parser.h"
+#include "defacto/IR/IRPrinter.h"
+#include "defacto/IR/IRUtils.h"
+#include "defacto/Kernels/Kernels.h"
+#include "defacto/Transforms/ConstantFolding.h"
+#include "defacto/Transforms/Interchange.h"
+#include "defacto/Transforms/Normalize.h"
+#include "defacto/Transforms/Pass.h"
+#include "defacto/Transforms/PassRegistry.h"
+#include "defacto/Transforms/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace defacto;
+
+//===----------------------------------------------------------------------===//
+// PassRegistry surface.
+//===----------------------------------------------------------------------===//
+
+TEST(PassRegistry, AllEightDefaultPassesAreRegistered) {
+  PassRegistry &R = PassRegistry::instance();
+  for (const char *Name :
+       {"normalize", "stripmine", "unroll", "interchange", "scalar-repl",
+        "peel", "fold", "layout"})
+    EXPECT_TRUE(R.contains(Name)) << Name;
+  EXPECT_FALSE(R.contains("nonexistent"));
+}
+
+TEST(PassRegistry, NamesAreSortedAndDescribeListsEveryPass) {
+  PassRegistry &R = PassRegistry::instance();
+  std::vector<std::string> Names = R.names();
+  EXPECT_TRUE(std::is_sorted(Names.begin(), Names.end()));
+  std::string Desc = R.describe();
+  for (const std::string &Name : Names)
+    EXPECT_NE(Desc.find(Name), std::string::npos) << Name;
+}
+
+TEST(PassRegistry, CreateReturnsWorkingPassAndNullForUnknown) {
+  TransformOptions Opts;
+  TransformResult Result(buildKernel("FIR"));
+  std::unique_ptr<TransformPass> P =
+      PassRegistry::instance().create("normalize", Opts, Result);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->name(), "normalize");
+  EXPECT_EQ(PassRegistry::instance().create("bogus", Opts, Result), nullptr);
+}
+
+TEST(PassRegistry, AddRejectsDuplicateNames) {
+  EXPECT_FALSE(PassRegistry::instance().add(
+      "normalize", "dup", [](const TransformOptions &, TransformResult &) {
+        return std::unique_ptr<TransformPass>();
+      }));
+}
+
+//===----------------------------------------------------------------------===//
+// Textual pipeline parsing.
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineText, ParsesNamesTrimsWhitespace) {
+  Expected<std::vector<std::string>> P =
+      parsePipelineText(" normalize , unroll,fold ");
+  ASSERT_TRUE(static_cast<bool>(P));
+  EXPECT_EQ(*P, (std::vector<std::string>{"normalize", "unroll", "fold"}));
+}
+
+TEST(PipelineText, RejectsUnknownEmptyAndBlank) {
+  Expected<std::vector<std::string>> Unknown = parsePipelineText("nope");
+  ASSERT_FALSE(static_cast<bool>(Unknown));
+  EXPECT_EQ(Unknown.status().code(), ErrorCode::InvalidInput);
+  // The error lists the registered passes so the user can self-serve.
+  EXPECT_NE(Unknown.status().message().find("normalize"), std::string::npos);
+
+  EXPECT_FALSE(static_cast<bool>(parsePipelineText("")));
+  EXPECT_FALSE(static_cast<bool>(parsePipelineText("normalize,,fold")));
+}
+
+TEST(PipelineText, DefaultTextsParseAndMatchTheDocumentedSequence) {
+  EXPECT_EQ(defaultPipelineText(),
+            "normalize,stripmine,unroll,normalize,scalar-repl,peel,fold,"
+            "layout");
+  EXPECT_EQ(defaultPipelineTextWithInterchange(),
+            "normalize,interchange,stripmine,unroll,normalize,scalar-repl,"
+            "peel,fold,layout");
+  EXPECT_TRUE(static_cast<bool>(parsePipelineText(defaultPipelineText())));
+  EXPECT_TRUE(static_cast<bool>(
+      parsePipelineText(defaultPipelineTextWithInterchange())));
+}
+
+TEST(PipelineBuild, BuildsDefaultWhenTextEmptyAndRunsIt) {
+  Kernel K = buildKernel("FIR");
+  TransformOptions Opts;
+  Opts.Unroll = {2, 2};
+  Opts.Layout.NumMemories = 8;
+  TransformResult Result(K.clone());
+  Expected<PassPipeline> PP = buildPassPipeline("", Opts, Result);
+  ASSERT_TRUE(static_cast<bool>(PP));
+  EXPECT_EQ(PP->size(), 8u); // the no-interchange default
+  AnalysisManager AM;
+  EXPECT_TRUE(PP->run(Result.K, AM).isOk());
+  EXPECT_TRUE(Result.UnrollApplied);
+}
+
+TEST(PipelineBuild, UnknownPassSurfacesAsError) {
+  TransformOptions Opts;
+  TransformResult Result(buildKernel("FIR"));
+  Expected<PassPipeline> PP = buildPassPipeline("normalize,zap", Opts, Result);
+  ASSERT_FALSE(static_cast<bool>(PP));
+  EXPECT_EQ(PP.status().code(), ErrorCode::InvalidInput);
+}
+
+TEST(PipelineBuild, CustomTextRunsOnlyTheNamedPasses) {
+  // A fold-only pipeline must not unroll.
+  Kernel K = buildKernel("FIR");
+  TransformOptions Opts;
+  Opts.Unroll = {4, 4};
+  Opts.Pipeline = "normalize,fold";
+  TransformResult R = applyPipeline(K, Opts);
+  ASSERT_TRUE(R.ok()) << R.Error.toString();
+  EXPECT_FALSE(R.UnrollApplied);
+
+  Kernel Ref = K.clone();
+  normalizeLoops(Ref);
+  foldConstants(Ref.body());
+  EXPECT_EQ(printKernel(R.K), printKernel(Ref));
+}
+
+//===----------------------------------------------------------------------===//
+// AnalysisManager caching.
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisManager, CachesPerFingerprintAndCountsHits) {
+  Kernel K = buildKernel("MM");
+  normalizeLoops(K);
+  AnalysisManager AM;
+  EXPECT_EQ(AM.hits(), 0u);
+  const DependenceInfo &D1 = AM.dependence(K);
+  uint64_t MissesAfterFirst = AM.misses();
+  EXPECT_GE(MissesAfterFirst, 1u);
+  const DependenceInfo &D2 = AM.dependence(K);
+  EXPECT_EQ(&D1, &D2); // same cached object
+  EXPECT_EQ(AM.misses(), MissesAfterFirst);
+  EXPECT_GE(AM.hits(), 1u);
+}
+
+TEST(AnalysisManager, RecomputesWhenTheKernelChanges) {
+  Kernel K = buildKernel("FIR");
+  normalizeLoops(K);
+  AnalysisManager AM;
+  AM.dependence(K);
+  uint64_t Misses = AM.misses();
+  // Mutate the kernel: unrolling changes the fingerprint.
+  unrollAndJam(K, {2, 1});
+  AM.dependence(K);
+  EXPECT_GT(AM.misses(), Misses);
+}
+
+TEST(AnalysisManager, InvalidateRespectsPreservedSet) {
+  Kernel K = buildKernel("FIR");
+  normalizeLoops(K);
+  AnalysisManager AM;
+  AM.dependence(K);
+  ASSERT_NE(AM.cachedDependence(), nullptr);
+
+  // Invalidate everything except dependence: it survives.
+  AM.invalidate(PreservedAnalyses::none().preserve(AnalysisKind::Dependence));
+  EXPECT_NE(AM.cachedDependence(), nullptr);
+
+  // Preserve nothing: it is dropped.
+  AM.invalidate(PreservedAnalyses::none());
+  EXPECT_EQ(AM.cachedDependence(), nullptr);
+
+  // all() keeps nothing to drop.
+  AM.dependence(K);
+  AM.invalidate(PreservedAnalyses::all());
+  EXPECT_NE(AM.cachedDependence(), nullptr);
+}
+
+TEST(AnalysisManager, PipelineContextWarmsDependence) {
+  PipelineContext Ctx(buildKernel("MM"));
+  EXPECT_NE(Ctx.analyses().cachedDependence(), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Interchange pass legality and validation.
+//===----------------------------------------------------------------------===//
+
+TEST(InterchangePass, RejectsMalformedPermutations) {
+  Kernel K = buildKernel("MM");
+  for (const std::vector<unsigned> &Bad :
+       {std::vector<unsigned>{0, 1},       // wrong size for a 3-nest
+        std::vector<unsigned>{0, 0, 1},    // repeated position
+        std::vector<unsigned>{0, 1, 7}}) { // out of range
+    TransformOptions Opts;
+    Opts.Interchange = Bad;
+    TransformResult R = applyPipeline(K, Opts);
+    EXPECT_FALSE(R.ok());
+    EXPECT_EQ(R.Error.code(), ErrorCode::InvalidInput);
+    // Degraded-not-crashed: the fallback kernel is the untransformed
+    // source.
+    EXPECT_EQ(printKernel(R.K), printKernel(K));
+  }
+}
+
+TEST(InterchangePass, IdentityAndLegalPermutationsSucceed) {
+  Kernel K = buildKernel("MM");
+  TransformOptions Identity;
+  Identity.Interchange = {0, 1, 2};
+  EXPECT_TRUE(applyPipeline(K, Identity).ok());
+
+  TransformOptions Swap;
+  Swap.Interchange = {1, 0, 2};
+  TransformResult R = applyPipeline(K, Swap);
+  EXPECT_TRUE(R.ok()) << R.Error.toString();
+  // The permuted kernel differs from the identity result.
+  EXPECT_NE(printKernel(R.K), printKernel(applyPipeline(K, Identity).K));
+}
+
+TEST(InterchangePass, DependenceViolatingSwapFailsCleanly) {
+  // A[i][j] = A[i-1][j+1]: distance (1, -1), lexicographically negative
+  // after a swap — the pass must reject it with InvalidInput and hand
+  // back the untouched source, never silently produce wrong code.
+  DiagnosticEngine Diags;
+  auto K = parseKernel("int A[18][18];\n"
+                       "for (i = 1; i < 17; i++)\n"
+                       "  for (j = 1; j < 17; j++)\n"
+                       "    A[i][j] = A[i - 1][j + 1] + 1;\n",
+                       "wavefront", Diags);
+  ASSERT_TRUE(K.has_value()) << Diags.toString();
+  {
+    Kernel Probe = K->clone();
+    normalizeLoops(Probe);
+    ASSERT_FALSE(canInterchange(Probe, 0, 1));
+  }
+  TransformOptions Opts;
+  Opts.Interchange = {1, 0};
+  TransformResult R = applyPipeline(*K, Opts);
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.Error.code(), ErrorCode::InvalidInput);
+  EXPECT_NE(R.Error.message().find("dependence"), std::string::npos)
+      << R.Error.message();
+  EXPECT_EQ(printKernel(R.K), printKernel(*K)); // Fallback is the source.
+}
+
+//===----------------------------------------------------------------------===//
+// Cache-key extension: historical keys are byte-stable.
+//===----------------------------------------------------------------------===//
+
+TEST(CacheKeys, UnrollOnlyKeysAreUnchangedByTheNewDimensions) {
+  TransformOptions Opts;
+  Opts.Layout.NumMemories = 8;
+  std::string Base = transformCacheKey(Opts);
+  // The new fields serialize to nothing when unset...
+  EXPECT_EQ(Base.find(";ic"), std::string::npos);
+  EXPECT_EQ(Base.find(";pl"), std::string::npos);
+
+  // ...and to distinct suffixes when set.
+  TransformOptions WithPerm = Opts;
+  WithPerm.Interchange = {1, 0};
+  std::string PermKey = transformCacheKey(WithPerm);
+  EXPECT_NE(PermKey, Base);
+  EXPECT_NE(PermKey.find(";ic"), std::string::npos);
+
+  TransformOptions WithPipe = Opts;
+  WithPipe.Pipeline = "normalize,fold";
+  std::string PipeKey = transformCacheKey(WithPipe);
+  EXPECT_NE(PipeKey, Base);
+  EXPECT_NE(PipeKey.find(";pl"), std::string::npos);
+
+  // Distinct permutations get distinct keys.
+  TransformOptions OtherPerm = Opts;
+  OtherPerm.Interchange = {0, 1};
+  EXPECT_NE(transformCacheKey(OtherPerm), PermKey);
+}

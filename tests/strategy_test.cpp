@@ -92,7 +92,7 @@ public:
       Res.SelectedEstimate = *Est;
       Res.BaselineEstimate = *Est;
       Res.SelectedFits = Est->Slices <= SC.Opts.Platform.CapacitySlices;
-      Res.Visited.push_back({Base, *Est, "baseline"});
+      Res.Visited.push_back({Base, *Est, "baseline", DesignPoint(Base)});
     } else {
       Res.Degraded = true;
     }

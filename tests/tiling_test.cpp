@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "defacto/Frontend/Parser.h"
 #include "defacto/IR/IRPrinter.h"
 #include "defacto/IR/IRUtils.h"
 #include "defacto/IR/IRVerifier.h"
@@ -89,4 +90,28 @@ TEST(StripMine, ReducesChainLengthForRegisterControl) {
   scalarReplace(K, Opts);
   EXPECT_TRUE(isKernelValid(K));
   EXPECT_EQ(simulate(K, 21), Reference);
+}
+
+TEST(StripMine, GoldenPrintedIR) {
+  // The exact IR a 16-iteration loop tiled by 4 must produce: the tile
+  // loop keeps the original loop id and iterates the tile count; the
+  // strip loop is fresh and the body index is rebuilt as
+  // tile * size + strip.
+  DiagnosticEngine Diags;
+  auto K = parseKernel("int A[16];\n"
+                       "for (i = 0; i < 16; i++)\n"
+                       "  A[i] = A[i] + 1;\n",
+                       "tile_golden", Diags);
+  ASSERT_TRUE(K.has_value()) << Diags.toString();
+  normalizeLoops(*K);
+  int LoopId = perfectNest(K->topLoop())[0]->loopId();
+  ASSERT_TRUE(stripMine(*K, LoopId, 4));
+  EXPECT_TRUE(isKernelValid(*K));
+  EXPECT_EQ(printKernel(*K), "// kernel tile_golden\n"
+                             "int A[16];\n"
+                             "for (i = 0; i < 4; i += 1) {\n"
+                             "  for (is = 0; is < 4; is += 1) {\n"
+                             "    A[4*i + is] = (A[4*i + is] + 1);\n"
+                             "  }\n"
+                             "}\n");
 }
