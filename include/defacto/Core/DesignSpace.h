@@ -162,6 +162,18 @@ public:
   /// (identity + pair swaps) times (untiled + tile choices per position).
   uint64_t fullSize() const;
 
+  /// Deterministically enumerates every shape-valid point, in a fixed
+  /// order that is a pure function of the nest shape: permutations
+  /// first (identity, then pairSwaps() in their construction order),
+  /// tiles inside each permutation (untiled, then ascending position
+  /// and size over the post-interchange nest), and the post-transform
+  /// unroll lattice lexicographically inside each combination. The
+  /// leading block is therefore exactly the historical unroll-only
+  /// enumeration — stable cache keys and digests depend on that, and
+  /// designspace_test pins the order across runs and threads.
+  /// \p Limit > 0 truncates the enumeration after that many points.
+  std::vector<DesignPoint> enumerate(size_t Limit = 0) const;
+
 private:
   UnrollSpace Space;
 };

@@ -1,0 +1,210 @@
+//===- Server.h - The batching DSE daemon core -----------------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exploration-as-a-service: a long-running, single-machine DSE server
+/// that answers "which unroll vector?" over a Unix-domain socket and
+/// keeps every expensive cache warm across requests. The paper prunes
+/// ~99.7% of the design space per query; the server amortizes the rest
+/// across queries — a repeat or near-repeat request consumes memoized
+/// estimates and transform-stage snapshots instead of re-running the
+/// synthesis estimator.
+///
+/// Architecture (one DseServer instance per daemon):
+///
+///   accept thread ──► one reader thread per connection
+///                        │  parse + validate (bad requests answered
+///                        │  immediately, never queued)
+///                        ▼
+///                 bounded admission queue ── full? ─► "overloaded" reply
+///                        │                            (backpressure, the
+///                        ▼                             429 analogue)
+///                 batch worker: drains up to MaxBatch queued requests,
+///                 coalesces them into ONE BatchExplorer run over the
+///                 process-lifetime EstimateCache / TransformStageCache /
+///                 worker pool, then fulfills each request's reply
+///
+/// Resilience reuses the Core seams wholesale: per-request Cancellation
+/// deadline tokens (expired requests answer "deadline" without spending
+/// budget), per-platform circuit breakers, and the evaluation journal —
+/// with --journal every completed estimation is durable, and a restarted
+/// daemon replays the journal into the shared cache so the interrupted
+/// request is served from replayed state (chaos_serve_resume.sh proves
+/// it under SIGKILL).
+///
+/// Observability: serve.requests/hits/overloads/deadline_misses/errors/
+/// batches counters, the serve.request_us latency histogram, one
+/// "serve.request" trace event per reply, and registerGauges() wires
+/// queue depth / in-flight jobs / cache sizes into a MetricsSampler so
+/// defacto_monitor works unmodified against a live daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_SERVE_SERVER_H
+#define DEFACTO_SERVE_SERVER_H
+
+#include "defacto/Core/BatchExplorer.h"
+#include "defacto/Serve/Protocol.h"
+#include "defacto/Support/Socket.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace defacto {
+
+class MetricsSampler;
+
+/// Daemon configuration.
+struct ServeOptions {
+  /// Filesystem path of the Unix-domain socket to listen on.
+  std::string SocketPath;
+  /// Worker threads for coalesced batch runs (BatchOptions::NumThreads).
+  unsigned NumThreads = 2;
+  /// Admission bound: queued explore requests past this depth are
+  /// answered "overloaded" immediately. 0 rejects everything (useful in
+  /// tests); the daemon default is 64.
+  unsigned MaxQueueDepth = 64;
+  /// Requests coalesced into one BatchExplorer run.
+  unsigned MaxBatch = 8;
+  /// Evaluation fast path for served explorations; the stage cache is
+  /// shared across every request when enabled.
+  FastPathMode FastPath = FastPathMode::On;
+  /// Per-evaluation hang watchdog (ExplorerOptions::WatchdogSeconds).
+  double WatchdogSeconds = 0;
+  /// Per-platform circuit breaker; 0 disables.
+  unsigned BreakerThreshold = 0;
+  double BreakerCooldownSeconds = 30;
+  /// Crash-safety journal path; empty disables. When the file already
+  /// exists at start(), its contents are replayed into the shared cache
+  /// (daemon-restart resume).
+  std::string JournalPath;
+  /// Recorder for serve.* and dse.* events; TraceRecorder::global()
+  /// when unset.
+  std::shared_ptr<TraceRecorder> Trace;
+};
+
+/// The daemon core. start() spins the accept/worker threads; stop()
+/// drains and joins them. Tools embed it (tools/defacto_served.cpp);
+/// tests and the serve_throughput bench run it in-process.
+class DseServer {
+public:
+  explicit DseServer(ServeOptions Opts);
+  ~DseServer();
+
+  DseServer(const DseServer &) = delete;
+  DseServer &operator=(const DseServer &) = delete;
+
+  /// Binds the socket, replays the journal (when configured and
+  /// present), and starts the accept + batch-worker threads.
+  Status start();
+
+  /// Stops accepting, fails queued requests with a shutting-down error,
+  /// finishes the in-flight batch, and joins every thread. Idempotent.
+  void stop();
+
+  /// Blocks until a client's "shutdown" request (or requestStop()).
+  void waitForShutdownRequest();
+
+  /// Asks the daemon loop to exit (signal handlers and tests).
+  void requestStop();
+
+  /// The deterministic batch-job label for \p Req over \p K — also the
+  /// journal job key and the trace track, so a restarted daemon (or a
+  /// standalone run in a test) re-derives the identical identity.
+  static std::string requestJobName(const ServeRequest &Req, const Kernel &K);
+
+  //===--------------------------------------------------------------===//
+  // Warm state and live gauges.
+  //===--------------------------------------------------------------===//
+
+  const std::string &socketPath() const { return Opts.SocketPath; }
+
+  const std::shared_ptr<EstimateCache> &estimateCache() const {
+    return Cache;
+  }
+  const std::shared_ptr<TransformStageCache> &stageCache() const {
+    return StageCache;
+  }
+
+  /// Journal entries replayed into the cache at start().
+  unsigned resumedEvaluations() const { return ResumedEvals; }
+
+  uint64_t requestsReceived() const { return Requests.load(); }
+  uint64_t warmHits() const { return WarmHits.load(); }
+  uint64_t overloads() const { return Overloads.load(); }
+  uint64_t deadlineMisses() const { return DeadlineMisses.load(); }
+  uint64_t errorReplies() const { return ErrorReplies.load(); }
+  uint64_t batchesRun() const { return Batches.load(); }
+  uint64_t queueDepth() const;
+  uint64_t inFlightJobs() const { return InFlight.load(); }
+
+  /// Registers the daemon's gauges (serve_queue_depth, serve_in_flight,
+  /// cache_designs, stage_entries, in_flight_evals, breakers_open) on
+  /// \p Sampler. Call before Sampler.start().
+  void registerGauges(MetricsSampler &Sampler);
+
+private:
+  struct Pending;
+
+  void acceptLoop();
+  void connectionLoop(UnixConnection Conn);
+  void workerLoop();
+  /// Runs one coalesced batch and fulfills every reply.
+  void runBatch(std::vector<std::shared_ptr<Pending>> Batch);
+  ServeResponse handlePing(const ServeRequest &Req) const;
+  /// Validates an explore request into a Pending (kernel built, platform
+  /// resolved); an error ServeResponse otherwise.
+  Expected<std::shared_ptr<Pending>> admitPrep(const ServeRequest &Req);
+  void emitRequestTrace(const ServeRequest &Req, const ServeResponse &Resp);
+  TraceRecorder &recorder() const;
+
+  ServeOptions Opts;
+  UnixListener Listener;
+
+  // Process-lifetime warm state, shared by every served batch.
+  std::shared_ptr<EstimateCache> Cache;
+  std::shared_ptr<TransformStageCache> StageCache; // null when FastPath off
+  std::shared_ptr<ThreadPool> Pool;                // null when NumThreads <= 1
+  std::shared_ptr<CircuitBreakerRegistry> Breakers;
+  std::shared_ptr<EvaluationJournal> Journal;
+  unsigned ResumedEvals = 0;
+
+  std::atomic<bool> Running{false};
+  std::atomic<bool> Stop{false};
+  std::atomic<bool> ShutdownRequested{false};
+  std::mutex ShutdownM;
+  std::condition_variable ShutdownCV;
+
+  mutable std::mutex QueueM;
+  std::condition_variable QueueCV;
+  std::deque<std::shared_ptr<Pending>> Queue;
+
+  std::thread AcceptThread;
+  std::thread WorkerThread;
+  std::mutex ConnM;
+  std::vector<std::thread> ConnThreads;
+  std::vector<int> ConnFds; // live connection fds, for stop()'s shutdown(2)
+
+  std::atomic<uint64_t> Requests{0};
+  std::atomic<uint64_t> WarmHits{0};
+  std::atomic<uint64_t> Overloads{0};
+  std::atomic<uint64_t> DeadlineMisses{0};
+  std::atomic<uint64_t> ErrorReplies{0};
+  std::atomic<uint64_t> Batches{0};
+  std::atomic<uint64_t> InFlight{0};
+  std::atomic<uint64_t> NextSeq{0};
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_SERVE_SERVER_H

@@ -1,0 +1,119 @@
+//===- Socket.h - Unix-domain socket and line framing ----------*- C++ -*-===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport layer under the DSE daemon (Serve/Server.h): blocking
+/// Unix-domain stream sockets with newline-delimited framing, wrapped in
+/// the repo's Status/Expected error model so callers never touch errno.
+///
+///  - UnixListener binds a filesystem socket path, accepts connections,
+///    and supports a polled accept with timeout so an accept loop can
+///    notice a stop flag without busy-waiting;
+///  - UnixConnection carries one byte stream with sendLine()/recvLine()
+///    framing: one request or reply per '\n'-terminated line, exactly
+///    the journal's and metrics sampler's JSONL convention, so every
+///    wire message is also a valid JSONL record.
+///
+/// Both types own their file descriptor (move-only, closed on
+/// destruction). All operations are blocking; the daemon gets its
+/// concurrency from one thread per connection, not from readiness
+/// multiplexing — connection counts are bounded by the admission queue
+/// long before select() scalability matters on a single machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DEFACTO_SUPPORT_SOCKET_H
+#define DEFACTO_SUPPORT_SOCKET_H
+
+#include "defacto/Support/Error.h"
+
+#include <optional>
+#include <string>
+
+namespace defacto {
+
+/// One connected Unix-domain stream socket with line framing.
+class UnixConnection {
+public:
+  UnixConnection() = default;
+  ~UnixConnection();
+
+  UnixConnection(UnixConnection &&Other) noexcept;
+  UnixConnection &operator=(UnixConnection &&Other) noexcept;
+  UnixConnection(const UnixConnection &) = delete;
+  UnixConnection &operator=(const UnixConnection &) = delete;
+
+  /// Connects to the listener at \p Path.
+  static Expected<UnixConnection> connectTo(const std::string &Path);
+
+  /// Adopts an already-connected descriptor (accept side).
+  static UnixConnection fromFd(int Fd);
+
+  /// Writes \p Line plus a terminating '\n' (the line itself must not
+  /// contain one — jsonQuote escapes embedded newlines, so any JSON
+  /// document serialized on one line is safe). Retries short writes.
+  Status sendLine(const std::string &Line);
+
+  /// Reads up to the next '\n' (stripped). std::nullopt on clean EOF
+  /// with no buffered partial line; an error Status on transport
+  /// failure or when \p MaxBytes is exceeded (a runaway peer must not
+  /// balloon daemon memory).
+  Expected<std::optional<std::string>> recvLine(size_t MaxBytes = 1 << 20);
+
+  bool valid() const { return Fd >= 0; }
+
+  /// The raw descriptor — the daemon's stop path shutdown(2)s every
+  /// live connection so threads blocked in recvLine() wake with EOF.
+  int fd() const { return Fd; }
+
+  void close();
+
+private:
+  explicit UnixConnection(int Fd) : Fd(Fd) {}
+
+  int Fd = -1;
+  std::string Buffer; // bytes received past the last returned line
+};
+
+/// A bound-and-listening Unix-domain socket.
+class UnixListener {
+public:
+  UnixListener() = default;
+  ~UnixListener();
+
+  UnixListener(UnixListener &&Other) noexcept;
+  UnixListener &operator=(UnixListener &&Other) noexcept;
+  UnixListener(const UnixListener &) = delete;
+  UnixListener &operator=(const UnixListener &) = delete;
+
+  /// Binds and listens on \p Path. An existing socket file at the path
+  /// is unlinked first (a previous daemon's leftover); a live listener
+  /// would have held the bind, so clobbering is safe for the daemon's
+  /// single-owner deployment model. Path length is validated against
+  /// sockaddr_un.
+  static Expected<UnixListener> listenOn(const std::string &Path,
+                                         int Backlog = 64);
+
+  /// Blocks up to \p TimeoutMs for one connection. std::nullopt on
+  /// timeout — the accept loop polls its stop flag between waits.
+  Expected<std::optional<UnixConnection>> acceptFor(int TimeoutMs);
+
+  const std::string &path() const { return Path; }
+  bool valid() const { return Fd >= 0; }
+
+  /// Closes the descriptor and unlinks the socket path.
+  void close();
+
+private:
+  UnixListener(int Fd, std::string Path) : Fd(Fd), Path(std::move(Path)) {}
+
+  int Fd = -1;
+  std::string Path;
+};
+
+} // namespace defacto
+
+#endif // DEFACTO_SUPPORT_SOCKET_H

@@ -224,6 +224,41 @@ bool DesignSpace::isCandidate(const DesignPoint &P) const {
   return true;
 }
 
+std::vector<DesignPoint> DesignSpace::enumerate(size_t Limit) const {
+  std::vector<DesignPoint> Out;
+  std::vector<std::vector<unsigned>> Perms;
+  Perms.push_back({}); // identity: the historical unroll-only block first
+  for (std::vector<unsigned> &Swap : pairSwaps())
+    Perms.push_back(std::move(Swap));
+  const unsigned N = Space.numLoops();
+  for (const std::vector<unsigned> &Perm : Perms) {
+    std::vector<std::optional<std::pair<unsigned, int64_t>>> Tiles;
+    Tiles.emplace_back(std::nullopt);
+    for (unsigned Pos = 0; Pos != N; ++Pos) {
+      // Tile positions index the post-interchange nest, whose loop at
+      // Pos is the original nest's loop Perm[Pos].
+      unsigned Orig = Perm.empty() ? Pos : Perm[Pos];
+      for (int64_t Size : tileSizes(Orig))
+        Tiles.emplace_back(std::make_pair(Pos, Size));
+    }
+    for (const std::optional<std::pair<unsigned, int64_t>> &Tile : Tiles) {
+      DesignPoint P;
+      P.Interchange = Perm;
+      P.Tile = Tile;
+      std::vector<int64_t> Trips = tripsAfter(P);
+      if (Trips.empty())
+        continue;
+      for (UnrollVector &U : UnrollSpace(Trips).allCandidates()) {
+        P.Unroll = std::move(U);
+        Out.push_back(P);
+        if (Limit && Out.size() == Limit)
+          return Out;
+      }
+    }
+  }
+  return Out;
+}
+
 uint64_t DesignSpace::fullSize() const {
   uint64_t TileChoices = 1; // untiled
   for (unsigned Pos = 0; Pos != Space.numLoops(); ++Pos)

@@ -1,0 +1,540 @@
+//===- Server.cpp ---------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Serve/Server.h"
+
+#include "defacto/Core/CircuitBreaker.h"
+#include "defacto/Core/EvaluationJournal.h"
+#include "defacto/Frontend/Parser.h"
+#include "defacto/IR/IRUtils.h"
+#include "defacto/Kernels/Kernels.h"
+#include "defacto/Support/Histogram.h"
+#include "defacto/Support/MetricsSampler.h"
+#include "defacto/Support/Stats.h"
+#include "defacto/Transforms/PassRegistry.h"
+#include "defacto/Transforms/UnrollAndJam.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <sys/socket.h>
+
+using namespace defacto;
+
+DEFACTO_STATISTIC(NumServeRequests, "serve", "requests",
+                  "explore requests received (admitted or rejected)");
+DEFACTO_STATISTIC(NumServeHits, "serve", "hits",
+                  "requests served entirely from warm cache state");
+DEFACTO_STATISTIC(NumServeOverloads, "serve", "overloads",
+                  "requests rejected by admission-queue backpressure");
+DEFACTO_STATISTIC(NumServeDeadlineMisses, "serve", "deadline_misses",
+                  "requests whose deadline expired before evaluation began");
+DEFACTO_STATISTIC(NumServeErrors, "serve", "errors",
+                  "invalid requests answered with an error reply");
+DEFACTO_STATISTIC(NumServeBatches, "serve", "batches",
+                  "coalesced BatchExplorer runs executed");
+
+namespace {
+
+double nowSeconds() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+double nowUs() { return nowSeconds() * 1e6; }
+
+/// The serve-side request latency distribution (admission to reply).
+Histogram &requestHistogram() {
+  static Histogram &H =
+      HistogramRegistry::global().histogram("serve.request_us");
+  return H;
+}
+
+std::optional<TargetPlatform> platformByName(const std::string &Name) {
+  for (const TargetPlatform &P : {TargetPlatform::wildstarPipelined(),
+                                  TargetPlatform::wildstarNonPipelined()})
+    if (P.Name == Name)
+      return P;
+  return std::nullopt;
+}
+
+} // namespace
+
+/// One admitted explore request waiting for (or receiving) its batch.
+struct DseServer::Pending {
+  ServeRequest Req;
+  Kernel K;
+  TargetPlatform Platform = TargetPlatform::wildstarPipelined();
+  /// Self-cancels at the request deadline (invalid when none).
+  CancellationToken Deadline;
+  double DeadlineAtSeconds = 0; // absolute, steady clock; 0 = none
+  double EnqueueUs = 0;
+  uint64_t Seq = 0;
+  /// Stable request identity: the batch-job label, the journal job key,
+  /// and the trace track.
+  std::string JobName;
+  /// Per-request recorder when the client asked for the decision digest.
+  std::shared_ptr<TraceRecorder> DigestTrace;
+  std::promise<ServeResponse> Reply;
+
+  explicit Pending(Kernel K) : K(std::move(K)) {}
+};
+
+DseServer::DseServer(ServeOptions O) : Opts(std::move(O)) {
+  Cache = std::make_shared<EstimateCache>();
+  if (Opts.FastPath != FastPathMode::Off)
+    StageCache = std::make_shared<TransformStageCache>();
+  if (Opts.NumThreads > 1)
+    Pool = std::make_shared<ThreadPool>(Opts.NumThreads);
+  if (Opts.BreakerThreshold > 0) {
+    CircuitBreakerOptions B;
+    B.FailureThreshold = Opts.BreakerThreshold;
+    B.CooldownSeconds = Opts.BreakerCooldownSeconds;
+    Breakers = std::make_shared<CircuitBreakerRegistry>(B);
+  }
+}
+
+DseServer::~DseServer() { stop(); }
+
+TraceRecorder &DseServer::recorder() const {
+  return Opts.Trace ? *Opts.Trace : TraceRecorder::global();
+}
+
+Status DseServer::start() {
+  if (Running.load())
+    return Status::ok();
+  if (!Opts.JournalPath.empty()) {
+    Journal = std::make_shared<EvaluationJournal>(Opts.JournalPath);
+    Expected<EvaluationJournal::Contents> Loaded =
+        EvaluationJournal::load(Opts.JournalPath);
+    if (!Loaded)
+      return Loaded.status();
+    Journal->adopt(*Loaded);
+    ResumedEvals = Journal->replayInto(*Cache);
+  }
+  Expected<UnixListener> L = UnixListener::listenOn(Opts.SocketPath);
+  if (!L)
+    return L.status();
+  Listener = std::move(*L);
+  Stop.store(false);
+  Running.store(true);
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  WorkerThread = std::thread([this] { workerLoop(); });
+  return Status::ok();
+}
+
+void DseServer::stop() {
+  if (!Running.exchange(false))
+    return;
+  Stop.store(true);
+  QueueCV.notify_all();
+  ShutdownCV.notify_all();
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  if (WorkerThread.joinable())
+    WorkerThread.join();
+  // Fail whatever the worker left queued so no reader waits forever.
+  std::deque<std::shared_ptr<Pending>> Drained;
+  {
+    std::lock_guard<std::mutex> Lock(QueueM);
+    Drained.swap(Queue);
+  }
+  for (const std::shared_ptr<Pending> &P : Drained) {
+    ServeResponse R;
+    R.Id = P->Req.Id;
+    R.RStatus = ServeStatus::Error;
+    R.Reason = "daemon shutting down";
+    P->Reply.set_value(R);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(ConnM);
+    for (int Fd : ConnFds)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> Threads;
+  {
+    std::lock_guard<std::mutex> Lock(ConnM);
+    Threads.swap(ConnThreads);
+  }
+  for (std::thread &T : Threads)
+    if (T.joinable())
+      T.join();
+  Listener.close();
+}
+
+void DseServer::waitForShutdownRequest() {
+  std::unique_lock<std::mutex> Lock(ShutdownM);
+  ShutdownCV.wait(Lock,
+                  [this] { return ShutdownRequested.load() || Stop.load(); });
+}
+
+void DseServer::requestStop() {
+  ShutdownRequested.store(true);
+  ShutdownCV.notify_all();
+}
+
+uint64_t DseServer::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(QueueM);
+  return Queue.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Accept + connection threads
+//===----------------------------------------------------------------------===//
+
+void DseServer::acceptLoop() {
+  while (!Stop.load()) {
+    Expected<std::optional<UnixConnection>> Conn = Listener.acceptFor(50);
+    if (!Conn)
+      break; // listener broken; daemon keeps serving live connections
+    if (!Conn.value())
+      continue; // timeout: re-check the stop flag
+    std::lock_guard<std::mutex> Lock(ConnM);
+    if (Stop.load())
+      break;
+    ConnFds.push_back(Conn.value()->fd());
+    ConnThreads.emplace_back(
+        [this, C = std::move(*Conn.value())]() mutable {
+          connectionLoop(std::move(C));
+        });
+  }
+}
+
+void DseServer::connectionLoop(UnixConnection Conn) {
+  const int Fd = Conn.fd();
+  for (;;) {
+    Expected<std::optional<std::string>> Line = Conn.recvLine();
+    if (!Line || !Line.value())
+      break; // transport error or EOF
+    ServeResponse Resp;
+    Expected<ServeRequest> Req = parseServeRequest(*Line.value());
+    if (!Req) {
+      Resp.RStatus = ServeStatus::Error;
+      Resp.Reason = Req.status().message();
+      ErrorReplies.fetch_add(1);
+      ++NumServeErrors;
+      if (!Conn.sendLine(Resp.toJson()).isOk())
+        break;
+      continue;
+    }
+    if (Req->Cmd == "ping") {
+      if (!Conn.sendLine(handlePing(*Req).toJson()).isOk())
+        break;
+      continue;
+    }
+    if (Req->Cmd == "shutdown") {
+      Resp.Id = Req->Id;
+      Resp.RStatus = ServeStatus::Bye;
+      (void)Conn.sendLine(Resp.toJson());
+      requestStop();
+      break;
+    }
+
+    // Explore.
+    Requests.fetch_add(1);
+    ++NumServeRequests;
+    Resp.Id = Req->Id;
+    Expected<std::shared_ptr<Pending>> P = admitPrep(*Req);
+    if (!P) {
+      Resp.RStatus = ServeStatus::Error;
+      Resp.Reason = P.status().message();
+      ErrorReplies.fetch_add(1);
+      ++NumServeErrors;
+      emitRequestTrace(*Req, Resp);
+      if (!Conn.sendLine(Resp.toJson()).isOk())
+        break;
+      continue;
+    }
+    std::future<ServeResponse> Done = P.value()->Reply.get_future();
+    bool Admitted = false;
+    {
+      std::lock_guard<std::mutex> Lock(QueueM);
+      if (Stop.load()) {
+        Resp.RStatus = ServeStatus::Error;
+        Resp.Reason = "daemon shutting down";
+      } else if (Queue.size() >= Opts.MaxQueueDepth) {
+        Resp.RStatus = ServeStatus::Overloaded;
+        Resp.Reason = "admission queue full (depth " +
+                      std::to_string(Queue.size()) + "); retry later";
+      } else {
+        Queue.push_back(P.value());
+        Admitted = true;
+      }
+    }
+    if (!Admitted) {
+      if (Resp.RStatus == ServeStatus::Overloaded) {
+        Overloads.fetch_add(1);
+        ++NumServeOverloads;
+      }
+      emitRequestTrace(*Req, Resp);
+      if (!Conn.sendLine(Resp.toJson()).isOk())
+        break;
+      continue;
+    }
+    QueueCV.notify_one();
+    ServeResponse Final = Done.get();
+    if (!Conn.sendLine(Final.toJson()).isOk())
+      break;
+  }
+  std::lock_guard<std::mutex> Lock(ConnM);
+  ConnFds.erase(std::remove(ConnFds.begin(), ConnFds.end(), Fd),
+                ConnFds.end());
+}
+
+ServeResponse DseServer::handlePing(const ServeRequest &Req) const {
+  ServeResponse R;
+  R.Id = Req.Id;
+  R.RStatus = ServeStatus::Pong;
+  R.CacheDesigns = Cache->size();
+  R.StageCacheEntries = StageCache ? StageCache->size() : 0;
+  R.Requests = Requests.load();
+  R.ResumedEvaluations = ResumedEvals;
+  return R;
+}
+
+Expected<std::shared_ptr<DseServer::Pending>>
+DseServer::admitPrep(const ServeRequest &Req) {
+  std::optional<TargetPlatform> Platform = platformByName(Req.Platform);
+  if (!Platform)
+    return Status::error(ErrorCode::InvalidInput,
+                         "unknown platform '" + Req.Platform +
+                             "' (known: wildstar-pipelined, "
+                             "wildstar-nonpipelined)");
+  if (!StrategyRegistry::instance().contains(Req.Strategy))
+    return Status::error(ErrorCode::InvalidInput,
+                         "unknown strategy '" + Req.Strategy +
+                             "'; registered:\n" +
+                             StrategyRegistry::instance().describe());
+  if (!Req.Pipeline.empty()) {
+    Expected<std::vector<std::string>> Parsed =
+        parsePipelineText(Req.Pipeline);
+    if (!Parsed)
+      return Status::error(ErrorCode::InvalidInput,
+                           "bad pipeline: " + Parsed.status().message());
+  }
+
+  std::optional<Kernel> K;
+  std::string KernelName = Req.Kernel;
+  if (!Req.Source.empty()) {
+    if (KernelName.empty())
+      KernelName = "custom";
+    DiagnosticEngine Diags;
+    K = parseKernel(Req.Source, KernelName, Diags);
+    if (!K)
+      return Status::error(ErrorCode::InvalidInput,
+                           "kernel source rejected:\n" + Diags.toString());
+  } else {
+    if (!findKernelSpec(KernelName))
+      return Status::error(ErrorCode::InvalidInput,
+                           "unknown kernel '" + KernelName + "'");
+    K = buildKernel(KernelName);
+  }
+
+  auto P = std::make_shared<Pending>(std::move(*K));
+  P->Req = Req;
+  P->Platform = *Platform;
+  P->JobName = requestJobName(Req, P->K);
+  if (Req.WantDigest) {
+    P->DigestTrace = std::make_shared<TraceRecorder>();
+    P->DigestTrace->setEnabled(true);
+  }
+  if (Req.DeadlineSeconds > 0) {
+    P->DeadlineAtSeconds = nowSeconds() + Req.DeadlineSeconds;
+    P->Deadline = CancellationToken::withDeadline(
+        P->DeadlineAtSeconds, &nowSeconds, "request deadline");
+  }
+  P->EnqueueUs = nowUs();
+  P->Seq = NextSeq.fetch_add(1);
+  return P;
+}
+
+std::string DseServer::requestJobName(const ServeRequest &Req,
+                                      const Kernel &K) {
+  // The job name doubles as the journal job key and the digest's trace
+  // track, so it must be a pure function of the request content — a
+  // restarted daemon (or a standalone verification run) re-derives the
+  // identical name.
+  std::string KernelName =
+      Req.Kernel.empty() ? std::string("custom") : Req.Kernel;
+  std::ostringstream Name;
+  char Fp[32];
+  std::snprintf(Fp, sizeof(Fp), "%016llx",
+                static_cast<unsigned long long>(kernelFingerprint(K)));
+  Name << KernelName << '#' << Fp << " @ " << Req.Platform << " ; "
+       << Req.Strategy;
+  if (!Req.Pipeline.empty())
+    Name << " ; pl=" << Req.Pipeline;
+  Name << " ; b" << Req.Budget;
+  return Name.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Batch worker
+//===----------------------------------------------------------------------===//
+
+void DseServer::workerLoop() {
+  for (;;) {
+    std::vector<std::shared_ptr<Pending>> Batch;
+    {
+      std::unique_lock<std::mutex> Lock(QueueM);
+      QueueCV.wait(Lock, [this] { return Stop.load() || !Queue.empty(); });
+      if (Stop.load())
+        return; // stop() fails anything still queued
+      while (!Queue.empty() && Batch.size() < std::max(1u, Opts.MaxBatch)) {
+        Batch.push_back(Queue.front());
+        Queue.pop_front();
+      }
+    }
+    runBatch(std::move(Batch));
+  }
+}
+
+void DseServer::runBatch(std::vector<std::shared_ptr<Pending>> Batch) {
+  // Requests whose deadline lapsed while queued answer "deadline"
+  // without spending any evaluation budget.
+  std::vector<std::shared_ptr<Pending>> Live;
+  for (std::shared_ptr<Pending> &P : Batch) {
+    if (P->Deadline.valid() && P->Deadline.cancelled()) {
+      ServeResponse R;
+      R.Id = P->Req.Id;
+      R.RStatus = ServeStatus::Deadline;
+      R.Reason = "deadline expired before evaluation began";
+      R.LatencyUs = nowUs() - P->EnqueueUs;
+      DeadlineMisses.fetch_add(1);
+      ++NumServeDeadlineMisses;
+      requestHistogram().record(
+          static_cast<uint64_t>(std::max(0.0, R.LatencyUs)));
+      emitRequestTrace(P->Req, R);
+      P->Reply.set_value(R);
+      continue;
+    }
+    Live.push_back(std::move(P));
+  }
+  if (Live.empty())
+    return;
+
+  const uint64_t Seq = Batches.fetch_add(1) + 1;
+  ++NumServeBatches;
+  InFlight.store(Live.size());
+
+  BatchOptions B;
+  B.NumThreads = std::min<unsigned>(std::max(1u, Opts.NumThreads),
+                                    static_cast<unsigned>(Live.size()));
+  B.Pool = Pool;
+  B.Cache = Cache;
+  B.Journal = Journal;
+  B.Breakers = Breakers;
+  B.Trace = Opts.Trace;
+  BatchExplorer Engine(B);
+  for (const std::shared_ptr<Pending> &P : Live) {
+    ExplorerOptions O;
+    O.Platform = P->Platform;
+    O.MaxEvaluations = std::max(1u, P->Req.Budget);
+    O.FastPath = Opts.FastPath;
+    O.StageCache = StageCache;
+    O.WatchdogSeconds = Opts.WatchdogSeconds;
+    O.BaseTransforms.Pipeline = P->Req.Pipeline;
+    if (P->DigestTrace)
+      O.Trace = P->DigestTrace;
+    if (P->DeadlineAtSeconds > 0)
+      O.DeadlineSeconds = std::max(1e-3, P->DeadlineAtSeconds - nowSeconds());
+    Engine.addJob(
+        BatchJob(P->JobName, P->K.clone(), std::move(O), P->Req.Strategy));
+  }
+
+  EstimateCache::Stats Before = Cache->stats();
+  std::vector<BatchResult> Results = Engine.runAll();
+  EstimateCache::Stats After = Cache->stats();
+  const uint64_t HitsDelta = After.Hits - Before.Hits;
+  const uint64_t MissesDelta = After.Misses - Before.Misses;
+  const bool Warm = MissesDelta == 0;
+
+  for (size_t I = 0; I != Results.size() && I != Live.size(); ++I) {
+    const std::shared_ptr<Pending> &P = Live[I];
+    const ExplorationResult &E = Results[I].Result;
+    ServeResponse R;
+    R.Id = P->Req.Id;
+    R.RStatus = (E.Degraded || !E.SelectedFits) ? ServeStatus::Degraded
+                                                : ServeStatus::Ok;
+    R.Kernel = P->Req.Source.empty() ? P->Req.Kernel
+                                     : (P->Req.Kernel.empty() ? "custom"
+                                                              : P->Req.Kernel);
+    R.Strategy = E.Strategy.empty() ? P->Req.Strategy : E.Strategy;
+    R.Platform = P->Req.Platform;
+    R.Selected = E.SelectedPoint.isUnrollOnly()
+                     ? unrollVectorToString(E.Selected)
+                     : E.SelectedPoint.toString();
+    R.Cycles = E.SelectedEstimate.Cycles;
+    R.Slices = E.SelectedEstimate.Slices;
+    R.Speedup = E.speedup();
+    R.Evaluations = E.EvaluationsUsed;
+    R.Fits = E.SelectedFits;
+    R.Degraded = E.Degraded;
+    R.Warm = Warm;
+    R.CacheHits = HitsDelta;
+    R.CacheMisses = MissesDelta;
+    R.BatchSeq = Seq;
+    R.BatchSize = static_cast<unsigned>(Live.size());
+    R.LatencyUs = nowUs() - P->EnqueueUs;
+    if (P->DigestTrace)
+      R.Digest = digestHash(P->DigestTrace->decisionDigest());
+    if (Warm) {
+      WarmHits.fetch_add(1);
+      ++NumServeHits;
+    }
+    requestHistogram().record(
+        static_cast<uint64_t>(std::max(0.0, R.LatencyUs)));
+    emitRequestTrace(P->Req, R);
+    P->Reply.set_value(R);
+  }
+  InFlight.store(0);
+}
+
+void DseServer::emitRequestTrace(const ServeRequest &Req,
+                                 const ServeResponse &Resp) {
+  TraceRecorder &R = recorder();
+  if (!R.enabled())
+    return;
+  TraceEvent E;
+  E.Track = "serve";
+  E.Category = "serve.request";
+  E.Name = Req.Kernel.empty() ? std::string("custom") : Req.Kernel;
+  E.Ordinal = Resp.BatchSeq;
+  E.Args = {{"status", serveStatusName(Resp.RStatus)},
+            {"kernel", E.Name},
+            {"platform", Req.Platform},
+            {"strategy", Req.Strategy}};
+  E.Runtime = {{"latency_us", std::to_string(Resp.LatencyUs)},
+               {"warm", Resp.Warm ? "1" : "0"},
+               {"batch", std::to_string(Resp.BatchSeq)},
+               {"batch_size", std::to_string(Resp.BatchSize)}};
+  R.record(std::move(E));
+}
+
+void DseServer::registerGauges(MetricsSampler &Sampler) {
+  Sampler.setGauge("serve_queue_depth",
+                   [this] { return static_cast<double>(queueDepth()); });
+  Sampler.setGauge("serve_in_flight",
+                   [this] { return static_cast<double>(InFlight.load()); });
+  Sampler.setGauge("cache_designs",
+                   [this] { return static_cast<double>(Cache->size()); });
+  if (StageCache)
+    Sampler.setGauge("stage_entries", [this] {
+      return static_cast<double>(StageCache->size());
+    });
+  Sampler.setGauge("in_flight_evals", [] {
+    return static_cast<double>(EvaluationService::inFlightEvaluations());
+  });
+  if (Breakers)
+    Sampler.setGauge("breakers_open", [this] {
+      double Open = 0;
+      for (const auto &[Key, Snap] : Breakers->snapshotAll())
+        if (Snap.Current != CircuitBreakerRegistry::State::Closed)
+          ++Open;
+      return Open;
+    });
+}

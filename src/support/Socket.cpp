@@ -1,0 +1,207 @@
+//===- Socket.cpp ---------------------------------------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Support/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace defacto;
+
+namespace {
+
+Status errnoStatus(const std::string &What) {
+  return Status::error(ErrorCode::Internal,
+                       What + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// UnixConnection
+//===----------------------------------------------------------------------===//
+
+UnixConnection::~UnixConnection() { close(); }
+
+UnixConnection::UnixConnection(UnixConnection &&Other) noexcept
+    : Fd(Other.Fd), Buffer(std::move(Other.Buffer)) {
+  Other.Fd = -1;
+}
+
+UnixConnection &UnixConnection::operator=(UnixConnection &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = Other.Fd;
+    Buffer = std::move(Other.Buffer);
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+Expected<UnixConnection> UnixConnection::connectTo(const std::string &Path) {
+  sockaddr_un Addr{};
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return Status::error(ErrorCode::InvalidInput,
+                         "socket path too long: '" + Path + "'");
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return errnoStatus("socket()");
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Status E = errnoStatus("connect('" + Path + "')");
+    ::close(Fd);
+    return E;
+  }
+  return UnixConnection(Fd);
+}
+
+UnixConnection UnixConnection::fromFd(int Fd) { return UnixConnection(Fd); }
+
+Status UnixConnection::sendLine(const std::string &Line) {
+  if (Fd < 0)
+    return Status::error(ErrorCode::InvalidInput, "send on closed connection");
+  if (Line.find('\n') != std::string::npos)
+    return Status::error(ErrorCode::InvalidInput,
+                         "line framing forbids embedded newlines");
+  std::string Framed = Line;
+  Framed.push_back('\n');
+  size_t Sent = 0;
+  while (Sent < Framed.size()) {
+    // MSG_NOSIGNAL: a peer that hung up turns into EPIPE, not a
+    // process-killing SIGPIPE from a daemon worker thread.
+    ssize_t N = ::send(Fd, Framed.data() + Sent, Framed.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return errnoStatus("send()");
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return Status::ok();
+}
+
+Expected<std::optional<std::string>> UnixConnection::recvLine(size_t MaxBytes) {
+  if (Fd < 0)
+    return Status::error(ErrorCode::InvalidInput, "recv on closed connection");
+  for (;;) {
+    size_t Newline = Buffer.find('\n');
+    if (Newline != std::string::npos) {
+      std::string Line = Buffer.substr(0, Newline);
+      Buffer.erase(0, Newline + 1);
+      return std::optional<std::string>(std::move(Line));
+    }
+    if (Buffer.size() > MaxBytes)
+      return Status::error(ErrorCode::InvalidInput,
+                           "line exceeds " + std::to_string(MaxBytes) +
+                               " bytes without a newline");
+    char Chunk[4096];
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return errnoStatus("recv()");
+    }
+    if (N == 0) {
+      if (Buffer.empty())
+        return std::optional<std::string>(); // clean EOF
+      return Status::error(ErrorCode::InvalidInput,
+                           "connection closed mid-line");
+    }
+    Buffer.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+void UnixConnection::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Buffer.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// UnixListener
+//===----------------------------------------------------------------------===//
+
+UnixListener::~UnixListener() { close(); }
+
+UnixListener::UnixListener(UnixListener &&Other) noexcept
+    : Fd(Other.Fd), Path(std::move(Other.Path)) {
+  Other.Fd = -1;
+  Other.Path.clear();
+}
+
+UnixListener &UnixListener::operator=(UnixListener &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = Other.Fd;
+    Path = std::move(Other.Path);
+    Other.Fd = -1;
+    Other.Path.clear();
+  }
+  return *this;
+}
+
+Expected<UnixListener> UnixListener::listenOn(const std::string &Path,
+                                              int Backlog) {
+  sockaddr_un Addr{};
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path))
+    return Status::error(ErrorCode::InvalidInput,
+                         "socket path empty or too long: '" + Path + "'");
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return errnoStatus("socket()");
+  ::unlink(Path.c_str());
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Status E = errnoStatus("bind('" + Path + "')");
+    ::close(Fd);
+    return E;
+  }
+  if (::listen(Fd, Backlog) != 0) {
+    Status E = errnoStatus("listen('" + Path + "')");
+    ::close(Fd);
+    ::unlink(Path.c_str());
+    return E;
+  }
+  return UnixListener(Fd, Path);
+}
+
+Expected<std::optional<UnixConnection>> UnixListener::acceptFor(int TimeoutMs) {
+  if (Fd < 0)
+    return Status::error(ErrorCode::InvalidInput, "accept on closed listener");
+  pollfd P{Fd, POLLIN, 0};
+  int Ready = ::poll(&P, 1, TimeoutMs);
+  if (Ready < 0) {
+    if (errno == EINTR)
+      return std::optional<UnixConnection>(); // caller re-polls its stop flag
+    return errnoStatus("poll()");
+  }
+  if (Ready == 0)
+    return std::optional<UnixConnection>();
+  int Conn = ::accept(Fd, nullptr, nullptr);
+  if (Conn < 0) {
+    if (errno == EINTR || errno == ECONNABORTED)
+      return std::optional<UnixConnection>();
+    return errnoStatus("accept()");
+  }
+  return std::optional<UnixConnection>(UnixConnection::fromFd(Conn));
+}
+
+void UnixListener::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    ::unlink(Path.c_str());
+    Fd = -1;
+  }
+}

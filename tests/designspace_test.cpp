@@ -5,8 +5,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "defacto/Core/DesignSpace.h"
+#include "defacto/Core/EstimateCache.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <thread>
 
 using namespace defacto;
 
@@ -93,4 +100,113 @@ TEST(UnrollSpace, SelectBetweenReturnsSmallWhenNoRoom) {
   EXPECT_EQ(S.selectBetween({4, 1}, {8, 1}, 4), (UnrollVector{4, 1}));
   // Degenerate order.
   EXPECT_EQ(S.selectBetween({8, 1}, {4, 1}, 4), (UnrollVector{8, 1}));
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic enumeration of the generalized space
+//===----------------------------------------------------------------------===//
+
+TEST(DesignSpace, EnumerateLeadsWithTheHistoricalUnrollOnlyBlock) {
+  DesignSpace DS(UnrollSpace({8, 4}));
+  std::vector<DesignPoint> All = DS.enumerate();
+  ASSERT_FALSE(All.empty());
+  // The leading block is exactly allCandidates() in lexicographic order,
+  // as unroll-only points — stable cache keys and digests rely on it.
+  std::vector<UnrollVector> Lex = DS.unroll().allCandidates();
+  ASSERT_GE(All.size(), Lex.size());
+  for (size_t I = 0; I != Lex.size(); ++I) {
+    EXPECT_TRUE(All[I].isUnrollOnly()) << "position " << I;
+    EXPECT_EQ(All[I], DesignPoint(Lex[I])) << "position " << I;
+  }
+  // Everything after the block carries an interchange or a tile.
+  for (size_t I = Lex.size(); I != All.size(); ++I)
+    EXPECT_FALSE(All[I].isUnrollOnly()) << "position " << I;
+}
+
+TEST(DesignSpace, EnumerateYieldsOnlyUniqueCandidates) {
+  DesignSpace DS(UnrollSpace({8, 4}));
+  std::vector<DesignPoint> All = DS.enumerate();
+  for (const DesignPoint &P : All)
+    EXPECT_TRUE(DS.isCandidate(P)) << P.toString();
+  std::set<DesignPoint> Unique(All.begin(), All.end());
+  EXPECT_EQ(Unique.size(), All.size()) << "enumerate() emitted duplicates";
+}
+
+TEST(DesignSpace, EnumerateLimitTruncatesThePrefix) {
+  DesignSpace DS(UnrollSpace({8, 4}));
+  std::vector<DesignPoint> All = DS.enumerate();
+  ASSERT_GT(All.size(), 10u);
+  std::vector<DesignPoint> Ten = DS.enumerate(10);
+  ASSERT_EQ(Ten.size(), 10u);
+  EXPECT_TRUE(std::equal(Ten.begin(), Ten.end(), All.begin()));
+  // A limit past the end is a no-op.
+  EXPECT_EQ(DS.enumerate(All.size() + 1000).size(), All.size());
+}
+
+TEST(DesignSpace, EnumerateIsIdenticalAcrossRepeatedRuns) {
+  DesignSpace DS(UnrollSpace({8, 4, 2}));
+  std::vector<DesignPoint> Ref = DS.enumerate();
+  ASSERT_FALSE(Ref.empty());
+  for (int Run = 0; Run != 32; ++Run)
+    ASSERT_EQ(DS.enumerate(), Ref) << "run " << Run << " diverged";
+}
+
+TEST(DesignSpace, EnumerateIsIdenticalAcrossConcurrentThreads) {
+  DesignSpace DS(UnrollSpace({8, 4, 2}));
+  std::vector<DesignPoint> Ref = DS.enumerate();
+  for (unsigned Threads : {2u, 8u}) {
+    std::vector<std::vector<DesignPoint>> Got(Threads);
+    std::vector<std::thread> Pool;
+    for (unsigned T = 0; T != Threads; ++T)
+      Pool.emplace_back([&, T] { Got[T] = DS.enumerate(); });
+    for (std::thread &T : Pool)
+      T.join();
+    for (unsigned T = 0; T != Threads; ++T)
+      EXPECT_EQ(Got[T], Ref) << Threads << " threads, thread " << T;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cache-key stability
+//===----------------------------------------------------------------------===//
+
+// Unroll-only cache keys are the compatibility contract between past
+// journals/caches and every future engine: the golden file pins their
+// byte-exact form. A mismatch means previously journaled runs silently
+// stop resuming — regenerate only on a deliberate, documented schema
+// break (DEFACTO_REGOLDEN=1 rewrites the file).
+TEST(DesignSpace, UnrollOnlyCacheKeysMatchGolden) {
+  // A fixed synthetic fingerprint: the golden file guards the key
+  // format, not IR hashing (kernel fingerprints have their own tests).
+  const uint64_t Fp = 0x0123456789abcdefull;
+  const TargetPlatform Platform = TargetPlatform::wildstarPipelined();
+  const TransformOptions Base; // defaults: no interchange, no pipeline
+  std::vector<std::string> Keys;
+  for (const UnrollVector &U : UnrollSpace({32, 16, 4}).allCandidates()) {
+    Keys.push_back(designCacheKey(Fp, Platform, Base, U));
+    // The unroll-only key must stay free of the optional-dimension
+    // suffixes — they are appended only when interchange/pipeline are
+    // set, which is what keeps old keys valid.
+    EXPECT_EQ(Keys.back().find(";ic"), std::string::npos) << Keys.back();
+    EXPECT_EQ(Keys.back().find(";pl"), std::string::npos) << Keys.back();
+  }
+  ASSERT_EQ(Keys.size(), 90u); // divisors: 6 * 5 * 3
+
+  std::string GoldenPath =
+      std::string(DEFACTO_TEST_DIR) + "/golden/unroll_cache_keys.golden";
+  if (::getenv("DEFACTO_REGOLDEN")) {
+    std::ofstream Out(GoldenPath);
+    for (const std::string &K : Keys)
+      Out << K << '\n';
+    GTEST_SKIP() << "regenerated " << GoldenPath;
+  }
+  std::ifstream In(GoldenPath);
+  ASSERT_TRUE(In.good()) << "missing golden file " << GoldenPath
+                         << " (run with DEFACTO_REGOLDEN=1 to create)";
+  std::vector<std::string> Golden;
+  for (std::string Line; std::getline(In, Line);)
+    Golden.push_back(Line);
+  ASSERT_EQ(Golden.size(), Keys.size());
+  for (size_t I = 0; I != Keys.size(); ++I)
+    EXPECT_EQ(Keys[I], Golden[I]) << "key " << I << " drifted";
 }

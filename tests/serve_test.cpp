@@ -1,0 +1,415 @@
+//===- serve_test.cpp - DSE daemon core tests -----------------------------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// In-process tests of DseServer over a real Unix-domain socket: warm-cache
+// behavior (a repeat request hits the shared cache, answers faster, and
+// returns a bit-identical winner and decision digest — including against a
+// standalone BatchExplorer run), admission backpressure, request deadlines,
+// error replies, and journal-backed restart resume.
+//
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Core/BatchExplorer.h"
+#include "defacto/Serve/Server.h"
+#include "defacto/Support/MetricsSampler.h"
+#include "defacto/Kernels/Kernels.h"
+#include "defacto/Transforms/UnrollAndJam.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <thread>
+#include <unistd.h>
+
+using namespace defacto;
+
+namespace {
+
+std::string uniquePath(const char *Stem) {
+  static std::atomic<unsigned> Counter{0};
+  return std::string("/tmp/defacto_") + Stem + "_" +
+         std::to_string(::getpid()) + "_" +
+         std::to_string(Counter.fetch_add(1));
+}
+
+/// Sends one request line and returns the parsed reply.
+ServeResponse roundTrip(UnixConnection &Conn, const ServeRequest &Req) {
+  Status Sent = Conn.sendLine(Req.toJson());
+  EXPECT_TRUE(Sent.isOk()) << Sent.message();
+  Expected<std::optional<std::string>> Line = Conn.recvLine();
+  EXPECT_TRUE(Line && Line.value()) << "connection closed";
+  Expected<ServeResponse> R = parseServeResponse(*Line.value());
+  EXPECT_TRUE(static_cast<bool>(R)) << R.status().message();
+  return R ? *R : ServeResponse();
+}
+
+ServeResponse oneShot(const std::string &Socket, const ServeRequest &Req) {
+  Expected<UnixConnection> Conn = UnixConnection::connectTo(Socket);
+  EXPECT_TRUE(static_cast<bool>(Conn)) << Conn.status().message();
+  return roundTrip(*Conn, Req);
+}
+
+ServeRequest exploreFIR(unsigned Budget = 30) {
+  ServeRequest Req;
+  Req.Kernel = "FIR";
+  Req.Budget = Budget;
+  Req.WantDigest = true;
+  return Req;
+}
+
+class ServeTest : public ::testing::Test {
+protected:
+  void startServer(ServeOptions Opts) {
+    Opts.SocketPath = SocketPath = uniquePath("serve_test") + ".sock";
+    Server = std::make_unique<DseServer>(std::move(Opts));
+    Status S = Server->start();
+    ASSERT_TRUE(S.isOk()) << S.message();
+  }
+
+  void TearDown() override {
+    if (Server)
+      Server->stop();
+  }
+
+  std::string SocketPath;
+  std::unique_ptr<DseServer> Server;
+};
+
+//===----------------------------------------------------------------------===//
+// Warm-cache behavior
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServeTest, RepeatRequestServedWarmAndBitIdentical) {
+  startServer({});
+  ServeResponse Cold = oneShot(SocketPath, exploreFIR());
+  ASSERT_EQ(Cold.RStatus, ServeStatus::Ok) << Cold.Reason;
+  EXPECT_FALSE(Cold.Warm);
+  EXPECT_GT(Cold.CacheMisses, 0u);
+  EXPECT_FALSE(Cold.Digest.empty());
+
+  ServeResponse Hot = oneShot(SocketPath, exploreFIR());
+  ASSERT_EQ(Hot.RStatus, ServeStatus::Ok) << Hot.Reason;
+  EXPECT_TRUE(Hot.Warm);
+  EXPECT_EQ(Hot.CacheMisses, 0u);
+  EXPECT_GT(Hot.CacheHits, 0u);
+
+  // The warm answer is the cold answer, bit for bit: same winner, same
+  // estimate (slices travel as hexfloat, so == is exact), same walk.
+  EXPECT_EQ(Hot.Selected, Cold.Selected);
+  EXPECT_EQ(Hot.Cycles, Cold.Cycles);
+  EXPECT_EQ(Hot.Slices, Cold.Slices);
+  EXPECT_EQ(Hot.Digest, Cold.Digest);
+
+  // And it is faster: the cold run pays the estimator, the warm one only
+  // the cache walk. Generous 2x margin (observed ~16x) to stay unflaky.
+  EXPECT_LT(Hot.LatencyUs, Cold.LatencyUs / 2)
+      << "warm=" << Hot.LatencyUs << "us cold=" << Cold.LatencyUs << "us";
+
+  EXPECT_EQ(Server->requestsReceived(), 2u);
+  EXPECT_EQ(Server->warmHits(), 1u);
+}
+
+TEST_F(ServeTest, ServedDigestMatchesStandaloneRun) {
+  startServer({});
+  ServeResponse Served = oneShot(SocketPath, exploreFIR());
+  ASSERT_EQ(Served.RStatus, ServeStatus::Ok) << Served.Reason;
+
+  // The same exploration, run standalone the way the daemon runs it:
+  // one BatchExplorer job with a fresh cache and its own recorder.
+  auto Recorder = std::make_shared<TraceRecorder>();
+  Recorder->setEnabled(true);
+  ExplorerOptions O;
+  O.Platform = TargetPlatform::wildstarPipelined();
+  O.MaxEvaluations = 30;
+  O.FastPath = FastPathMode::On;
+  O.StageCache = std::make_shared<TransformStageCache>();
+  O.Trace = Recorder;
+  BatchOptions B;
+  B.Cache = std::make_shared<EstimateCache>();
+  BatchExplorer Engine(B);
+  Kernel K = buildKernel("FIR");
+  // The digest lines embed the job's track label, so the standalone run
+  // must carry the same deterministic request identity the daemon used.
+  std::string JobName = DseServer::requestJobName(exploreFIR(), K);
+  Engine.addJob(
+      BatchJob(JobName, std::move(K), std::move(O), std::string("guided")));
+  std::vector<BatchResult> Results = Engine.runAll();
+  ASSERT_EQ(Results.size(), 1u);
+  const ExplorationResult &E = Results[0].Result;
+
+  EXPECT_EQ(Served.Selected, E.SelectedPoint.isUnrollOnly()
+                                 ? unrollVectorToString(E.Selected)
+                                 : E.SelectedPoint.toString());
+  EXPECT_EQ(Served.Cycles, E.SelectedEstimate.Cycles);
+  EXPECT_EQ(Served.Evaluations, E.EvaluationsUsed);
+  // Decision digests hash the deterministic decision payloads; equality
+  // proves the served walk evaluated exactly the standalone set. The
+  // digest lines carry the job's track label, so hash them relabeled.
+  std::vector<std::string> Lines = Recorder->decisionDigest();
+  ASSERT_FALSE(Lines.empty());
+  EXPECT_EQ(Served.Digest.size(), 16u);
+  EXPECT_EQ(Served.Digest, digestHash(Lines));
+}
+
+TEST_F(ServeTest, BatchStateIsReportedPerReply) {
+  startServer({});
+  ServeResponse R = oneShot(SocketPath, exploreFIR());
+  EXPECT_EQ(R.BatchSeq, 1u);
+  EXPECT_EQ(R.BatchSize, 1u);
+  EXPECT_GT(R.LatencyUs, 0.0);
+  EXPECT_EQ(Server->batchesRun(), 1u);
+  EXPECT_GT(Server->estimateCache()->size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Backpressure and deadlines
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServeTest, ZeroDepthQueueAnswersOverloaded) {
+  ServeOptions Opts;
+  Opts.MaxQueueDepth = 0; // admit nothing: every explore is a 429
+  startServer(std::move(Opts));
+  ServeResponse R = oneShot(SocketPath, exploreFIR());
+  EXPECT_EQ(R.RStatus, ServeStatus::Overloaded);
+  EXPECT_NE(R.Reason.find("queue full"), std::string::npos) << R.Reason;
+  EXPECT_EQ(Server->overloads(), 1u);
+
+  // Ping is never queued: it still answers on an overloaded daemon.
+  ServeRequest Ping;
+  Ping.Cmd = "ping";
+  EXPECT_EQ(oneShot(SocketPath, Ping).RStatus, ServeStatus::Pong);
+}
+
+TEST_F(ServeTest, ExpiredDeadlineAnsweredWithoutEvaluation) {
+  ServeOptions Opts;
+  Opts.MaxBatch = 1; // keep the slow job and the doomed one in
+  startServer(std::move(Opts)); // separate batches
+
+  // Occupy the single batch worker with a cold MM exploration, then
+  // queue a request whose deadline lapses while it waits.
+  Expected<UnixConnection> Slow = UnixConnection::connectTo(SocketPath);
+  ASSERT_TRUE(static_cast<bool>(Slow));
+  ServeRequest Busy;
+  Busy.Kernel = "MM";
+  Busy.Budget = 60;
+  ASSERT_TRUE(Slow->sendLine(Busy.toJson()).isOk());
+
+  Expected<UnixConnection> Doomed = UnixConnection::connectTo(SocketPath);
+  ASSERT_TRUE(static_cast<bool>(Doomed));
+  ServeRequest Req = exploreFIR();
+  Req.DeadlineSeconds = 1e-6;
+  ASSERT_TRUE(Doomed->sendLine(Req.toJson()).isOk());
+
+  Expected<std::optional<std::string>> DoomedReply = Doomed->recvLine();
+  ASSERT_TRUE(DoomedReply && DoomedReply.value());
+  Expected<ServeResponse> R = parseServeResponse(*DoomedReply.value());
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ(R->RStatus, ServeStatus::Deadline);
+  EXPECT_EQ(Server->deadlineMisses(), 1u);
+
+  Expected<std::optional<std::string>> SlowReply = Slow->recvLine();
+  ASSERT_TRUE(SlowReply && SlowReply.value());
+  Expected<ServeResponse> SR = parseServeResponse(*SlowReply.value());
+  ASSERT_TRUE(static_cast<bool>(SR));
+  EXPECT_EQ(SR->RStatus, ServeStatus::Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Validation and protocol errors
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServeTest, InvalidRequestsAnsweredWithErrors) {
+  startServer({});
+  Expected<UnixConnection> Conn = UnixConnection::connectTo(SocketPath);
+  ASSERT_TRUE(static_cast<bool>(Conn));
+
+  auto expectError = [&](const std::string &Line,
+                         const std::string &ReasonPart) {
+    ASSERT_TRUE(Conn->sendLine(Line).isOk());
+    Expected<std::optional<std::string>> Reply = Conn->recvLine();
+    ASSERT_TRUE(Reply && Reply.value());
+    Expected<ServeResponse> R = parseServeResponse(*Reply.value());
+    ASSERT_TRUE(static_cast<bool>(R)) << *Reply.value();
+    EXPECT_EQ(R->RStatus, ServeStatus::Error) << *Reply.value();
+    EXPECT_NE(R->Reason.find(ReasonPart), std::string::npos) << R->Reason;
+  };
+
+  expectError("this is not json", "not valid JSON");
+  expectError("{\"cmd\":\"fly\"}", "unknown cmd");
+  expectError("{\"cmd\":\"explore\"}", "needs \"kernel\" or \"source\"");
+  expectError("{\"kernel\":\"NOPE\"}", "unknown kernel 'NOPE'");
+  expectError("{\"kernel\":\"FIR\",\"platform\":\"asic\"}",
+              "unknown platform 'asic'");
+  expectError("{\"kernel\":\"FIR\",\"strategy\":\"psychic\"}",
+              "unknown strategy 'psychic'");
+  expectError("{\"kernel\":\"FIR\",\"pipeline\":\"warp-drive\"}",
+              "bad pipeline");
+  expectError("{\"kernel\":\"FIR\",\"deadline_s\":-1}", "non-negative");
+  EXPECT_EQ(Server->errorReplies(), 8u);
+  // None of these reached the batch engine.
+  EXPECT_EQ(Server->batchesRun(), 0u);
+}
+
+TEST_F(ServeTest, InlineSourceKernelExplores) {
+  startServer({});
+  ServeRequest Req;
+  Req.Kernel = "tinyfir";
+  Req.Source = "int S[24];\n"
+               "int C[8];\n"
+               "int D[16];\n"
+               "for (j = 0; j < 16; j++)\n"
+               "  for (i = 0; i < 8; i++)\n"
+               "    D[j] = D[j] + (S[i + j] * C[i]);\n";
+  Req.Budget = 20;
+  ServeResponse R = oneShot(SocketPath, Req);
+  ASSERT_TRUE(R.RStatus == ServeStatus::Ok ||
+              R.RStatus == ServeStatus::Degraded)
+      << R.Reason;
+  EXPECT_EQ(R.Kernel, "tinyfir");
+  EXPECT_GT(R.Evaluations, 0u);
+}
+
+TEST_F(ServeTest, PingReportsWarmState) {
+  startServer({});
+  ServeRequest Ping;
+  Ping.Cmd = "ping";
+  ServeResponse Before = oneShot(SocketPath, Ping);
+  EXPECT_EQ(Before.RStatus, ServeStatus::Pong);
+  EXPECT_EQ(Before.CacheDesigns, 0u);
+
+  oneShot(SocketPath, exploreFIR());
+  ServeResponse After = oneShot(SocketPath, Ping);
+  EXPECT_GT(After.CacheDesigns, 0u);
+  EXPECT_GT(After.StageCacheEntries, 0u);
+  EXPECT_EQ(After.Requests, 1u);
+}
+
+TEST_F(ServeTest, GaugesRegisterOnSampler) {
+  startServer({});
+  oneShot(SocketPath, exploreFIR());
+  MetricsSampler Sampler{MetricsSamplerOptions{}};
+  Server->registerGauges(Sampler);
+  MetricsSample S = Sampler.sampleOnce();
+  // Gauge values land in the serialized sample the monitor reads.
+  for (const char *Name : {"serve_queue_depth", "serve_in_flight",
+                           "cache_designs", "stage_entries",
+                           "in_flight_evals"})
+    EXPECT_NE(S.JsonLine.find(std::string("\"") + Name + "\""),
+              std::string::npos)
+        << Name << " missing from " << S.JsonLine;
+}
+
+//===----------------------------------------------------------------------===//
+// Shutdown protocol and journal restart
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServeTest, ShutdownCommandUnblocksWaiter) {
+  startServer({});
+  std::thread Waiter([&] { Server->waitForShutdownRequest(); });
+  ServeRequest Req;
+  Req.Cmd = "shutdown";
+  ServeResponse R = oneShot(SocketPath, Req);
+  EXPECT_EQ(R.RStatus, ServeStatus::Bye);
+  Waiter.join(); // returns only once the request was observed
+  Server->stop();
+}
+
+TEST_F(ServeTest, JournalRestartServesFromReplayedState) {
+  std::string Journal = uniquePath("serve_journal") + ".jsonl";
+  ServeOptions Opts;
+  Opts.JournalPath = Journal;
+  startServer(std::move(Opts));
+  ServeResponse Cold = oneShot(SocketPath, exploreFIR());
+  ASSERT_EQ(Cold.RStatus, ServeStatus::Ok) << Cold.Reason;
+  EXPECT_FALSE(Cold.Warm);
+  Server->stop();
+  Server.reset();
+
+  // A restarted daemon replays the journal into its fresh cache before
+  // accepting connections: the "first" request after restart is warm
+  // and bit-identical to the pre-crash answer.
+  ServeOptions Opts2;
+  Opts2.JournalPath = Journal;
+  startServer(std::move(Opts2));
+  EXPECT_GT(Server->resumedEvaluations(), 0u);
+  ServeResponse Resumed = oneShot(SocketPath, exploreFIR());
+  ASSERT_EQ(Resumed.RStatus, ServeStatus::Ok) << Resumed.Reason;
+  EXPECT_TRUE(Resumed.Warm);
+  EXPECT_EQ(Resumed.CacheMisses, 0u);
+  EXPECT_EQ(Resumed.Selected, Cold.Selected);
+  EXPECT_EQ(Resumed.Cycles, Cold.Cycles);
+  EXPECT_EQ(Resumed.Slices, Cold.Slices);
+  EXPECT_EQ(Resumed.Digest, Cold.Digest);
+  std::remove(Journal.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol serialization
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocolTest, RequestRoundTrips) {
+  ServeRequest R;
+  R.Id = "r-42";
+  R.Kernel = "MM";
+  R.Platform = "wildstar-nonpipelined";
+  R.Strategy = "portfolio";
+  R.Pipeline = "normalize,unroll";
+  R.Budget = 77;
+  R.DeadlineSeconds = 1.5;
+  R.WantDigest = true;
+  Expected<ServeRequest> Back = parseServeRequest(R.toJson());
+  ASSERT_TRUE(static_cast<bool>(Back)) << Back.status().message();
+  EXPECT_EQ(Back->Id, R.Id);
+  EXPECT_EQ(Back->Kernel, R.Kernel);
+  EXPECT_EQ(Back->Platform, R.Platform);
+  EXPECT_EQ(Back->Strategy, R.Strategy);
+  EXPECT_EQ(Back->Pipeline, R.Pipeline);
+  EXPECT_EQ(Back->Budget, R.Budget);
+  EXPECT_EQ(Back->DeadlineSeconds, R.DeadlineSeconds);
+  EXPECT_TRUE(Back->WantDigest);
+}
+
+TEST(ServeProtocolTest, ResponseRoundTripsSlicesExactly) {
+  ServeResponse R;
+  R.RStatus = ServeStatus::Ok;
+  R.Id = "x";
+  R.Kernel = "FIR";
+  R.Strategy = "guided";
+  R.Platform = "wildstar-pipelined";
+  R.Selected = "(16, 8)";
+  R.Cycles = 267;
+  R.Slices = 6183.0000000000009; // survives only as hexfloat
+  R.Speedup = 31.4;
+  R.Evaluations = 7;
+  R.Warm = true;
+  R.CacheHits = 7;
+  R.BatchSeq = 3;
+  R.BatchSize = 2;
+  R.LatencyUs = 234.4;
+  R.Digest = "b2b79999a8694891";
+  Expected<ServeResponse> Back = parseServeResponse(R.toJson());
+  ASSERT_TRUE(static_cast<bool>(Back)) << Back.status().message();
+  EXPECT_EQ(Back->RStatus, ServeStatus::Ok);
+  EXPECT_EQ(Back->Selected, R.Selected);
+  EXPECT_EQ(Back->Cycles, R.Cycles);
+  // Bit-exact double round-trip, the journal guarantee on the wire.
+  EXPECT_EQ(std::memcmp(&Back->Slices, &R.Slices, sizeof(double)), 0);
+  EXPECT_TRUE(Back->Warm);
+  EXPECT_EQ(Back->Digest, R.Digest);
+}
+
+TEST(ServeProtocolTest, DigestHashIsOrderSensitiveAndStable) {
+  EXPECT_EQ(digestHash({}), digestHash({}));
+  EXPECT_NE(digestHash({"a", "b"}), digestHash({"b", "a"}));
+  // Line boundaries matter: {"ab"} != {"a","b"}.
+  EXPECT_NE(digestHash({"ab"}), digestHash({"a", "b"}));
+  EXPECT_EQ(digestHash({"a", "b"}).size(), 16u);
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# chaos_serve_resume.sh — crash-safety soak for the DSE daemon.
+#
+# For each seed: start defacto_served with a journal, fire a burst of
+# explore requests at it, SIGKILL the daemon at a seed-derived random
+# moment mid-batch, restart it with the same --journal, and demand that
+# the interrupted request — reissued against the restarted daemon — is
+# answered from replayed state with the bit-identical winner and
+# decision digest of an uninterrupted reference daemon. A kill that
+# lands mid-flush exercises the journal's write-then-rename path; one
+# that lands before the first flush exercises the empty-journal restart.
+#
+# usage: chaos_serve_resume.sh <defacto_served> <defacto_client> [num-seeds]
+set -u
+
+SERVED=${1:?usage: chaos_serve_resume.sh <defacto_served> <defacto_client> [num-seeds]}
+CLIENT=${2:?usage: chaos_serve_resume.sh <defacto_served> <defacto_client> [num-seeds]}
+SEEDS=${3:-8}
+WORK=$(mktemp -d)
+SOCK="$WORK/dse.sock"
+trap 'kill $(jobs -p) 2>/dev/null; rm -rf "$WORK"' EXIT
+
+# The request the chaos targets: a paper kernel with a mid-sized budget,
+# digest on so replies carry the bit-identity proof.
+REQ=(--kernel=MM --budget=60 --digest)
+
+wait_for_socket() {
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && return 0
+    sleep 0.05
+  done
+  return 1
+}
+
+# "selected":"...","cycles":N,...,"decision_digest":"..." — the fields a
+# resumed answer must reproduce bit for bit.
+identity() {
+  tr ',' '\n' <"$1" | grep -E '"(selected|cycles|slices|decision_digest)"' |
+    paste -sd, -
+}
+
+# The uninterrupted reference answer.
+"$SERVED" --socket="$SOCK" 2>"$WORK/ref.log" &
+REF_PID=$!
+wait_for_socket || { echo "FAIL: reference daemon never bound" >&2; exit 1; }
+"$CLIENT" --socket="$SOCK" "${REQ[@]}" --expect=ok >"$WORK/ref.json" ||
+  { echo "FAIL: reference request failed" >&2; cat "$WORK/ref.log" >&2; exit 1; }
+"$CLIENT" --socket="$SOCK" --shutdown >/dev/null
+wait "$REF_PID" 2>/dev/null
+identity "$WORK/ref.json" >"$WORK/ref.id"
+if ! [ -s "$WORK/ref.id" ]; then
+  echo "FAIL: reference reply carried no identity fields" >&2
+  cat "$WORK/ref.json" >&2
+  exit 1
+fi
+
+FAILURES=0
+for SEED in $(seq 1 "$SEEDS"); do
+  J="$WORK/journal$SEED.jsonl"
+  rm -f "$SOCK" "$J" "$J.tmp"
+
+  "$SERVED" --socket="$SOCK" --journal="$J" 2>"$WORK/run$SEED.log" &
+  PID=$!
+  wait_for_socket || { echo "seed $SEED: FAIL daemon never bound" >&2; FAILURES=$((FAILURES + 1)); continue; }
+
+  # A burst of requests to keep a batch in flight, then a seed-derived
+  # kill delay from "before anything completed" to "mid-burst".
+  "$CLIENT" --socket="$SOCK" "${REQ[@]}" --repeat=50 >/dev/null 2>&1 &
+  BURST=$!
+  DELAY=$(awk -v s="$SEED" 'BEGIN { srand(s); printf "%.3f", 0.005 + rand() * 0.15 }')
+  sleep "$DELAY"
+  kill -KILL "$PID" 2>/dev/null
+  wait "$PID" 2>/dev/null
+  kill "$BURST" 2>/dev/null
+  wait "$BURST" 2>/dev/null
+
+  # Restart on the corpse's journal and reissue the interrupted request.
+  rm -f "$SOCK"
+  "$SERVED" --socket="$SOCK" --journal="$J" 2>"$WORK/restart$SEED.log" &
+  PID=$!
+  if ! wait_for_socket; then
+    echo "seed $SEED: FAIL restarted daemon never bound (killed after ${DELAY}s)" >&2
+    cat "$WORK/restart$SEED.log" >&2
+    FAILURES=$((FAILURES + 1))
+    continue
+  fi
+  RESUMED=$(sed -n 's/.*resumed \([0-9]*\) journaled.*/\1/p' "$WORK/restart$SEED.log")
+  "$CLIENT" --socket="$SOCK" "${REQ[@]}" --expect=ok >"$WORK/resume$SEED.json"
+  STATUS=$?
+  "$CLIENT" --socket="$SOCK" --shutdown >/dev/null 2>&1
+  wait "$PID" 2>/dev/null
+  if [ $STATUS -ne 0 ]; then
+    echo "seed $SEED: FAIL resumed request exited $STATUS (killed after ${DELAY}s)" >&2
+    cat "$WORK/resume$SEED.json" >&2
+    FAILURES=$((FAILURES + 1))
+    continue
+  fi
+  identity "$WORK/resume$SEED.json" >"$WORK/resume$SEED.id"
+  if ! diff -u "$WORK/ref.id" "$WORK/resume$SEED.id" >"$WORK/diff$SEED"; then
+    echo "seed $SEED: FAIL resumed answer differs from reference (killed after ${DELAY}s)" >&2
+    cat "$WORK/diff$SEED" >&2
+    FAILURES=$((FAILURES + 1))
+    continue
+  fi
+  echo "seed $SEED: ok (killed after ${DELAY}s, ${RESUMED:-0} evaluation(s) replayed)"
+done
+
+if [ $FAILURES -ne 0 ]; then
+  echo "chaos serve-resume: $FAILURES/$SEEDS seed(s) FAILED" >&2
+  exit 1
+fi
+echo "chaos serve-resume: all $SEEDS seed(s) reproduced the reference bit-identically"

@@ -1,0 +1,154 @@
+//===- defacto_client.cpp - Command-line client for the DSE daemon --------===//
+//
+// Part of the DEFACTO-DSE project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Talks the docs/SERVING.md protocol to a running defacto_served over
+/// its Unix-domain socket. One reply JSON line is printed to stdout per
+/// request, so scripts can assert statuses with jq/grep.
+///
+/// Usage:
+///   defacto_client --socket=PATH --kernel=NAME [--platform=NAME]
+///       [--strategy=NAME] [--pipeline=TEXT] [--budget=N]
+///       [--deadline=SEC] [--digest] [--id=STR] [--repeat=N]
+///   defacto_client --socket=PATH --source-file=PATH [--kernel=NAME] ...
+///   defacto_client --socket=PATH --ping
+///   defacto_client --socket=PATH --shutdown
+///   defacto_client --socket=PATH --stdin     # raw JSONL request lines
+///
+/// With --expect=STATUS every reply's "status" must equal STATUS or the
+/// client exits 1 (test ergonomics). Exit 0 otherwise, 1 on transport
+/// failure, 2 on a bad command line.
+///
+//===----------------------------------------------------------------------===//
+
+#include "defacto/Serve/Protocol.h"
+#include "defacto/Support/CommandLine.h"
+#include "defacto/Support/Socket.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace defacto;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket=PATH (--kernel=NAME | --source-file=PATH |\n"
+      "  --ping | --shutdown | --stdin)\n"
+      "  [--platform=NAME] [--strategy=NAME] [--pipeline=TEXT]\n"
+      "  [--budget=N] [--deadline=SEC] [--digest] [--id=STR]\n"
+      "  [--repeat=N] [--expect=STATUS]\n",
+      Argv0);
+  return 2;
+}
+
+/// Sends \p Line, prints the reply, and enforces --expect. Returns 0,
+/// or the process exit code on failure.
+int roundTrip(UnixConnection &Conn, const std::string &Line,
+              const std::string &Expect) {
+  Status Sent = Conn.sendLine(Line);
+  if (!Sent.isOk()) {
+    std::fprintf(stderr, "defacto_client: send failed: %s\n",
+                 Sent.message().c_str());
+    return 1;
+  }
+  Expected<std::optional<std::string>> Reply = Conn.recvLine();
+  if (!Reply || !Reply.value()) {
+    std::fprintf(stderr, "defacto_client: connection closed mid-request\n");
+    return 1;
+  }
+  std::printf("%s\n", Reply.value()->c_str());
+  if (!Expect.empty()) {
+    Expected<ServeResponse> R = parseServeResponse(*Reply.value());
+    if (!R) {
+      std::fprintf(stderr, "defacto_client: unparsable reply: %s\n",
+                   R.status().message().c_str());
+      return 1;
+    }
+    if (serveStatusName(R->RStatus) != Expect) {
+      std::fprintf(stderr, "defacto_client: expected status '%s', got '%s'\n",
+                   Expect.c_str(), serveStatusName(R->RStatus));
+      return 1;
+    }
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  cl::ArgList Args(argc, argv);
+  std::string SocketPath = Args.consumeValue("--socket").value_or("");
+  bool Ping = Args.consumeFlag("--ping");
+  bool Shutdown = Args.consumeFlag("--shutdown");
+  bool Stdin = Args.consumeFlag("--stdin");
+  std::string Expect = Args.consumeValue("--expect").value_or("");
+
+  ServeRequest Req;
+  Req.Kernel = Args.consumeValue("--kernel").value_or("");
+  std::string SourceFile = Args.consumeValue("--source-file").value_or("");
+  Req.Platform = Args.consumeValue("--platform").value_or(Req.Platform);
+  Req.Strategy = Args.consumeValue("--strategy").value_or(Req.Strategy);
+  Req.Pipeline = Args.consumeValue("--pipeline").value_or("");
+  Req.Budget = Args.consumeUnsigned("--budget").value_or(Req.Budget);
+  if (std::optional<std::string> D = Args.consumeValue("--deadline"))
+    Req.DeadlineSeconds = std::strtod(D->c_str(), nullptr);
+  Req.WantDigest = Args.consumeFlag("--digest");
+  Req.Id = Args.consumeValue("--id").value_or("");
+  unsigned Repeat = Args.consumeUnsigned("--repeat").value_or(1);
+
+  const int Modes = (Ping ? 1 : 0) + (Shutdown ? 1 : 0) + (Stdin ? 1 : 0) +
+                    (!Req.Kernel.empty() || !SourceFile.empty() ? 1 : 0);
+  if (SocketPath.empty() || Modes != 1 || !Args.empty())
+    return usage(argv[0]);
+
+  if (!SourceFile.empty()) {
+    std::ifstream In(SourceFile);
+    if (!In) {
+      std::fprintf(stderr, "defacto_client: cannot read %s\n",
+                   SourceFile.c_str());
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Req.Source = SS.str();
+  }
+
+  Expected<UnixConnection> Conn = UnixConnection::connectTo(SocketPath);
+  if (!Conn) {
+    std::fprintf(stderr, "defacto_client: cannot connect to %s: %s\n",
+                 SocketPath.c_str(), Conn.status().message().c_str());
+    return 1;
+  }
+
+  if (Ping || Shutdown) {
+    ServeRequest R;
+    R.Cmd = Ping ? "ping" : "shutdown";
+    R.Id = Req.Id;
+    return roundTrip(*Conn, R.toJson(), Expect);
+  }
+
+  if (Stdin) {
+    std::string Line;
+    while (std::getline(std::cin, Line)) {
+      if (Line.empty())
+        continue;
+      if (int RC = roundTrip(*Conn, Line, Expect))
+        return RC;
+    }
+    return 0;
+  }
+
+  for (unsigned I = 0; I != Repeat; ++I)
+    if (int RC = roundTrip(*Conn, Req.toJson(), Expect))
+      return RC;
+  return 0;
+}
